@@ -1,0 +1,48 @@
+//! Microbenchmarks of the discrete-event network simulator itself: how
+//! fast can it schedule the transfer DAGs of torus collectives (relevant
+//! because the analytic model's tests sweep it over many shapes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esti_hal::ChipSpec;
+use esti_netsim::{simulate_collective, CollectiveKind};
+use esti_topology::{Axis, AxisSet, TorusShape};
+
+fn bench_single_axis(c: &mut Criterion) {
+    let chip = ChipSpec::tpu_v4();
+    let mut group = c.benchmark_group("netsim_ring_all_gather");
+    for &k in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            let torus = TorusShape::new(k, 1, 1);
+            bench.iter(|| {
+                simulate_collective(
+                    &chip,
+                    torus,
+                    CollectiveKind::AllGather,
+                    AxisSet::single(Axis::X),
+                    1e6,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_cube(c: &mut Criterion) {
+    let chip = ChipSpec::tpu_v4();
+    let torus = TorusShape::new(4, 4, 4);
+    let mut group = c.benchmark_group("netsim_4x4x4");
+    for (name, kind) in [
+        ("all_gather_xyz", CollectiveKind::AllGather),
+        ("all_reduce_xyz", CollectiveKind::AllReduce),
+        ("all_to_all_xyz", CollectiveKind::AllToAll),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| simulate_collective(&chip, torus, kind, AxisSet::all(), 1e6));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_axis, bench_full_cube);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation (Section 3.5) — Looped CollectiveEinsum: overlapping
+//! collectives with the einsums that consume them. The paper credits these
+//! loops (plus collective/matmul matching) with ~1.4x over the
+//! compiler-partitioned baseline; here we reproduce the mechanism with the
+//! event simulator and show where the speedup comes from and where it
+//! saturates.
+
+use esti_bench::{banner, write_csv};
+use esti_hal::ChipSpec;
+use esti_model::ModelConfig;
+use esti_netsim::{looped_einsum_time, overlap_speedup, unfused_einsum_time, EinsumSpec};
+
+fn main() {
+    let chip = ChipSpec::tpu_v4();
+    let mut rows = Vec::new();
+
+    banner("Ablation: Looped CollectiveEinsum vs gather-then-compute");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>8}",
+        "ring", "comm/compute", "unfused us", "fused us", "speedup"
+    );
+    // Sweep the comm:compute balance at ring sizes matching the paper's
+    // torus groups (yz group of 16 chips on a 64-chip slice, etc.).
+    for ring in [4usize, 8, 16] {
+        for ratio in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            // Fix compute at 1 ms total, set communication by ratio.
+            let flops = 1e-3 * chip.peak_flops / ring as f64;
+            let bytes = ratio * 1e-3 * chip.axis_bandwidth(1) / (ring as f64 - 1.0);
+            let spec = EinsumSpec::new(ring, bytes, flops);
+            let unfused = unfused_einsum_time(&chip, &spec);
+            let fused = looped_einsum_time(&chip, &spec);
+            let speedup = overlap_speedup(&chip, &spec);
+            println!(
+                "{ring:>6} {ratio:>14.2} {:>12.1} {:>12.1} {:>8.2}",
+                unfused * 1e6,
+                fused * 1e6,
+                speedup
+            );
+            rows.push(format!("{ring},{ratio},{:.3},{:.3},{speedup:.4}", unfused * 1e6, fused * 1e6));
+        }
+    }
+
+    banner("At PaLM 540B decode shapes (64 chips, batch 512, WS 2D)");
+    // The x-axis pair of the 2D layout: a BL x E/X activation gathered over
+    // the yz group of 16 chips, consumed by the in-projection matmul.
+    let model = ModelConfig::palm_540b_padded();
+    let bl = 512.0;
+    let shard_bytes = bl * (model.d_model as f64 / 4.0) / 16.0 * 2.0;
+    let shard_flops = 2.0 * bl * (model.d_model as f64 / 4.0) / 16.0 * (model.d_ff as f64 / 16.0);
+    let spec = EinsumSpec::new(16, shard_bytes, shard_flops);
+    let unfused = unfused_einsum_time(&chip, &spec);
+    let fused = looped_einsum_time(&chip, &spec);
+    println!(
+        "per-layer gather+einsum: unfused {:.0} us, fused {:.0} us -> {:.2}x \
+         (paper: ~1.4x end to end)",
+        unfused * 1e6,
+        fused * 1e6,
+        unfused / fused
+    );
+    rows.push(format!("palm_decode,na,{:.3},{:.3},{:.4}", unfused * 1e6, fused * 1e6, unfused / fused));
+
+    write_csv("ablation_overlap.csv", "ring,comm_compute_ratio,unfused_us,fused_us,speedup", &rows);
+    println!(
+        "\ninterpretation: the speedup peaks when communication and compute balance \
+         (the regime the 2D weight-stationary layout engineers at its optimal mesh) and \
+         saturates toward 2x with ring size; mixed with non-overlappable work this \
+         yields the paper's overall ~1.4x."
+    );
+}

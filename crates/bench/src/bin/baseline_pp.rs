@@ -1,0 +1,74 @@
+//! Baseline study — tensor vs pipeline parallelism for inference
+//! (Section 5's implicit comparison): FasterTransformer serves MT-NLG 530B
+//! as TP16/TP32/PP3-TP8; the paper scales pure tensor parallelism to 64
+//! chips instead. We model both on the same simulated hardware.
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_core::perf::{estimate, PhaseSpec};
+use esti_core::pipeline::{estimate_pipelined, PipelineSetup};
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn tp_layout(model: &ModelConfig, n: usize) -> Layout {
+    Layout {
+        ffn: FfnLayout::WeightStationary2D,
+        attn: AttnSharding::Head,
+        mesh: Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+    }
+}
+
+fn main() {
+    banner("Baseline: pipeline vs tensor parallelism, MT-NLG 530B (20 in / 8 out)");
+    let model = ModelConfig::mt_nlg_530b();
+    let mut rows = Vec::new();
+
+    println!(
+        "{:>6} | {:<14} {:>10} {:>6} | {:<14} {:>10} {:>6}",
+        "batch", "PP3 x TP16", "total ms", "MFU%", "TP64", "total ms", "MFU%"
+    );
+    for batch in [4usize, 16, 64, 256] {
+        // --- PP3 x TP16 (48 chips): microbatch prefill, serial decode ---
+        let stage = Machine::tpu_v4_slice(16).expect("16-chip stage");
+        let setup = PipelineSetup::new(3, batch.min(8));
+        let layout16 = tp_layout(&model, 16);
+        let pp_pre = estimate_pipelined(&stage, &model, &layout16, &setup, &PhaseSpec::prefill(batch, 20), DType::Bf16);
+        let pp_step = estimate_pipelined(&stage, &model, &layout16, &setup, &PhaseSpec::decode(batch, 24), DType::Bf16);
+        let pp_total = pp_pre.step_time + 8.0 * pp_step.step_time;
+        let pp_mfu = model.flops_per_token() * (batch * 28) as f64
+            / (pp_total * 48.0 * stage.chip.peak_flops);
+
+        // --- pure TP on 64 chips ---
+        let m64 = Machine::tpu_v4_slice(64).expect("64-chip slice");
+        let layout64 = tp_layout(&model, 64);
+        let tp_pre = estimate(&m64, &model, &layout64, &PhaseSpec::prefill(batch, 20), DType::Bf16);
+        let tp_step = estimate(&m64, &model, &layout64, &PhaseSpec::decode(batch, 24), DType::Bf16);
+        let tp_total = tp_pre.step_time + 8.0 * tp_step.step_time;
+        let tp_mfu = model.flops_per_token() * (batch * 28) as f64
+            / (tp_total * m64.peak_flops());
+
+        println!(
+            "{batch:>6} | {:<14} {:>10.0} {:>6.1} | {:<14} {:>10.0} {:>6.1}",
+            "48 chips",
+            pp_total * 1e3,
+            pp_mfu * 100.0,
+            "64 chips",
+            tp_total * 1e3,
+            tp_mfu * 100.0
+        );
+        rows.push(format!(
+            "{batch},{:.1},{:.4},{:.1},{:.4}",
+            pp_total * 1e3,
+            pp_mfu,
+            tp_total * 1e3,
+            tp_mfu
+        ));
+    }
+    write_csv("baseline_pp.csv", "batch,pp3tp16_ms,pp3tp16_mfu,tp64_ms,tp64_mfu", &rows);
+    println!(
+        "\nexpected shape (cf. Tables D.2-D.4): pipelining pays the full stage-traversal \
+         latency per generated token, so pure tensor parallelism dominates at every batch \
+         for latency, and the PP bubble depresses small-batch MFU."
+    );
+}

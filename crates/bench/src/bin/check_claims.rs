@@ -1,0 +1,24 @@
+//! The reproduction scoreboard: every quantitative claim of the paper that
+//! this repository audits, evaluated on the simulated hardware in one run.
+
+use esti_bench::banner;
+use esti_core::claims::{all_claims, holding};
+
+fn main() {
+    banner("Efficiently Scaling Transformer Inference — claim audit");
+    let claims = all_claims();
+    for c in &claims {
+        println!(
+            "[{}] {}\n    {}\n    measured: {}\n",
+            if c.holds { "PASS" } else { "FAIL" },
+            c.source,
+            c.statement,
+            c.measured
+        );
+    }
+    let ok = holding(&claims);
+    println!("{ok}/{} claims hold", claims.len());
+    if ok != claims.len() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension experiment — int8 *activation* quantization, the future work
+//! the paper calls out twice:
+//!
+//! * Section 3.6: "we are hopeful that it could reduce compute time in
+//!   large-batch configurations and reduce communication volume of
+//!   activations in weight-stationary layouts";
+//! * Section 4.4: "quantization of activations to int8 could enable a
+//!   further cost improvement".
+//!
+//! We project the communication side of that claim with the analytical
+//! model: halving activation bytes halves the bandwidth term of every
+//! weight-stationary collective.
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout};
+use esti_core::perf::{estimate_with, PerfParams, PhaseSpec};
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    banner("Extension: projected int8 activation quantization (Sections 3.6, 4.4)");
+    let model = ModelConfig::palm_540b_padded();
+    let machine = Machine::tpu_v4_slice(64).expect("64-chip slice");
+    let mesh = Layout::ws2d_mesh(64, model.d_model, model.d_ff);
+    let bf16 = PerfParams::default();
+    let i8act = PerfParams { act_dtype: DType::Int8, ..PerfParams::default() };
+    let mut rows = Vec::new();
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "configuration", "bf16 acts", "int8 acts", "speedup"
+    );
+    let cases: Vec<(&str, Layout, PhaseSpec, DType)> = vec![
+        (
+            "decode B=64, WS2D, int8 w",
+            Layout { ffn: FfnLayout::WeightStationary2D, attn: AttnSharding::Batch, mesh },
+            PhaseSpec::decode(64, 2048),
+            DType::Int8,
+        ),
+        (
+            "decode B=512, WS2D, bf16 w",
+            Layout { ffn: FfnLayout::WeightStationary2D, attn: AttnSharding::Batch, mesh },
+            PhaseSpec::decode(512, 2048),
+            DType::Bf16,
+        ),
+        (
+            "prefill B=1, WS2D, int8 w",
+            Layout { ffn: FfnLayout::WeightStationary2D, attn: AttnSharding::Head, mesh },
+            PhaseSpec::prefill(1, 2048),
+            DType::Int8,
+        ),
+        (
+            "prefill B=512, WG XYZ, bf16 w",
+            Layout { ffn: FfnLayout::WeightGathered(GatherExtent::Xyz), attn: AttnSharding::Batch, mesh },
+            PhaseSpec::prefill(512, 2048),
+            DType::Bf16,
+        ),
+    ];
+    for (name, layout, spec, wdtype) in cases {
+        let a = estimate_with(&machine, &model, &layout, &spec, wdtype, &bf16);
+        let b = estimate_with(&machine, &model, &layout, &spec, wdtype, &i8act);
+        println!(
+            "{name:<34} {:>12.1} {:>12.1} {:>7.2}x",
+            a.step_time * 1e3,
+            b.step_time * 1e3,
+            a.step_time / b.step_time
+        );
+        rows.push(format!(
+            "{name},{:.3},{:.3},{:.4}",
+            a.step_time * 1e3,
+            b.step_time * 1e3,
+            a.step_time / b.step_time
+        ));
+    }
+    write_csv("extension_act_quant.csv", "case,bf16_ms,int8_ms,speedup", &rows);
+    println!(
+        "\nas the paper anticipates, the win concentrates in weight-stationary decode \
+         (activation collectives dominate); weight-gathered prefill moves weights, not \
+         activations, so it barely changes."
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 1 — cost vs latency Pareto frontiers for the PaLM family.
+//!
+//! Left: decode latency per token (context 2048, generating 64 tokens) vs
+//! chip-seconds per token. Right: prefill of 2048 input tokens. Sweeps
+//! batch × chip count with the paper's layout selection, in bf16 and int8.
+
+use esti_bench::{banner, write_csv};
+use esti_core::pareto::{decode_sweep, pareto_frontier, prefill_sweep};
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    let models = [ModelConfig::palm_8b(), ModelConfig::palm_62b(), ModelConfig::palm_540b_padded()];
+    let dtypes = [DType::Bf16, DType::Int8];
+    let mut rows = Vec::new();
+
+    banner("Figure 1 (left): generate — latency per token vs cost");
+    println!(
+        "{:<22} {:>5} {:>6} {:>6} {:>12} {:>15} {:>6}",
+        "model", "dtype", "chips", "batch", "ms/token", "chip-ms/token", "MFU%"
+    );
+    for model in &models {
+        for dtype in dtypes {
+            let sweep = decode_sweep(model, dtype, 2048);
+            for p in pareto_frontier(&sweep, |p| p.cost) {
+                println!(
+                    "{:<22} {:>5} {:>6} {:>6} {:>12.2} {:>15.3} {:>6.1}",
+                    p.model,
+                    dtype,
+                    p.n_chips,
+                    p.batch,
+                    p.latency * 1e3,
+                    p.cost * 1e3,
+                    p.mfu * 100.0
+                );
+                rows.push(format!(
+                    "generate,{},{},{},{},{:.4},{:.5},{:.4}",
+                    p.model, dtype, p.n_chips, p.batch, p.latency * 1e3, p.cost * 1e3, p.mfu
+                ));
+            }
+            println!();
+        }
+    }
+
+    banner("Figure 1 (right): prefill 2048 tokens — latency vs cost");
+    println!(
+        "{:<22} {:>5} {:>6} {:>6} {:>12} {:>15} {:>6}",
+        "model", "dtype", "chips", "batch", "latency s", "chip-ms/token", "MFU%"
+    );
+    for model in &models {
+        for dtype in dtypes {
+            let sweep = prefill_sweep(model, dtype, 2048);
+            for p in pareto_frontier(&sweep, |p| p.cost) {
+                println!(
+                    "{:<22} {:>5} {:>6} {:>6} {:>12.3} {:>15.3} {:>6.1}",
+                    p.model,
+                    dtype,
+                    p.n_chips,
+                    p.batch,
+                    p.latency,
+                    p.cost * 1e3,
+                    p.mfu * 100.0
+                );
+                rows.push(format!(
+                    "prefill,{},{},{},{},{:.4},{:.5},{:.4}",
+                    p.model, dtype, p.n_chips, p.batch, p.latency, p.cost * 1e3, p.mfu
+                ));
+            }
+            println!();
+        }
+    }
+
+    write_csv(
+        "fig1.csv",
+        "phase,model,dtype,chips,batch,latency,cost_chip_ms_per_token,mfu",
+        &rows,
+    );
+
+    // Headline checks from Section 4.4.
+    let sweep = decode_sweep(&ModelConfig::palm_540b_padded(), DType::Int8, 2048);
+    let min = sweep.iter().map(|p| p.latency).fold(f64::INFINITY, f64::min);
+    let b512 = sweep
+        .iter()
+        .filter(|p| p.batch == 512)
+        .map(|p| p.latency)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nPaLM 540B int8: min decode latency {:.1} ms/token; batch-512 latency {:.1} ms/token \
+         (ratio {:.1}x, paper ~3x)",
+        min * 1e3,
+        b512 * 1e3,
+        b512 / min
+    );
+}

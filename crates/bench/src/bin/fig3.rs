@@ -1,0 +1,80 @@
+//! Figure 3 — per-layer communication volume vs batch size (in tokens) for
+//! the feedforward layer, comparing 2D weight-stationary against the
+//! X/XY/XYZ weight-gathered layouts at X=Y=Z=4, d_model=16384, d_ff=65536.
+//!
+//! The reproduced claim: the communication-minimal layout switches from
+//! WS 2D to progressively wider weight-gathered layouts as batch grows.
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_model::{BlockKind, ModelConfig};
+
+fn fig3_model() -> ModelConfig {
+    // A feedforward-only setting: params_per_layer ≈ 2·E·F.
+    let mut m = ModelConfig::mt_nlg_530b();
+    m.name = "ffn-only".to_owned();
+    m.d_model = 16384;
+    m.d_ff = 65536;
+    m.n_heads = 1;
+    m.d_head = 1;
+    m.block = BlockKind::Parallel;
+    m
+}
+
+fn main() {
+    banner("Figure 3: communication volume vs batch size (elements per layer)");
+    let model = fig3_model();
+    let mesh = MeshFactors::new(4, 4, 4);
+    let layouts: Vec<(String, Layout)> = [
+        FfnLayout::WeightStationary2D,
+        FfnLayout::WeightGathered(GatherExtent::X),
+        FfnLayout::WeightGathered(GatherExtent::Xy),
+        FfnLayout::WeightGathered(GatherExtent::Xyz),
+    ]
+    .into_iter()
+    .map(|ffn| {
+        (ffn.name().to_owned(), Layout { ffn, attn: AttnSharding::Head, mesh })
+    })
+    .collect();
+
+    print!("{:>12}", "tokens");
+    for (name, _) in &layouts {
+        print!(" {name:>12}");
+    }
+    println!(" {:>10}", "best");
+
+    let mut rows = Vec::new();
+    let mut batch_tokens = 1024.0f64;
+    let mut last_best = usize::MAX;
+    let mut crossovers = Vec::new();
+    while batch_tokens <= 2e7 {
+        let volumes: Vec<f64> =
+            layouts.iter().map(|(_, l)| l.layer_comm_elements(&model, batch_tokens)).collect();
+        let best = volumes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        print!("{batch_tokens:>12.0}");
+        for v in &volumes {
+            print!(" {v:>12.3e}");
+        }
+        println!(" {:>10}", layouts[best].0);
+        rows.push(format!(
+            "{batch_tokens},{}",
+            volumes.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>().join(",")
+        ));
+        if best != last_best && last_best != usize::MAX {
+            crossovers.push((batch_tokens, layouts[best].0.clone()));
+        }
+        last_best = best;
+        batch_tokens *= 2.0;
+    }
+
+    println!("\ncrossovers (paper: WS2D -> WG X -> WG XY -> WG XYZ as batch grows):");
+    for (tokens, name) in crossovers {
+        println!("  {name} becomes optimal near {tokens:.0} tokens");
+    }
+    write_csv("fig3.csv", "batch_tokens,ws2d,wg_x,wg_xy,wg_xyz", &rows);
+}

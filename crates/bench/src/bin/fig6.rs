@@ -1,0 +1,56 @@
+//! Figure 6 — decode latency per token for 1D vs 2D weight-stationary
+//! layouts on PaLM 540B at batch 512, as chip count grows.
+//!
+//! Reproduced claims: both layouts become communication-limited, but 2D
+//! keeps improving with chip count (its communication scales as 1/√n)
+//! while 1D saturates (constant communication).
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_core::perf::{estimate, PhaseSpec};
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    banner("Figure 6: decode latency/token, 1D vs 2D weight-stationary (batch 512)");
+    let model = ModelConfig::palm_540b_padded();
+    let spec = PhaseSpec::decode(512, 2048);
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "chips", "1D ms/token", "2D ms/token", "1D comm ms", "2D comm ms"
+    );
+    let mut rows = Vec::new();
+    for n in [16usize, 32, 64, 128, 256] {
+        let machine = Machine::tpu_v4_slice(n).expect("catalog slice");
+        let l1 = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws1d_mesh(n),
+        };
+        let l2 = Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+        };
+        // int8 weights so that the 540B model fits down to 16 chips.
+        let e1 = estimate(&machine, &model, &l1, &spec, DType::Int8);
+        let e2 = estimate(&machine, &model, &l2, &spec, DType::Int8);
+        println!(
+            "{n:>6} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+            e1.step_time * 1e3,
+            e2.step_time * 1e3,
+            e1.comm_time * 1e3,
+            e2.comm_time * 1e3
+        );
+        rows.push(format!(
+            "{n},{:.4},{:.4},{:.4},{:.4}",
+            e1.step_time * 1e3,
+            e2.step_time * 1e3,
+            e1.comm_time * 1e3,
+            e2.comm_time * 1e3
+        ));
+    }
+    write_csv("fig6.csv", "chips,ws1d_ms,ws2d_ms,ws1d_comm_ms,ws2d_comm_ms", &rows);
+    println!("\nexpected shape: 2D strictly faster from 64 chips on; 1D flattens out.");
+}

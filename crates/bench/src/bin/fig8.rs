@@ -1,0 +1,73 @@
+//! Figure 8 — decode latency per token vs context length for the 8-layer
+//! PaLM 540B variant on 64 chips at batch 256, comparing multihead
+//! attention, baseline multiquery (head-sharded, KV replicated), and the
+//! optimized batch-sharded multiquery layout.
+//!
+//! Reproduced claims: the variants are close at short context; as context
+//! grows, KV-cache memory time dominates the baseline layouts while the
+//! optimized layout stays flat; on the *full* 118-layer model the baseline
+//! layouts run out of memory beyond ~512 tokens (the dotted line).
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_core::memory;
+use esti_core::perf::{estimate, PhaseSpec};
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    banner("Figure 8: decode latency vs context length (8-layer 540B, batch 256)");
+    let machine = Machine::tpu_v4_slice(64).expect("64-chip slice");
+    let batch = 256usize;
+
+    let mut mh8 = ModelConfig::palm_540b_multihead();
+    mh8.n_layers = 8;
+    mh8.n_heads = 64; // padded, matching the benchmark model
+    let mut mq8 = ModelConfig::palm_540b_padded();
+    mq8.n_layers = 8;
+
+    let variants: Vec<(&str, ModelConfig, AttnSharding)> = vec![
+        ("multihead", mh8, AttnSharding::Head),
+        ("baseline MQ", mq8.clone(), AttnSharding::Head),
+        ("optimized MQ", mq8, AttnSharding::Batch),
+    ];
+
+    println!(
+        "{:>9} {:>14} {:>14} {:>14}   (ms/token; * = full 118-layer model OOM)",
+        "context", "multihead", "baseline MQ", "optimized MQ"
+    );
+    let mut rows = Vec::new();
+    for ctx in [128usize, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768] {
+        let mut cells = Vec::new();
+        let mut csv = vec![format!("{ctx}")];
+        for (_, model, sharding) in &variants {
+            let layout = Layout {
+                ffn: FfnLayout::WeightStationary2D,
+                attn: *sharding,
+                mesh: Layout::ws2d_mesh(64, model.d_model, model.d_ff),
+            };
+            let est = estimate(&machine, model, &layout, &PhaseSpec::decode(batch, ctx), DType::Bf16);
+            // OOM marker for the corresponding full-depth model.
+            let mut full = model.clone();
+            full.n_layers = 118;
+            let oom = !memory::fits_in_memory(
+                &machine, &full, *sharding, batch, ctx, DType::Bf16, DType::Bf16,
+            );
+            cells.push(format!("{:>12.2}{}", est.step_time * 1e3, if oom { "*" } else { " " }));
+            csv.push(format!("{:.4},{}", est.step_time * 1e3, u8::from(oom)));
+        }
+        println!("{ctx:>9} {} {} {}", cells[0], cells[1], cells[2]);
+        rows.push(csv.join(","));
+    }
+    write_csv(
+        "fig8.csv",
+        "context,mh_ms,mh_oom,mq_base_ms,mq_base_oom,mq_opt_ms,mq_opt_oom",
+        &rows,
+    );
+    println!(
+        "\nexpected shape: curves agree at short context; baseline layouts blow up with \
+         context while optimized MQ stays nearly flat (paper: attention only 8-31% of \
+         runtime even at 8k-32k tokens)."
+    );
+}

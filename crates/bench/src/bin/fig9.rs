@@ -1,0 +1,47 @@
+//! Figure 9 — MFU vs total latency for the 60-input-token, 20-output-token
+//! benchmark, across batch sizes: our PaLM 540B and MT-NLG 530B
+//! implementations (64 TPU v4 chips, 2D partitioning) against the three
+//! published FasterTransformer configurations.
+
+use esti_bench::{banner, e2e_point, write_csv};
+use esti_core::ft;
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    banner("Figure 9: MFU vs latency, 60 input / 20 output tokens");
+    let machine = Machine::tpu_v4_slice(64).expect("64-chip slice");
+    let bench = ft::benchmarks().into_iter().find(|b| b.input_tokens == 60).expect("60/20 bench");
+    let mut rows = Vec::new();
+
+    println!("-- published FasterTransformer (MT-NLG 530B on A100s) --");
+    for cfg in &bench.configs {
+        println!("{}:", cfg.name);
+        for p in &cfg.points {
+            if let (Some(t), Some(m)) = (p.time_ms, p.mfu_pct) {
+                println!("  batch {:>4}: {:>7.0} ms  {:>4.0}% MFU", p.batch, t, m);
+                rows.push(format!("FT-{},{},{t},{m}", cfg.name, p.batch));
+            }
+        }
+    }
+
+    println!("\n-- ours (64 TPU v4, 2D weight-stationary) --");
+    for (name, model) in [
+        ("PaLM-540B", ModelConfig::palm_540b_padded()),
+        ("MT-NLG-530B", ModelConfig::mt_nlg_530b()),
+    ] {
+        println!("{name}:");
+        for batch in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let (_, _, total, mfu) = e2e_point(&model, &machine, batch, 60, 20, DType::Bf16);
+            println!("  batch {batch:>4}: {:>7.0} ms  {:>4.0}% MFU", total * 1e3, mfu * 100.0);
+            rows.push(format!("ours-{name},{batch},{:.1},{:.2}", total * 1e3, mfu * 100.0));
+        }
+    }
+
+    write_csv("fig9.csv", "series,batch,total_ms,mfu_pct", &rows);
+    println!(
+        "\nexpected shape: both of our series sit up-and-left of the FT envelope \
+         (better MFU at equal latency), with PaLM above MT-NLG by a few points of MFU."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure C.1 — MFU vs latency Pareto frontiers (the companion of
+//! Figure 1, with MFU as the efficiency axis).
+//!
+//! Reproduced claims: prefill MFU far exceeds decode MFU; prefill curves
+//! "jump" where the planner switches from WS 2D to weight-gathered; larger
+//! models usually achieve higher MFU, except at latency-tolerant decode
+//! where 62B's smaller model parallelism wins.
+
+use esti_bench::{banner, write_csv};
+use esti_core::pareto::{decode_sweep, pareto_frontier, prefill_sweep};
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    let models = [ModelConfig::palm_8b(), ModelConfig::palm_62b(), ModelConfig::palm_540b_padded()];
+    let mut rows = Vec::new();
+
+    banner("Figure C.1 (left): decode MFU vs latency per token (bf16)");
+    println!(
+        "{:<22} {:>6} {:>6} {:>22} {:>12} {:>6}",
+        "model", "chips", "batch", "layout", "ms/token", "MFU%"
+    );
+    for model in &models {
+        let sweep = decode_sweep(model, DType::Bf16, 2048);
+        for p in pareto_frontier(&sweep, |p| -p.mfu) {
+            println!(
+                "{:<22} {:>6} {:>6} {:>22} {:>12.2} {:>6.1}",
+                p.model,
+                p.n_chips,
+                p.batch,
+                p.layout.describe(),
+                p.latency * 1e3,
+                p.mfu * 100.0
+            );
+            rows.push(format!(
+                "decode,{},{},{},{:.4},{:.4}",
+                p.model, p.n_chips, p.batch, p.latency * 1e3, p.mfu
+            ));
+        }
+        println!();
+    }
+
+    banner("Figure C.1 (right): prefill MFU vs latency, 2048 tokens (bf16)");
+    for model in &models {
+        let sweep = prefill_sweep(model, DType::Bf16, 2048);
+        for p in pareto_frontier(&sweep, |p| -p.mfu) {
+            println!(
+                "{:<22} {:>6} {:>6} {:>22} {:>12.3} {:>6.1}",
+                p.model,
+                p.n_chips,
+                p.batch,
+                p.layout.describe(),
+                p.latency,
+                p.mfu * 100.0
+            );
+            rows.push(format!(
+                "prefill,{},{},{},{:.4},{:.4}",
+                p.model, p.n_chips, p.batch, p.latency, p.mfu
+            ));
+        }
+        println!();
+    }
+    write_csv("fig_c1.csv", "phase,model,chips,batch,latency,mfu", &rows);
+}

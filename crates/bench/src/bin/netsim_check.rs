@@ -1,0 +1,54 @@
+//! Validation experiment — the discrete-event network simulator vs the
+//! closed-form collective costs of Appendix A.1, across collective kinds,
+//! torus shapes, and axis groups. This is the evidence that every
+//! communication number in the reproduced figures rests on a checked model
+//! rather than trusted algebra.
+
+use esti_bench::{banner, write_csv};
+use esti_hal::ChipSpec;
+use esti_netsim::{analytic_time, simulate_collective, CollectiveKind};
+use esti_topology::{Axis, AxisSet, TorusShape};
+
+fn main() {
+    banner("netsim vs Appendix A.1 closed forms (8 MiB per-chip payload)");
+    let chip = ChipSpec::tpu_v4();
+    let bytes = 8.0 * 1024.0 * 1024.0;
+    let cases: Vec<(&str, TorusShape, AxisSet)> = vec![
+        ("4-ring x", TorusShape::new(4, 1, 1), AxisSet::single(Axis::X)),
+        ("8-ring x", TorusShape::new(8, 1, 1), AxisSet::single(Axis::X)),
+        ("4x4 xy", TorusShape::new(4, 4, 1), AxisSet::of(&[Axis::X, Axis::Y])),
+        ("4x4x4 xyz", TorusShape::new(4, 4, 4), AxisSet::all()),
+        ("4x4x4 yz", TorusShape::new(4, 4, 4), AxisSet::of(&[Axis::Y, Axis::Z])),
+    ];
+    let kinds = [
+        ("all-gather", CollectiveKind::AllGather),
+        ("reduce-scatter", CollectiveKind::ReduceScatter),
+        ("all-reduce", CollectiveKind::AllReduce),
+        ("all-to-all", CollectiveKind::AllToAll),
+    ];
+
+    println!(
+        "{:<12} {:<15} {:>12} {:>12} {:>8}",
+        "topology", "collective", "simulated us", "analytic us", "ratio"
+    );
+    let mut rows = Vec::new();
+    let mut worst: f64 = 1.0;
+    for (topo_name, torus, axes) in &cases {
+        for (kind_name, kind) in kinds {
+            let sim = simulate_collective(&chip, *torus, kind, *axes, bytes);
+            let ana = analytic_time(&chip, *torus, kind, *axes, bytes);
+            let ratio = sim / ana;
+            worst = worst.max(ratio.max(1.0 / ratio));
+            println!(
+                "{topo_name:<12} {kind_name:<15} {:>12.1} {:>12.1} {:>8.3}",
+                sim * 1e6,
+                ana * 1e6,
+                ratio
+            );
+            rows.push(format!("{topo_name},{kind_name},{:.3},{:.3},{ratio:.4}", sim * 1e6, ana * 1e6));
+        }
+    }
+    write_csv("netsim_check.csv", "topology,collective,simulated_us,analytic_us,ratio", &rows);
+    println!("\nworst-case discrepancy: {worst:.2}x (single-axis cases match exactly;");
+    println!("multi-axis interleaving carries bounded pipeline slack).");
+}

@@ -1,0 +1,43 @@
+//! Table 1 — maximum supported context length for the attention variants
+//! of PaLM 540B on 64 chips, with 30% of HBM reserved for the KV cache.
+
+use esti_bench::{banner, write_csv};
+use esti_core::layout::AttnSharding;
+use esti_core::memory::table1_row;
+use esti_core::Machine;
+use esti_model::ModelConfig;
+
+/// (variant name, model, sharding, d_head, (paper batch-128, paper batch-512)).
+type Table1Row = (&'static str, ModelConfig, AttnSharding, u32, (u32, u32));
+
+fn main() {
+    banner("Table 1: max context length per attention variant (PaLM 540B, 64 chips)");
+    let machine = Machine::tpu_v4_slice(64).expect("64-chip slice");
+    let rows_spec: [Table1Row; 3] = [
+        ("Multihead", ModelConfig::palm_540b_multihead(), AttnSharding::Head, 128, (1320, 330)),
+        ("Baseline multiquery", ModelConfig::palm_540b(), AttnSharding::Head, 256, (660, 165)),
+        ("Optimized multiquery", ModelConfig::palm_540b(), AttnSharding::Batch, 256, (43_000, 10_700)),
+    ];
+    println!(
+        "{:<22} {:>7} {:>18} {:>18}",
+        "variant", "d_head", "batch=128 (paper)", "batch=512 (paper)"
+    );
+    let mut csv = Vec::new();
+    let mut results = Vec::new();
+    for (name, model, sharding, dh, (p128, p512)) in rows_spec {
+        let c128 = table1_row(&model, sharding, &machine, 128);
+        let c512 = table1_row(&model, sharding, &machine, 512);
+        println!("{name:<22} {dh:>7} {c128:>9} ({p128:>6}) {c512:>9} ({p512:>6})");
+        csv.push(format!("{name},{dh},{c128},{p128},{c512},{p512}"));
+        results.push((name, c512));
+    }
+    write_csv("table1.csv", "variant,d_head,ctx_b128,paper_b128,ctx_b512,paper_b512", &csv);
+
+    let mh = results[0].1 as f64;
+    let opt = results[2].1 as f64;
+    println!(
+        "\noptimized multiquery supports {:.0}x the multihead context at batch 512 \
+         (paper: up to 32x larger context lengths)",
+        opt / mh
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 2 — example configurations for PaLM 540B on 64 chips: the
+//! low-latency scenario (batch-1 prefill, batch-64 decode, int8) and the
+//! high-throughput scenario (batch 512, bf16, layouts switched per phase).
+
+use esti_bench::{banner, run_scenario_table, write_csv, ScenarioRow};
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent};
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    banner("Table 2: example configurations, PaLM 540B (paper values in parens)");
+    let model = ModelConfig::palm_540b_padded();
+    let rows = [
+        ScenarioRow {
+            name: "low-latency prefill",
+            prefill: true,
+            chips: 64,
+            batch: 1,
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Head,
+            dtype: DType::Int8,
+            paper_mfu: 43.0,
+            paper_latency: 0.29,
+        },
+        ScenarioRow {
+            name: "low-latency decode",
+            prefill: false,
+            chips: 64,
+            batch: 64,
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            dtype: DType::Int8,
+            paper_mfu: 14.0,
+            paper_latency: 1.82,
+        },
+        ScenarioRow {
+            name: "high-throughput prefill",
+            prefill: true,
+            chips: 64,
+            batch: 512,
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Batch,
+            dtype: DType::Bf16,
+            paper_mfu: 76.0,
+            paper_latency: 85.2,
+        },
+        ScenarioRow {
+            name: "high-throughput decode",
+            prefill: false,
+            chips: 64,
+            batch: 512,
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            dtype: DType::Bf16,
+            paper_mfu: 33.0,
+            paper_latency: 6.0,
+        },
+    ];
+    let csv = run_scenario_table(&model, &rows);
+    write_csv(
+        "table2.csv",
+        "scenario,chips,batch,ffn,attn,dtype,mfu_pct,paper_mfu_pct,latency_s,paper_latency_s",
+        &csv,
+    );
+}

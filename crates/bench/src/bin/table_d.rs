@@ -1,0 +1,98 @@
+//! Tables D.2–D.4 (and the data behind Figure 9) — the FasterTransformer
+//! comparison: for each benchmark (20/8, 60/20, 128/8 input/output tokens)
+//! and each batch size, our analytical estimates for PaLM 540B and
+//! MT-NLG 530B on 64 TPU v4 chips with 2D partitioning, next to the
+//! published FasterTransformer results on A100s.
+//!
+//! MFU normalizes away the hardware difference, exactly as the paper
+//! argues in Section 5.
+
+use esti_bench::{banner, e2e_point, write_csv};
+use esti_core::ft;
+use esti_core::Machine;
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+fn main() {
+    let machine = Machine::tpu_v4_slice(64).expect("64-chip slice");
+    let palm = ModelConfig::palm_540b_padded();
+    let mtnlg = ModelConfig::mt_nlg_530b();
+    let batches = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+
+    for bench in ft::benchmarks() {
+        banner(&format!(
+            "Table D ({} input, {} output tokens): ours vs FasterTransformer",
+            bench.input_tokens, bench.output_tokens
+        ));
+        println!(
+            "{:>6} | {:>9} {:>5} | {:>9} {:>5} {:>9} {:>5} | {:>9} {:>5} | {:>9} {:>5}",
+            "batch", "FT-TP16", "MFU%", "PaLM pre", "MFU%", "PaLM gen", "MFU%", "PaLM tot",
+            "MFU%", "MTNLG tot", "MFU%"
+        );
+        for &batch in &batches {
+            let ft_cell = bench.configs[0]
+                .points
+                .iter()
+                .find(|p| p.batch == batch)
+                .and_then(|p| p.time_ms.zip(p.mfu_pct));
+            let (p, g, total, mfu) =
+                e2e_point(&palm, &machine, batch, bench.input_tokens, bench.output_tokens, DType::Bf16);
+            let (_, _, m_total, m_mfu) =
+                e2e_point(&mtnlg, &machine, batch, bench.input_tokens, bench.output_tokens, DType::Bf16);
+            let (ft_t, ft_m) = ft_cell.map_or(("-".into(), "-".into()), |(t, m)| {
+                (format!("{t:.0}"), format!("{m:.0}"))
+            });
+            println!(
+                "{batch:>6} | {ft_t:>9} {ft_m:>5} | {:>9.0} {:>5.0} {:>9.0} {:>5.0} | {:>9.0} {:>5.0} | {:>9.0} {:>5.0}",
+                p.step_time * 1e3,
+                p.mfu * 100.0,
+                g.step_time * 1e3,
+                g.mfu * 100.0,
+                total * 1e3,
+                mfu * 100.0,
+                m_total * 1e3,
+                m_mfu * 100.0
+            );
+            rows.push(format!(
+                "{},{},{batch},{:.1},{:.3},{:.1},{:.3},{:.1},{:.3},{:.1},{:.3}",
+                bench.input_tokens,
+                bench.output_tokens,
+                p.step_time * 1e3,
+                p.mfu,
+                g.step_time * 1e3,
+                g.mfu,
+                total * 1e3,
+                mfu,
+                m_total * 1e3,
+                m_mfu
+            ));
+        }
+        println!();
+    }
+
+    write_csv(
+        "table_d.csv",
+        "input,output,batch,palm_prefill_ms,palm_prefill_mfu,palm_gen_ms,palm_gen_mfu,palm_total_ms,palm_total_mfu,mtnlg_total_ms,mtnlg_total_mfu",
+        &rows,
+    );
+
+    // Section 5 claims to verify by eye:
+    banner("Section 5 claims");
+    let (_, _, t64, mfu64) = e2e_point(&palm, &machine, 64, 60, 20, DType::Bf16);
+    let (_, _, mt64, m_mfu64) = e2e_point(&mtnlg, &machine, 64, 60, 20, DType::Bf16);
+    println!(
+        "60/20 @ batch 64: PaLM {:.0} ms at {:.0}% MFU vs MT-NLG {:.0} ms at {:.0}% MFU \
+         (paper: PaLM beats its own MT-NLG implementation by up to ~10% MFU, thanks to \
+         parallel attn/ffn layers)",
+        t64 * 1e3,
+        mfu64 * 100.0,
+        mt64 * 1e3,
+        m_mfu64 * 100.0
+    );
+    let ft_best_mfu = 46.0;
+    println!(
+        "FT's best MFU across all configs: {ft_best_mfu:.0}% (TP16); its TP32 scaling tops at \
+         33% — our 64-way 2D partitioning sustains large-batch MFUs in the 40s."
+    );
+}

@@ -1,0 +1,386 @@
+//! Mailbox-and-barrier collective groups.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use esti_tensor::Tensor;
+
+use crate::stats::{CollectiveOp, TrafficStats};
+
+/// Logical activation width used for traffic accounting (bf16, Section 2).
+const ACT_BYTES: u64 = 2;
+
+struct Shared {
+    slots: Vec<Mutex<Option<Tensor>>>,
+    barrier: Barrier,
+    stats: Option<Arc<TrafficStats>>,
+}
+
+/// One member's handle to a collective group of simulated chips.
+///
+/// All members of a group must call the *same* collective with compatible
+/// shapes, in the same order — exactly the SPMD discipline of the real
+/// system. A group of size 1 degenerates to identity operations.
+///
+/// # Examples
+///
+/// ```
+/// use esti_collectives::CommGroup;
+/// use esti_tensor::Tensor;
+///
+/// // A group of one: collectives are identities.
+/// let mut solo = CommGroup::create(1);
+/// let g = solo.remove(0);
+/// let t = Tensor::ones(vec![2, 2]);
+/// assert_eq!(g.all_reduce(&t), t);
+/// assert_eq!(g.all_gather(&t, 0), t);
+/// ```
+pub struct CommGroup {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+impl std::fmt::Debug for CommGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommGroup")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl CommGroup {
+    /// Creates a group of `size` members. The returned handles are in rank
+    /// order; hand one to each chip thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn create(size: usize) -> Vec<CommGroup> {
+        CommGroup::create_impl(size, None)
+    }
+
+    /// Like [`CommGroup::create`], recording every collective call in
+    /// `stats`.
+    #[must_use]
+    pub fn create_with_stats(size: usize, stats: Arc<TrafficStats>) -> Vec<CommGroup> {
+        CommGroup::create_impl(size, Some(stats))
+    }
+
+    fn create_impl(size: usize, stats: Option<Arc<TrafficStats>>) -> Vec<CommGroup> {
+        assert!(size > 0, "group size must be positive");
+        let shared = Arc::new(Shared {
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            barrier: Barrier::new(size),
+            stats,
+        });
+        (0..size)
+            .map(|rank| CommGroup { shared: Arc::clone(&shared), rank })
+            .collect()
+    }
+
+    /// This member's rank within the group.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of members in the group.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Core exchange: every member deposits a tensor and receives clones of
+    /// everyone's deposits, in rank order. Two barrier phases ensure no
+    /// member races ahead and overwrites a slot that others still read.
+    fn exchange(&self, t: Tensor) -> Vec<Tensor> {
+        if self.size() == 1 {
+            return vec![t];
+        }
+        *self.shared.slots[self.rank].lock().expect("slot poisoned") = Some(t);
+        self.shared.barrier.wait();
+        let all: Vec<Tensor> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| s.lock().expect("slot poisoned").clone().expect("peer deposited"))
+            .collect();
+        self.shared.barrier.wait();
+        all
+    }
+
+    fn record(&self, op: CollectiveOp, elems: usize) {
+        if self.rank == 0 {
+            if let Some(stats) = &self.shared.stats {
+                stats.record(op, elems as u64 * ACT_BYTES);
+            }
+        }
+    }
+
+    /// all-gather(`dim`): concatenates every member's `shard` along `dim`
+    /// in rank order, replicating the result on all members.
+    ///
+    /// Traffic ledger: per-chip *output* bytes (Appendix A.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if members pass incompatible shapes.
+    #[must_use]
+    pub fn all_gather(&self, shard: &Tensor, dim: usize) -> Tensor {
+        let parts = self.exchange(shard.clone());
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let out = Tensor::concat(&refs, dim);
+        self.record(CollectiveOp::AllGather, out.numel());
+        out
+    }
+
+    /// reduce-scatter(`dim`): sums every member's `input` element-wise, then
+    /// returns to each member its rank's slice of the sum along `dim`.
+    ///
+    /// Traffic ledger: per-chip *input* bytes (Appendix A.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by the group size or shapes differ.
+    #[must_use]
+    pub fn reduce_scatter(&self, input: &Tensor, dim: usize) -> Tensor {
+        self.record(CollectiveOp::ReduceScatter, input.numel());
+        if self.size() == 1 {
+            return input.clone();
+        }
+        let parts = self.exchange(input.clone());
+        let mut sum = parts[0].clone();
+        for p in &parts[1..] {
+            sum = &sum + p;
+        }
+        let k = self.size();
+        assert!(
+            sum.dim(dim).is_multiple_of(k),
+            "reduce-scatter dim {dim} of size {} not divisible by group size {k}",
+            sum.dim(dim)
+        );
+        let part = sum.dim(dim) / k;
+        sum.slice(dim, self.rank * part, part)
+    }
+
+    /// all-reduce: sums every member's `input` element-wise, replicating the
+    /// result. Equivalent to reduce-scatter followed by all-gather
+    /// (Section 3.1) and charged as both in the traffic ledger.
+    #[must_use]
+    pub fn all_reduce(&self, input: &Tensor) -> Tensor {
+        self.record(CollectiveOp::AllReduce, input.numel() * 2);
+        if self.size() == 1 {
+            return input.clone();
+        }
+        let parts = self.exchange(input.clone());
+        let mut sum = parts[0].clone();
+        for p in &parts[1..] {
+            sum = &sum + p;
+        }
+        sum
+    }
+
+    /// all-to-all: splits every member's `input` into `size()` slices along
+    /// `split_dim`; member `r` receives slice `r` from everyone,
+    /// concatenated along `concat_dim` in rank order. This is the resharding
+    /// primitive that moves multiquery attention from head-sharded to
+    /// batch-sharded layout (Section 3.3, Figure 5b).
+    ///
+    /// Traffic ledger: per-chip payload bytes (the full input; the `1/K`
+    /// that stays local is excluded by the analytic model, not the ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_dim` is not divisible by the group size.
+    #[must_use]
+    pub fn all_to_all(&self, input: &Tensor, split_dim: usize, concat_dim: usize) -> Tensor {
+        self.record(CollectiveOp::AllToAll, input.numel());
+        if self.size() == 1 {
+            return input.clone();
+        }
+        let k = self.size();
+        assert!(
+            input.dim(split_dim).is_multiple_of(k),
+            "all-to-all split dim {split_dim} of size {} not divisible by group size {k}",
+            input.dim(split_dim)
+        );
+        let parts = self.exchange(input.clone());
+        let part = input.dim(split_dim) / k;
+        let mine: Vec<Tensor> = parts
+            .iter()
+            .map(|p| p.slice(split_dim, self.rank * part, part))
+            .collect();
+        let refs: Vec<&Tensor> = mine.iter().collect();
+        Tensor::concat(&refs, concat_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f(rank, group)` on one thread per group member and collects
+    /// results in rank order.
+    fn run_group<T: Send>(
+        size: usize,
+        f: impl Fn(usize, &CommGroup) -> T + Sync,
+    ) -> Vec<T> {
+        let members = CommGroup::create(size);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .enumerate()
+                .map(|(r, m)| s.spawn(move || f(r, &m)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("member panicked")).collect()
+        })
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let outs = run_group(4, |r, g| {
+            let shard = Tensor::full(vec![1, 3], r as f32);
+            g.all_gather(&shard, 0)
+        });
+        for out in outs {
+            assert_eq!(out.shape(), &[4, 3]);
+            for r in 0..4 {
+                assert_eq!(out.at(&[r, 0]), r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_along_inner_dim() {
+        let outs = run_group(2, |r, g| {
+            let shard = Tensor::full(vec![2, 2], r as f32);
+            g.all_gather(&shard, 1)
+        });
+        assert_eq!(outs[0].shape(), &[2, 4]);
+        assert_eq!(outs[0].data(), &[0., 0., 1., 1., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_shards() {
+        let outs = run_group(2, |r, g| {
+            // member r holds [r, r, r, r] over dim of size 4
+            let input = Tensor::full(vec![4], r as f32 + 1.0);
+            g.reduce_scatter(&input, 0)
+        });
+        // sum = [3,3,3,3]; rank 0 gets first half, rank 1 second
+        assert_eq!(outs[0].shape(), &[2]);
+        assert_eq!(outs[0].data(), &[3.0, 3.0]);
+        assert_eq!(outs[1].data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn all_reduce_replicates_sum() {
+        let outs = run_group(3, |r, g| {
+            let input = Tensor::from_vec(vec![2], vec![r as f32, 1.0]);
+            g.all_reduce(&input)
+        });
+        for out in outs {
+            assert_eq!(out.data(), &[3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_equals_reduce_scatter_then_all_gather() {
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|r| Tensor::from_vec(vec![8], (0..8).map(|i| (r * 8 + i) as f32).collect()))
+            .collect();
+        let via_ar = {
+            let inputs = inputs.clone();
+            run_group(4, move |r, g| g.all_reduce(&inputs[r]))
+        };
+        let via_rs_ag = run_group(4, move |r, g| {
+            let rs = g.reduce_scatter(&inputs[r], 0);
+            g.all_gather(&rs, 0)
+        });
+        for (a, b) in via_ar.iter().zip(&via_rs_ag) {
+            assert!(a.approx_eq(b, 1e-6));
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_sharding() {
+        // Member r holds a [2, K] tensor with value 10*r + column.
+        let outs = run_group(2, |r, g| {
+            let input = Tensor::from_vec(
+                vec![2, 2],
+                vec![10.0 * r as f32, 10.0 * r as f32 + 1.0, 10.0 * r as f32, 10.0 * r as f32 + 1.0],
+            );
+            g.all_to_all(&input, 1, 0)
+        });
+        // Rank 0 receives column 0 from both peers, stacked along dim 0.
+        assert_eq!(outs[0].shape(), &[4, 1]);
+        assert_eq!(outs[0].data(), &[0.0, 0.0, 10.0, 10.0]);
+        assert_eq!(outs[1].data(), &[1.0, 1.0, 11.0, 11.0]);
+    }
+
+    #[test]
+    fn all_to_all_roundtrip_restores_layout() {
+        // B-shard -> H-shard -> B-shard returns the original tensor.
+        let outs = run_group(2, |r, g| {
+            let original = Tensor::from_vec(
+                vec![2, 4],
+                (0..8).map(|i| (r * 8 + i) as f32).collect(),
+            );
+            let resharded = g.all_to_all(&original, 1, 0); // [4, 2]
+            let back = g.all_to_all(&resharded, 0, 1); // [2, 4]
+            (original, back)
+        });
+        for (original, back) in outs {
+            assert!(original.approx_eq(&back, 0.0));
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_leak_state() {
+        let outs = run_group(3, |r, g| {
+            let mut acc = Tensor::full(vec![3], r as f32);
+            for _ in 0..50 {
+                acc = g.all_reduce(&acc.scale(0.5));
+            }
+            acc
+        });
+        for (a, b) in outs.iter().zip(&outs[1..]) {
+            assert!(a.approx_eq(b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn traffic_stats_recorded_once_per_call() {
+        let stats = TrafficStats::new();
+        let members = CommGroup::create_with_stats(2, Arc::clone(&stats));
+        std::thread::scope(|s| {
+            for m in members {
+                s.spawn(move || {
+                    let t = Tensor::ones(vec![4]);
+                    let _ = m.all_gather(&t, 0);
+                    let _ = m.reduce_scatter(&Tensor::ones(vec![8]), 0);
+                });
+            }
+        });
+        // all-gather output = 8 elements * 2 bytes; reduce-scatter input = 8 * 2.
+        assert_eq!(stats.bytes(CollectiveOp::AllGather), 16);
+        assert_eq!(stats.bytes(CollectiveOp::ReduceScatter), 16);
+        assert_eq!(stats.calls(CollectiveOp::AllGather), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn reduce_scatter_requires_divisibility() {
+        let mut g = CommGroup::create(2);
+        let g1 = g.remove(1);
+        let g0 = g.remove(0);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = g1.reduce_scatter(&Tensor::ones(vec![3]), 0);
+            });
+            let _ = g0.reduce_scatter(&Tensor::ones(vec![3]), 0);
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! A machine: a chip specification plus a torus slice.
+
+use esti_hal::ChipSpec;
+use esti_topology::TorusShape;
+
+/// A slice of identical accelerator chips on a 3D torus — the hardware a
+/// partitioning is laid out on.
+///
+/// # Examples
+///
+/// ```
+/// use esti_core::Machine;
+///
+/// let m = Machine::tpu_v4_slice(64).unwrap();
+/// assert_eq!(m.n_chips(), 64);
+/// assert_eq!(m.torus.to_string(), "4x4x4");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Per-chip specification.
+    pub chip: ChipSpec,
+    /// Slice shape.
+    pub torus: TorusShape,
+}
+
+impl Machine {
+    /// A TPU v4 slice from the catalog, or `None` for chip counts without a
+    /// catalog shape.
+    #[must_use]
+    pub fn tpu_v4_slice(n_chips: usize) -> Option<Self> {
+        Some(Machine {
+            chip: ChipSpec::tpu_v4(),
+            torus: TorusShape::for_chip_count(n_chips)?,
+        })
+    }
+
+    /// Number of chips in the slice.
+    #[must_use]
+    pub fn n_chips(&self) -> usize {
+        self.torus.chip_count()
+    }
+
+    /// Aggregate peak FLOP/s of the slice.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.chip.peak_flops * self.n_chips() as f64
+    }
+
+    /// Aggregate HBM capacity of the slice in bytes.
+    #[must_use]
+    pub fn total_hbm(&self) -> f64 {
+        self.chip.hbm_capacity * self.n_chips() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_construction() {
+        let m = Machine::tpu_v4_slice(256).unwrap();
+        assert_eq!(m.n_chips(), 256);
+        assert!(Machine::tpu_v4_slice(100).is_none());
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = Machine::tpu_v4_slice(64).unwrap();
+        assert_eq!(m.peak_flops(), 64.0 * 275e12);
+        assert_eq!(m.total_hbm(), 64.0 * 32.0 * (1u64 << 30) as f64);
+    }
+}

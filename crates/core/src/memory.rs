@@ -1,0 +1,266 @@
+//! Per-chip HBM accounting: weight shards and the KV cache.
+//!
+//! Section 2's "memory costs" and Table 1's max-context model. The KV cache
+//! footprint per chip depends on the attention variant × sharding:
+//!
+//! * multihead, head-sharded: each chip stores `⌈H/n⌉` KV heads of every
+//!   sequence (heads partially replicated once `n > H`, Section 3.3);
+//! * multiquery, head-sharded ("baseline multiquery"): the single KV head
+//!   is replicated on every chip — the memory savings are lost;
+//! * multiquery, batch-sharded (the paper's optimized layout): each chip
+//!   stores `⌈B/n⌉` sequences of the single KV head — an `n`-fold saving.
+
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+use crate::layout::AttnSharding;
+use crate::machine::Machine;
+
+/// Fraction of HBM the paper reserves for the KV cache in Table 1.
+pub const TABLE1_KV_FRACTION: f64 = 0.3;
+
+/// KV heads stored per chip under a sharding.
+#[must_use]
+pub fn kv_heads_per_chip(model: &ModelConfig, sharding: AttnSharding, n_chips: usize) -> usize {
+    match sharding {
+        AttnSharding::Head => div_ceil(model.n_kv_heads(), n_chips).max(1),
+        AttnSharding::Batch => model.n_kv_heads(),
+    }
+}
+
+/// Sequences whose KV cache one chip stores under a sharding.
+#[must_use]
+pub fn kv_seqs_per_chip(sharding: AttnSharding, n_chips: usize, batch: usize) -> usize {
+    match sharding {
+        AttnSharding::Head => batch,
+        AttnSharding::Batch => div_ceil(batch, n_chips),
+    }
+}
+
+/// KV-cache bytes per chip for `batch` sequences of `context` tokens.
+#[must_use]
+pub fn kv_bytes_per_chip(
+    model: &ModelConfig,
+    sharding: AttnSharding,
+    n_chips: usize,
+    batch: usize,
+    context: usize,
+    dtype: DType,
+) -> f64 {
+    let heads = kv_heads_per_chip(model, sharding, n_chips) as f64;
+    let seqs = kv_seqs_per_chip(sharding, n_chips, batch) as f64;
+    2.0 * model.n_layers as f64
+        * seqs
+        * context as f64
+        * heads
+        * model.d_head as f64
+        * dtype.bytes_f()
+}
+
+/// Weight bytes per chip (weights are always fully sharded over all chips).
+#[must_use]
+pub fn weight_bytes_per_chip(model: &ModelConfig, n_chips: usize, dtype: DType) -> f64 {
+    model.weight_bytes(dtype) / n_chips as f64
+}
+
+/// Maximum context length that fits when `kv_budget_per_chip` bytes of HBM
+/// are reserved for the KV cache (Table 1 uses 30% of 32 GiB).
+#[must_use]
+pub fn max_context_len(
+    model: &ModelConfig,
+    sharding: AttnSharding,
+    n_chips: usize,
+    batch: usize,
+    kv_budget_per_chip: f64,
+    dtype: DType,
+) -> usize {
+    let per_token = kv_bytes_per_chip(model, sharding, n_chips, batch, 1, dtype);
+    (kv_budget_per_chip / per_token) as usize
+}
+
+/// Whether a configuration fits in HBM: weight shard + KV cache + a small
+/// activation allowance must not exceed per-chip capacity.
+#[must_use]
+pub fn fits_in_memory(
+    machine: &Machine,
+    model: &ModelConfig,
+    sharding: AttnSharding,
+    batch: usize,
+    context: usize,
+    weight_dtype: DType,
+    kv_dtype: DType,
+) -> bool {
+    let n = machine.n_chips();
+    let weights = weight_bytes_per_chip(model, n, weight_dtype);
+    let kv = kv_bytes_per_chip(model, sharding, n, batch, context, kv_dtype);
+    // Activation working set: a few live [tokens, E] buffers per chip.
+    let acts = 4.0 * batch as f64 * model.d_model as f64 * 2.0;
+    weights + kv + acts <= machine.chip.hbm_capacity * 0.95
+}
+
+/// Transient working-set bytes of a weight-gathered layer: the gathered
+/// weight copy (`W_layer · N / n` elements, double-buffered so the next
+/// layer's gather can overlap the current einsum). Section 3.5 notes that
+/// "some of the weight-gathered layouts would exhaust memory without these
+/// optimizations" — this is the quantity that exhausts it.
+#[must_use]
+pub fn wg_working_set_bytes(
+    model: &ModelConfig,
+    n_gather: usize,
+    n_chips: usize,
+    dtype: DType,
+) -> f64 {
+    2.0 * model.params_per_layer() as f64 * n_gather as f64 / n_chips as f64 * dtype.bytes_f()
+}
+
+/// Whether a weight-gathered configuration fits including its transient
+/// gathered-weights working set (stricter than [`fits_in_memory`]).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn wg_fits_in_memory(
+    machine: &Machine,
+    model: &ModelConfig,
+    sharding: AttnSharding,
+    n_gather: usize,
+    batch: usize,
+    context: usize,
+    weight_dtype: DType,
+    kv_dtype: DType,
+) -> bool {
+    let n = machine.n_chips();
+    let weights = weight_bytes_per_chip(model, n, weight_dtype);
+    let kv = kv_bytes_per_chip(model, sharding, n, batch, context, kv_dtype);
+    let working = wg_working_set_bytes(model, n_gather, n, weight_dtype);
+    let acts = 4.0 * batch as f64 * model.d_model as f64 * 2.0;
+    weights + kv + working + acts <= machine.chip.hbm_capacity * 0.95
+}
+
+/// Table 1's rows: max context for the three attention variants of
+/// PaLM 540B on 64 chips.
+#[must_use]
+pub fn table1_row(
+    model: &ModelConfig,
+    sharding: AttnSharding,
+    machine: &Machine,
+    batch: usize,
+) -> usize {
+    let budget = machine.chip.hbm_capacity * TABLE1_KV_FRACTION;
+    max_context_len(model, sharding, machine.n_chips(), batch, budget, DType::Bf16)
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine64() -> Machine {
+        Machine::tpu_v4_slice(64).unwrap()
+    }
+
+    #[test]
+    fn table1_multihead_row() {
+        // Paper: multihead (d_head 128), batch 128 -> 1320; batch 512 -> 330.
+        let mh = ModelConfig::palm_540b_multihead();
+        let m = machine64();
+        let c128 = table1_row(&mh, AttnSharding::Head, &m, 128);
+        let c512 = table1_row(&mh, AttnSharding::Head, &m, 512);
+        assert!((c128 as f64 - 1320.0).abs() / 1320.0 < 0.05, "batch 128: {c128}");
+        assert!((c512 as f64 - 330.0).abs() / 330.0 < 0.05, "batch 512: {c512}");
+    }
+
+    #[test]
+    fn table1_baseline_multiquery_row() {
+        // Paper: baseline multiquery (d_head 256), batch 128 -> 660.
+        let mq = ModelConfig::palm_540b();
+        let m = machine64();
+        let c128 = table1_row(&mq, AttnSharding::Head, &m, 128);
+        let c512 = table1_row(&mq, AttnSharding::Head, &m, 512);
+        assert!((c128 as f64 - 660.0).abs() / 660.0 < 0.05, "batch 128: {c128}");
+        assert!((c512 as f64 - 165.0).abs() / 165.0 < 0.06, "batch 512: {c512}");
+    }
+
+    #[test]
+    fn table1_optimized_multiquery_row() {
+        // Paper: optimized multiquery, batch 128 -> 43,000; batch 512 -> 10,700.
+        let mq = ModelConfig::palm_540b();
+        let m = machine64();
+        let c128 = table1_row(&mq, AttnSharding::Batch, &m, 128);
+        let c512 = table1_row(&mq, AttnSharding::Batch, &m, 512);
+        assert!((c128 as f64 - 43_000.0).abs() / 43_000.0 < 0.05, "batch 128: {c128}");
+        assert!((c512 as f64 - 10_700.0).abs() / 10_700.0 < 0.05, "batch 512: {c512}");
+    }
+
+    #[test]
+    fn optimized_multiquery_is_32x_or_more() {
+        // Headline claim: up to 32x longer context than multihead.
+        let m = machine64();
+        let mh = table1_row(&ModelConfig::palm_540b_multihead(), AttnSharding::Head, &m, 512);
+        let opt = table1_row(&ModelConfig::palm_540b(), AttnSharding::Batch, &m, 512);
+        assert!(opt as f64 / mh as f64 >= 32.0, "ratio {}", opt as f64 / mh as f64);
+    }
+
+    #[test]
+    fn kv_heads_partially_replicate_beyond_head_count() {
+        let mh = ModelConfig::palm_540b_multihead(); // 48 KV heads
+        assert_eq!(kv_heads_per_chip(&mh, AttnSharding::Head, 16), 3);
+        assert_eq!(kv_heads_per_chip(&mh, AttnSharding::Head, 48), 1);
+        assert_eq!(kv_heads_per_chip(&mh, AttnSharding::Head, 64), 1); // replicated
+    }
+
+    #[test]
+    fn batch_sharding_divides_sequences() {
+        assert_eq!(kv_seqs_per_chip(AttnSharding::Batch, 64, 512), 8);
+        assert_eq!(kv_seqs_per_chip(AttnSharding::Batch, 64, 32), 1); // partial
+        assert_eq!(kv_seqs_per_chip(AttnSharding::Head, 64, 512), 512);
+    }
+
+    #[test]
+    fn weight_shard_scales_inverse_with_chips() {
+        let model = ModelConfig::palm_62b();
+        let w8 = weight_bytes_per_chip(&model, 8, DType::Bf16);
+        let w64 = weight_bytes_per_chip(&model, 64, DType::Bf16);
+        assert!((w8 / w64 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn palm_540b_bf16_does_not_fit_8_chips() {
+        // 1.08 TB of bf16 weights / 8 chips = 135 GB per chip > 32 GiB.
+        let model = ModelConfig::palm_540b();
+        let m8 = Machine::tpu_v4_slice(8).unwrap();
+        assert!(!fits_in_memory(&m8, &model, AttnSharding::Batch, 1, 128, DType::Bf16, DType::Bf16));
+        let m64 = machine64();
+        assert!(fits_in_memory(&m64, &model, AttnSharding::Batch, 64, 2048, DType::Bf16, DType::Bf16));
+    }
+
+    #[test]
+    fn wg_working_set_can_be_the_binding_constraint() {
+        // PaLM 540B bf16 on 64 chips: the plain footprint fits, but fully
+        // gathering a 4.7B-parameter layer (9.5 GB x 2 buffers) on top of
+        // the 17 GB weight shard pushes past 32 GiB — exactly the
+        // Section 3.5 hazard.
+        let model = ModelConfig::palm_540b_padded();
+        let m = machine64();
+        assert!(fits_in_memory(&m, &model, AttnSharding::Batch, 512, 2048, DType::Bf16, DType::Bf16));
+        assert!(!wg_fits_in_memory(&m, &model, AttnSharding::Batch, 64, 512, 2048, DType::Bf16, DType::Bf16),
+            "XYZ-gathered bf16 540B should exceed HBM with a double-buffered gather");
+        // Gathering over fewer chips (the X extent) keeps the working set
+        // proportional and fits.
+        assert!(wg_fits_in_memory(&m, &model, AttnSharding::Batch, 4, 512, 2048, DType::Bf16, DType::Bf16));
+        // And int8 weights halve the gathered copy, restoring XYZ.
+        assert!(wg_fits_in_memory(&m, &model, AttnSharding::Batch, 64, 512, 2048, DType::Int8, DType::Bf16));
+    }
+
+    #[test]
+    fn long_context_multihead_exhausts_memory() {
+        // Figure 8's dotted line: the full 118-layer multihead model at
+        // batch 256, context > ~512 does not fit on 64 chips.
+        let mh = ModelConfig::palm_540b_multihead();
+        let m = machine64();
+        assert!(!fits_in_memory(&m, &mh, AttnSharding::Head, 256, 2048, DType::Bf16, DType::Bf16));
+        let opt = ModelConfig::palm_540b();
+        assert!(fits_in_memory(&m, &opt, AttnSharding::Batch, 256, 2048, DType::Bf16, DType::Bf16));
+    }
+}

@@ -1,0 +1,228 @@
+//! Batch × chips × layout sweeps and Pareto frontiers (Figures 1 and C.1).
+
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::perf::{estimate, generate_latency, PhaseSpec};
+use crate::planner;
+
+/// One configuration evaluated during a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Model evaluated.
+    pub model: String,
+    /// Chips used.
+    pub n_chips: usize,
+    /// Batch size in sequences.
+    pub batch: usize,
+    /// Layout used.
+    pub layout: Layout,
+    /// Weight storage type.
+    pub dtype: DType,
+    /// Latency of interest: per generated token for decode sweeps, total
+    /// pass time for prefill sweeps. Seconds.
+    pub latency: f64,
+    /// Cost in chip-seconds per token (Section 4.4).
+    pub cost: f64,
+    /// Model FLOPS utilization.
+    pub mfu: f64,
+}
+
+/// Standard batch sizes swept in the figures.
+pub const BATCHES: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Standard chip counts swept in the figures.
+pub const CHIP_COUNTS: [usize; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Sweeps decode configurations: for each chip count and batch size, cost
+/// one generation step at `context` cached tokens using the paper's decode
+/// layout. Configurations that do not fit in HBM are skipped.
+#[must_use]
+pub fn decode_sweep(model: &ModelConfig, dtype: DType, context: usize) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &n in &CHIP_COUNTS {
+        let Some(machine) = Machine::tpu_v4_slice(n) else { continue };
+        for &batch in &BATCHES {
+            let layout = planner::decode_layout_for_batch(model, &machine, batch);
+            let est = generate_latency(&machine, model, &layout, batch, context, 64, dtype);
+            if !est.fits {
+                continue;
+            }
+            let per_token = est.step_time / 64.0;
+            out.push(SweepPoint {
+                model: model.name.clone(),
+                n_chips: n,
+                batch,
+                layout,
+                dtype,
+                latency: per_token,
+                cost: est.cost_chip_sec_per_token,
+                mfu: est.mfu,
+            });
+        }
+    }
+    out
+}
+
+/// Sweeps prefill configurations: total time to process `input_len` tokens
+/// per sequence, with the layout chosen by the planner per batch.
+#[must_use]
+pub fn prefill_sweep(model: &ModelConfig, dtype: DType, input_len: usize) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &n in &CHIP_COUNTS {
+        let Some(machine) = Machine::tpu_v4_slice(n) else { continue };
+        for &batch in &BATCHES {
+            let layout = planner::prefill_layout(model, &machine, batch, input_len, dtype);
+            let spec = PhaseSpec::prefill(batch, input_len);
+            let est = estimate(&machine, model, &layout, &spec, dtype);
+            if !est.fits {
+                continue;
+            }
+            out.push(SweepPoint {
+                model: model.name.clone(),
+                n_chips: n,
+                batch,
+                layout,
+                dtype,
+                latency: est.step_time,
+                cost: est.cost_chip_sec_per_token,
+                mfu: est.mfu,
+            });
+        }
+    }
+    out
+}
+
+/// Filters a sweep to its Pareto frontier under `(latency, objective)`
+/// where both are minimized. Pass `|p| p.cost` for Figure 1 or
+/// `|p| -p.mfu` for Figure C.1.
+#[must_use]
+pub fn pareto_frontier<F>(points: &[SweepPoint], objective: F) -> Vec<SweepPoint>
+where
+    F: Fn(&SweepPoint) -> f64,
+{
+    let mut frontier: Vec<SweepPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                
+                (q.latency < p.latency && objective(q) <= objective(p))
+                    || (q.latency <= p.latency && objective(q) < objective(p))
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite latencies"));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_monotone() {
+        // Along a Pareto frontier sorted by latency, cost must be
+        // non-increasing.
+        let model = ModelConfig::palm_540b_padded();
+        let sweep = decode_sweep(&model, DType::Int8, 2048);
+        assert!(!sweep.is_empty());
+        let frontier = pareto_frontier(&sweep, |p| p.cost);
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(w[1].cost <= w[0].cost, "cost must fall as latency rises");
+        }
+    }
+
+    #[test]
+    fn frontier_subset_of_sweep() {
+        let model = ModelConfig::palm_62b();
+        let sweep = decode_sweep(&model, DType::Bf16, 2048);
+        let frontier = pareto_frontier(&sweep, |p| p.cost);
+        assert!(frontier.len() <= sweep.len());
+        assert!(frontier.len() >= 2, "frontier should have multiple regimes");
+    }
+
+    #[test]
+    fn large_models_need_more_chips() {
+        // PaLM 540B bf16 does not fit on 8 chips; PaLM 8B does.
+        let big = decode_sweep(&ModelConfig::palm_540b_padded(), DType::Bf16, 2048);
+        assert!(big.iter().all(|p| p.n_chips >= 32));
+        let small = decode_sweep(&ModelConfig::palm_8b(), DType::Bf16, 2048);
+        assert!(small.iter().any(|p| p.n_chips == 8));
+    }
+
+    #[test]
+    fn min_latency_beats_batch512_latency_by_about_3x() {
+        // Section 4.4: "The minimum latency for generation is 3 times lower
+        // than the batch-512 latency."
+        let model = ModelConfig::palm_540b_padded();
+        let sweep = decode_sweep(&model, DType::Int8, 2048);
+        let min_lat = sweep.iter().map(|p| p.latency).fold(f64::INFINITY, f64::min);
+        let batch512 = sweep
+            .iter()
+            .filter(|p| p.batch == 512)
+            .map(|p| p.latency)
+            .fold(f64::INFINITY, f64::min);
+        let ratio = batch512 / min_lat;
+        assert!(ratio > 1.8 && ratio < 8.0, "latency ratio {ratio:.1}, paper ~3x");
+    }
+
+    #[test]
+    fn cost_falls_with_batch_on_frontier() {
+        // Larger batches improve MFU and hence cost (Section 2.1).
+        let model = ModelConfig::palm_62b();
+        let sweep = decode_sweep(&model, DType::Bf16, 2048);
+        let at_batch = |b: usize| {
+            sweep
+                .iter()
+                .filter(|p| p.batch == b)
+                .map(|p| p.cost)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(at_batch(512) < at_batch(8));
+    }
+
+    #[test]
+    fn prefill_cheaper_than_decode_at_batch_512() {
+        // Section 4.4: batch-512 prefill cost is ~2x lower than batch-512
+        // decode because of weight-gathered layouts.
+        let model = ModelConfig::palm_540b_padded();
+        let d = decode_sweep(&model, DType::Bf16, 2048);
+        let p = prefill_sweep(&model, DType::Bf16, 2048);
+        let d_cost = d
+            .iter()
+            .filter(|x| x.batch == 512 && x.n_chips == 64)
+            .map(|x| x.cost)
+            .fold(f64::INFINITY, f64::min);
+        let p_cost = p
+            .iter()
+            .filter(|x| x.batch == 512 && x.n_chips == 64)
+            .map(|x| x.cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(p_cost < d_cost / 1.5, "prefill {p_cost:.2e} vs decode {d_cost:.2e}");
+    }
+
+    #[test]
+    fn latency_grows_sublinearly_with_model_size() {
+        // Section 4.4: minimum decode latency grows roughly as the square
+        // root of model size along the frontier.
+        let lat = |m: &ModelConfig| {
+            decode_sweep(m, DType::Int8, 2048)
+                .iter()
+                .map(|p| p.latency)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let l8 = lat(&ModelConfig::palm_8b());
+        let l540 = lat(&ModelConfig::palm_540b_padded());
+        let size_ratio = 540.0 / 8.6; // ~63x parameters
+        let lat_ratio = l540 / l8;
+        assert!(
+            lat_ratio < size_ratio / 2.0,
+            "latency ratio {lat_ratio:.1} should be far below size ratio {size_ratio:.0}"
+        );
+        assert!(lat_ratio > 1.5, "bigger model must still be slower ({lat_ratio:.1}x)");
+    }
+}

@@ -1,0 +1,696 @@
+//! The analytical latency / MFU / cost model (Section 2, Appendix A).
+//!
+//! A forward pass is charged three times:
+//!
+//! * **compute** — `2N` matmul FLOPs per token (Kaplan et al. 2020) plus the
+//!   attention einsums, divided over chips at peak FLOPS times a
+//!   matmul-efficiency factor that rises with per-chip matrix rows (small
+//!   decode batches cannot saturate a systolic array);
+//! * **memory** — the per-chip weight shard and KV-cache shard streamed
+//!   from HBM once per pass (Section 2, "memory costs"); weight loading
+//!   overlaps compute on real hardware, so the model takes
+//!   `max(compute, memory)`;
+//! * **communication** — each collective of the layout's
+//!   [`CommPiece`] list, timed by the Appendix
+//!   A.1 formulas with the `(K-1)/K` factor and per-axis-group bandwidth.
+//!
+//! Calibration constants live in [`PerfParams`] with defaults chosen once
+//! against Table 2 (see EXPERIMENTS.md); all figures are generated with the
+//! same defaults.
+
+use esti_hal::{DType, Seconds};
+use esti_model::ModelConfig;
+
+use crate::layout::{CommPiece, FfnLayout, Layout, PieceKind};
+use crate::machine::Machine;
+use crate::memory;
+
+/// Inference phase (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Parallel forward pass over the input tokens.
+    Prefill,
+    /// One autoregressive generation step.
+    Decode,
+}
+
+/// One forward pass to be costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Which phase.
+    pub phase: Phase,
+    /// Sequences in the batch `B`.
+    pub batch: usize,
+    /// Tokens processed per sequence in this pass (`L_input` for prefill,
+    /// 1 for decode).
+    pub tokens_per_seq: usize,
+    /// KV-cache length after this pass (attention context).
+    pub context: usize,
+}
+
+impl PhaseSpec {
+    /// A prefill pass over `input_len` tokens per sequence.
+    #[must_use]
+    pub fn prefill(batch: usize, input_len: usize) -> Self {
+        PhaseSpec { phase: Phase::Prefill, batch, tokens_per_seq: input_len, context: input_len }
+    }
+
+    /// A decode step with `context` tokens already cached.
+    #[must_use]
+    pub fn decode(batch: usize, context: usize) -> Self {
+        PhaseSpec { phase: Phase::Decode, batch, tokens_per_seq: 1, context }
+    }
+
+    /// Total tokens processed by this pass, `B · tokens_per_seq`.
+    #[must_use]
+    pub fn total_tokens(&self) -> f64 {
+        (self.batch * self.tokens_per_seq) as f64
+    }
+}
+
+/// Calibration constants of the analytical model.
+///
+/// Defaults were fitted once against the paper's Table 2 configurations and
+/// are used unchanged for every experiment (EXPERIMENTS.md records the
+/// residuals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfParams {
+    /// Asymptotic matmul efficiency of large shapes (fraction of peak).
+    pub peak_matmul_eff: f64,
+    /// Matrix rows at which matmul efficiency reaches half its asymptote.
+    pub eff_halfpoint_rows: f64,
+    /// Achievable fraction of nominal link bandwidth for collectives (the
+    /// quoted 270 GB/s counts both link directions; a ring collective's
+    /// cost formula sees roughly half).
+    pub collective_bw_derate: f64,
+    /// Fraction of communication time hidden under compute by Looped
+    /// CollectiveEinsum (Section 3.5). 0 = fully exposed.
+    pub comm_overlap: f64,
+    /// Latency of one ring hop (link + software), paid per pipeline step of
+    /// every collective. Dominates decode communication at small batch.
+    pub hop_latency: Seconds,
+    /// Fixed per-pass overhead (dispatch, sampling) in seconds.
+    pub step_overhead: Seconds,
+    /// Activation storage type for communication volume. The paper ships
+    /// bf16 activations and calls int8 activation quantization future work
+    /// ("we are hopeful that it could… reduce communication volume of
+    /// activations in weight-stationary layouts", Section 3.6); setting
+    /// this to int8 projects that extension.
+    pub act_dtype: DType,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            peak_matmul_eff: 0.88,
+            eff_halfpoint_rows: 64.0,
+            collective_bw_derate: 0.5,
+            comm_overlap: 0.0,
+            hop_latency: 1e-6,
+            step_overhead: 2e-4,
+            act_dtype: DType::Bf16,
+        }
+    }
+}
+
+impl PerfParams {
+    /// Matmul efficiency for a per-chip matrix with `rows` rows:
+    /// `peak · rows / (rows + halfpoint)`.
+    #[must_use]
+    pub fn matmul_eff(&self, rows: f64) -> f64 {
+        self.peak_matmul_eff * rows / (rows + self.eff_halfpoint_rows)
+    }
+}
+
+/// The costed result of one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Wall-clock time of the pass.
+    pub step_time: Seconds,
+    /// Matmul + attention compute time (after the efficiency factor).
+    pub compute_time: Seconds,
+    /// Time to stream the per-chip weight shard from HBM.
+    pub weight_mem_time: Seconds,
+    /// Time to stream the per-chip KV-cache shard from HBM.
+    pub kv_mem_time: Seconds,
+    /// Exposed communication time, all collectives of all layers.
+    pub comm_time: Seconds,
+    /// Model FLOPS utilization of the pass (`2N` convention).
+    pub mfu: f64,
+    /// Cost in chip-seconds per token (Section 4.4).
+    pub cost_chip_sec_per_token: f64,
+    /// Whether weights + KV cache fit in HBM at this configuration.
+    pub fits: bool,
+}
+
+/// Costs one forward pass of `model` partitioned by `layout` on `machine`.
+///
+/// `weight_dtype` is the weight *storage* type (bf16 or int8); arithmetic
+/// and activations stay bf16 (Section 3.6).
+#[must_use]
+pub fn estimate(
+    machine: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    spec: &PhaseSpec,
+    weight_dtype: DType,
+) -> Estimate {
+    estimate_with(machine, model, layout, spec, weight_dtype, &PerfParams::default())
+}
+
+/// [`estimate`] with explicit calibration parameters.
+#[must_use]
+pub fn estimate_with(
+    machine: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    spec: &PhaseSpec,
+    weight_dtype: DType,
+    params: &PerfParams,
+) -> Estimate {
+    let n = machine.n_chips() as f64;
+    let chip = &machine.chip;
+    let tokens = spec.total_tokens();
+
+    // --- compute ---------------------------------------------------------
+    let rows = per_chip_rows(layout, tokens, n);
+    let eff = params.matmul_eff(rows);
+    let matmul_flops = model.flops_per_token() * tokens;
+    // Attention einsums see on average half the final context during
+    // prefill and the full context during decode.
+    let attn_context = match spec.phase {
+        Phase::Prefill => spec.context / 2,
+        Phase::Decode => spec.context,
+    };
+    let attn_flops = model.attn_flops_per_token(attn_context) * tokens;
+    let compute_time = (matmul_flops + attn_flops) / (n * chip.peak_flops * eff);
+
+    // --- memory ----------------------------------------------------------
+    let weight_bytes = memory::weight_bytes_per_chip(model, machine.n_chips(), weight_dtype);
+    let weight_mem_time = weight_bytes / chip.hbm_bandwidth;
+    // The KV cache is streamed once per decode step; during prefill its
+    // read is amortized over the chunk's queries and charged to compute.
+    let kv_mem_time = match spec.phase {
+        Phase::Decode => {
+            memory::kv_bytes_per_chip(
+                model,
+                layout.attn,
+                machine.n_chips(),
+                spec.batch,
+                spec.context,
+                DType::Bf16,
+            ) / chip.hbm_bandwidth
+        }
+        Phase::Prefill => 0.0,
+    };
+
+    // --- communication ---------------------------------------------------
+    let pieces = layout.layer_comm(model, tokens);
+    let per_layer: Seconds = pieces
+        .iter()
+        .map(|p| piece_time(chip, p, weight_dtype, params))
+        .sum();
+    let comm_time = per_layer * model.n_layers as f64 * (1.0 - params.comm_overlap);
+
+    // --- combine ---------------------------------------------------------
+    // Weight/KV streaming overlaps compute (both are per-layer pipelines);
+    // exposed communication adds on top (Section 3.5's loops hide part of
+    // it, controlled by `comm_overlap`).
+    let step_time =
+        compute_time.max(weight_mem_time + kv_mem_time) + comm_time + params.step_overhead;
+
+    let mfu = matmul_flops / (step_time * machine.peak_flops());
+    let cost = n * step_time / tokens;
+    let fits = memory::fits_in_memory(
+        machine,
+        model,
+        layout.attn,
+        spec.batch,
+        spec.context,
+        weight_dtype,
+        DType::Bf16,
+    );
+
+    Estimate {
+        step_time,
+        compute_time,
+        weight_mem_time,
+        kv_mem_time,
+        comm_time,
+        mfu,
+        cost_chip_sec_per_token: cost,
+        fits,
+    }
+}
+
+impl Estimate {
+    /// A one-line human-readable time breakdown, e.g.
+    /// `"80.2ms = max(compute 39.9ms, mem 16.1ms) + comm 37.9ms"` — used by
+    /// examples and experiment binaries to show *where* a configuration's
+    /// time goes.
+    #[must_use]
+    pub fn breakdown(&self) -> String {
+        use esti_hal::units::format_seconds as fs;
+        format!(
+            "{} = max(compute {}, mem {}) + comm {}  [MFU {:.1}%{}]",
+            fs(self.step_time),
+            fs(self.compute_time),
+            fs(self.weight_mem_time + self.kv_mem_time),
+            fs(self.comm_time),
+            self.mfu * 100.0,
+            if self.fits { "" } else { ", OOM" }
+        )
+    }
+}
+
+/// Latency and MFU of generating `n_gen` tokens after `context_start`
+/// cached tokens, as the cache grows step by step.
+#[must_use]
+pub fn generate_latency(
+    machine: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    batch: usize,
+    context_start: usize,
+    n_gen: usize,
+    weight_dtype: DType,
+) -> Estimate {
+    assert!(n_gen > 0, "must generate at least one token");
+    // Cost a representative mid-generation step, then scale: step times are
+    // near-linear in context so the midpoint is exact to first order.
+    let mid = context_start + n_gen / 2;
+    let step = estimate(machine, model, layout, &PhaseSpec::decode(batch, mid.max(1)), weight_dtype);
+    let total = step.step_time * n_gen as f64;
+    let tokens = (batch * n_gen) as f64;
+    Estimate {
+        step_time: total,
+        compute_time: step.compute_time * n_gen as f64,
+        weight_mem_time: step.weight_mem_time * n_gen as f64,
+        kv_mem_time: step.kv_mem_time * n_gen as f64,
+        comm_time: step.comm_time * n_gen as f64,
+        mfu: model.flops_per_token() * tokens / (total * machine.peak_flops()),
+        cost_chip_sec_per_token: machine.n_chips() as f64 * total / tokens,
+        fits: step.fits,
+    }
+}
+
+/// Per-chip matmul rows: weight-stationary layouts stream every token
+/// through every chip; weight-gathered layouts shard the batch over
+/// `n/N` chips.
+fn per_chip_rows(layout: &Layout, tokens: f64, n: f64) -> f64 {
+    match layout.ffn {
+        FfnLayout::WeightStationary1D | FfnLayout::WeightStationary2D => tokens,
+        FfnLayout::WeightGathered(extent) => {
+            let n_gather = extent.n_gather(layout.mesh) as f64;
+            tokens * n_gather / n
+        }
+    }
+}
+
+/// Time of one collective piece (Appendix A.1 with bandwidth derate).
+fn piece_time(
+    chip: &esti_hal::ChipSpec,
+    piece: &CommPiece,
+    weight_dtype: DType,
+    params: &PerfParams,
+) -> Seconds {
+    if piece.group <= 1.0 {
+        return 0.0;
+    }
+    let bytes_per_elem = if piece.is_weights {
+        weight_dtype.bytes_f()
+    } else {
+        params.act_dtype.bytes_f()
+    };
+    let bytes = piece.elements * bytes_per_elem;
+    let axes = piece.axes.min(chip.torus_axes);
+    let bw = chip.axis_bandwidth(axes) * params.collective_bw_derate;
+    // Ring size per torus axis if the group spreads evenly over its axes.
+    let k_axis = piece.group.powf(1.0 / f64::from(axes));
+    match piece.kind {
+        PieceKind::GatherScatter => {
+            let bandwidth_term = bytes / bw * (piece.group - 1.0) / piece.group;
+            // Each of the `axes` ring stages pipelines K_axis-1 hops.
+            let latency_term = f64::from(axes) * (k_axis - 1.0) * params.hop_latency;
+            bandwidth_term + latency_term
+        }
+        PieceKind::AllToAll => {
+            // Sequential per-axis min-hop exchange (validated by
+            // esti-netsim): per axis of size K_a ≈ group^(1/axes), each
+            // link carries ~K_a/8 of the payload at half the single-axis
+            // bandwidth.
+            let bw1 = chip.axis_bandwidth(1) * params.collective_bw_derate;
+            let bandwidth_term = f64::from(axes) * bytes * k_axis / (4.0 * bw1);
+            let latency_term = f64::from(axes) * (k_axis / 2.0) * params.hop_latency;
+            bandwidth_term + latency_term
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AttnSharding, GatherExtent, MeshFactors};
+
+    fn machine64() -> Machine {
+        Machine::tpu_v4_slice(64).unwrap()
+    }
+
+    fn palm() -> ModelConfig {
+        ModelConfig::palm_540b_padded()
+    }
+
+    fn ws2d_batch(model: &ModelConfig, n: usize) -> Layout {
+        Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+        }
+    }
+
+    fn wg_xyz(model: &ModelConfig, n: usize) -> Layout {
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+        }
+    }
+
+    #[test]
+    fn headline_decode_latency_29ms() {
+        // Section 1: 29 ms/token at batch 64, int8 weights, 64 chips.
+        let est = estimate(
+            &machine64(),
+            &palm(),
+            &ws2d_batch(&palm(), 64),
+            &PhaseSpec::decode(64, 2048),
+            DType::Int8,
+        );
+        assert!(est.fits);
+        let ms = est.step_time * 1e3;
+        assert!((10.0..45.0).contains(&ms), "decode step {ms:.1}ms, paper 29ms");
+    }
+
+    #[test]
+    fn table2_high_throughput_prefill_mfu() {
+        // Table 2: batch 512 x 2048-token prefill, WG XYZ, bf16: 76% MFU.
+        let est = estimate(
+            &machine64(),
+            &palm(),
+            &wg_xyz(&palm(), 64),
+            &PhaseSpec::prefill(512, 2048),
+            DType::Bf16,
+        );
+        assert!(est.mfu > 0.60 && est.mfu < 0.90, "prefill MFU {:.2}", est.mfu);
+        // Latency ~85 s in the paper.
+        assert!(est.step_time > 40.0 && est.step_time < 130.0, "{}", est.step_time);
+    }
+
+    #[test]
+    fn table2_large_batch_decode() {
+        // Table 2: batch 512 decode, bf16, ws2d+batch: 6.0s per 64 tokens
+        // (94 ms/step), 33% MFU.
+        let est = estimate(
+            &machine64(),
+            &palm(),
+            &ws2d_batch(&palm(), 64),
+            &PhaseSpec::decode(512, 2048),
+            DType::Bf16,
+        );
+        let ms = est.step_time * 1e3;
+        assert!((50.0..140.0).contains(&ms), "decode step {ms:.1}ms, paper ~94ms");
+        assert!(est.mfu > 0.20 && est.mfu < 0.55, "decode MFU {:.2}", est.mfu);
+    }
+
+    #[test]
+    fn int8_beats_bf16_at_low_batch_only() {
+        // Section 4.4: int8 halves low-batch latency (weight-loading bound)
+        // but is nearly neutral at large batch (compute bound).
+        let m = machine64();
+        let model = palm();
+        let layout = ws2d_batch(&model, 64);
+        let low_i8 = estimate(&m, &model, &layout, &PhaseSpec::decode(16, 2048), DType::Int8);
+        let low_bf = estimate(&m, &model, &layout, &PhaseSpec::decode(16, 2048), DType::Bf16);
+        // Paper Figure 1: 28.5ms int8 vs 36.9ms bf16 at batch 64 (~0.77x).
+        assert!(low_i8.step_time < 0.85 * low_bf.step_time);
+        let hi_i8 = estimate(&m, &model, &layout, &PhaseSpec::decode(1024, 2048), DType::Int8);
+        let hi_bf = estimate(&m, &model, &layout, &PhaseSpec::decode(1024, 2048), DType::Bf16);
+        assert!(hi_i8.step_time > 0.9 * hi_bf.step_time);
+    }
+
+    #[test]
+    fn ws2d_beats_ws1d_at_64_chips() {
+        // Figure 6: at batch 512 the 2D layout wins at high chip counts.
+        let model = palm();
+        for n in [64usize, 128, 256] {
+            let m = Machine::tpu_v4_slice(n).unwrap();
+            let l2 = ws2d_batch(&model, n);
+            let l1 = Layout {
+                ffn: FfnLayout::WeightStationary1D,
+                attn: AttnSharding::Batch,
+                mesh: Layout::ws1d_mesh(n),
+            };
+            let spec = PhaseSpec::decode(512, 2048);
+            let t2 = estimate(&m, &model, &l2, &spec, DType::Bf16).step_time;
+            let t1 = estimate(&m, &model, &l1, &spec, DType::Bf16).step_time;
+            assert!(t2 < t1, "n={n}: 2D {t2} vs 1D {t1}");
+        }
+    }
+
+    #[test]
+    fn ws2d_keeps_improving_with_chips_1d_saturates() {
+        // Section 3.2.2: 2D comm scales 1/sqrt(n); 1D comm is constant.
+        let model = palm();
+        let decode = PhaseSpec::decode(512, 2048);
+        let t = |n: usize, ffn: FfnLayout| {
+            let m = Machine::tpu_v4_slice(n).unwrap();
+            let mesh = match ffn {
+                FfnLayout::WeightStationary1D => Layout::ws1d_mesh(n),
+                _ => Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+            };
+            // Head sharding here so the comparison isolates the FFN
+            // collectives (the attention all-to-alls shrink with n).
+            let l = Layout { ffn, attn: AttnSharding::Head, mesh };
+            estimate(&m, &model, &l, &decode, DType::Bf16)
+        };
+        let c64 = t(64, FfnLayout::WeightStationary2D).comm_time;
+        let c256 = t(256, FfnLayout::WeightStationary2D).comm_time;
+        let ratio = c64 / c256;
+        assert!(ratio > 1.3 && ratio < 2.3, "2D comm ratio {ratio} (ideal 2.0)");
+        let d64 = t(64, FfnLayout::WeightStationary1D).comm_time;
+        let d256 = t(256, FfnLayout::WeightStationary1D).comm_time;
+        // Constant up to the (K-1)/K factor and hop latencies.
+        assert!((d64 / d256 - 1.0).abs() < 0.10, "1D comm ratio {}", d64 / d256);
+    }
+
+    #[test]
+    fn weight_gathered_wins_prefill_at_large_batch() {
+        // Figure 7: WG XYZ overtakes WS 2D as batch tokens grow.
+        let model = palm();
+        let m = machine64();
+        let small = PhaseSpec::prefill(1, 2048);
+        let large = PhaseSpec::prefill(512, 2048);
+        let ws = ws2d_batch(&model, 64);
+        let wg = wg_xyz(&model, 64);
+        let ws_small = estimate(&m, &model, &ws, &small, DType::Bf16);
+        let wg_small = estimate(&m, &model, &wg, &small, DType::Bf16);
+        assert!(ws_small.step_time < wg_small.step_time, "WS should win small prefill");
+        let ws_large = estimate(&m, &model, &ws, &large, DType::Bf16);
+        let wg_large = estimate(&m, &model, &wg, &large, DType::Bf16);
+        assert!(wg_large.mfu > ws_large.mfu, "WG should win large prefill");
+    }
+
+    #[test]
+    fn batch_sharded_attention_wins_long_context_decode() {
+        // Figure 8: at long context, batch sharding beats head sharding
+        // because the KV-cache memory time dominates.
+        let model = palm();
+        let m = machine64();
+        let mesh = Layout::ws2d_mesh(64, model.d_model, model.d_ff);
+        let head = Layout { ffn: FfnLayout::WeightStationary2D, attn: AttnSharding::Head, mesh };
+        let batch = Layout { ffn: FfnLayout::WeightStationary2D, attn: AttnSharding::Batch, mesh };
+        let spec = PhaseSpec::decode(256, 8192);
+        let t_head = estimate(&m, &model, &head, &spec, DType::Bf16);
+        let t_batch = estimate(&m, &model, &batch, &spec, DType::Bf16);
+        assert!(t_batch.step_time < t_head.step_time);
+        assert!(t_batch.kv_mem_time * 10.0 < t_head.kv_mem_time);
+        // At short context the difference nearly vanishes.
+        let short = PhaseSpec::decode(256, 128);
+        let s_head = estimate(&m, &model, &head, &short, DType::Bf16).step_time;
+        let s_batch = estimate(&m, &model, &batch, &short, DType::Bf16).step_time;
+        assert!((s_head - s_batch).abs() / s_batch < 0.1);
+    }
+
+    #[test]
+    fn serial_blocks_cost_more_decode_latency() {
+        // Section 4.3: the serialized formulation is ~14% slower per step.
+        let mut serial = palm();
+        serial.block = esti_model::BlockKind::Serial;
+        let m = machine64();
+        let layout = ws2d_batch(&palm(), 64);
+        let spec = PhaseSpec::decode(512, 2048);
+        let t_par = estimate(&m, &palm(), &layout, &spec, DType::Bf16).step_time;
+        let t_ser = estimate(&m, &serial, &layout, &spec, DType::Bf16).step_time;
+        let overhead = t_ser / t_par - 1.0;
+        assert!(overhead > 0.05 && overhead < 0.40, "serial overhead {overhead:.2}");
+    }
+
+    #[test]
+    fn generate_latency_scales_with_tokens() {
+        let model = palm();
+        let m = machine64();
+        let layout = ws2d_batch(&model, 64);
+        let g64 = generate_latency(&m, &model, &layout, 64, 2048, 64, DType::Int8);
+        let g128 = generate_latency(&m, &model, &layout, 64, 2048, 128, DType::Int8);
+        assert!(g128.step_time > 1.9 * g64.step_time);
+        assert!(g64.cost_chip_sec_per_token > 0.0);
+    }
+
+    #[test]
+    fn mfu_and_cost_are_consistent() {
+        // cost = n·t/tokens and MFU = 2N·tokens/(t·n·peak) imply
+        // cost · MFU = 2N / peak.
+        let model = palm();
+        let m = machine64();
+        let layout = ws2d_batch(&model, 64);
+        let est = estimate(&m, &model, &layout, &PhaseSpec::decode(256, 2048), DType::Bf16);
+        let product = est.cost_chip_sec_per_token * est.mfu;
+        let expect = model.flops_per_token() / m.chip.peak_flops;
+        assert!((product - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn eff_curve_is_monotone_and_bounded() {
+        let p = PerfParams::default();
+        assert!(p.matmul_eff(1.0) < p.matmul_eff(100.0));
+        assert!(p.matmul_eff(1e9) <= p.peak_matmul_eff);
+        assert!(p.matmul_eff(256.0) > 0.4 * p.peak_matmul_eff);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_batch() -> impl Strategy<Value = usize> {
+            prop::sample::select(vec![1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn step_time_monotone_in_batch(b in arb_batch()) {
+                // More sequences never make a decode step faster.
+                let model = ModelConfig::palm_62b();
+                let m = Machine::tpu_v4_slice(64).unwrap();
+                let layout = Layout::ws2d(&model, 64);
+                let t1 = estimate(&m, &model, &layout, &PhaseSpec::decode(b, 2048), DType::Bf16).step_time;
+                let t2 = estimate(&m, &model, &layout, &PhaseSpec::decode(b * 2, 2048), DType::Bf16).step_time;
+                prop_assert!(t2 >= t1);
+            }
+
+            #[test]
+            fn cost_improves_with_batch(b in arb_batch()) {
+                // Cost per token never rises with batch (Section 2.1).
+                let model = ModelConfig::palm_62b();
+                let m = Machine::tpu_v4_slice(64).unwrap();
+                let layout = Layout::ws2d(&model, 64);
+                let c1 = estimate(&m, &model, &layout, &PhaseSpec::decode(b, 2048), DType::Bf16)
+                    .cost_chip_sec_per_token;
+                let c2 = estimate(&m, &model, &layout, &PhaseSpec::decode(b * 2, 2048), DType::Bf16)
+                    .cost_chip_sec_per_token;
+                prop_assert!(c2 <= c1 * 1.001);
+            }
+
+            #[test]
+            fn kv_time_monotone_in_context(ctx in 64usize..16384) {
+                let model = ModelConfig::palm_540b_padded();
+                let m = Machine::tpu_v4_slice(64).unwrap();
+                let layout = Layout::ws2d(&model, 64);
+                let e1 = estimate(&m, &model, &layout, &PhaseSpec::decode(64, ctx), DType::Bf16);
+                let e2 = estimate(&m, &model, &layout, &PhaseSpec::decode(64, ctx * 2), DType::Bf16);
+                prop_assert!(e2.kv_mem_time >= e1.kv_mem_time);
+                prop_assert!(e2.step_time >= e1.step_time * 0.999);
+            }
+
+            #[test]
+            fn int8_never_slower(b in arb_batch(), ctx in prop::sample::select(vec![128usize, 1024, 4096])) {
+                let model = ModelConfig::palm_540b_padded();
+                let m = Machine::tpu_v4_slice(64).unwrap();
+                let layout = Layout::ws2d(&model, 64);
+                let spec = PhaseSpec::decode(b, ctx);
+                let i8t = estimate(&m, &model, &layout, &spec, DType::Int8).step_time;
+                let bft = estimate(&m, &model, &layout, &spec, DType::Bf16).step_time;
+                prop_assert!(i8t <= bft * 1.0001);
+            }
+
+            #[test]
+            fn mfu_bounded(b in arb_batch()) {
+                for model in [ModelConfig::palm_8b(), ModelConfig::palm_540b_padded()] {
+                    let m = Machine::tpu_v4_slice(64).unwrap();
+                    let layout = Layout::ws2d(&model, 64);
+                    for spec in [PhaseSpec::decode(b, 2048), PhaseSpec::prefill(b, 512)] {
+                        let est = estimate(&m, &model, &layout, &spec, DType::Bf16);
+                        prop_assert!(est.mfu > 0.0 && est.mfu < 1.0, "MFU {}", est.mfu);
+                        prop_assert!(est.step_time.is_finite() && est.step_time > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_activations_cut_weight_stationary_comm_in_half() {
+        // The Section 3.6 projection: halving activation bytes halves the
+        // bandwidth term of weight-stationary communication.
+        let model = palm();
+        let m = machine64();
+        let layout = ws2d_batch(&model, 64);
+        let spec = PhaseSpec::decode(512, 2048);
+        let bf16 = estimate(&m, &model, &layout, &spec, DType::Bf16);
+        let params = PerfParams { act_dtype: DType::Int8, ..PerfParams::default() };
+        let i8act = estimate_with(&m, &model, &layout, &spec, DType::Bf16, &params);
+        assert!(i8act.comm_time < 0.65 * bf16.comm_time, "{} vs {}", i8act.comm_time, bf16.comm_time);
+        assert!(i8act.step_time < bf16.step_time);
+        // Weight-gathered prefill is weight-traffic bound, so the benefit
+        // there is smaller.
+        let wg = wg_xyz(&model, 64);
+        let pre = PhaseSpec::prefill(512, 2048);
+        let wg_bf = estimate(&m, &model, &wg, &pre, DType::Bf16);
+        let wg_i8 = estimate_with(&m, &model, &wg, &pre, DType::Bf16, &params);
+        let ws_gain = bf16.comm_time / i8act.comm_time;
+        let wg_gain = wg_bf.comm_time / wg_i8.comm_time;
+        assert!(wg_gain < ws_gain, "WG gain {wg_gain} should trail WS gain {ws_gain}");
+    }
+
+    #[test]
+    fn breakdown_is_readable() {
+        let model = palm();
+        let est = estimate(
+            &machine64(),
+            &model,
+            &ws2d_batch(&model, 64),
+            &PhaseSpec::decode(512, 2048),
+            DType::Bf16,
+        );
+        let s = est.breakdown();
+        assert!(s.contains("compute") && s.contains("comm") && s.contains("MFU"));
+        assert!(!s.contains("OOM"));
+    }
+
+    #[test]
+    fn low_latency_prefill_table2() {
+        // Table 2 low-latency prefill: batch 1, 2048 tokens, WS2D, int8:
+        // 0.29 s at 43% MFU.
+        let model = palm();
+        let m = machine64();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(4, 4, 4),
+        };
+        let est = estimate(&m, &model, &layout, &PhaseSpec::prefill(1, 2048), DType::Int8);
+        assert!(est.step_time > 0.1 && est.step_time < 0.5, "{}", est.step_time);
+        assert!(est.mfu > 0.25 && est.mfu < 0.70, "MFU {:.2}", est.mfu);
+    }
+}

@@ -1,0 +1,268 @@
+//! Pipeline parallelism — the baseline FasterTransformer combines with
+//! tensor parallelism (its "PP3/TP8" configuration, Section 5).
+//!
+//! The paper's own layouts are pure model parallelism; pipelining is the
+//! strategy they argue *against* for low-latency inference, because
+//! autoregressive decode cannot hide the pipeline bubble: each generated
+//! token must traverse all stages sequentially, so `S-1` of every `S`
+//! stage-times are idle per chip. Prefill pipelines well — microbatches
+//! fill the stages — which is why FT's PP numbers look reasonable at large
+//! batch but poor at small (Tables D.2–D.4).
+//!
+//! This module costs a `stages × (chips per stage)` arrangement: layers are
+//! split evenly across stages, each stage runs the given tensor-parallel
+//! layout internally, and activations hop between stages over one torus
+//! link.
+
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::perf::{estimate_with, Estimate, PerfParams, Phase, PhaseSpec};
+
+/// A pipeline arrangement: `stages` sequential groups of chips, each
+/// holding `n_layers / stages` layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSetup {
+    /// Number of pipeline stages.
+    pub stages: usize,
+    /// Microbatches the batch is split into during prefill (decode streams
+    /// one token per sequence and cannot re-microbatch across steps).
+    pub microbatches: usize,
+}
+
+impl PipelineSetup {
+    /// Creates a setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` or `microbatches` is zero.
+    #[must_use]
+    pub fn new(stages: usize, microbatches: usize) -> Self {
+        assert!(stages > 0 && microbatches > 0, "stages and microbatches must be positive");
+        PipelineSetup { stages, microbatches }
+    }
+
+    /// The classic bubble fraction of a filled pipeline:
+    /// `(S-1) / (M + S - 1)`.
+    #[must_use]
+    pub fn bubble_fraction(&self) -> f64 {
+        (self.stages as f64 - 1.0) / (self.microbatches as f64 + self.stages as f64 - 1.0)
+    }
+}
+
+/// Costs one phase under pipeline × tensor parallelism.
+///
+/// `machine_per_stage` describes one stage's chips; total chips are
+/// `stages × machine_per_stage.n_chips()`. `layout` is the tensor-parallel
+/// layout *within* a stage.
+///
+/// # Panics
+///
+/// Panics if the layer count is not divisible by the stage count, or if a
+/// prefill microbatch would be empty.
+#[must_use]
+pub fn estimate_pipelined(
+    machine_per_stage: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    setup: &PipelineSetup,
+    spec: &PhaseSpec,
+    weight_dtype: DType,
+) -> Estimate {
+    estimate_pipelined_with(
+        machine_per_stage,
+        model,
+        layout,
+        setup,
+        spec,
+        weight_dtype,
+        &PerfParams::default(),
+    )
+}
+
+/// [`estimate_pipelined`] with explicit calibration parameters.
+#[must_use]
+pub fn estimate_pipelined_with(
+    machine_per_stage: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    setup: &PipelineSetup,
+    spec: &PhaseSpec,
+    weight_dtype: DType,
+    params: &PerfParams,
+) -> Estimate {
+    let s = setup.stages;
+    assert!(
+        model.n_layers.is_multiple_of(s),
+        "{} layers do not split into {s} equal pipeline stages",
+        model.n_layers
+    );
+    // One stage = the same model with 1/S of the layers (embeddings live on
+    // the first/last stage; we keep them in the stage model so the total
+    // FLOPs stay exact up to (S-1) extra embedding matmuls, which the
+    // paper's 2N accounting also ignores).
+    let mut stage_model = model.clone();
+    stage_model.n_layers = model.n_layers / s;
+
+    let total_chips = (machine_per_stage.n_chips() * s) as f64;
+    let inter_stage_bytes =
+        |tokens: f64| tokens * model.d_model as f64 * DType::Bf16.bytes_f();
+    let link_bw = machine_per_stage.chip.axis_bandwidth(1) * params.collective_bw_derate;
+
+    let (step_time, stage_est, tokens) = match spec.phase {
+        Phase::Prefill => {
+            let m = setup.microbatches.min(spec.batch.max(1));
+            let micro = (spec.batch / m).max(1);
+            let micro_spec = PhaseSpec::prefill(micro, spec.tokens_per_seq);
+            let est = estimate_with(machine_per_stage, &stage_model, layout, &micro_spec, weight_dtype, params);
+            // (M + S - 1) stage slots, plus the inter-stage activation hops
+            // on the critical path.
+            let hop = inter_stage_bytes(micro_spec.total_tokens()) / link_bw;
+            let slots = (m + s - 1) as f64;
+            (slots * (est.step_time + hop), est, spec.total_tokens())
+        }
+        Phase::Decode => {
+            // A decode step traverses all stages sequentially; later steps
+            // cannot start a stage before the previous token finished it,
+            // so per-token latency is the full sum (the pipeline is only
+            // utilized 1/S per request stream).
+            let est = estimate_with(machine_per_stage, &stage_model, layout, spec, weight_dtype, params);
+            let hop = inter_stage_bytes(spec.total_tokens()) / link_bw;
+            (s as f64 * (est.step_time + hop), est, spec.total_tokens())
+        }
+    };
+
+    let mfu = model.flops_per_token() * tokens
+        / (step_time * total_chips * machine_per_stage.chip.peak_flops);
+    Estimate {
+        step_time,
+        compute_time: stage_est.compute_time * s as f64,
+        weight_mem_time: stage_est.weight_mem_time * s as f64,
+        kv_mem_time: stage_est.kv_mem_time * s as f64,
+        comm_time: stage_est.comm_time * s as f64,
+        mfu,
+        cost_chip_sec_per_token: total_chips * step_time / tokens,
+        fits: stage_est.fits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AttnSharding, FfnLayout};
+
+    fn mtnlg() -> ModelConfig {
+        ModelConfig::mt_nlg_530b()
+    }
+
+    fn tp_layout(model: &ModelConfig, n: usize) -> Layout {
+        Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Head,
+            mesh: Layout::ws2d_mesh(n, model.d_model, model.d_ff),
+        }
+    }
+
+    #[test]
+    fn bubble_fraction_formula() {
+        assert_eq!(PipelineSetup::new(1, 8).bubble_fraction(), 0.0);
+        let s4m4 = PipelineSetup::new(4, 4).bubble_fraction();
+        assert!((s4m4 - 3.0 / 7.0).abs() < 1e-12);
+        // More microbatches shrink the bubble.
+        assert!(PipelineSetup::new(4, 32).bubble_fraction() < s4m4);
+    }
+
+    #[test]
+    fn decode_pays_the_full_pipeline_latency() {
+        // TP over 64 chips vs PP4 x TP16 on the same 64 chips: decode
+        // latency and MFU must favor pure tensor parallelism — the paper's
+        // core argument for scaling TP to 64 chips.
+        let model = mtnlg();
+        // 105 layers don't split by 4; use a 3-stage pipeline (FT's PP3).
+        let setup = PipelineSetup::new(3, 1);
+        let stage_machine = Machine::tpu_v4_slice(16).unwrap();
+        let pp = estimate_pipelined(
+            &stage_machine,
+            &model,
+            &tp_layout(&model, 16),
+            &setup,
+            &PhaseSpec::decode(64, 128),
+            DType::Bf16,
+        );
+        let tp_machine = Machine::tpu_v4_slice(64).unwrap();
+        let mut model48 = model.clone();
+        // Match chip counts approximately: 3x16 = 48 vs 64; compare MFU,
+        // which normalizes chips.
+        model48.name = model.name.clone();
+        let tp = crate::perf::estimate(
+            &tp_machine,
+            &model48,
+            &tp_layout(&model48, 64),
+            &PhaseSpec::decode(64, 128),
+            DType::Bf16,
+        );
+        assert!(pp.step_time > tp.step_time, "pipelined decode must be slower");
+        assert!(pp.mfu < tp.mfu, "pipelined decode must waste utilization");
+    }
+
+    #[test]
+    fn prefill_bubble_amortizes_with_microbatches() {
+        let model = mtnlg();
+        let stage_machine = Machine::tpu_v4_slice(16).unwrap();
+        let layout = tp_layout(&model, 16);
+        let spec = PhaseSpec::prefill(64, 128);
+        let few = estimate_pipelined(
+            &stage_machine, &model, &layout, &PipelineSetup::new(3, 1), &spec, DType::Bf16,
+        );
+        let many = estimate_pipelined(
+            &stage_machine, &model, &layout, &PipelineSetup::new(3, 16), &spec, DType::Bf16,
+        );
+        assert!(many.step_time < few.step_time, "microbatching must amortize the bubble");
+        assert!(many.mfu > few.mfu);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal pipeline stages")]
+    fn indivisible_stage_count_rejected() {
+        let model = mtnlg(); // 105 layers
+        let stage_machine = Machine::tpu_v4_slice(8).unwrap();
+        let _ = estimate_pipelined(
+            &stage_machine,
+            &model,
+            &tp_layout(&model, 8),
+            &PipelineSetup::new(4, 1),
+            &PhaseSpec::decode(8, 128),
+            DType::Bf16,
+        );
+    }
+
+    #[test]
+    fn pipeline_reduces_per_stage_memory() {
+        // The reason FT uses PP at all: a stage holds 1/S of the weights,
+        // letting 530B bf16 fit on fewer chips per stage.
+        let model = mtnlg();
+        let stage_machine = Machine::tpu_v4_slice(16).unwrap();
+        let setup = PipelineSetup::new(3, 1);
+        let est = estimate_pipelined(
+            &stage_machine,
+            &model,
+            &tp_layout(&model, 16),
+            &setup,
+            &PhaseSpec::decode(4, 128),
+            DType::Bf16,
+        );
+        // 530B bf16 / 3 stages / 16 chips = ~22 GB per chip: fits.
+        assert!(est.fits, "PP3/TP16 should fit MT-NLG in bf16");
+        // Whereas pure TP16 does not fit the full model.
+        let tp = crate::perf::estimate(
+            &stage_machine,
+            &model,
+            &tp_layout(&model, 16),
+            &PhaseSpec::decode(4, 128),
+            DType::Bf16,
+        );
+        assert!(!tp.fits, "TP16 alone must not fit 530B bf16");
+    }
+}

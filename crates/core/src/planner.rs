@@ -1,0 +1,222 @@
+//! Layout selection and inference planning (Section 4.1's strategy).
+//!
+//! > "During the prefill phase, we select from weight-stationary and
+//! > weight-gathered layouts based on the current number of tokens in the
+//! > batch. During the generate phase, we select the 2D weight-stationary
+//! > layout because the batch size in tokens is always small."
+//!
+//! Attention follows Section 3.3: head-sharded for prefill at small batch,
+//! batch-sharded multiquery for decode (and for large-batch prefill, as in
+//! Table 2), falling back to head sharding when the batch is smaller than
+//! the minimum torus axis (Appendix D notes no speedup below batch 4).
+
+use esti_hal::{DType, Seconds};
+use esti_model::{AttentionKind, ModelConfig};
+
+use crate::layout::{AttnSharding, FfnLayout, GatherExtent, Layout};
+use crate::machine::Machine;
+use crate::perf::{estimate, Estimate, PhaseSpec};
+
+/// Minimum batch for batch-sharded attention (the minimum size of a torus
+/// axis, Appendix D).
+pub const MIN_BATCH_SHARD: usize = 4;
+
+/// Chooses the attention sharding for a phase.
+#[must_use]
+pub fn attn_sharding(model: &ModelConfig, batch: usize) -> AttnSharding {
+    if model.attention == AttentionKind::MultiQuery && batch >= MIN_BATCH_SHARD {
+        AttnSharding::Batch
+    } else {
+        AttnSharding::Head
+    }
+}
+
+/// The decode-phase layout: always 2D weight-stationary (Section 4.1) with
+/// batch-sharded multiquery attention when applicable.
+#[must_use]
+pub fn decode_layout(model: &ModelConfig, machine: &Machine) -> Layout {
+    decode_layout_for_batch(model, machine, usize::MAX)
+}
+
+/// [`decode_layout`] with the batch known, so small batches fall back to
+/// head sharding.
+#[must_use]
+pub fn decode_layout_for_batch(model: &ModelConfig, machine: &Machine, batch: usize) -> Layout {
+    Layout {
+        ffn: FfnLayout::WeightStationary2D,
+        attn: attn_sharding(model, batch),
+        mesh: Layout::ws2d_mesh(machine.n_chips(), model.d_model, model.d_ff),
+    }
+}
+
+/// Candidate feedforward layouts for the prefill phase.
+#[must_use]
+pub fn prefill_candidates(model: &ModelConfig, machine: &Machine, batch: usize) -> Vec<Layout> {
+    let mesh = Layout::ws2d_mesh(machine.n_chips(), model.d_model, model.d_ff);
+    let attn = attn_sharding(model, batch);
+    let mut v = vec![Layout { ffn: FfnLayout::WeightStationary2D, attn, mesh }];
+    for extent in GatherExtent::ALL {
+        v.push(Layout { ffn: FfnLayout::WeightGathered(extent), attn, mesh });
+    }
+    v
+}
+
+/// The prefill-phase layout: the candidate with the lowest estimated pass
+/// time at this batch (Figure 7's crossover realized as a selection rule).
+#[must_use]
+pub fn prefill_layout(
+    model: &ModelConfig,
+    machine: &Machine,
+    batch: usize,
+    input_len: usize,
+    weight_dtype: DType,
+) -> Layout {
+    let spec = PhaseSpec::prefill(batch, input_len);
+    prefill_candidates(model, machine, batch)
+        .into_iter()
+        .min_by(|a, b| {
+            let ta = estimate(machine, model, a, &spec, weight_dtype).step_time;
+            let tb = estimate(machine, model, b, &spec, weight_dtype).step_time;
+            ta.partial_cmp(&tb).expect("finite step times")
+        })
+        .expect("candidate list is non-empty")
+}
+
+/// A full inference plan: per-phase layouts and cost estimates.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    /// Layout used for the prefill pass.
+    pub prefill: Layout,
+    /// Layout used for decode steps.
+    pub decode: Layout,
+    /// Estimate of the prefill pass.
+    pub prefill_est: Estimate,
+    /// Aggregate estimate of all decode steps.
+    pub decode_est: Estimate,
+    /// End-to-end latency (prefill + all decode steps).
+    pub total_latency: Seconds,
+    /// End-to-end MFU over all processed+generated tokens.
+    pub total_mfu: f64,
+}
+
+/// Plans an inference of `batch` sequences with `input_len` prompt tokens
+/// and `gen_len` generated tokens, switching layouts between phases as the
+/// paper does (Section 4.1, Tables 2–3).
+///
+/// # Panics
+///
+/// Panics if `input_len` or `gen_len` is zero.
+#[must_use]
+pub fn plan_inference(
+    model: &ModelConfig,
+    machine: &Machine,
+    batch: usize,
+    input_len: usize,
+    gen_len: usize,
+    weight_dtype: DType,
+) -> InferencePlan {
+    assert!(input_len > 0 && gen_len > 0, "need at least one input and output token");
+    let prefill = prefill_layout(model, machine, batch, input_len, weight_dtype);
+    let decode = decode_layout_for_batch(model, machine, batch);
+    let prefill_est = estimate(machine, model, &prefill, &PhaseSpec::prefill(batch, input_len), weight_dtype);
+    let decode_est = crate::perf::generate_latency(
+        machine, model, &decode, batch, input_len, gen_len, weight_dtype,
+    );
+    let total_latency = prefill_est.step_time + decode_est.step_time;
+    let tokens = (batch * (input_len + gen_len)) as f64;
+    let total_mfu = model.flops_per_token() * tokens / (total_latency * machine.peak_flops());
+    InferencePlan { prefill, decode, prefill_est, decode_est, total_latency, total_mfu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine64() -> Machine {
+        Machine::tpu_v4_slice(64).unwrap()
+    }
+
+    #[test]
+    fn decode_always_ws2d() {
+        let l = decode_layout(&ModelConfig::palm_540b_padded(), &machine64());
+        assert_eq!(l.ffn, FfnLayout::WeightStationary2D);
+        assert_eq!(l.attn, AttnSharding::Batch);
+    }
+
+    #[test]
+    fn small_batch_decode_head_sharded() {
+        let l = decode_layout_for_batch(&ModelConfig::palm_540b_padded(), &machine64(), 2);
+        assert_eq!(l.attn, AttnSharding::Head);
+    }
+
+    #[test]
+    fn multihead_model_never_batch_sharded() {
+        let l = decode_layout(&ModelConfig::mt_nlg_530b(), &machine64());
+        assert_eq!(l.attn, AttnSharding::Head);
+    }
+
+    #[test]
+    fn prefill_selection_matches_table2() {
+        // Table 2: low-latency prefill (batch 1) -> WS 2D;
+        // high-throughput prefill (batch 512 x 2048) -> WG XYZ.
+        let model = ModelConfig::palm_540b_padded();
+        let m = machine64();
+        let low = prefill_layout(&model, &m, 1, 2048, DType::Int8);
+        assert_eq!(low.ffn, FfnLayout::WeightStationary2D);
+        assert_eq!(low.attn, AttnSharding::Head);
+        let high = prefill_layout(&model, &m, 512, 2048, DType::Bf16);
+        assert!(
+            matches!(high.ffn, FfnLayout::WeightGathered(e) if e >= GatherExtent::Xy),
+            "expected a large weight-gathered extent, got {:?}",
+            high.ffn
+        );
+        assert_eq!(high.attn, AttnSharding::Batch);
+    }
+
+    #[test]
+    fn prefill_selection_monotone_in_batch() {
+        // The chosen gather extent should not shrink as batch grows.
+        let model = ModelConfig::palm_540b_padded();
+        let m = machine64();
+        let rank = |l: &Layout| match l.ffn {
+            FfnLayout::WeightStationary1D | FfnLayout::WeightStationary2D => 0,
+            FfnLayout::WeightGathered(GatherExtent::X) => 1,
+            FfnLayout::WeightGathered(GatherExtent::Xy) => 2,
+            FfnLayout::WeightGathered(GatherExtent::Xyz) => 3,
+        };
+        let mut prev = 0;
+        for batch in [1usize, 4, 16, 64, 256, 1024] {
+            let r = rank(&prefill_layout(&model, &m, batch, 2048, DType::Bf16));
+            assert!(r >= prev, "extent shrank at batch {batch}");
+            prev = r;
+        }
+        assert_eq!(prev, 3, "largest batch should use WG XYZ");
+    }
+
+    #[test]
+    fn plan_switches_layouts_between_phases() {
+        let model = ModelConfig::palm_540b_padded();
+        let m = machine64();
+        let plan = plan_inference(&model, &m, 512, 2048, 64, DType::Bf16);
+        assert!(matches!(plan.prefill.ffn, FfnLayout::WeightGathered(_)));
+        assert_eq!(plan.decode.ffn, FfnLayout::WeightStationary2D);
+        assert!(plan.total_latency > plan.prefill_est.step_time);
+        assert!(plan.total_mfu > 0.0 && plan.total_mfu < 1.0);
+    }
+
+    #[test]
+    fn chatbot_scenario_under_two_seconds() {
+        // Section 1: 64 new tokens + 1920 cached history, generate 64,
+        // int8, 64 chips -> ~1.9 s end to end.
+        let model = ModelConfig::palm_540b_padded();
+        let m = machine64();
+        let prefill_l = prefill_layout(&model, &m, 1, 64, DType::Int8);
+        let prefill =
+            estimate(&m, &model, &prefill_l, &PhaseSpec::prefill(1, 64), DType::Int8);
+        let decode_l = decode_layout_for_batch(&model, &m, 64);
+        let decode = crate::perf::generate_latency(&m, &model, &decode_l, 64, 1984, 64, DType::Int8);
+        let total = prefill.step_time + decode.step_time;
+        assert!(total < 3.0, "chatbot total {total:.2}s, paper 1.9s");
+        assert!(total > 0.5, "chatbot total {total:.2}s suspiciously fast");
+    }
+}

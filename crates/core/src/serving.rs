@@ -1,0 +1,380 @@
+//! Two-tier serving simulation (Section 4.4).
+//!
+//! The paper's low-latency recipe pairs *different batch sizes per phase*:
+//!
+//! > "This mixture of batch sizes is possible in practice either by
+//! > generating multiple samples from the same input text, or by
+//! > pipelining a batch-1 prefill server into a batch-64 decoding server."
+//!
+//! This module simulates that second arrangement as a discrete-event
+//! system: requests arrive over time, a prefill tier processes prompts one
+//! at a time (batch 1, minimum prefill latency), and a decode tier runs a
+//! continuous loop of generation steps over all in-flight sequences up to
+//! a batch cap, admitting newly prefilled requests at step boundaries —
+//! a small-scale ancestor of today's continuous batching.
+//!
+//! Step costs come from the same analytical model as every figure, so the
+//! serving numbers stay consistent with the rest of the reproduction.
+
+use esti_hal::{DType, Seconds};
+use esti_model::ModelConfig;
+
+use crate::machine::Machine;
+use crate::perf::{estimate, PhaseSpec};
+use crate::planner;
+
+/// Static description of the two tiers.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Chips of the prefill tier.
+    pub prefill_machine: Machine,
+    /// Chips of the decode tier.
+    pub decode_machine: Machine,
+    /// Maximum concurrent sequences in the decode batch.
+    pub max_decode_batch: usize,
+    /// Prompt length of every request (tokens).
+    pub input_len: usize,
+    /// Tokens generated per request.
+    pub gen_len: usize,
+    /// Weight storage type.
+    pub weight_dtype: DType,
+}
+
+/// One simulated request's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestStats {
+    /// Arrival time.
+    pub arrival: Seconds,
+    /// When prefill finished and the request became decodable.
+    pub prefilled: Seconds,
+    /// When the last token was generated.
+    pub finished: Seconds,
+}
+
+impl RequestStats {
+    /// End-to-end latency.
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.finished - self.arrival
+    }
+
+    /// Time spent queued + in prefill.
+    #[must_use]
+    pub fn prefill_latency(&self) -> Seconds {
+        self.prefilled - self.arrival
+    }
+}
+
+/// Aggregate results of a serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-request outcomes, in arrival order.
+    pub requests: Vec<RequestStats>,
+    /// Total simulated time until the last request finished.
+    pub makespan: Seconds,
+    /// Decode steps executed.
+    pub decode_steps: usize,
+    /// Mean decode batch occupancy over executed steps.
+    pub mean_decode_batch: f64,
+}
+
+impl ServingReport {
+    /// Mean end-to-end latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> Seconds {
+        let total: f64 = self.requests.iter().map(RequestStats::latency).sum();
+        total / self.requests.len() as f64
+    }
+
+    /// A latency percentile in `[0, 100]` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no requests or `p` is out of range.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Seconds {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.requests.is_empty(), "no requests simulated");
+        let mut lats: Vec<f64> = self.requests.iter().map(RequestStats::latency).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((p / 100.0) * (lats.len() as f64 - 1.0)).round() as usize;
+        lats[rank]
+    }
+
+    /// Generated tokens per second over the whole run.
+    #[must_use]
+    pub fn throughput_tokens_per_sec(&self, gen_len: usize) -> f64 {
+        (self.requests.len() * gen_len) as f64 / self.makespan
+    }
+}
+
+/// Simulates serving `arrivals` (absolute arrival times, ascending) through
+/// the two-tier system for `model`.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is empty or not sorted ascending.
+#[must_use]
+pub fn simulate(model: &ModelConfig, cfg: &ServingConfig, arrivals: &[Seconds]) -> ServingReport {
+    assert!(!arrivals.is_empty(), "no arrivals to simulate");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival times must be ascending"
+    );
+
+    // Phase costs from the analytical model. Decode step time depends on
+    // the instantaneous batch; precompute per occupancy 1..=max.
+    let prefill_layout =
+        planner::prefill_layout(model, &cfg.prefill_machine, 1, cfg.input_len, cfg.weight_dtype);
+    let prefill_time = estimate(
+        &cfg.prefill_machine,
+        model,
+        &prefill_layout,
+        &PhaseSpec::prefill(1, cfg.input_len),
+        cfg.weight_dtype,
+    )
+    .step_time;
+    let context = cfg.input_len + cfg.gen_len / 2;
+    let step_time: Vec<Seconds> = (0..=cfg.max_decode_batch)
+        .map(|b| {
+            if b == 0 {
+                0.0
+            } else {
+                let layout = planner::decode_layout_for_batch(model, &cfg.decode_machine, b);
+                estimate(
+                    &cfg.decode_machine,
+                    model,
+                    &layout,
+                    &PhaseSpec::decode(b, context),
+                    cfg.weight_dtype,
+                )
+                .step_time
+            }
+        })
+        .collect();
+
+    // --- prefill tier: FIFO, one prompt at a time -------------------------
+    let mut prefilled_at = Vec::with_capacity(arrivals.len());
+    let mut free_at: Seconds = 0.0;
+    for &a in arrivals {
+        let start = a.max(free_at);
+        free_at = start + prefill_time;
+        prefilled_at.push(free_at);
+    }
+
+    // --- decode tier: continuous stepping with admission at boundaries ----
+    #[derive(Clone, Copy)]
+    struct InFlight {
+        idx: usize,
+        remaining: usize,
+    }
+    let mut pending: std::collections::VecDeque<usize> = (0..arrivals.len()).collect();
+    let mut in_flight: Vec<InFlight> = Vec::new();
+    let mut finished_at = vec![0.0f64; arrivals.len()];
+    let mut now: Seconds = 0.0;
+    let mut steps = 0usize;
+    let mut occupancy_sum = 0usize;
+    while !pending.is_empty() || !in_flight.is_empty() {
+        // Admit every request already prefilled, up to the cap.
+        while in_flight.len() < cfg.max_decode_batch {
+            match pending.front() {
+                Some(&idx) if prefilled_at[idx] <= now => {
+                    pending.pop_front();
+                    in_flight.push(InFlight { idx, remaining: cfg.gen_len });
+                }
+                _ => break,
+            }
+        }
+        if in_flight.is_empty() {
+            // Idle until the next prefill completes.
+            let next = pending.front().map(|&i| prefilled_at[i]).expect("pending non-empty");
+            now = now.max(next);
+            continue;
+        }
+        let b = in_flight.len();
+        now += step_time[b];
+        steps += 1;
+        occupancy_sum += b;
+        for r in &mut in_flight {
+            r.remaining -= 1;
+            if r.remaining == 0 {
+                finished_at[r.idx] = now;
+            }
+        }
+        in_flight.retain(|r| r.remaining > 0);
+    }
+
+    let requests: Vec<RequestStats> = arrivals
+        .iter()
+        .zip(&prefilled_at)
+        .zip(&finished_at)
+        .map(|((&arrival, &prefilled), &finished)| RequestStats { arrival, prefilled, finished })
+        .collect();
+    let makespan = requests.iter().map(|r| r.finished).fold(0.0, f64::max);
+    ServingReport {
+        requests,
+        makespan,
+        decode_steps: steps,
+        mean_decode_batch: occupancy_sum as f64 / steps.max(1) as f64,
+    }
+}
+
+/// Evenly spaced arrivals at `rate` requests/second for `n` requests —
+/// a deterministic open-loop load for reproducible experiments.
+#[must_use]
+pub fn uniform_arrivals(n: usize, rate: f64) -> Vec<Seconds> {
+    (0..n).map(|i| i as f64 / rate).collect()
+}
+
+/// Seeded Poisson-process arrivals at `rate` requests/second — bursty
+/// open-loop load with exponential inter-arrival gaps, deterministic for a
+/// given seed.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+#[must_use]
+pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<Seconds> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    // A tiny splitmix64 PRNG keeps the workspace dependency-light here.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            let u = (next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            t += -(1.0 - u).ln() / rate;
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> (ModelConfig, ServingConfig) {
+        let model = ModelConfig::palm_540b_padded();
+        let cfg = ServingConfig {
+            prefill_machine: Machine::tpu_v4_slice(64).unwrap(),
+            decode_machine: Machine::tpu_v4_slice(64).unwrap(),
+            max_decode_batch: 64,
+            input_len: 64,
+            gen_len: 64,
+            weight_dtype: DType::Int8,
+        };
+        (model, cfg)
+    }
+
+    #[test]
+    fn single_request_matches_phase_sum() {
+        let (model, cfg) = config();
+        let report = simulate(&model, &cfg, &[0.0]);
+        assert_eq!(report.requests.len(), 1);
+        let r = report.requests[0];
+        assert!(r.prefilled > 0.0);
+        assert!(r.finished > r.prefilled);
+        // 64 decode steps at batch 1.
+        assert_eq!(report.decode_steps, 64);
+        assert!((report.mean_decode_batch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_load_fills_the_decode_batch() {
+        let (model, cfg) = config();
+        // A burst of 128 simultaneous requests: the decode tier should run
+        // near its batch cap.
+        let arrivals = vec![0.0; 128];
+        let report = simulate(&model, &cfg, &arrivals);
+        assert!(report.mean_decode_batch > 32.0, "occupancy {}", report.mean_decode_batch);
+        assert!(report.latency_percentile(99.0) >= report.latency_percentile(50.0));
+    }
+
+    #[test]
+    fn batching_improves_throughput_at_bounded_latency_cost() {
+        // The paper's point: decode batch 64 costs little latency but
+        // multiplies throughput.
+        let (model, cfg) = config();
+        let mut solo = cfg.clone();
+        solo.max_decode_batch = 1;
+        // A saturating burst, so the serial tier cannot hide behind idle
+        // time between arrivals.
+        let arrivals = vec![0.0; 32];
+        let batched = simulate(&model, &cfg, &arrivals);
+        let serial = simulate(&model, &solo, &arrivals);
+        let tput_b = batched.throughput_tokens_per_sec(cfg.gen_len);
+        let tput_s = serial.throughput_tokens_per_sec(cfg.gen_len);
+        assert!(tput_b > 3.0 * tput_s, "batched {tput_b} vs serial {tput_s}");
+        assert!(batched.mean_latency() < serial.mean_latency());
+    }
+
+    #[test]
+    fn light_load_latency_close_to_paper_chatbot() {
+        // At low arrival rate each request sees roughly the 1.9s chatbot
+        // turn of Section 1 (we use a 64-token prompt + 64 generated).
+        let (model, cfg) = config();
+        let arrivals = uniform_arrivals(4, 0.2); // one request per 5s
+        let report = simulate(&model, &cfg, &arrivals);
+        let mean = report.mean_latency();
+        assert!(mean > 0.3 && mean < 3.0, "mean latency {mean}");
+    }
+
+    #[test]
+    fn throughput_saturates_with_offered_load() {
+        let (model, cfg) = config();
+        let low = simulate(&model, &cfg, &uniform_arrivals(16, 1.0));
+        let high = simulate(&model, &cfg, &uniform_arrivals(256, 1e6));
+        let t_low = low.throughput_tokens_per_sec(cfg.gen_len);
+        let t_high = high.throughput_tokens_per_sec(cfg.gen_len);
+        assert!(t_high > t_low);
+        // The cap: batch-64 decode step bounds tokens/sec.
+        let (model2, _) = config();
+        let layout = planner::decode_layout_for_batch(&model2, &cfg.decode_machine, 64);
+        let step = estimate(
+            &cfg.decode_machine,
+            &model2,
+            &layout,
+            &PhaseSpec::decode(64, cfg.input_len + cfg.gen_len / 2),
+            cfg.weight_dtype,
+        )
+        .step_time;
+        let cap = 64.0 / step;
+        assert!(t_high <= cap * 1.05, "throughput {t_high} above cap {cap}");
+        assert!(t_high > cap * 0.5, "throughput {t_high} far below cap {cap}");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_rate_accurate() {
+        let arr = poisson_arrivals(2000, 4.0, 9);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival ~ 1/rate within 10%.
+        let mean_gap = arr.last().unwrap() / 2000.0;
+        assert!((mean_gap - 0.25).abs() < 0.025, "mean gap {mean_gap}");
+        // Deterministic per seed, different across seeds.
+        assert_eq!(arr, poisson_arrivals(2000, 4.0, 9));
+        assert_ne!(arr, poisson_arrivals(2000, 4.0, 10));
+    }
+
+    #[test]
+    fn bursty_load_raises_tail_latency() {
+        // Poisson burstiness should not lower the p99 below the uniform
+        // schedule's at the same rate.
+        let (model, cfg) = config();
+        let uni = simulate(&model, &cfg, &uniform_arrivals(64, 8.0));
+        let poi = simulate(&model, &cfg, &poisson_arrivals(64, 8.0, 3));
+        assert!(poi.latency_percentile(99.0) >= uni.latency_percentile(99.0) * 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_arrivals_rejected() {
+        let (model, cfg) = config();
+        let _ = simulate(&model, &cfg, &[1.0, 0.5]);
+    }
+}

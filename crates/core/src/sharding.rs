@@ -1,0 +1,316 @@
+//! The tensor-sharding notation of Section 3.1.
+//!
+//! The paper writes partitioned tensors as their logical shape with torus
+//! axes as subscripts: `BLE_xyz` is a `[B, L, E]` tensor whose last
+//! dimension is split over all three axes; `E_x F_yz` is a weight matrix
+//! split `X` ways along `d_model` and `Y·Z` ways along `d_ff`. A suffix
+//! "partialsum-x" marks a tensor that still needs summation across the `x`
+//! axis. This module gives that notation a typed form used by the layout
+//! definitions and the partitioned runtime.
+
+use std::fmt;
+
+use esti_topology::{AxisSet, ChipCoord, TorusShape};
+
+/// One logical tensor dimension with its partitioning axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardedDim {
+    /// One-letter dimension name from the paper's vocabulary
+    /// (`B`, `L`, `E`, `F`, `H`, `Q`, `V`, …).
+    pub name: char,
+    /// Torus axes this dimension is split over (empty = replicated).
+    pub axes: AxisSet,
+}
+
+/// A sharding specification: an ordered list of dimensions with their axis
+/// subscripts, plus an optional partial-sum marker.
+///
+/// # Examples
+///
+/// ```
+/// use esti_core::sharding::ShardingSpec;
+/// use esti_topology::{Axis, AxisSet, TorusShape};
+///
+/// // BLE_xyz — activations with d_model fully sharded.
+/// let spec = ShardingSpec::new("BLE").shard('E', AxisSet::all());
+/// assert_eq!(spec.to_string(), "BLE_xyz");
+///
+/// let torus = TorusShape::new(2, 2, 2);
+/// assert_eq!(spec.local_shape(&[4, 10, 16], torus), vec![4, 10, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardingSpec {
+    dims: Vec<ShardedDim>,
+    partial_sum: AxisSet,
+}
+
+impl ShardingSpec {
+    /// Starts a fully-replicated spec from dimension names, e.g. `"BLE"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or contains repeated characters.
+    #[must_use]
+    pub fn new(names: &str) -> Self {
+        assert!(!names.is_empty(), "sharding spec needs at least one dimension");
+        let mut dims = Vec::new();
+        for c in names.chars() {
+            assert!(
+                dims.iter().all(|d: &ShardedDim| d.name != c),
+                "repeated dimension name {c}"
+            );
+            dims.push(ShardedDim { name: c, axes: AxisSet::empty() });
+        }
+        ShardingSpec { dims, partial_sum: AxisSet::empty() }
+    }
+
+    /// Returns a copy with dimension `name` sharded over `axes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unknown or `axes` overlaps another dimension's
+    /// axes (an axis can shard at most one dimension).
+    #[must_use]
+    pub fn shard(mut self, name: char, axes: AxisSet) -> Self {
+        for d in &self.dims {
+            if d.name != name {
+                assert!(
+                    d.axes.is_disjoint(axes),
+                    "axis set {axes} already used by dimension {}",
+                    d.name
+                );
+            }
+        }
+        let dim = self
+            .dims
+            .iter_mut()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("unknown dimension {name}"));
+        dim.axes = axes;
+        self
+    }
+
+    /// Returns a copy marked as a partial sum over `axes`
+    /// ("partialsum-x" in the paper).
+    #[must_use]
+    pub fn partial(mut self, axes: AxisSet) -> Self {
+        self.partial_sum = axes;
+        self
+    }
+
+    /// The dimensions in order.
+    #[must_use]
+    pub fn dims(&self) -> &[ShardedDim] {
+        &self.dims
+    }
+
+    /// Axes this tensor is a partial sum over.
+    #[must_use]
+    pub fn partial_sum(&self) -> AxisSet {
+        self.partial_sum
+    }
+
+    /// The sharding axes of dimension `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unknown.
+    #[must_use]
+    pub fn axes_of(&self, name: char) -> AxisSet {
+        self.dims
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("unknown dimension {name}"))
+            .axes
+    }
+
+    /// Total number of distinct shards (product of partition counts).
+    #[must_use]
+    pub fn shard_count(&self, torus: TorusShape) -> usize {
+        self.dims.iter().map(|d| torus.group_size(d.axes)).product()
+    }
+
+    /// The per-chip (local) shape for a given global shape on `torus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank mismatches or a dimension is not divisible by its
+    /// partition count.
+    #[must_use]
+    pub fn local_shape(&self, global: &[usize], torus: TorusShape) -> Vec<usize> {
+        assert_eq!(global.len(), self.dims.len(), "rank mismatch");
+        self.dims
+            .iter()
+            .zip(global)
+            .map(|(d, &g)| {
+                let parts = torus.group_size(d.axes);
+                assert!(
+                    g % parts == 0,
+                    "dimension {} of size {g} not divisible by {parts} partitions",
+                    d.name
+                );
+                g / parts
+            })
+            .collect()
+    }
+
+    /// The slice `(start, len)` of global dimension `idx` owned by the chip
+    /// at `coord`. Shard index is the lexicographic position of the chip's
+    /// coordinates along the dimension's axes (canonical `x, y, z` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the dimension is not divisible.
+    #[must_use]
+    pub fn local_range(
+        &self,
+        idx: usize,
+        global: usize,
+        torus: TorusShape,
+        coord: ChipCoord,
+    ) -> (usize, usize) {
+        let d = &self.dims[idx];
+        let parts = torus.group_size(d.axes);
+        assert!(global.is_multiple_of(parts), "dimension not divisible by partitions");
+        let len = global / parts;
+        let mut shard = 0;
+        for a in d.axes.iter() {
+            shard = shard * torus.size(a) + coord.along(a);
+        }
+        (shard * len, len)
+    }
+
+    /// Per-chip element count for a global shape — what one chip stores.
+    #[must_use]
+    pub fn local_elements(&self, global: &[usize], torus: TorusShape) -> usize {
+        self.local_shape(global, torus).iter().product()
+    }
+}
+
+impl fmt::Display for ShardingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            write!(f, "{}", d.name)?;
+            if !d.axes.is_empty() {
+                write!(f, "_{}", d.axes)?;
+            }
+        }
+        if !self.partial_sum.is_empty() {
+            write!(f, " (partialsum-{})", self.partial_sum)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esti_topology::Axis;
+    use proptest::prelude::*;
+
+    #[test]
+    fn notation_matches_paper() {
+        // E_x F_yz: the 2D weight-stationary weight layout.
+        let w = ShardingSpec::new("EF")
+            .shard('E', AxisSet::single(Axis::X))
+            .shard('F', AxisSet::of(&[Axis::Y, Axis::Z]));
+        assert_eq!(w.to_string(), "E_xF_yz");
+
+        let partial = ShardingSpec::new("BLE")
+            .shard('E', AxisSet::of(&[Axis::Y, Axis::Z]))
+            .partial(AxisSet::single(Axis::X));
+        assert_eq!(partial.to_string(), "BLE_yz (partialsum-x)");
+    }
+
+    #[test]
+    fn local_shapes() {
+        let torus = TorusShape::new(2, 4, 2);
+        let w = ShardingSpec::new("EF")
+            .shard('E', AxisSet::single(Axis::X))
+            .shard('F', AxisSet::of(&[Axis::Y, Axis::Z]));
+        assert_eq!(w.local_shape(&[16, 64], torus), vec![8, 8]);
+        assert_eq!(w.shard_count(torus), 16);
+        assert_eq!(w.local_elements(&[16, 64], torus), 64);
+    }
+
+    #[test]
+    fn local_range_covers_dimension() {
+        let torus = TorusShape::new(2, 2, 1);
+        let spec = ShardingSpec::new("BE").shard('E', AxisSet::of(&[Axis::X, Axis::Y]));
+        let mut covered = [false; 16];
+        for c in torus.chips() {
+            let (start, len) = spec.local_range(1, 16, torus, c);
+            assert_eq!(len, 4);
+            for c in covered.iter_mut().skip(start).take(len) {
+                *c = true; // chips sharing a shard mark it again
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn replicated_dims_get_full_range() {
+        let torus = TorusShape::new(4, 1, 1);
+        let spec = ShardingSpec::new("BE").shard('E', AxisSet::single(Axis::X));
+        for c in torus.chips() {
+            assert_eq!(spec.local_range(0, 8, torus, c), (0, 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn overlapping_axes_rejected() {
+        let _ = ShardingSpec::new("EF")
+            .shard('E', AxisSet::single(Axis::X))
+            .shard('F', AxisSet::single(Axis::X));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_dimension_rejected() {
+        let torus = TorusShape::new(3, 1, 1);
+        let spec = ShardingSpec::new("E").shard('E', AxisSet::single(Axis::X));
+        let _ = spec.local_shape(&[16], torus);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dimension")]
+    fn unknown_dimension_rejected() {
+        let _ = ShardingSpec::new("BLE").shard('Q', AxisSet::all());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_local_elements_times_shards_is_global(
+            x in 1usize..4, y in 1usize..4, z in 1usize..4,
+            scale in 1usize..4,
+        ) {
+            let torus = TorusShape::new(x, y, z);
+            let spec = ShardingSpec::new("EF")
+                .shard('E', AxisSet::single(Axis::X))
+                .shard('F', AxisSet::of(&[Axis::Y, Axis::Z]));
+            let global = [x * scale * 2, y * z * scale * 3];
+            let local = spec.local_elements(&global, torus);
+            prop_assert_eq!(
+                local * spec.shard_count(torus),
+                global[0] * global[1]
+            );
+        }
+
+        #[test]
+        fn prop_ranges_tile_dimension(x in 1usize..5, y in 1usize..5) {
+            let torus = TorusShape::new(x, y, 1);
+            let spec = ShardingSpec::new("E").shard('E', AxisSet::of(&[Axis::X, Axis::Y]));
+            let global = x * y * 2;
+            let mut hits = vec![0usize; global];
+            for c in torus.chips() {
+                let (s, l) = spec.local_range(0, global, torus, c);
+                for h in hits.iter_mut().skip(s).take(l) {
+                    *h += 1;
+                }
+            }
+            // Every element owned exactly once.
+            prop_assert!(hits.iter().all(|&h| h == 1));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Accelerator chip specification.
+
+use crate::units::{ByteCount, Seconds, GB, GIB, TFLOPS};
+
+/// Specification of a single accelerator chip and its torus links.
+///
+/// The analytical model (in `esti-core`) and the network simulator (in
+/// `esti-netsim`) both consume this description, so a single struct defines
+/// the hardware for every experiment.
+///
+/// Interconnect bandwidth is the paper's headline per-chip figure (270 GB/s
+/// for TPU v4) spread evenly over the three torus axes; a collective that
+/// runs along one axis has `interconnect_bw / 3` bytes/s available per chip,
+/// and collectives running along two or three axes concurrently scale
+/// accordingly (Section 3.1, Appendix A.1).
+///
+/// # Examples
+///
+/// ```
+/// use esti_hal::ChipSpec;
+///
+/// let chip = ChipSpec::tpu_v4();
+/// assert_eq!(chip.torus_axes, 3);
+/// // One axis gets a third of the interconnect bandwidth.
+/// assert!((chip.axis_bandwidth(1) - 90e9).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Human-readable name, e.g. `"TPU v4"`.
+    pub name: String,
+    /// Peak dense-matmul throughput in FLOP/s (multiply+add counted as 2).
+    pub peak_flops: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity: ByteCount,
+    /// HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// Total chip-to-chip interconnect bandwidth in bytes/s, summed over all
+    /// torus links of the chip.
+    pub interconnect_bw: f64,
+    /// Number of torus axes the interconnect is spread over (3 for TPU v4).
+    pub torus_axes: u32,
+}
+
+impl ChipSpec {
+    /// The TPU v4 specification from Section 4 of the paper: 275 TFLOPS
+    /// bf16, 32 GiB HBM at 1200 GB/s, 270 GB/s interconnect on a 3D torus.
+    #[must_use]
+    pub fn tpu_v4() -> Self {
+        ChipSpec {
+            name: "TPU v4".to_owned(),
+            peak_flops: 275.0 * TFLOPS,
+            hbm_capacity: 32.0 * GIB,
+            hbm_bandwidth: 1200.0 * GB,
+            interconnect_bw: 270.0 * GB,
+            torus_axes: 3,
+        }
+    }
+
+    /// An A100-80GiB-like specification (312 TFLOPS bf16, 80 GiB HBM at
+    /// 2039 GB/s, 600 GB/s NVLink), used when replaying the
+    /// FasterTransformer comparison of Section 5. NVLink is an all-to-all
+    /// fabric rather than a torus; we model it as a single fat axis.
+    #[must_use]
+    pub fn a100_80g() -> Self {
+        ChipSpec {
+            name: "A100 80GiB".to_owned(),
+            peak_flops: 312.0 * TFLOPS,
+            hbm_capacity: 80.0 * GIB,
+            hbm_bandwidth: 2039.0 * GB,
+            interconnect_bw: 600.0 * GB,
+            torus_axes: 1,
+        }
+    }
+
+    /// Bandwidth in bytes/s available to a collective using `axes` of the
+    /// torus concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is zero or exceeds [`ChipSpec::torus_axes`].
+    #[must_use]
+    pub fn axis_bandwidth(&self, axes: u32) -> f64 {
+        assert!(
+            axes >= 1 && axes <= self.torus_axes,
+            "collective must use between 1 and {} axes, got {axes}",
+            self.torus_axes
+        );
+        self.interconnect_bw * f64::from(axes) / f64::from(self.torus_axes)
+    }
+
+    /// Time to move `bytes` between HBM and the compute core of one chip.
+    #[must_use]
+    pub fn hbm_transfer_time(&self, bytes: u64) -> Seconds {
+        bytes as f64 / self.hbm_bandwidth
+    }
+
+    /// Time to execute `flops` floating-point operations at peak throughput.
+    #[must_use]
+    pub fn compute_time_at_peak(&self, flops: f64) -> Seconds {
+        flops / self.peak_flops
+    }
+
+    /// Returns a copy with the interconnect bandwidth scaled by `factor`,
+    /// useful for sensitivity sweeps ("what if the network were 2x faster").
+    #[must_use]
+    pub fn with_interconnect_scale(&self, factor: f64) -> Self {
+        let mut spec = self.clone();
+        spec.interconnect_bw *= factor;
+        spec.name = format!("{} (interconnect x{factor})", self.name);
+        spec
+    }
+}
+
+impl Default for ChipSpec {
+    /// Defaults to [`ChipSpec::tpu_v4`], the paper's evaluation platform.
+    fn default() -> Self {
+        ChipSpec::tpu_v4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_v4_headline_numbers() {
+        let chip = ChipSpec::tpu_v4();
+        assert_eq!(chip.peak_flops, 275e12);
+        assert_eq!(chip.hbm_capacity, 32.0 * GIB);
+        assert_eq!(chip.hbm_bandwidth, 1.2e12);
+        assert_eq!(chip.interconnect_bw, 270e9);
+    }
+
+    #[test]
+    fn axis_bandwidth_splits_three_ways() {
+        let chip = ChipSpec::tpu_v4();
+        assert!((chip.axis_bandwidth(1) - 90e9).abs() < 1e-6);
+        assert!((chip.axis_bandwidth(2) - 180e9).abs() < 1e-6);
+        assert!((chip.axis_bandwidth(3) - 270e9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 3")]
+    fn axis_bandwidth_rejects_zero_axes() {
+        let _ = ChipSpec::tpu_v4().axis_bandwidth(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 3")]
+    fn axis_bandwidth_rejects_too_many_axes() {
+        let _ = ChipSpec::tpu_v4().axis_bandwidth(4);
+    }
+
+    #[test]
+    fn hbm_transfer_time_is_linear() {
+        let chip = ChipSpec::tpu_v4();
+        let t1 = chip.hbm_transfer_time(1 << 30);
+        let t2 = chip.hbm_transfer_time(1 << 31);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_compute_time() {
+        let chip = ChipSpec::tpu_v4();
+        // 275 TFLOP of work should take exactly one second at peak.
+        assert!((chip.compute_time_at_peak(275e12) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interconnect_scaling() {
+        let chip = ChipSpec::tpu_v4().with_interconnect_scale(2.0);
+        assert!((chip.interconnect_bw - 540e9).abs() < 1e-3);
+        assert!(chip.name.contains("x2"));
+    }
+
+    #[test]
+    fn a100_uses_single_axis_fabric() {
+        let chip = ChipSpec::a100_80g();
+        assert_eq!(chip.torus_axes, 1);
+        assert!((chip.axis_bandwidth(1) - 600e9).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Element data types used in memory and communication accounting.
+
+use std::fmt;
+
+/// An element type, as it contributes to memory footprint and traffic.
+///
+/// The paper's cost model cares only about *byte width*: bf16 weights cost
+/// two bytes per parameter of HBM traffic, int8-quantized weights cost one
+/// (Section 3.6). Arithmetic is always performed in bf16/f32 regardless of
+/// the storage type, matching the paper ("the matmuls still use bfloat16
+/// arithmetic").
+///
+/// # Examples
+///
+/// ```
+/// use esti_hal::DType;
+/// assert_eq!(DType::Bf16.bytes(), 2);
+/// assert!(DType::Int8.bytes() < DType::F32.bytes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE float: accumulators and reference computations.
+    F32,
+    /// bfloat16: the native activation/weight format on the modeled chip.
+    Bf16,
+    /// 8-bit signed integer with per-channel scales (AQT-style weight
+    /// quantization, Section 3.6).
+    Int8,
+}
+
+impl DType {
+    /// Width of one element in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DType::F32 => 4,
+            DType::Bf16 => 2,
+            DType::Int8 => 1,
+        }
+    }
+
+    /// Width of one element in bytes as `f64`, convenient in cost formulas.
+    #[must_use]
+    pub const fn bytes_f(self) -> f64 {
+        self.bytes() as f64
+    }
+
+    /// Short lowercase name (`"f32"`, `"bf16"`, `"int8"`), used in reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::Bf16 => "bf16",
+            DType::Int8 => "int8",
+        }
+    }
+
+    /// All supported dtypes, for sweeps.
+    #[must_use]
+    pub const fn all() -> [DType; 3] {
+        [DType::F32, DType::Bf16, DType::Int8]
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for DType {
+    /// The default storage type is bf16, the paper's baseline weight format.
+    fn default() -> Self {
+        DType::Bf16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::Bf16.bytes(), 2);
+        assert_eq!(DType::Int8.bytes(), 1);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for d in DType::all() {
+            assert_eq!(d.to_string(), d.name());
+        }
+    }
+
+    #[test]
+    fn ordering_by_declaration_not_width() {
+        // Ord exists for use in BTreeMap keys; sanity-check it is stable.
+        assert!(DType::F32 < DType::Bf16);
+    }
+
+    #[test]
+    fn default_is_bf16() {
+        assert_eq!(DType::default(), DType::Bf16);
+    }
+}

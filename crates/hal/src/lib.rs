@@ -1,0 +1,35 @@
+//! Hardware abstraction layer for the `esti` inference-scaling simulator.
+//!
+//! This crate describes the *accelerator chip* that every other crate reasons
+//! about: peak matrix-multiply throughput, high-bandwidth-memory (HBM)
+//! capacity and bandwidth, and chip-to-chip interconnect bandwidth on a 3D
+//! torus. The default specification, [`ChipSpec::tpu_v4`], matches the
+//! numbers published in Section 4 of *Efficiently Scaling Transformer
+//! Inference* (Pope et al., MLSYS 2023): 275 TFLOPS of bfloat16 arithmetic,
+//! 32 GiB of HBM at 1200 GB/s, and 270 GB/s of interconnect bandwidth spread
+//! over the three torus axes.
+//!
+//! The crate also defines [`DType`], the element types that appear in the
+//! paper's memory accounting (bfloat16 weights/activations, int8 quantized
+//! weights, float32 accumulators), so that byte counts are computed the same
+//! way everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use esti_hal::{ChipSpec, DType};
+//!
+//! let chip = ChipSpec::tpu_v4();
+//! // Time to stream 16 GiB of weights from HBM on one chip:
+//! let t = chip.hbm_transfer_time(16 * (1 << 30));
+//! assert!(t > 0.013 && t < 0.015);
+//! assert_eq!(DType::Int8.bytes(), 1);
+//! ```
+
+pub mod chip;
+pub mod dtype;
+pub mod units;
+
+pub use chip::ChipSpec;
+pub use dtype::DType;
+pub use units::{ByteCount, Seconds, GB, GIB, MB, TFLOPS};

@@ -1,0 +1,87 @@
+//! Scalar unit aliases and constants used throughout the workspace.
+//!
+//! Times are plain `f64` seconds and sizes plain `f64`/`u64` bytes; the
+//! aliases exist to make signatures self-describing without the friction of
+//! full newtypes in arithmetic-heavy cost formulas.
+
+/// A duration in seconds.
+pub type Seconds = f64;
+
+/// A size in bytes (fractional values arise from per-chip division).
+pub type ByteCount = f64;
+
+/// One decimal gigabyte (10^9 bytes), the unit used for link bandwidths.
+pub const GB: f64 = 1e9;
+
+/// One binary gibibyte (2^30 bytes), the unit used for HBM capacity.
+pub const GIB: f64 = (1u64 << 30) as f64;
+
+/// One decimal megabyte (10^6 bytes).
+pub const MB: f64 = 1e6;
+
+/// One teraflop per second.
+pub const TFLOPS: f64 = 1e12;
+
+/// Formats a duration with an adaptive unit (`s`, `ms`, `us`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(esti_hal::units::format_seconds(0.0285), "28.50ms");
+/// assert_eq!(esti_hal::units::format_seconds(1.9), "1.900s");
+/// ```
+pub fn format_seconds(t: Seconds) -> String {
+    if t >= 1.0 {
+        format!("{t:.3}s")
+    } else if t >= 1e-3 {
+        format!("{:.2}ms", t * 1e3)
+    } else {
+        format!("{:.1}us", t * 1e6)
+    }
+}
+
+/// Formats a byte count with an adaptive unit (`B`, `KiB`, `MiB`, `GiB`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(esti_hal::units::format_bytes(1536.0), "1.50KiB");
+/// ```
+pub fn format_bytes(b: ByteCount) -> String {
+    const KIB: f64 = 1024.0;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.2}KiB", b / KIB)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(GB, 1e9);
+        assert_eq!(GIB, 1073741824.0);
+    }
+
+    #[test]
+    fn format_seconds_units() {
+        assert_eq!(format_seconds(2.5), "2.500s");
+        assert_eq!(format_seconds(0.002), "2.00ms");
+        assert_eq!(format_seconds(0.0000005), "0.5us");
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(12.0), "12B");
+        assert_eq!(format_bytes(2048.0), "2.00KiB");
+        assert_eq!(format_bytes(3.0 * 1024.0 * 1024.0), "3.00MiB");
+        assert_eq!(format_bytes(1.5 * GIB), "1.50GiB");
+    }
+}

@@ -1,0 +1,202 @@
+//! The attention key/value cache.
+//!
+//! The KV cache is the second-largest tensor group in generative inference
+//! (Section 2, "Memory costs"): keys and values of every layer must persist
+//! for the whole decode. This container stores them as
+//! `[B, L, Hkv · d_head]` per layer and grows along `L` as prefill chunks
+//! and decode steps append.
+
+use esti_tensor::Tensor;
+
+/// Per-layer key/value tensors for a batch of sequences.
+///
+/// # Examples
+///
+/// ```
+/// use esti_model::KvCache;
+/// use esti_tensor::Tensor;
+///
+/// let mut cache = KvCache::new(1);
+/// cache.append(0, &Tensor::zeros(vec![2, 3, 8]), &Tensor::zeros(vec![2, 3, 8]));
+/// assert_eq!(cache.len(), 3);
+/// cache.append(0, &Tensor::zeros(vec![2, 1, 8]), &Tensor::zeros(vec![2, 1, 8]));
+/// assert_eq!(cache.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KvCache {
+    /// `layers[i] = Some((k, v))` with `k`, `v` of shape `[B, L, Hkv·dh]`.
+    layers: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for a model with `n_layers` layers.
+    #[must_use]
+    pub fn new(n_layers: usize) -> Self {
+        KvCache { layers: vec![None; n_layers] }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of cached token positions (0 if nothing appended yet).
+    /// All layers always hold the same length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers
+            .first()
+            .and_then(|l| l.as_ref())
+            .map_or(0, |(k, _)| k.dim(1))
+    }
+
+    /// Whether the cache holds no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cached positions for one specific layer. During a forward pass,
+    /// layers before the current one have already appended the new chunk,
+    /// so per-layer lengths are what positional encodings must use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn len_of(&self, layer: usize) -> usize {
+        self.layers[layer].as_ref().map_or(0, |(k, _)| k.dim(1))
+    }
+
+    /// Appends new key/value tensors (`[B, L_new, Hkv·dh]`) for `layer`
+    /// along the sequence dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or batch/feature dims disagree
+    /// with existing contents.
+    pub fn append(&mut self, layer: usize, k: &Tensor, v: &Tensor) {
+        assert_eq!(k.shape(), v.shape(), "K and V must have matching shapes");
+        assert_eq!(k.rank(), 3, "KV tensors must be [B, L, Hkv*dh]");
+        let entry = &mut self.layers[layer];
+        *entry = Some(match entry.take() {
+            None => (k.clone(), v.clone()),
+            Some((old_k, old_v)) => (
+                Tensor::concat(&[&old_k, k], 1),
+                Tensor::concat(&[&old_v, v], 1),
+            ),
+        });
+    }
+
+    /// The cached `(K, V)` pair for `layer`, if any tokens are cached.
+    #[must_use]
+    pub fn get(&self, layer: usize) -> Option<(&Tensor, &Tensor)> {
+        self.layers[layer].as_ref().map(|(k, v)| (k, v))
+    }
+
+    /// Total elements held (keys + values across all layers), the quantity
+    /// the memory model charges per decode step.
+    #[must_use]
+    pub fn total_elements(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(|(k, v)| k.numel() + v.numel())
+            .sum()
+    }
+
+    /// Replicates every cached sequence `k` times along the batch
+    /// dimension (`[s0, s1] → [s0, s0, s1, s1]` for `k = 2`) — the
+    /// mechanism behind the paper's low-latency recipe of combining a
+    /// batch-1 prefill with a batch-64 decode by "generating multiple
+    /// samples from the same input text" (Section 4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn repeat_batch(&mut self, k: usize) {
+        assert!(k > 0, "repeat factor must be positive");
+        for entry in &mut self.layers {
+            if let Some((key, value)) = entry.take() {
+                *entry = Some((key.repeat_interleave(0, k), value.repeat_interleave(0, k)));
+            }
+        }
+    }
+
+    /// Drops all cached tokens, keeping the layer count.
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            *l = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache() {
+        let c = KvCache::new(3);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.n_layers(), 3);
+        assert!(c.get(0).is_none());
+        assert_eq!(c.total_elements(), 0);
+    }
+
+    #[test]
+    fn append_grows_sequence_dim() {
+        let mut c = KvCache::new(1);
+        let k1 = Tensor::full(vec![2, 2, 4], 1.0);
+        c.append(0, &k1, &k1);
+        let k2 = Tensor::full(vec![2, 1, 4], 2.0);
+        c.append(0, &k2, &k2);
+        assert_eq!(c.len(), 3);
+        let (k, _) = c.get(0).unwrap();
+        assert_eq!(k.shape(), &[2, 3, 4]);
+        assert_eq!(k.at(&[0, 0, 0]), 1.0);
+        assert_eq!(k.at(&[0, 2, 0]), 2.0);
+    }
+
+    #[test]
+    fn total_elements_counts_k_and_v() {
+        let mut c = KvCache::new(2);
+        let t = Tensor::zeros(vec![1, 4, 8]);
+        c.append(0, &t, &t);
+        c.append(1, &t, &t);
+        assert_eq!(c.total_elements(), 4 * (4 * 8));
+    }
+
+    #[test]
+    fn repeat_batch_replicates_sequences() {
+        let mut c = KvCache::new(1);
+        let k = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        c.append(0, &k, &k);
+        c.repeat_batch(3);
+        let (kk, _) = c.get(0).unwrap();
+        assert_eq!(kk.shape(), &[6, 1, 2]);
+        assert_eq!(kk.at(&[0, 0, 0]), 1.0);
+        assert_eq!(kk.at(&[2, 0, 0]), 1.0);
+        assert_eq!(kk.at(&[3, 0, 0]), 3.0);
+        assert_eq!(c.len(), 1); // sequence length unchanged
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = KvCache::new(1);
+        let t = Tensor::zeros(vec![1, 1, 2]);
+        c.append(0, &t, &t);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.n_layers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching shapes")]
+    fn mismatched_kv_rejected() {
+        let mut c = KvCache::new(1);
+        c.append(0, &Tensor::zeros(vec![1, 1, 2]), &Tensor::zeros(vec![1, 1, 3]));
+    }
+}

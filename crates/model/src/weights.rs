@@ -1,0 +1,176 @@
+//! Weight containers and random initialization.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use esti_tensor::Tensor;
+
+use crate::config::{BlockKind, MlpKind, ModelConfig, PositionKind};
+
+/// Weights of one Transformer layer.
+///
+/// Matrix conventions (inputs on the left, `x · W`):
+/// `wq: [E, H·dh]`, `wk/wv: [E, Hkv·dh]`, `wo: [H·dh, E]`,
+/// `w_in/w_gate: [E, F]`, `w_out: [F, E]`. `w_gate` is `None` for
+/// two-matrix (GELU) MLPs; `ln2` is `None` for parallel blocks, which use a
+/// single layernorm (Section 3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Query projection `[E, H·dh]`.
+    pub wq: Tensor,
+    /// Key projection `[E, Hkv·dh]`.
+    pub wk: Tensor,
+    /// Value projection `[E, Hkv·dh]`.
+    pub wv: Tensor,
+    /// Output projection `[H·dh, E]`.
+    pub wo: Tensor,
+    /// MLP input projection `[E, F]`.
+    pub w_in: Tensor,
+    /// SwiGLU gate projection `[E, F]`, absent for GELU MLPs.
+    pub w_gate: Option<Tensor>,
+    /// MLP output projection `[F, E]`.
+    pub w_out: Tensor,
+    /// First (or only) layernorm gain `[E]`.
+    pub ln1: Tensor,
+    /// Second layernorm gain `[E]` for serial blocks.
+    pub ln2: Option<Tensor>,
+}
+
+/// Full model weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    /// Shared input/output embedding `[V, E]`.
+    pub embed: Tensor,
+    /// Learned position embeddings `[max_seq, E]`, present only for
+    /// [`PositionKind::Learned`] models.
+    pub pos_embed: Option<Tensor>,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final layernorm gain `[E]`.
+    pub ln_final: Tensor,
+}
+
+impl Weights {
+    /// Draws random weights for `cfg` with variance-preserving scales,
+    /// deterministically from `seed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esti_model::{ModelConfig, Weights};
+    /// let w = Weights::random(&ModelConfig::tiny(), 0);
+    /// assert_eq!(w.layers.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn random(cfg: &ModelConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = cfg.d_model;
+        let f = cfg.d_ff;
+        let qdim = cfg.attn_dim();
+        let kvdim = cfg.n_kv_heads() * cfg.d_head;
+        let se = 1.0 / (e as f32).sqrt();
+        let sf = 1.0 / (f as f32).sqrt();
+        let sq = 1.0 / (qdim as f32).sqrt();
+        let layers = (0..cfg.n_layers)
+            .map(|_| LayerWeights {
+                wq: Tensor::randn(&mut rng, vec![e, qdim], se),
+                wk: Tensor::randn(&mut rng, vec![e, kvdim], se),
+                wv: Tensor::randn(&mut rng, vec![e, kvdim], se),
+                wo: Tensor::randn(&mut rng, vec![qdim, e], sq),
+                w_in: Tensor::randn(&mut rng, vec![e, f], se),
+                w_gate: match cfg.mlp {
+                    MlpKind::SwiGlu => Some(Tensor::randn(&mut rng, vec![e, f], se)),
+                    MlpKind::Gelu => None,
+                },
+                w_out: Tensor::randn(&mut rng, vec![f, e], sf),
+                ln1: Tensor::ones(vec![e]),
+                ln2: match cfg.block {
+                    BlockKind::Parallel => None,
+                    BlockKind::Serial => Some(Tensor::ones(vec![e])),
+                },
+            })
+            .collect();
+        Weights {
+            embed: Tensor::randn(&mut rng, vec![cfg.vocab, e], 0.5),
+            pos_embed: match cfg.position {
+                PositionKind::Rope | PositionKind::None => None,
+                PositionKind::Learned => {
+                    Some(Tensor::randn(&mut rng, vec![cfg.max_seq, e], 0.1))
+                }
+            },
+            layers,
+            ln_final: Tensor::ones(vec![e]),
+        }
+    }
+
+    /// Actual parameter count held in the tensors, for cross-checking
+    /// [`ModelConfig::param_count`].
+    #[must_use]
+    pub fn actual_param_count(&self) -> u64 {
+        let layer_params: u64 = self
+            .layers
+            .iter()
+            .map(|l| {
+                (l.wq.numel()
+                    + l.wk.numel()
+                    + l.wv.numel()
+                    + l.wo.numel()
+                    + l.w_in.numel()
+                    + l.w_gate.as_ref().map_or(0, Tensor::numel)
+                    + l.w_out.numel()
+                    + l.ln1.numel()
+                    + l.ln2.as_ref().map_or(0, Tensor::numel)) as u64
+            })
+            .sum();
+        layer_params
+            + self.embed.numel() as u64
+            + self.pos_embed.as_ref().map_or(0, Tensor::numel) as u64
+            + self.ln_final.numel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_follow_config() {
+        let cfg = ModelConfig::tiny();
+        let w = Weights::random(&cfg, 1);
+        let l = &w.layers[0];
+        assert_eq!(l.wq.shape(), &[16, 32]);
+        assert_eq!(l.wk.shape(), &[16, 8]); // single KV head
+        assert_eq!(l.wo.shape(), &[32, 16]);
+        assert!(l.w_gate.is_some());
+        assert!(l.ln2.is_none());
+        assert_eq!(w.embed.shape(), &[41, 16]);
+    }
+
+    #[test]
+    fn multihead_serial_shapes() {
+        let cfg = ModelConfig::tiny_multihead();
+        let w = Weights::random(&cfg, 1);
+        let l = &w.layers[0];
+        assert_eq!(l.wk.shape(), &[16, 32]); // full KV heads
+        assert!(l.w_gate.is_none());
+        assert!(l.ln2.is_some());
+    }
+
+    #[test]
+    fn actual_param_count_matches_config_formula() {
+        for cfg in [ModelConfig::tiny(), ModelConfig::tiny_multihead()] {
+            let w = Weights::random(&cfg, 2);
+            assert_eq!(w.actual_param_count(), cfg.param_count(), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = ModelConfig::tiny();
+        let a = Weights::random(&cfg, 7);
+        let b = Weights::random(&cfg, 7);
+        let c = Weights::random(&cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

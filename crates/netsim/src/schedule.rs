@@ -1,0 +1,563 @@
+//! Ring-collective schedules on the torus, lowered to transfer DAGs.
+//!
+//! Every collective is built from bidirectional-ring stages along one torus
+//! axis. A single-axis all-gather of per-chip output `D` over a ring of `K`
+//! chips splits each chip's shard (`D/K` bytes) into two halves that
+//! propagate clockwise and counter-clockwise for `K-1` hops, so each
+//! directed link carries `(K-1)·D/(2K)` bytes at half the axis bandwidth —
+//! exactly the `D·(K-1)/K / bw` of Appendix A.1.
+//!
+//! Multi-axis collectives use an *interleaved* schedule: the payload is
+//! split into one part per participating axis and each part performs its
+//! per-axis stages in a rotated axis order, so all axes' links are busy
+//! concurrently. This is the property the paper's cost model assumes when it
+//! grants a collective over `k` axes `k` times the single-axis bandwidth
+//! (Section 3.1 / Appendix A).
+
+use std::collections::HashMap;
+
+use esti_hal::{ChipSpec, Seconds};
+use esti_netsim_axis_order::rotate;
+use esti_topology::{Axis, AxisSet, ChipCoord, TorusShape};
+
+use crate::dag::{DagSim, LinkId, TransferId};
+
+/// Tiny private helper module so the rotation logic is unit-testable.
+mod esti_netsim_axis_order {
+    use esti_topology::Axis;
+
+    /// Rotates `axes` left by `k`, giving each interleaved part its own
+    /// stage order.
+    pub(crate) fn rotate(axes: &[Axis], k: usize) -> Vec<Axis> {
+        let n = axes.len();
+        (0..n).map(|i| axes[(i + k) % n]).collect()
+    }
+}
+
+/// The collective operations of Section 3.1 (Figure A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Broadcast-and-concatenate: per-chip shard grows to the full tensor.
+    AllGather,
+    /// Sum partial tensors, leaving each chip one shard of the result.
+    ReduceScatter,
+    /// reduce-scatter followed by all-gather.
+    AllReduce,
+    /// Re-shard from one tensor dimension to another via pairwise exchange.
+    AllToAll,
+}
+
+/// Directed torus links for the axes a collective uses.
+struct Links {
+    /// `(chip_id, axis_index, direction)` → link. direction 0 = +1 ring
+    /// neighbour, 1 = -1 ring neighbour.
+    map: HashMap<(usize, usize, usize), LinkId>,
+}
+
+impl Links {
+    fn build(
+        sim: &mut DagSim,
+        chip: &ChipSpec,
+        torus: TorusShape,
+        axes: AxisSet,
+        straggler: Option<(usize, f64)>,
+    ) -> Links {
+        let per_direction = chip.axis_bandwidth(1) / 2.0;
+        let mut map = HashMap::new();
+        for c in torus.chips() {
+            let id = torus.chip_id(c);
+            let bw = match straggler {
+                Some((s, slow)) if s == id => per_direction / slow,
+                _ => per_direction,
+            };
+            for a in axes.iter() {
+                if torus.size(a) < 2 {
+                    continue;
+                }
+                for dir in 0..2 {
+                    map.insert((id, a.index(), dir), sim.add_link(bw));
+                }
+            }
+        }
+        Links { map }
+    }
+
+    fn get(&self, torus: TorusShape, c: ChipCoord, axis: Axis, dir: usize) -> LinkId {
+        self.map[&(torus.chip_id(c), axis.index(), dir)]
+    }
+}
+
+/// Per-chip dependency frontier: the transfers whose completion a chip must
+/// await before starting its next stage.
+type Frontier = Vec<Vec<TransferId>>;
+
+/// Simulates one collective over the chip groups defined by `axes` and
+/// returns the makespan in seconds.
+///
+/// `per_chip_bytes` is the *output* size per chip for an all-gather, the
+/// *input* size per chip for a reduce-scatter and all-reduce, and the total
+/// per-chip payload for an all-to-all (of which `1/K` stays local).
+///
+/// # Panics
+///
+/// Panics if `axes` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use esti_hal::ChipSpec;
+/// use esti_netsim::{simulate_collective, CollectiveKind};
+/// use esti_topology::{Axis, AxisSet, TorusShape};
+///
+/// let t = simulate_collective(
+///     &ChipSpec::tpu_v4(),
+///     TorusShape::new(4, 1, 1),
+///     CollectiveKind::AllReduce,
+///     AxisSet::of(&[Axis::X]),
+///     1e6,
+/// );
+/// assert!(t > 0.0);
+/// ```
+#[must_use]
+pub fn simulate_collective(
+    chip: &ChipSpec,
+    torus: TorusShape,
+    kind: CollectiveKind,
+    axes: AxisSet,
+    per_chip_bytes: f64,
+) -> Seconds {
+    simulate_impl(chip, torus, kind, axes, per_chip_bytes, None)
+}
+
+fn simulate_impl(
+    chip: &ChipSpec,
+    torus: TorusShape,
+    kind: CollectiveKind,
+    axes: AxisSet,
+    per_chip_bytes: f64,
+    straggler: Option<(usize, f64)>,
+) -> Seconds {
+    assert!(!axes.is_empty(), "collective must involve at least one axis");
+    let active: Vec<Axis> = axes.iter().filter(|&a| torus.size(a) > 1).collect();
+    if active.is_empty() {
+        return 0.0; // group size 1: nothing moves
+    }
+    match kind {
+        CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+            // A reduce-scatter is the time-reverse of an all-gather with the
+            // same per-chip buffer, so one DAG serves both (Appendix A.1).
+            let mut sim = DagSim::new();
+            let links = Links::build(&mut sim, chip, torus, axes, straggler);
+            add_interleaved_gather(&mut sim, &links, torus, &active, per_chip_bytes, None);
+            sim.run()
+        }
+        CollectiveKind::AllReduce => {
+            // Reduce-scatter then all-gather, chained through per-chip
+            // frontiers so the gather of a part begins as soon as that
+            // part's reduction has landed.
+            let mut sim = DagSim::new();
+            let links = Links::build(&mut sim, chip, torus, axes, straggler);
+            let frontier =
+                add_interleaved_gather(&mut sim, &links, torus, &active, per_chip_bytes, None);
+            add_interleaved_gather(
+                &mut sim,
+                &links,
+                torus,
+                &active,
+                per_chip_bytes,
+                Some(&frontier),
+            );
+            sim.run()
+        }
+        CollectiveKind::AllToAll => {
+            let mut sim = DagSim::new();
+            let links = Links::build(&mut sim, chip, torus, axes, straggler);
+            let mut frontier: Option<Frontier> = None;
+            // Sequential per-axis exchange stages; each stage re-shuffles the
+            // full per-chip payload along one axis.
+            for &a in &active {
+                let f = add_all_to_all_stage(
+                    &mut sim,
+                    &links,
+                    torus,
+                    a,
+                    per_chip_bytes,
+                    frontier.as_ref(),
+                );
+                frontier = Some(f);
+            }
+            sim.run()
+        }
+    }
+}
+
+/// Like [`simulate_collective`], but with one *straggler chip* whose links
+/// run at `slowdown` times lower bandwidth — failure/degradation
+/// injection. Ring collectives are synchronous pipelines, so a single slow
+/// link gates the whole group; this quantifies that sensitivity (and why
+/// production pods care about uniform link health).
+///
+/// # Panics
+///
+/// Panics if `axes` is empty, `slowdown < 1`, or `straggler` is not a
+/// valid chip id.
+#[must_use]
+pub fn simulate_collective_with_straggler(
+    chip: &ChipSpec,
+    torus: TorusShape,
+    kind: CollectiveKind,
+    axes: AxisSet,
+    per_chip_bytes: f64,
+    straggler: usize,
+    slowdown: f64,
+) -> Seconds {
+    assert!(slowdown >= 1.0, "slowdown must be >= 1");
+    assert!(straggler < torus.chip_count(), "straggler chip id out of range");
+    simulate_impl(chip, torus, kind, axes, per_chip_bytes, Some((straggler, slowdown)))
+}
+
+/// Closed-form cost of the same collective (Appendix A.1), for comparison.
+///
+/// Uses the exact `(K-1)/K` factor and grants the collective the combined
+/// bandwidth of every participating axis, mirroring the interleaved
+/// schedule.
+#[must_use]
+pub fn analytic_time(
+    chip: &ChipSpec,
+    torus: TorusShape,
+    kind: CollectiveKind,
+    axes: AxisSet,
+    per_chip_bytes: f64,
+) -> Seconds {
+    let active: Vec<Axis> = axes.iter().filter(|&a| torus.size(a) > 1).collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    let k: f64 = active.iter().map(|&a| torus.size(a) as f64).product();
+    let bw = chip.axis_bandwidth(active.len() as u32);
+    let ag = per_chip_bytes / bw * (k - 1.0) / k;
+    match kind {
+        CollectiveKind::AllGather | CollectiveKind::ReduceScatter => ag,
+        CollectiveKind::AllReduce => 2.0 * ag,
+        CollectiveKind::AllToAll => {
+            // Min-hop bidirectional ring routing along each axis in turn:
+            // per axis of size K_a, each directed link carries ~K_a/8 of the
+            // payload, at half the axis bandwidth (see module docs).
+            let bw1 = chip.axis_bandwidth(1);
+            active
+                .iter()
+                .map(|&a| {
+                    let ka = torus.size(a) as f64;
+                    let per_link = if torus.size(a).is_multiple_of(2) {
+                        ka / 8.0
+                    } else {
+                        (ka * ka - 1.0) / (8.0 * ka)
+                    };
+                    per_chip_bytes * per_link / (bw1 / 2.0)
+                })
+                .sum()
+        }
+    }
+}
+
+/// Adds the interleaved multi-axis gather DAG. Returns the final per-chip
+/// frontier (every chip's last incoming transfers).
+fn add_interleaved_gather(
+    sim: &mut DagSim,
+    links: &Links,
+    torus: TorusShape,
+    active: &[Axis],
+    per_chip_bytes: f64,
+    after: Option<&Frontier>,
+) -> Frontier {
+    let n_parts = active.len();
+    let group: f64 = active.iter().map(|&a| torus.size(a) as f64).product();
+    let mut final_frontier: Frontier = vec![Vec::new(); torus.chip_count()];
+    for part in 0..n_parts {
+        let order = rotate(active, part);
+        // Initial shard of this part on each chip.
+        let mut data_per_chip = per_chip_bytes / n_parts as f64 / group;
+        let mut frontier: Frontier = match after {
+            Some(f) => f.clone(),
+            None => vec![Vec::new(); torus.chip_count()],
+        };
+        for &axis in &order {
+            frontier = add_ring_gather_stage(sim, links, torus, axis, data_per_chip, &frontier);
+            data_per_chip *= torus.size(axis) as f64;
+        }
+        for (acc, f) in final_frontier.iter_mut().zip(frontier) {
+            acc.extend(f);
+        }
+    }
+    final_frontier
+}
+
+/// One bidirectional-ring all-gather stage along `axis`: every chip's
+/// current `data_per_chip` bytes propagate `K-1` hops in both directions as
+/// two halves. Returns the per-chip incoming frontier of this stage.
+fn add_ring_gather_stage(
+    sim: &mut DagSim,
+    links: &Links,
+    torus: TorusShape,
+    axis: Axis,
+    data_per_chip: f64,
+    after: &Frontier,
+) -> Frontier {
+    let k = torus.size(axis);
+    let mut frontier: Frontier = vec![Vec::new(); torus.chip_count()];
+    if k < 2 {
+        return after.clone();
+    }
+    let half = data_per_chip / 2.0;
+    for origin in torus.chips() {
+        for dir in 0..2usize {
+            let mut cur = origin;
+            let mut prev: Option<TransferId> = None;
+            for _hop in 0..(k - 1) {
+                let next = if dir == 0 {
+                    torus.ring_next(cur, axis)
+                } else {
+                    torus.ring_prev(cur, axis)
+                };
+                let link = links.get(torus, cur, axis, dir);
+                let deps: Vec<TransferId> = match prev {
+                    Some(p) => vec![p],
+                    None => after[torus.chip_id(origin)].clone(),
+                };
+                let t = sim.add_transfer(link, half, &deps);
+                frontier[torus.chip_id(next)].push(t);
+                prev = Some(t);
+                cur = next;
+            }
+        }
+    }
+    frontier
+}
+
+/// One all-to-all exchange stage along `axis`: each chip sends a distinct
+/// `1/K` slice of its payload to every other ring member via min-hop
+/// routing (ties split by source parity).
+fn add_all_to_all_stage(
+    sim: &mut DagSim,
+    links: &Links,
+    torus: TorusShape,
+    axis: Axis,
+    per_chip_bytes: f64,
+    after: Option<&Frontier>,
+) -> Frontier {
+    let k = torus.size(axis);
+    let mut frontier: Frontier = vec![Vec::new(); torus.chip_count()];
+    if k < 2 {
+        if let Some(f) = after {
+            return f.clone();
+        }
+        return frontier;
+    }
+    let chunk = per_chip_bytes / k as f64;
+    for src in torus.chips() {
+        let src_pos = src.along(axis);
+        // Issue distant destinations first: a multi-hop chunk must clear the
+        // first link early or its later hops stall the pipeline.
+        let mut dsts: Vec<usize> = (0..k).filter(|&d| d != src_pos).collect();
+        dsts.sort_by_key(|&d| {
+            let fwd = (d + k - src_pos) % k;
+            std::cmp::Reverse(fwd.min(k - fwd))
+        });
+        for dst_pos in dsts {
+            let fwd = (dst_pos + k - src_pos) % k; // hops going +1
+            let bwd = k - fwd; // hops going -1
+            let dir = if fwd < bwd {
+                0
+            } else if bwd < fwd {
+                1
+            } else {
+                src_pos % 2 // tie: alternate by source parity
+            };
+            let hops = fwd.min(bwd);
+            let mut cur = src;
+            let mut prev: Option<TransferId> = None;
+            for _ in 0..hops {
+                let next = if dir == 0 {
+                    torus.ring_next(cur, axis)
+                } else {
+                    torus.ring_prev(cur, axis)
+                };
+                let link = links.get(torus, cur, axis, dir);
+                let deps: Vec<TransferId> = match prev {
+                    Some(p) => vec![p],
+                    None => after.map_or(Vec::new(), |f| f[torus.chip_id(src)].clone()),
+                };
+                let t = sim.add_transfer(link, chunk, &deps);
+                frontier[torus.chip_id(next)].push(t);
+                prev = Some(t);
+                cur = next;
+            }
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tpu() -> ChipSpec {
+        ChipSpec::tpu_v4()
+    }
+
+    fn rel_err(sim: Seconds, analytic: Seconds) -> f64 {
+        (sim - analytic).abs() / analytic
+    }
+
+    #[test]
+    fn single_axis_all_gather_matches_analytic() {
+        let chip = tpu();
+        for k in [2usize, 3, 4, 8] {
+            let torus = TorusShape::new(k, 1, 1);
+            let axes = AxisSet::single(Axis::X);
+            let d = 8.0 * 1024.0 * 1024.0;
+            let sim = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+            let ana = analytic_time(&chip, torus, CollectiveKind::AllGather, axes, d);
+            assert!(
+                rel_err(sim, ana) < 0.02,
+                "k={k}: sim {sim} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_equals_all_gather_time() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let d = 1e7;
+        let ag = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+        let rs = simulate_collective(&chip, torus, CollectiveKind::ReduceScatter, axes, d);
+        assert_eq!(ag, rs);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_all_gather() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let d = 1e7;
+        let ag = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+        let ar = simulate_collective(&chip, torus, CollectiveKind::AllReduce, axes, d);
+        assert!(rel_err(ar, 2.0 * ag) < 0.05, "ar {ar} vs 2*ag {}", 2.0 * ag);
+    }
+
+    #[test]
+    fn two_axis_all_gather_uses_both_axes() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 4, 1);
+        let axes = AxisSet::of(&[Axis::X, Axis::Y]);
+        let d = 1.6e7;
+        let sim = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+        let ana = analytic_time(&chip, torus, CollectiveKind::AllGather, axes, d);
+        // The interleaved schedule leaves some slack in non-final stages;
+        // allow 35% but demand clearly-better-than-single-axis time.
+        assert!(rel_err(sim, ana) < 0.35, "sim {sim} vs analytic {ana}");
+        let single_axis_bound = d / chip.axis_bandwidth(1) * 15.0 / 16.0;
+        assert!(sim < single_axis_bound, "interleaving should beat one axis");
+    }
+
+    #[test]
+    fn three_axis_all_gather_on_cube() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 4, 4);
+        let axes = AxisSet::all();
+        let d = 2.4e7;
+        let sim = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+        let ana = analytic_time(&chip, torus, CollectiveKind::AllGather, axes, d);
+        assert!(rel_err(sim, ana) < 0.4, "sim {sim} vs analytic {ana}");
+    }
+
+    #[test]
+    fn group_size_one_is_free() {
+        let chip = tpu();
+        let torus = TorusShape::new(1, 1, 1);
+        let t = simulate_collective(
+            &chip,
+            torus,
+            CollectiveKind::AllGather,
+            AxisSet::single(Axis::X),
+            1e9,
+        );
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn all_to_all_matches_analytic_even_ring() {
+        let chip = tpu();
+        for k in [4usize, 8] {
+            let torus = TorusShape::new(k, 1, 1);
+            let axes = AxisSet::single(Axis::X);
+            let d = 4e6;
+            let sim = simulate_collective(&chip, torus, CollectiveKind::AllToAll, axes, d);
+            let ana = analytic_time(&chip, torus, CollectiveKind::AllToAll, axes, d);
+            assert!(rel_err(sim, ana) < 0.15, "k={k}: sim {sim} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_cheaper_than_all_gather_for_same_bytes() {
+        // The key fact exploited by batch-sharded multiquery attention:
+        // moving D bytes pairwise is ~4x cheaper than replicating D bytes.
+        let chip = tpu();
+        let torus = TorusShape::new(8, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let d = 4e6;
+        let a2a = simulate_collective(&chip, torus, CollectiveKind::AllToAll, axes, d);
+        let ag = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d * 8.0);
+        assert!(a2a < ag / 2.0, "a2a {a2a} vs ag {ag}");
+    }
+
+    #[test]
+    fn straggler_gates_the_whole_ring() {
+        // One chip at 1/4 link speed: the pipelined ring collective slows
+        // toward the straggler's rate, not the average.
+        let chip = tpu();
+        let torus = TorusShape::new(8, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let d = 8e6;
+        let healthy = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, d);
+        let degraded = simulate_collective_with_straggler(
+            &chip, torus, CollectiveKind::AllGather, axes, d, 3, 4.0,
+        );
+        assert!(degraded > 2.5 * healthy, "healthy {healthy} vs degraded {degraded}");
+        assert!(degraded < 4.5 * healthy, "slowdown bounded by the straggler's rate");
+    }
+
+    #[test]
+    fn straggler_slowdown_one_is_identity() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let a = simulate_collective(&chip, torus, CollectiveKind::AllReduce, axes, 1e6);
+        let b = simulate_collective_with_straggler(&chip, torus, CollectiveKind::AllReduce, axes, 1e6, 0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_bytes() {
+        let chip = tpu();
+        let torus = TorusShape::new(4, 1, 1);
+        let axes = AxisSet::single(Axis::X);
+        let t1 = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, 1e6);
+        let t2 = simulate_collective(&chip, torus, CollectiveKind::AllGather, axes, 2e6);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_gather_time_shrinks_with_more_chips_fixed_output() {
+        // Fixed per-chip output D: time approaches D/bw from below as K
+        // grows ((K-1)/K factor) — i.e. it *increases* slightly with K.
+        let chip = tpu();
+        let axes = AxisSet::single(Axis::X);
+        let t4 = simulate_collective(&chip, TorusShape::new(4, 1, 1), CollectiveKind::AllGather, axes, 1e7);
+        let t8 = simulate_collective(&chip, TorusShape::new(8, 1, 1), CollectiveKind::AllGather, axes, 1e7);
+        assert!(t8 > t4);
+        assert!(t8 < 1e7 / chip.axis_bandwidth(1) * 1.01);
+    }
+}

@@ -1,0 +1,793 @@
+//! The partitioned execution engine: one thread per simulated chip.
+
+use std::sync::Arc;
+
+use esti_collectives::{CommGroup, TrafficStats};
+use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_model::reference::{attention_core, gelu, mm3};
+use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
+use esti_tensor::{ops, Tensor};
+
+use crate::shard::{shard_1d, shard_2d, shard_wg, shard_wg_hybrid, LayerShard};
+
+pub use crate::shard::WeightFormat;
+
+/// Which partitioned dataflow a layout lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dataflow {
+    OneD,
+    TwoD,
+    /// XYZ extent: weights fully gathered, activations batch-stationary.
+    WeightGathered,
+    /// X / XY extents: batch sharded over the gather groups, 1D
+    /// weight-stationary within each local group (Figure A.2's hybrids).
+    WeightGatheredHybrid {
+        n_gather: usize,
+        n_local: usize,
+    },
+}
+
+/// Per-chip state: weight shards, KV-cache shard, and group handles.
+struct ChipState {
+    rank: usize,
+    /// Position along the logical x axis (2D only).
+    i: usize,
+    /// Position along the logical yz axes (2D only).
+    j: usize,
+    layers: Vec<LayerShard>,
+    cache: KvCache,
+    /// Group of all chips.
+    g_all: CommGroup,
+    /// x-axis group (same `j`), 2D only.
+    g_x: Option<CommGroup>,
+    /// yz-axes group (same `i`), 2D only.
+    g_yz: Option<CommGroup>,
+    /// Final layernorm gain (full, or this chip's `E/n` slice in 2D).
+    ln_final: Tensor,
+    /// Transposed embedding for the logit projection (full `[E, V]`, or
+    /// this chip's `[E/n, V]` row slice in 2D).
+    embed_t: Tensor,
+}
+
+/// A Transformer partitioned over `n` simulated chips.
+///
+/// Construct with a [`ReferenceModel`] (whose weights are sharded according
+/// to the [`Layout`]) and drive it with [`PartitionedEngine::prefill`] /
+/// [`PartitionedEngine::decode_step`] exactly like the reference. All
+/// inter-chip dataflow goes through `esti-collectives`, and is recorded in
+/// the [`TrafficStats`] ledger available via
+/// [`PartitionedEngine::traffic`].
+pub struct PartitionedEngine {
+    cfg: ModelConfig,
+    layout: Layout,
+    dataflow: Dataflow,
+    chips: Vec<ChipState>,
+    stats: Arc<TrafficStats>,
+    /// Full embedding table, used host-side for the input lookup.
+    embed: Tensor,
+    /// Learned position table, for models that have one.
+    pos_embed: Option<Tensor>,
+    /// Batch size fixed at the first prefill (cache sharding depends on it).
+    batch: Option<usize>,
+}
+
+impl std::fmt::Debug for PartitionedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedEngine")
+            .field("model", &self.cfg.name)
+            .field("layout", &self.layout.describe())
+            .field("chips", &self.chips.len())
+            .finish()
+    }
+}
+
+impl PartitionedEngine {
+    /// Shards `model` according to `layout` and builds the chip states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model dimensions do not divide the mesh (each dataflow
+    /// documents its divisibility requirements in [`crate::shard`]), or if
+    /// batch-sharded attention is requested for a multihead model.
+    #[must_use]
+    pub fn new(model: &ReferenceModel, layout: Layout, fmt: WeightFormat) -> Self {
+        let cfg = model.config().clone();
+        let n = layout.mesh.n_chips();
+        let dataflow = match layout.ffn {
+            FfnLayout::WeightStationary1D => Dataflow::OneD,
+            FfnLayout::WeightStationary2D => Dataflow::TwoD,
+            FfnLayout::WeightGathered(extent) => {
+                let n_gather = extent.n_gather(layout.mesh);
+                if n_gather >= n {
+                    Dataflow::WeightGathered
+                } else {
+                    Dataflow::WeightGatheredHybrid { n_gather, n_local: n / n_gather }
+                }
+            }
+        };
+        if layout.attn == AttnSharding::Batch {
+            assert_eq!(
+                cfg.n_kv_heads(),
+                1,
+                "batch-sharded attention requires multiquery attention (Section 3.3)"
+            );
+        }
+        let (x_parts, yz_parts) = match dataflow {
+            Dataflow::TwoD => (layout.mesh.x, layout.mesh.yz()),
+            Dataflow::WeightGatheredHybrid { n_gather, n_local } => (n_gather, n_local),
+            _ => (1, n),
+        };
+
+        let stats = TrafficStats::new();
+        let mut g_all: Vec<Option<CommGroup>> =
+            CommGroup::create_with_stats(n, Arc::clone(&stats)).into_iter().map(Some).collect();
+        let mut g_x: Vec<Option<CommGroup>> = (0..n).map(|_| None).collect();
+        let mut g_yz: Vec<Option<CommGroup>> = (0..n).map(|_| None).collect();
+        if matches!(dataflow, Dataflow::TwoD | Dataflow::WeightGatheredHybrid { .. }) {
+            // For 2D these are the physical x / yz groups; for hybrid WG,
+            // g_x is the weight-gather group and g_yz the 1D local group.
+            for j in 0..yz_parts {
+                let members = CommGroup::create_with_stats(x_parts, Arc::clone(&stats));
+                for (i, m) in members.into_iter().enumerate() {
+                    g_x[i * yz_parts + j] = Some(m);
+                }
+            }
+            for i in 0..x_parts {
+                let members = CommGroup::create_with_stats(yz_parts, Arc::clone(&stats));
+                for (j, m) in members.into_iter().enumerate() {
+                    g_yz[i * yz_parts + j] = Some(m);
+                }
+            }
+        }
+
+        let weights = model.weights();
+        let e = cfg.d_model;
+        let e_n = e / n.max(1);
+        let embed_t = weights.embed.transpose();
+        let chips = (0..n)
+            .map(|rank| {
+                let (i, j) = (rank / yz_parts, rank % yz_parts);
+                let layers = weights
+                    .layers
+                    .iter()
+                    .map(|lw| match dataflow {
+                        Dataflow::OneD => shard_1d(&cfg, lw, rank, n, fmt),
+                        Dataflow::TwoD => shard_2d(&cfg, lw, i, j, x_parts, yz_parts, fmt),
+                        Dataflow::WeightGathered => shard_wg(&cfg, lw, rank, n, fmt),
+                        Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
+                            shard_wg_hybrid(&cfg, lw, i, j, n_gather, n_local, fmt)
+                        }
+                    })
+                    .collect();
+                let (ln_final, embed_t) = match dataflow {
+                    Dataflow::TwoD => {
+                        assert!(e.is_multiple_of(n), "2D layout needs d_model divisible by {n} chips");
+                        let off = i * (e / x_parts) + j * e_n;
+                        (
+                            weights.ln_final.slice(0, off, e_n),
+                            embed_t.slice(0, off, e_n),
+                        )
+                    }
+                    _ => (weights.ln_final.clone(), embed_t.clone()),
+                };
+                ChipState {
+                    rank,
+                    i,
+                    j,
+                    layers,
+                    cache: KvCache::new(cfg.n_layers),
+                    g_all: g_all[rank].take().expect("one handle per rank"),
+                    g_x: g_x[rank].take(),
+                    g_yz: g_yz[rank].take(),
+                    ln_final,
+                    embed_t,
+                }
+            })
+            .collect();
+        PartitionedEngine {
+            embed: weights.embed.clone(),
+            pos_embed: weights.pos_embed.clone(),
+            cfg,
+            layout,
+            dataflow,
+            chips,
+            stats,
+            batch: None,
+        }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The layout this engine executes.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of simulated chips.
+    #[must_use]
+    pub fn n_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The communication ledger shared by all chip groups.
+    #[must_use]
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Tokens currently cached per sequence.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        // With batch sharding, chips hold different sequences but the same
+        // number of cached positions.
+        self.chips.first().map_or(0, |c| c.cache.len())
+    }
+
+    /// KV-cache elements held by the busiest chip — the quantity the memory
+    /// model bounds (Table 1).
+    #[must_use]
+    pub fn max_cache_elements_per_chip(&self) -> usize {
+        self.chips.iter().map(|c| c.cache.total_elements()).max().unwrap_or(0)
+    }
+
+    /// Replicates every cached sequence `k` times — the paper's
+    /// low-latency recipe (Section 4.4): prefill at batch 1 for minimum
+    /// prefill latency, then expand the cache and decode `k` samples per
+    /// prompt "with negligible latency impact" since decode is
+    /// weight-loading bound at these batch sizes.
+    ///
+    /// Subsequent [`PartitionedEngine::decode_step`] calls must pass
+    /// `k ×` the original batch of tokens, ordered with each prompt's
+    /// samples adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is cached, `k` is zero, or the expanded batch
+    /// violates the layout's divisibility requirements.
+    pub fn expand_batch(&mut self, k: usize) {
+        assert!(k > 0, "expansion factor must be positive");
+        let b = self.batch.expect("expand_batch requires a prior prefill");
+        self.validate_batch(b * k);
+        for c in &mut self.chips {
+            c.cache.repeat_batch(k);
+        }
+        self.batch = Some(b * k);
+    }
+
+    /// Clears all KV caches so a new batch can be served.
+    pub fn reset(&mut self) {
+        for c in &mut self.chips {
+            c.cache.clear();
+        }
+        self.batch = None;
+    }
+
+    /// Prefill over a chunk of tokens (`[B][L]`), returning logits
+    /// `[B, L, V]`. Calling again before [`PartitionedEngine::reset`]
+    /// performs incremental prefill over additional chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged batches, out-of-vocabulary tokens, a batch size
+    /// change mid-conversation, or a batch that does not divide evenly for
+    /// the batch-sharded paths.
+    #[must_use]
+    pub fn prefill(&mut self, tokens: &[Vec<usize>]) -> Tensor {
+        let x = self.embed_host(tokens);
+        self.forward(x)
+    }
+
+    /// One decode step (one token per sequence), returning logits `[B, V]`.
+    #[must_use]
+    pub fn decode_step(&mut self, tokens: &[usize]) -> Tensor {
+        let seqs: Vec<Vec<usize>> = tokens.iter().map(|&t| vec![t]).collect();
+        let x = self.embed_host(&seqs);
+        let (b, v) = (tokens.len(), self.cfg.vocab);
+        self.forward(x).into_reshape(vec![b, v])
+    }
+
+    fn embed_host(&mut self, tokens: &[Vec<usize>]) -> Tensor {
+        let b = tokens.len();
+        assert!(b > 0, "empty batch");
+        let l = tokens[0].len();
+        assert!(l > 0, "empty sequence");
+        match self.batch {
+            None => {
+                self.validate_batch(b);
+                self.batch = Some(b);
+            }
+            Some(prev) => assert_eq!(b, prev, "batch size changed mid-conversation; call reset()"),
+        }
+        let e = self.cfg.d_model;
+        // Cache length before this pass = absolute position of the chunk.
+        let base = self.cache_len();
+        let mut x = Tensor::zeros(vec![b, l, e]);
+        for (bi, seq) in tokens.iter().enumerate() {
+            assert_eq!(seq.len(), l, "ragged batch: all sequences must have equal length");
+            for (li, &tok) in seq.iter().enumerate() {
+                assert!(tok < self.cfg.vocab, "token id {tok} out of vocabulary");
+                for ei in 0..e {
+                    let mut v = self.embed.at(&[tok, ei]);
+                    if let Some(pos) = &self.pos_embed {
+                        v += pos.at(&[base + li, ei]);
+                    }
+                    x.set(&[bi, li, ei], v);
+                }
+            }
+        }
+        x
+    }
+
+    fn validate_batch(&self, b: usize) {
+        let n = self.chips.len();
+        if self.dataflow == Dataflow::WeightGathered {
+            assert!(b.is_multiple_of(n), "weight-gathered layout needs batch divisible by {n} chips");
+        }
+        if let Dataflow::WeightGatheredHybrid { n_gather, .. } = self.dataflow {
+            assert!(
+                b.is_multiple_of(n_gather),
+                "hybrid weight-gathered layout needs batch divisible by {n_gather} gather groups"
+            );
+        }
+        if self.layout.attn == AttnSharding::Batch {
+            match self.dataflow {
+                Dataflow::OneD | Dataflow::TwoD | Dataflow::WeightGatheredHybrid { .. } => {
+                    assert!(b.is_multiple_of(n), "batch-sharded attention needs batch divisible by {n} chips");
+                }
+                Dataflow::WeightGathered => {}
+            }
+        }
+    }
+
+    /// Runs the partitioned forward pass over embedded inputs `[B, L, E]`,
+    /// returning logits `[B, L, V]`.
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let cfg = self.cfg.clone();
+        let dataflow = self.dataflow;
+        let attn = self.layout.attn;
+        let (x_parts, yz_parts) = match dataflow {
+            Dataflow::TwoD => (self.layout.mesh.x, self.layout.mesh.yz()),
+            _ => (1, self.chips.len()),
+        };
+        let n = self.chips.len();
+        let outputs: Vec<Option<Tensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .chips
+                .iter_mut()
+                .map(|chip| {
+                    let x = x.clone();
+                    let cfg = &cfg;
+                    s.spawn(move || match dataflow {
+                        Dataflow::OneD => forward_1d(cfg, chip, x, attn, n),
+                        Dataflow::TwoD => forward_2d(cfg, chip, x, attn, x_parts, yz_parts),
+                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, n),
+                        Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
+                            forward_wg_hybrid(cfg, chip, x, attn, n_gather, n_local)
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("chip thread panicked")).collect()
+        });
+        if matches!(dataflow, Dataflow::WeightGatheredHybrid { .. }) {
+            // One logits slice per gather group (rank order == g order);
+            // concatenate along the batch dimension.
+            let parts: Vec<Tensor> = outputs.into_iter().flatten().collect();
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Tensor::concat(&refs, 0)
+        } else {
+            outputs
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("rank 0 returns logits")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared per-chip helpers
+// ---------------------------------------------------------------------------
+
+fn ln3(x: &Tensor, gain: &Tensor) -> Tensor {
+    ops::layernorm(x, gain, 1e-6)
+}
+
+/// Layernorm of an `E`-sharded `[B, L, E/n]` tensor: local moments are
+/// all-reduced over `group` (a tiny `[B·L, 2]` exchange), then each chip
+/// normalizes its own slice with its gain shard.
+fn sharded_layernorm(group: &CommGroup, x_loc: &Tensor, gain_loc: &Tensor, e_global: usize) -> Tensor {
+    let (b, l, e_loc) = (x_loc.dim(0), x_loc.dim(1), x_loc.dim(2));
+    let rows = b * l;
+    let mut moments = Tensor::zeros(vec![rows, 2]);
+    for r in 0..rows {
+        let row = &x_loc.data()[r * e_loc..(r + 1) * e_loc];
+        let sum: f32 = row.iter().sum();
+        let sumsq: f32 = row.iter().map(|v| v * v).sum();
+        moments.set(&[r, 0], sum);
+        moments.set(&[r, 1], sumsq);
+    }
+    let tot = group.all_reduce(&moments);
+    let ef = e_global as f32;
+    let mut out = vec![0.0f32; x_loc.numel()];
+    for r in 0..rows {
+        let mean = tot.at(&[r, 0]) / ef;
+        let var = tot.at(&[r, 1]) / ef - mean * mean;
+        let inv = 1.0 / (var + 1e-6).sqrt();
+        for c in 0..e_loc {
+            out[r * e_loc + c] =
+                (x_loc.data()[r * e_loc + c] - mean) * inv * gain_loc.data()[c];
+        }
+    }
+    Tensor::from_vec(vec![b, l, e_loc], out)
+}
+
+/// MLP hidden nonlinearity on (possibly sharded) gate/up tensors.
+fn mlp_hidden(cfg: &ModelConfig, gate: Option<Tensor>, up: Tensor) -> Tensor {
+    match cfg.mlp {
+        MlpKind::SwiGlu => ops::swiglu(&gate.expect("SwiGLU requires gate"), &up),
+        MlpKind::Gelu => gelu(&up),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1D weight-stationary dataflow (Section 3.2.1)
+// ---------------------------------------------------------------------------
+
+fn forward_1d(
+    cfg: &ModelConfig,
+    chip: &mut ChipState,
+    mut x: Tensor,
+    attn: AttnSharding,
+    n: usize,
+) -> Option<Tensor> {
+    let ChipState { rank, layers, cache, g_all, ln_final, embed_t, .. } = chip;
+    let rank = *rank;
+    for (li, shard) in layers.iter().enumerate() {
+        x = layer_1d(cfg, shard, x, attn, g_all, cache, li, rank, n);
+    }
+    if rank == 0 {
+        let h = ln3(&x, ln_final);
+        Some(mm3(&h, embed_t))
+    } else {
+        None
+    }
+}
+
+/// One 1D weight-stationary Transformer layer: the Megatron dataflow with
+/// a parallel or serialized block, shared by the pure 1D and the hybrid
+/// weight-gathered forwards.
+#[allow(clippy::too_many_arguments)]
+fn layer_1d(
+    cfg: &ModelConfig,
+    shard: &LayerShard,
+    x: Tensor,
+    attn: AttnSharding,
+    group: &CommGroup,
+    cache: &mut KvCache,
+    li: usize,
+    rank: usize,
+    n: usize,
+) -> Tensor {
+    let serial = cfg.block == esti_model::BlockKind::Serial;
+    if serial {
+        let a_part = attn_1d(cfg, shard, &ln3(&x, &shard.ln1), attn, group, cache, li, rank, n);
+        let x1 = &x + &group.all_reduce(&a_part);
+        let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
+        let m_part = mlp_1d(cfg, shard, &ln3(&x1, ln2));
+        &x1 + &group.all_reduce(&m_part)
+    } else {
+        let ln = ln3(&x, &shard.ln1);
+        let a_part = attn_1d(cfg, shard, &ln, attn, group, cache, li, rank, n);
+        let m_part = mlp_1d(cfg, shard, &ln);
+        let part = &a_part + &m_part;
+        &x + &group.all_reduce(&part)
+    }
+}
+
+/// The hybrid weight-gathered forward (X / XY extents, Figure A.2): the
+/// batch is sharded over `n_gather` groups; within each group, weights are
+/// all-gathered into 1D shards and the layer runs as 1D weight-stationary
+/// over the `n_local` chips holding that batch slice.
+fn forward_wg_hybrid(
+    cfg: &ModelConfig,
+    chip: &mut ChipState,
+    x_full: Tensor,
+    attn: AttnSharding,
+    n_gather: usize,
+    n_local: usize,
+) -> Option<Tensor> {
+    let ChipState { i, j, layers, cache, g_x, g_yz, ln_final, embed_t, .. } = chip;
+    let (g, b) = (*i, *j);
+    let g_gather = g_x.as_ref().expect("hybrid WG has a gather group");
+    let g_local = g_yz.as_ref().expect("hybrid WG has a local group");
+    let batch = x_full.dim(0);
+    let slice = batch / n_gather;
+    let mut x = x_full.slice(0, g * slice, slice);
+    let _ = n_local;
+    for (li, shard) in layers.iter().enumerate() {
+        let w = gather_layer(cfg, g_gather, shard);
+        x = layer_1d(cfg, &w, x, attn, g_local, cache, li, b, g_local.size());
+    }
+    if b == 0 {
+        // x is replicated within the local group; the b = 0 member of each
+        // gather group emits its batch slice's logits.
+        let h = ln3(&x, ln_final);
+        Some(mm3(&h, embed_t))
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attn_1d(
+    cfg: &ModelConfig,
+    shard: &LayerShard,
+    ln: &Tensor,
+    attn: AttnSharding,
+    g_all: &CommGroup,
+    cache: &mut KvCache,
+    li: usize,
+    rank: usize,
+    n: usize,
+) -> Tensor {
+    let mut q = shard.wq.mm3(ln); // [B, l, h_loc*dh]
+    let mut k = shard.wk.mm3(ln); // MQ: [B, l, dh] (replicated); MHA: local heads
+    let v = shard.wv.mm3(ln);
+    let dh = cfg.d_head;
+    if cfg.position == PositionKind::Rope {
+        // RoPE is head-local and position-dependent only, so rotating the
+        // shards before any resharding matches the reference exactly.
+        let base = cache.len_of(li);
+        q = ops::rope(&q, dh, base);
+        k = ops::rope(&k, dh, base);
+    }
+    let attn_out = match attn {
+        AttnSharding::Head => {
+            cache.append(li, &k, &v);
+            let (kc, vc) = cache.get(li).expect("cache populated by append");
+            attention_core(&q, kc, vc, dh)
+        }
+        AttnSharding::Batch => {
+            // Reshard Q from head-sharded to batch-sharded (Figure 5b);
+            // K/V are replicated under multiquery so each chip just keeps
+            // its batch slice — the KV cache ends up divided n ways.
+            let b = q.dim(0);
+            let q_b = g_all.all_to_all(&q, 0, 2); // [B/n, l, H*dh]
+            let b_loc = b / n;
+            let k_b = k.slice(0, rank * b_loc, b_loc);
+            let v_b = v.slice(0, rank * b_loc, b_loc);
+            cache.append(li, &k_b, &v_b);
+            let (kc, vc) = cache.get(li).expect("cache populated by append");
+            let attn_b = attention_core(&q_b, kc, vc, dh); // [B/n, l, H*dh]
+            g_all.all_to_all(&attn_b, 2, 0) // [B, l, h_loc*dh]
+        }
+    };
+    shard.wo.mm3(&attn_out) // [B, l, E] partial sum
+}
+
+fn mlp_1d(cfg: &ModelConfig, shard: &LayerShard, ln: &Tensor) -> Tensor {
+    let gate = shard.w_gate.as_ref().map(|g| g.mm3(ln));
+    let up = shard.w_in.mm3(ln);
+    let h = mlp_hidden(cfg, gate, up);
+    shard.w_out.mm3(&h) // [B, l, E] partial sum
+}
+
+// ---------------------------------------------------------------------------
+// 2D weight-stationary dataflow (Section 3.2.2)
+// ---------------------------------------------------------------------------
+
+fn forward_2d(
+    cfg: &ModelConfig,
+    chip: &mut ChipState,
+    x_full: Tensor,
+    attn: AttnSharding,
+    x_parts: usize,
+    yz_parts: usize,
+) -> Option<Tensor> {
+    let ChipState { rank, i, j, layers, cache, g_all, g_x, g_yz, ln_final, embed_t } = chip;
+    let (rank, i, j) = (*rank, *i, *j);
+    let g_x = g_x.as_ref().expect("2D dataflow has x group");
+    let g_yz = g_yz.as_ref().expect("2D dataflow has yz group");
+    let n = x_parts * yz_parts;
+    let e = cfg.d_model;
+    let e_n = e / n;
+    let off = i * (e / x_parts) + j * e_n;
+    // Boundary state: x sharded E_xyz.
+    let mut x_loc = x_full.slice(2, off, e_n);
+    for (li, shard) in layers.iter().enumerate() {
+        let serial = cfg.block == esti_model::BlockKind::Serial;
+        if serial {
+            let xn = sharded_layernorm(g_all, &x_loc, &shard.ln1, e);
+            let x_i = g_yz.all_gather(&xn, 2); // [B, l, E/X]
+            let a_part = attn_2d(cfg, shard, cache, li, &x_i, attn, g_x, g_yz, i, j, x_parts, yz_parts);
+            let x1_loc = &x_loc + &g_yz.reduce_scatter(&a_part, 2);
+            let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
+            let x1n = sharded_layernorm(g_all, &x1_loc, ln2, e);
+            let x1_i = g_yz.all_gather(&x1n, 2);
+            let m_part = mlp_2d(cfg, shard, g_x, &x1_i);
+            x_loc = &x1_loc + &g_yz.reduce_scatter(&m_part, 2);
+        } else {
+            let xn = sharded_layernorm(g_all, &x_loc, &shard.ln1, e);
+            let x_i = g_yz.all_gather(&xn, 2); // [B, l, E/X] (E_i slice)
+            let a_part = attn_2d(cfg, shard, cache, li, &x_i, attn, g_x, g_yz, i, j, x_parts, yz_parts);
+            let m_part = mlp_2d(cfg, shard, g_x, &x_i);
+            let part = &a_part + &m_part; // [B, l, E/X] partial over j
+            x_loc = &x_loc + &g_yz.reduce_scatter(&part, 2);
+        }
+    }
+    // Final layernorm + logit projection: partial over all chips.
+    let xn = sharded_layernorm(g_all, &x_loc, ln_final, e);
+    let logits_part = mm3(&xn, embed_t); // [B, L, V] partial
+    let logits = g_all.all_reduce(&logits_part);
+    if rank == 0 {
+        Some(logits)
+    } else {
+        None
+    }
+}
+
+fn mlp_2d(cfg: &ModelConfig, shard: &LayerShard, g_x: &CommGroup, x_i: &Tensor) -> Tensor {
+    // x_i [B, l, E/X] @ W_in(i,j) [E/X, F/YZ] -> partial over i.
+    let gate_part = shard.w_gate.as_ref().map(|g| g.mm3(x_i));
+    let up_part = shard.w_in.mm3(x_i);
+    // reduce-scatter(x) along the hidden dimension (the paper's choice,
+    // Section 3.5), apply the nonlinearity on [B, l, F/n] shards, then
+    // all-gather(x) back to [B, l, F/YZ].
+    let gate_sh = gate_part.map(|g| g_x.reduce_scatter(&g, 2));
+    let up_sh = g_x.reduce_scatter(&up_part, 2);
+    let h_sh = mlp_hidden(cfg, gate_sh, up_sh);
+    let h_j = g_x.all_gather(&h_sh, 2); // [B, l, F/YZ]
+    shard.w_out.mm3(&h_j) // [B, l, E/X] partial over j
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attn_2d(
+    cfg: &ModelConfig,
+    shard: &LayerShard,
+    cache: &mut KvCache,
+    li: usize,
+    x_i: &Tensor,
+    attn: AttnSharding,
+    g_x: &CommGroup,
+    g_yz: &CommGroup,
+    i: usize,
+    j: usize,
+    x_parts: usize,
+    yz_parts: usize,
+) -> Tensor {
+    let dh = cfg.d_head;
+    // Projections are partial over i; all-reduce(x) replicates them within
+    // the x group (Q/K/V are small relative to the FFN activations).
+    let mut q_j = g_x.all_reduce(&shard.wq.mm3(x_i)); // [B, l, H_yz*dh]
+    let mut k_j = g_x.all_reduce(&shard.wk.mm3(x_i));
+    let v_j = g_x.all_reduce(&shard.wv.mm3(x_i));
+    if cfg.position == PositionKind::Rope {
+        let base = cache.len_of(li);
+        q_j = ops::rope(&q_j, dh, base);
+        k_j = ops::rope(&k_j, dh, base);
+    }
+    let attn_j = match attn {
+        AttnSharding::Head => {
+            // MQ: k_j is the full single head, cached replicated (the
+            // "baseline multiquery" layout). MHA: own heads only.
+            cache.append(li, &k_j, &v_j);
+            let (kc, vc) = cache.get(li).expect("cache populated by append");
+            attention_core(&q_j, kc, vc, dh)
+        }
+        AttnSharding::Batch => {
+            let b = q_j.dim(0);
+            let n = x_parts * yz_parts;
+            let b_n = b / n;
+            let b_yz = b / yz_parts;
+            // all-to-all over yz: heads -> batch (Figure 5b), then slice
+            // the x-replicated result so each chip keeps B/n sequences.
+            let q_b = g_yz.all_to_all(&q_j, 0, 2); // [B/YZ, l, H*dh]
+            let q_bi = q_b.slice(0, i * b_n, b_n); // [B/n, l, H*dh]
+            let kv_off = j * b_yz + i * b_n;
+            let k_bi = k_j.slice(0, kv_off, b_n);
+            let v_bi = v_j.slice(0, kv_off, b_n);
+            cache.append(li, &k_bi, &v_bi);
+            let (kc, vc) = cache.get(li).expect("cache populated by append");
+            let attn_bi = attention_core(&q_bi, kc, vc, dh); // [B/n, l, H*dh]
+            // Gather the batch back over x, then all-to-all back to
+            // head sharding over yz.
+            let attn_b = g_x.all_gather(&attn_bi, 0); // [B/YZ, l, H*dh]
+            g_yz.all_to_all(&attn_b, 2, 0) // [B, l, H_yz*dh]
+        }
+    };
+    shard.wo.mm3(&attn_j) // [B, l, E/X] partial over j
+}
+
+// ---------------------------------------------------------------------------
+// weight-gathered dataflow (Section 3.2.3, XYZ extent)
+// ---------------------------------------------------------------------------
+
+fn forward_wg(cfg: &ModelConfig, chip: &mut ChipState, x_full: Tensor, n: usize) -> Option<Tensor> {
+    let ChipState { rank, layers, cache, g_all, ln_final, embed_t, .. } = chip;
+    let rank = *rank;
+    let b = x_full.dim(0);
+    let b_loc = b / n;
+    // Activations stay batch-sharded and fully stationary; weights are
+    // all-gathered just before each layer's einsums.
+    let mut x = x_full.slice(0, rank * b_loc, b_loc);
+    for (li, shard) in layers.iter().enumerate() {
+        let w = gather_layer(cfg, g_all, shard);
+        let serial = cfg.block == esti_model::BlockKind::Serial;
+        if serial {
+            let a = attn_local(cfg, cache, li, &ln3(&x, &w.ln1), &w);
+            let x1 = &x + &a;
+            let ln2 = w.ln2.as_ref().expect("serial block requires ln2");
+            let m = mlp_local(cfg, &ln3(&x1, ln2), &w);
+            x = &x1 + &m;
+        } else {
+            let ln = ln3(&x, &w.ln1);
+            let a = attn_local(cfg, cache, li, &ln, &w);
+            let m = mlp_local(cfg, &ln, &w);
+            x = &(&x + &a) + &m;
+        }
+    }
+    let h = ln3(&x, ln_final);
+    let logits_loc = mm3(&h, embed_t); // [B/n, L, V]
+    let logits = g_all.all_gather(&logits_loc, 0);
+    if rank == 0 {
+        Some(logits)
+    } else {
+        None
+    }
+}
+
+/// All-gathers one layer's weight shards into full matrices. Quantized
+/// shards travel as their dense view; the gathered result stays dense for
+/// the local einsums (on real hardware the int8 payload would be gathered
+/// and dequantized on arrival — the traffic the analytic model charges is
+/// the stored-dtype volume either way).
+fn gather_layer(cfg: &ModelConfig, g: &CommGroup, s: &LayerShard) -> LayerShard {
+    let ag = |m: &crate::shard::ShardMat, dim: usize| {
+        crate::shard::ShardMat::Dense(g.all_gather(&m.dense(), dim))
+    };
+    LayerShard {
+        wq: ag(&s.wq, 1),
+        // Multiquery K/V shards are replicated (nothing to gather).
+        wk: if cfg.n_kv_heads() == 1 { s.wk.clone() } else { ag(&s.wk, 1) },
+        wv: if cfg.n_kv_heads() == 1 { s.wv.clone() } else { ag(&s.wv, 1) },
+        wo: ag(&s.wo, 0),
+        w_in: ag(&s.w_in, 1),
+        w_gate: s.w_gate.as_ref().map(|w| ag(w, 1)),
+        w_out: ag(&s.w_out, 0),
+        ln1: s.ln1.clone(),
+        ln2: s.ln2.clone(),
+    }
+}
+
+fn attn_local(
+    cfg: &ModelConfig,
+    cache: &mut KvCache,
+    li: usize,
+    ln: &Tensor,
+    w: &LayerShard,
+) -> Tensor {
+    let mut q = w.wq.mm3(ln);
+    let mut k = w.wk.mm3(ln);
+    let v = w.wv.mm3(ln);
+    if cfg.position == PositionKind::Rope {
+        let base = cache.len_of(li);
+        q = ops::rope(&q, cfg.d_head, base);
+        k = ops::rope(&k, cfg.d_head, base);
+    }
+    cache.append(li, &k, &v);
+    let (kc, vc) = cache.get(li).expect("cache populated by append");
+    let attn = attention_core(&q, kc, vc, cfg.d_head);
+    w.wo.mm3(&attn)
+}
+
+fn mlp_local(cfg: &ModelConfig, ln: &Tensor, w: &LayerShard) -> Tensor {
+    let gate = w.w_gate.as_ref().map(|g| g.mm3(ln));
+    let up = w.w_in.mm3(ln);
+    w.w_out.mm3(&mlp_hidden(cfg, gate, up))
+}

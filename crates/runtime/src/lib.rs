@@ -1,0 +1,53 @@
+//! Multi-chip partitioned Transformer inference engine.
+//!
+//! This crate is the *functional* half of the reproduction: where
+//! `esti-core` computes what a partitioning **costs**, this crate proves
+//! what it **computes**. Every simulated chip is an OS thread owning only
+//! its weight shards and KV-cache shard; chips exchange tensors exclusively
+//! through `esti-collectives`. Tests assert that each layout's partitioned
+//! forward pass equals the single-chip [`esti_model::ReferenceModel`]
+//! within floating-point tolerance.
+//!
+//! Implemented layouts (matching `esti_core::Layout`):
+//!
+//! * **1D weight-stationary** (Section 3.2.1) — Megatron-style `d_ff`/head
+//!   sharding, replicated activations, one all-reduce per parallel block
+//!   (two for serialized blocks, reproducing Section 4.3's overhead);
+//! * **2D weight-stationary** (Section 3.2.2) — `E_x F_yz` weight shards,
+//!   activations sharded `E_xyz` at layer boundaries, with the alternating
+//!   reduce-scatter/all-gather dance over the `x` and `yz` groups;
+//! * **weight-gathered XYZ** (Section 3.2.3) — batch-sharded activations,
+//!   weights all-gathered just before use, no activation collectives;
+//!
+//! each combinable with head-sharded attention (multihead, or "baseline"
+//! multiquery with a replicated KV head) or the paper's batch-sharded
+//! multiquery attention, whose all-to-alls (Figure 5b) divide the KV cache
+//! `n_chips` ways.
+//!
+//! The engine also provides the serving loop: chunked (incremental)
+//! prefill, autoregressive decode with sampling, int8 weight quantization,
+//! and a [`esti_collectives::TrafficStats`] ledger that tests compare
+//! against the analytical communication volumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use esti_core::planner::decode_layout;
+//! use esti_core::Machine;
+//! use esti_model::{ModelConfig, ReferenceModel};
+//! use esti_runtime::{PartitionedEngine, WeightFormat};
+//!
+//! let model = ReferenceModel::init_random(ModelConfig::tiny(), 0);
+//! let machine = Machine::tpu_v4_slice(4).unwrap();
+//! let layout = decode_layout(model.config(), &machine);
+//! let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+//! let logits = engine.prefill(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 1, 1]]);
+//! assert_eq!(logits.shape(), &[4, 3, model.config().vocab]);
+//! ```
+
+pub mod engine;
+pub mod generate;
+pub mod shard;
+
+pub use engine::{PartitionedEngine, WeightFormat};
+pub use generate::GenerateOptions;

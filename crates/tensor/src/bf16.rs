@@ -1,0 +1,121 @@
+//! bfloat16 storage emulation.
+//!
+//! The modeled chip stores weights and activations in bfloat16 (Section 2).
+//! We emulate bf16 *storage* by truncating an `f32` to its top 16 bits
+//! (with round-to-nearest-even), while arithmetic stays in f32 — exactly the
+//! situation on the real hardware, where the MXU accumulates in higher
+//! precision.
+
+use crate::Tensor;
+
+/// Rounds an `f32` to the nearest bfloat16 value (round-to-nearest-even),
+/// returned as an `f32`.
+///
+/// # Examples
+///
+/// ```
+/// let x = esti_tensor::bf16::round_to_bf16(1.0 + 1e-5);
+/// assert_eq!(x, 1.0); // 1e-5 is below bf16 resolution near 1.0
+/// ```
+#[must_use]
+pub fn round_to_bf16(v: f32) -> f32 {
+    if v.is_nan() {
+        return v;
+    }
+    let bits = v.to_bits();
+    // Round to nearest even on the truncated 16 bits.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7fff + lsb);
+    f32::from_bits(rounded & 0xffff_0000)
+}
+
+/// Packs an `f32` into its 16-bit bfloat16 representation.
+#[must_use]
+pub fn to_bits(v: f32) -> u16 {
+    (round_to_bf16(v).to_bits() >> 16) as u16
+}
+
+/// Expands a 16-bit bfloat16 representation back to `f32` exactly.
+#[must_use]
+pub fn from_bits(bits: u16) -> f32 {
+    f32::from_bits(u32::from(bits) << 16)
+}
+
+/// Applies bf16 rounding to every element, simulating a tensor that was
+/// stored to HBM in bf16 and loaded back.
+#[must_use]
+pub fn quantize_tensor(t: &Tensor) -> Tensor {
+    t.map(round_to_bf16)
+}
+
+/// Maximum relative error introduced by bf16 rounding of a normal value:
+/// half a unit in the last place of an 8-bit mantissa.
+pub const MAX_RELATIVE_ERROR: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_values_are_preserved() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1.5] {
+            assert_eq!(round_to_bf16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [0.0f32, 1.0, -3.5, 123.0, -0.0078125] {
+            assert_eq!(from_bits(to_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_pass_through() {
+        assert!(round_to_bf16(f32::NAN).is_nan());
+        assert_eq!(round_to_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_to_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        // bf16 has a 7-bit stored mantissa, so the step above 1.0 is 2^-7.
+        // 1.0 + 2^-8 is exactly halfway; round-to-even picks 1.0.
+        let halfway = 1.0 + f32::powi(2.0, -8);
+        assert_eq!(round_to_bf16(halfway), 1.0);
+        // Just above halfway rounds up to the next representable value.
+        let above = 1.0 + f32::powi(2.0, -8) + f32::powi(2.0, -11);
+        assert_eq!(round_to_bf16(above), 1.0 + f32::powi(2.0, -7));
+    }
+
+    #[test]
+    fn quantize_tensor_applies_elementwise() {
+        let t = Tensor::from_vec(vec![2], vec![1.0 + 1e-5, 2.0]);
+        let q = quantize_tensor(&t);
+        assert_eq!(q.data(), &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_relative_error_bounded(v in -1e6f32..1e6) {
+            let q = round_to_bf16(v);
+            if v != 0.0 && v.is_normal() {
+                let rel = ((q - v) / v).abs();
+                prop_assert!(rel <= MAX_RELATIVE_ERROR, "v={v} q={q} rel={rel}");
+            }
+        }
+
+        #[test]
+        fn prop_idempotent(v in -1e6f32..1e6) {
+            let q = round_to_bf16(v);
+            prop_assert_eq!(round_to_bf16(q), q);
+        }
+
+        #[test]
+        fn prop_monotone(a in -1e5f32..1e5, b in -1e5f32..1e5) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_to_bf16(lo) <= round_to_bf16(hi));
+        }
+    }
+}

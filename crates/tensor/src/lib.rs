@@ -1,0 +1,33 @@
+//! Minimal dense tensor library for the `esti` inference-scaling simulator.
+//!
+//! The functional runtime (`esti-runtime`) executes *actual* partitioned
+//! Transformer forward passes to prove the paper's sharding algebra correct.
+//! This crate supplies the numeric substrate for that: a row-major `f32`
+//! [`Tensor`], the handful of operators a PaLM-style decoder needs
+//! ([`ops`]: matmul, softmax — including the log-base-2 fast path of
+//! Section 3.5 — layernorm, SwiGLU), AQT-style per-channel int8 weight
+//! quantization ([`quant`], Section 3.6), bf16 storage emulation ([`bf16`]),
+//! and the top-k/top-p decode samplers of Section 3.5 ([`sample`]).
+//!
+//! Everything is deliberately simple, portable and dependency-light; speed
+//! matters only enough for tests and Criterion microbenches to be pleasant.
+//!
+//! # Examples
+//!
+//! ```
+//! use esti_tensor::{ops, Tensor};
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::eye(3);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod bf16;
+pub mod ops;
+pub mod quant;
+pub mod sample;
+pub mod tensor;
+
+pub use quant::QuantizedMatrix;
+pub use tensor::Tensor;

@@ -1,0 +1,452 @@
+//! Numeric operators for Transformer inference.
+//!
+//! Includes the low-level optimizations called out in Section 3.5 of the
+//! paper: a log-base-2 softmax ([`softmax_base2`]) and log-base-2 swish
+//! ([`swish_base2`]) that replace `exp` with the cheaper `exp2`, exploiting
+//! `e^x = 2^(x·log2 e)`.
+
+use crate::Tensor;
+
+/// Matrix product of rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// Uses an i-k-j loop order so the inner loop streams both `b` and the
+/// output row contiguously.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use esti_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0]);
+/// assert_eq!(ops::matmul(&a, &b).data(), &[11.0]);
+/// ```
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+///
+/// # Panics
+///
+/// Panics if inputs are not rank 3 or batch/inner dimensions disagree.
+#[must_use]
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "batched_matmul lhs must be rank-3");
+    assert_eq!(b.rank(), 3, "batched_matmul rhs must be rank-3");
+    assert_eq!(a.dim(0), b.dim(0), "batch dimension mismatch");
+    let batch = a.dim(0);
+    let mut parts = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let ai = a.slice(0, i, 1).into_reshape(vec![a.dim(1), a.dim(2)]);
+        let bi = b.slice(0, i, 1).into_reshape(vec![b.dim(1), b.dim(2)]);
+        parts.push(matmul(&ai, &bi).into_reshape(vec![1, a.dim(1), b.dim(2)]));
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat(&refs, 0)
+}
+
+/// Numerically-stable softmax along the last dimension.
+#[must_use]
+pub fn softmax(t: &Tensor) -> Tensor {
+    softmax_impl(t, f32::exp)
+}
+
+/// Softmax computed in base 2 (Section 3.5's "faster log-base-2
+/// implementations of Softmax").
+///
+/// Mathematically identical to [`softmax`] because the base cancels in the
+/// normalization after rescaling logits by `log2(e)`; on real hardware
+/// `exp2` is cheaper than `exp`.
+#[must_use]
+pub fn softmax_base2(t: &Tensor) -> Tensor {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    softmax_impl(t, |v| (v * LOG2_E).exp2())
+}
+
+fn softmax_impl(t: &Tensor, exp: impl Fn(f32) -> f32) -> Tensor {
+    let last = *t.shape().last().expect("softmax of rank-0 tensor");
+    assert!(last > 0, "softmax over empty dimension");
+    let rows = t.numel() / last;
+    let mut out = vec![0.0f32; t.numel()];
+    for r in 0..rows {
+        let row = &t.data()[r * last..(r + 1) * last];
+        let orow = &mut out[r * last..(r + 1) * last];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            *o = exp(v - max);
+            sum += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(t.shape().to_vec(), out)
+}
+
+/// Layer normalization along the last dimension with learned `gain`
+/// (PaLM-style: no bias, epsilon inside the square root).
+///
+/// # Panics
+///
+/// Panics if `gain` is not rank 1 matching the last dimension of `t`.
+#[must_use]
+pub fn layernorm(t: &Tensor, gain: &Tensor, eps: f32) -> Tensor {
+    let last = *t.shape().last().expect("layernorm of rank-0 tensor");
+    assert_eq!(gain.shape(), &[last], "layernorm gain shape mismatch");
+    let rows = t.numel() / last;
+    let mut out = vec![0.0f32; t.numel()];
+    for r in 0..rows {
+        let row = &t.data()[r * last..(r + 1) * last];
+        let orow = &mut out[r * last..(r + 1) * last];
+        let mean: f32 = row.iter().sum::<f32>() / last as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / last as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for ((o, &v), &g) in orow.iter_mut().zip(row).zip(gain.data()) {
+            *o = (v - mean) * inv * g;
+        }
+    }
+    Tensor::from_vec(t.shape().to_vec(), out)
+}
+
+/// The swish / SiLU activation `x · sigmoid(x)` used inside PaLM's SwiGLU.
+#[must_use]
+pub fn swish(t: &Tensor) -> Tensor {
+    t.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// Swish computed with `exp2` (Section 3.5). Identical to [`swish`] up to
+/// floating-point rounding.
+#[must_use]
+pub fn swish_base2(t: &Tensor) -> Tensor {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    t.map(|v| v / (1.0 + (-v * LOG2_E).exp2()))
+}
+
+/// SwiGLU combination: `swish(gate) ⊙ up`, the element-wise product at the
+/// heart of PaLM's feedforward block.
+///
+/// # Panics
+///
+/// Panics if the two tensors have different shapes.
+#[must_use]
+pub fn swiglu(gate: &Tensor, up: &Tensor) -> Tensor {
+    &swish(gate) * up
+}
+
+/// Applies a lower-triangular causal mask to attention scores shaped
+/// `[..., l_q, l_k]`, where query position `i` may attend to key positions
+/// `0..=i + (l_k - l_q)` (the offset handles decode steps where cached keys
+/// precede the queries).
+///
+/// # Panics
+///
+/// Panics if `l_k < l_q` interpreted from the final two dimensions.
+#[must_use]
+pub fn causal_mask(scores: &Tensor) -> Tensor {
+    let rank = scores.rank();
+    assert!(rank >= 2, "causal_mask needs rank >= 2");
+    let l_q = scores.dim(rank - 2);
+    let l_k = scores.dim(rank - 1);
+    assert!(l_k >= l_q, "key length {l_k} shorter than query length {l_q}");
+    let offset = l_k - l_q;
+    let mats = scores.numel() / (l_q * l_k);
+    let mut out = scores.data().to_vec();
+    for m in 0..mats {
+        for i in 0..l_q {
+            for j in (offset + i + 1)..l_k {
+                out[(m * l_q + i) * l_k + j] = f32::NEG_INFINITY;
+            }
+        }
+    }
+    Tensor::from_vec(scores.shape().to_vec(), out)
+}
+
+/// Rotary positional embedding (RoPE; Su et al. 2021, used by PaLM).
+///
+/// `t` is `[B, L, H·d_head]`; each head's dimension pairs `(2i, 2i+1)` are
+/// rotated by angle `p / 10000^(2i/d_head)` where `p = base_pos + l` is the
+/// token's absolute position. `base_pos` carries the KV-cache offset so
+/// incremental prefill and decode rotate consistently with a single-shot
+/// prefill.
+///
+/// The rotation is local to each head's dimensions and depends only on the
+/// absolute position, so it commutes with head sharding and batch sharding
+/// — the property the partitioned runtime relies on.
+///
+/// # Panics
+///
+/// Panics if `t` is not rank 3, `d_head` is odd, or the last dimension is
+/// not a multiple of `d_head`.
+#[must_use]
+pub fn rope(t: &Tensor, d_head: usize, base_pos: usize) -> Tensor {
+    assert_eq!(t.rank(), 3, "rope expects [B, L, H*d_head]");
+    assert!(d_head.is_multiple_of(2), "rope requires an even d_head");
+    let (b, l, hd) = (t.dim(0), t.dim(1), t.dim(2));
+    assert!(hd % d_head == 0, "last dimension must be a multiple of d_head");
+    let heads = hd / d_head;
+    let half = d_head / 2;
+    // Precompute inverse frequencies and per-(position, i) sin/cos.
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|i| 1.0 / 10000f32.powf(2.0 * i as f32 / d_head as f32))
+        .collect();
+    let mut out = t.data().to_vec();
+    for li in 0..l {
+        let p = (base_pos + li) as f32;
+        for (i, &f) in inv_freq.iter().enumerate() {
+            let (sin, cos) = (p * f).sin_cos();
+            for bi in 0..b {
+                for h in 0..heads {
+                    let off = ((bi * l + li) * hd) + h * d_head + 2 * i;
+                    let (x0, x1) = (out[off], out[off + 1]);
+                    out[off] = x0 * cos - x1 * sin;
+                    out[off + 1] = x0 * sin + x1 * cos;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![b, l, hd], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&mut rng, vec![4, 6], 1.0);
+        assert!(matmul(&a, &Tensor::eye(6)).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_checks_dims() {
+        let _ = matmul(&Tensor::zeros(vec![2, 3]), &Tensor::zeros(vec![4, 2]));
+    }
+
+    #[test]
+    fn batched_matmul_matches_loop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&mut rng, vec![3, 2, 4], 1.0);
+        let b = Tensor::randn(&mut rng, vec![3, 4, 5], 1.0);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c.shape(), &[3, 2, 5]);
+        for i in 0..3 {
+            let ai = a.slice(0, i, 1).into_reshape(vec![2, 4]);
+            let bi = b.slice(0, i, 1).into_reshape(vec![4, 5]);
+            let ci = c.slice(0, i, 1).into_reshape(vec![2, 5]);
+            assert!(matmul(&ai, &bi).approx_eq(&ci, 1e-6));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax(&t);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1, 2], vec![1000.0, 1000.0]);
+        let s = softmax(&t);
+        assert!((s.at(&[0, 0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_base2_matches_softmax() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::randn(&mut rng, vec![5, 17], 3.0);
+        assert!(softmax(&t).approx_eq(&softmax_base2(&t), 1e-5));
+    }
+
+    #[test]
+    fn swish_base2_matches_swish() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::randn(&mut rng, vec![64], 2.0);
+        assert!(swish(&t).approx_eq(&swish_base2(&t), 1e-5));
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::randn(&mut rng, vec![3, 32], 4.0);
+        let n = layernorm(&t, &Tensor::ones(vec![32]), 1e-6);
+        for r in 0..3 {
+            let row = &n.data()[r * 32..(r + 1) * 32];
+            let mean: f32 = row.iter().sum::<f32>() / 32.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 32.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_applies_gain() {
+        let t = Tensor::from_vec(vec![1, 2], vec![-1.0, 1.0]);
+        let n = layernorm(&t, &Tensor::from_vec(vec![2], vec![2.0, 3.0]), 0.0);
+        assert!((n.at(&[0, 0]) + 2.0).abs() < 1e-5);
+        assert!((n.at(&[0, 1]) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn causal_mask_prefill_shape() {
+        let s = Tensor::zeros(vec![1, 3, 3]);
+        let m = causal_mask(&s);
+        // row i can see columns 0..=i
+        assert_eq!(m.at(&[0, 0, 1]), f32::NEG_INFINITY);
+        assert_eq!(m.at(&[0, 1, 1]), 0.0);
+        assert_eq!(m.at(&[0, 1, 2]), f32::NEG_INFINITY);
+        assert_eq!(m.at(&[0, 2, 2]), 0.0);
+    }
+
+    #[test]
+    fn causal_mask_decode_offset() {
+        // one query attending over 4 cached keys: nothing masked
+        let s = Tensor::zeros(vec![1, 1, 4]);
+        let m = causal_mask(&s);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn swiglu_zero_gate_kills_output() {
+        let gate = Tensor::zeros(vec![4]);
+        let up = Tensor::ones(vec![4]);
+        assert!(swiglu(&gate, &up).data().iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_distributes_over_addition(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&mut rng, vec![3, 4], 1.0);
+            let b = Tensor::randn(&mut rng, vec![4, 2], 1.0);
+            let c = Tensor::randn(&mut rng, vec![4, 2], 1.0);
+            let lhs = matmul(&a, &(&b + &c));
+            let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+            prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+        }
+
+        #[test]
+        fn prop_matmul_transpose_identity(seed in 0u64..100) {
+            // (A B)^T == B^T A^T
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&mut rng, vec![3, 5], 1.0);
+            let b = Tensor::randn(&mut rng, vec![5, 2], 1.0);
+            let lhs = matmul(&a, &b).transpose();
+            let rhs = matmul(&b.transpose(), &a.transpose());
+            prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+        }
+
+        #[test]
+        fn prop_softmax_invariant_to_shift(seed in 0u64..100, shift in -10.0f32..10.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::randn(&mut rng, vec![2, 9], 1.0);
+            let shifted = t.map(|v| v + shift);
+            prop_assert!(softmax(&t).approx_eq(&softmax(&shifted), 1e-5));
+        }
+
+        #[test]
+        fn prop_rope_preserves_norm(seed in 0u64..100, base in 0usize..64) {
+            // Rotation is an isometry on every (2i, 2i+1) pair.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::randn(&mut rng, vec![2, 3, 8], 1.0);
+            let r = rope(&t, 4, base);
+            let norm = |x: &Tensor| x.data().iter().map(|v| v * v).sum::<f32>();
+            prop_assert!((norm(&t) - norm(&r)).abs() / norm(&t) < 1e-4);
+        }
+
+        #[test]
+        fn prop_rope_dot_product_is_relative(seed in 0u64..50, shift in 0usize..32) {
+            // The defining property: <rope(q, p+s), rope(k, p'+s)> depends
+            // only on p - p', so shifting both positions leaves attention
+            // scores unchanged.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = Tensor::randn(&mut rng, vec![1, 1, 8], 1.0);
+            let k = Tensor::randn(&mut rng, vec![1, 1, 8], 1.0);
+            let dot = |a: &Tensor, b: &Tensor| -> f32 {
+                a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum()
+            };
+            let d0 = dot(&rope(&q, 8, 5), &rope(&k, 8, 2));
+            let d1 = dot(&rope(&q, 8, 5 + shift), &rope(&k, 8, 2 + shift));
+            prop_assert!((d0 - d1).abs() < 1e-3, "{d0} vs {d1}");
+        }
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = Tensor::randn(&mut rng, vec![1, 1, 8], 1.0);
+        assert!(rope(&t, 8, 0).approx_eq(&t, 1e-6));
+    }
+
+    #[test]
+    fn rope_base_offset_matches_position() {
+        // rope over [L=2] at base 3 must equal per-row rope at bases 3, 4.
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&mut rng, vec![1, 2, 8], 1.0);
+        let whole = rope(&t, 4, 3);
+        let row0 = rope(&t.slice(1, 0, 1), 4, 3);
+        let row1 = rope(&t.slice(1, 1, 1), 4, 4);
+        assert!(whole.slice(1, 0, 1).approx_eq(&row0, 1e-6));
+        assert!(whole.slice(1, 1, 1).approx_eq(&row1, 1e-6));
+    }
+
+    #[test]
+    fn rope_is_head_local() {
+        // Rotating a two-head tensor equals rotating each head separately.
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = Tensor::randn(&mut rng, vec![1, 2, 8], 1.0);
+        let both = rope(&t, 4, 9);
+        let h0 = rope(&t.slice(2, 0, 4), 4, 9);
+        let h1 = rope(&t.slice(2, 4, 4), 4, 9);
+        assert!(both.slice(2, 0, 4).approx_eq(&h0, 1e-6));
+        assert!(both.slice(2, 4, 4).approx_eq(&h1, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "even d_head")]
+    fn rope_rejects_odd_head_dim() {
+        let _ = rope(&Tensor::zeros(vec![1, 1, 3]), 3, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! AQT-style int8 weight quantization (Section 3.6).
+//!
+//! Weights are stored as `i8` with one symmetric `f32` scale per *output
+//! channel* (matrix column). This halves weight bytes relative to bf16 —
+//! the memory-time saving that drives the paper's low-latency int8 results —
+//! while matmul arithmetic stays in floating point, matching "the matmuls
+//! still use bfloat16 arithmetic" (Section 4.4).
+
+use crate::Tensor;
+
+/// A rank-2 weight matrix stored as int8 with per-column scales.
+///
+/// # Examples
+///
+/// ```
+/// use esti_tensor::{QuantizedMatrix, Tensor};
+///
+/// let w = Tensor::from_vec(vec![2, 2], vec![0.1, -2.0, 0.2, 1.0]);
+/// let q = QuantizedMatrix::quantize(&w);
+/// assert!(q.dequantize().approx_eq(&w, 0.02));
+/// assert_eq!(q.storage_bytes(), 2 * 2 + 2 * 4); // i8 data + f32 scales
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major int8 values.
+    values: Vec<i8>,
+    /// One scale per column; `w[i][j] ≈ values[i][j] * scales[j]`.
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a rank-2 tensor symmetrically per output channel (column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank 2.
+    #[must_use]
+    pub fn quantize(w: &Tensor) -> Self {
+        assert_eq!(w.rank(), 2, "quantize requires a rank-2 weight matrix");
+        let (rows, cols) = (w.dim(0), w.dim(1));
+        let mut scales = vec![0.0f32; cols];
+        for i in 0..rows {
+            for (j, s) in scales.iter_mut().enumerate() {
+                *s = s.max(w.data()[i * cols + j].abs());
+            }
+        }
+        for s in &mut scales {
+            *s = if *s == 0.0 { 1.0 } else { *s / 127.0 };
+        }
+        let mut values = vec![0i8; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let q = (w.data()[i * cols + j] / scales[j]).round();
+                values[i * cols + j] = q.clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantizedMatrix { rows, cols, values, scales }
+    }
+
+    /// Number of rows (input channels).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (output channels).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The per-column scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the floating-point matrix.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[i * self.cols + j] =
+                    f32::from(self.values[i * self.cols + j]) * self.scales[j];
+            }
+        }
+        Tensor::from_vec(vec![self.rows, self.cols], out)
+    }
+
+    /// Multiplies activations by the quantized matrix: `x [m, rows] → [m, cols]`.
+    ///
+    /// Accumulates in f32 over the int8 values, applying the column scale
+    /// once per output — the standard inference dataflow for weight-only
+    /// quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its inner dimension mismatches.
+    #[must_use]
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "quantized matmul lhs must be rank-2");
+        assert_eq!(x.dim(1), self.rows, "quantized matmul inner dimension mismatch");
+        let m = x.dim(0);
+        let mut out = vec![0.0f32; m * self.cols];
+        for i in 0..m {
+            let xrow = &x.data()[i * self.rows..(i + 1) * self.rows];
+            let orow = &mut out[i * self.cols..(i + 1) * self.cols];
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wrow = &self.values[k * self.cols..(k + 1) * self.cols];
+                for (o, &wv) in orow.iter_mut().zip(wrow) {
+                    *o += xv * f32::from(wv);
+                }
+            }
+            for (o, &s) in orow.iter_mut().zip(&self.scales) {
+                *o *= s;
+            }
+        }
+        Tensor::from_vec(vec![m, self.cols], out)
+    }
+
+    /// Bytes occupied by the quantized representation (int8 values plus
+    /// f32 scales), the quantity the memory-time model charges for.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() + self.scales.len() * 4
+    }
+
+    /// Worst-case absolute quantization error for column `j`: half a step.
+    #[must_use]
+    pub fn max_error(&self, col: usize) -> f32 {
+        self.scales[col] * 0.5
+    }
+}
+
+/// Quantizes, then immediately multiplies — convenience for tests comparing
+/// against the unquantized [`crate::ops::matmul`].
+#[must_use]
+pub fn quantized_matmul(x: &Tensor, w: &Tensor) -> Tensor {
+    QuantizedMatrix::quantize(w).matmul(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_error_bounded_per_column() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = Tensor::randn(&mut rng, vec![16, 8], 2.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let d = q.dequantize();
+        for i in 0..16 {
+            for j in 0..8 {
+                let err = (w.at(&[i, j]) - d.at(&[i, j])).abs();
+                assert!(err <= q.max_error(j) + 1e-6, "err {err} > bound {}", q.max_error(j));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_is_stable() {
+        let w = Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 0.0, -1.0]);
+        let q = QuantizedMatrix::quantize(&w);
+        assert!(q.dequantize().approx_eq(&w, 1e-6));
+    }
+
+    #[test]
+    fn extreme_values_hit_127() {
+        let w = Tensor::from_vec(vec![1, 1], vec![-5.0]);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.values, vec![-127]);
+        assert!((q.dequantize().at(&[0, 0]) + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_dequantized_matmul() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = Tensor::randn(&mut rng, vec![12, 6], 1.0);
+        let x = Tensor::randn(&mut rng, vec![4, 12], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let fused = q.matmul(&x);
+        let explicit = ops::matmul(&x, &q.dequantize());
+        assert!(fused.approx_eq(&explicit, 1e-4));
+    }
+
+    #[test]
+    fn quantized_matmul_close_to_fp() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = Tensor::randn(&mut rng, vec![64, 32], 0.05);
+        let x = Tensor::randn(&mut rng, vec![2, 64], 1.0);
+        let exact = ops::matmul(&x, &w);
+        let quant = quantized_matmul(&x, &w);
+        // int8 noise on 64-term dot products of ~N(0, 0.05) weights.
+        let scale: f32 = exact.data().iter().map(|v| v.abs()).fold(0.0, f32::max);
+        assert!(quant.max_abs_diff(&exact) < 0.02 * scale.max(1.0));
+    }
+
+    #[test]
+    fn storage_is_half_of_bf16_plus_scales() {
+        let w = Tensor::zeros(vec![128, 64]);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.storage_bytes(), 128 * 64 + 64 * 4);
+        assert!(q.storage_bytes() < 128 * 64 * 2); // beats bf16
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dequantize_bounded(seed in 0u64..200, std in 0.01f32..4.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = Tensor::randn(&mut rng, vec![8, 5], std);
+            let q = QuantizedMatrix::quantize(&w);
+            let d = q.dequantize();
+            for j in 0..5 {
+                for i in 0..8 {
+                    let err = (w.at(&[i, j]) - d.at(&[i, j])).abs();
+                    prop_assert!(err <= q.max_error(j) + 1e-5);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_quantize_idempotent_on_grid(seed in 0u64..100) {
+            // Quantizing an already-dequantized matrix is exact.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = Tensor::randn(&mut rng, vec![6, 3], 1.0);
+            let d = QuantizedMatrix::quantize(&w).dequantize();
+            let d2 = QuantizedMatrix::quantize(&d).dequantize();
+            prop_assert!(d.approx_eq(&d2, 1e-5));
+        }
+    }
+}

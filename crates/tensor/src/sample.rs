@@ -1,0 +1,262 @@
+//! Decode-time token sampling: greedy, temperature, top-k and top-p.
+//!
+//! Section 3.5 lists "faster top-k/top-p implementations for decode
+//! sampling" among the low-level optimizations. The implementations here use
+//! `select_nth_unstable` for an O(V) top-k cut instead of a full O(V log V)
+//! sort, and sort only the retained candidates.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// How to pick the next token from a logit row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Argmax decoding.
+    Greedy,
+    /// Softmax sampling at the given temperature over the full vocabulary.
+    Temperature(f32),
+    /// Keep the `k` highest logits, renormalize, sample at temperature 1.
+    TopK(usize),
+    /// Nucleus sampling: keep the smallest prefix of the sorted distribution
+    /// with cumulative probability at least `p`.
+    TopP(f32),
+}
+
+/// Samples one token id per row from a `[rows, vocab]` logits tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `k == 0`, `p` not in `(0, 1]`, or
+/// temperature is not positive.
+#[must_use]
+pub fn sample_tokens<R: Rng>(rng: &mut R, logits: &Tensor, method: Sampling) -> Vec<usize> {
+    assert_eq!(logits.rank(), 2, "sample_tokens expects [rows, vocab] logits");
+    let vocab = logits.dim(1);
+    (0..logits.dim(0))
+        .map(|r| sample_row(rng, &logits.data()[r * vocab..(r + 1) * vocab], method))
+        .collect()
+}
+
+/// Samples a single token id from one logit row.
+///
+/// # Panics
+///
+/// See [`sample_tokens`].
+#[must_use]
+pub fn sample_row<R: Rng>(rng: &mut R, logits: &[f32], method: Sampling) -> usize {
+    assert!(!logits.is_empty(), "empty logit row");
+    match method {
+        Sampling::Greedy => argmax(logits),
+        Sampling::Temperature(t) => {
+            assert!(t > 0.0, "temperature must be positive");
+            let ids: Vec<usize> = (0..logits.len()).collect();
+            categorical(rng, logits, &ids, t)
+        }
+        Sampling::TopK(k) => {
+            assert!(k > 0, "top-k requires k >= 1");
+            let ids = top_k_indices(logits, k.min(logits.len()));
+            categorical(rng, logits, &ids, 1.0)
+        }
+        Sampling::TopP(p) => {
+            assert!(p > 0.0 && p <= 1.0, "top-p requires p in (0, 1]");
+            let ids = top_p_indices(logits, p);
+            categorical(rng, logits, &ids, 1.0)
+        }
+    }
+}
+
+/// Index of the maximum logit (first on ties).
+#[must_use]
+pub fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest logits, in descending logit order.
+///
+/// Uses a partial selection (`select_nth_unstable_by`) so cost is
+/// `O(V + k log k)` rather than `O(V log V)`.
+#[must_use]
+pub fn top_k_indices(logits: &[f32], k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= logits.len(), "k out of range");
+    let mut ids: Vec<usize> = (0..logits.len()).collect();
+    if k < ids.len() {
+        ids.select_nth_unstable_by(k - 1, |&a, &b| {
+            logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by(|&a, &b| {
+        logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ids
+}
+
+/// Indices forming the top-p nucleus, in descending probability order.
+/// Always contains at least the argmax token.
+#[must_use]
+pub fn top_p_indices(logits: &[f32], p: f32) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..logits.len()).collect();
+    ids.sort_unstable_by(|&a, &b| {
+        logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let max = logits[ids[0]];
+    let z: f32 = logits.iter().map(|&v| (v - max).exp()).sum();
+    let mut cum = 0.0;
+    let mut keep = 0;
+    for &id in &ids {
+        cum += (logits[id] - max).exp() / z;
+        keep += 1;
+        if cum >= p {
+            break;
+        }
+    }
+    ids.truncate(keep.max(1));
+    ids
+}
+
+fn categorical<R: Rng>(rng: &mut R, logits: &[f32], ids: &[usize], temperature: f32) -> usize {
+    let max = ids.iter().map(|&i| logits[i]).fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = ids.iter().map(|&i| ((logits[i] - max) / temperature).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut u = rng.gen::<f32>() * total;
+    for (w, &id) in weights.iter().zip(ids) {
+        if u < *w {
+            return id;
+        }
+        u -= w;
+    }
+    *ids.last().expect("categorical over empty support")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_is_argmax() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = Tensor::from_vec(vec![2, 4], vec![0.0, 5.0, 1.0, 2.0, 9.0, 0.0, 0.0, 0.0]);
+        assert_eq!(sample_tokens(&mut rng, &logits, Sampling::Greedy), vec![1, 0]);
+    }
+
+    #[test]
+    fn top_k_indices_sorted_descending() {
+        let logits = [0.1, 3.0, -1.0, 2.0, 2.5];
+        assert_eq!(top_k_indices(&logits, 3), vec![1, 4, 3]);
+        assert_eq!(top_k_indices(&logits, 5).len(), 5);
+    }
+
+    #[test]
+    fn top_k_one_is_greedy() {
+        let logits = [0.1, 3.0, -1.0];
+        assert_eq!(top_k_indices(&logits, 1), vec![argmax(&logits)]);
+    }
+
+    #[test]
+    fn top_k_sampling_stays_in_set() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = [0.0, 10.0, 9.5, -50.0];
+        for _ in 0..100 {
+            let t = sample_row(&mut rng, &logits, Sampling::TopK(2));
+            assert!(t == 1 || t == 2, "sampled {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn top_p_nucleus_minimal() {
+        // One dominant token: nucleus of p=0.5 is just that token.
+        let logits = [10.0, 0.0, 0.0];
+        assert_eq!(top_p_indices(&logits, 0.5), vec![0]);
+        // p = 1.0 keeps everything.
+        assert_eq!(top_p_indices(&logits, 1.0).len(), 3);
+    }
+
+    #[test]
+    fn top_p_always_keeps_argmax() {
+        let logits = [1.0, 2.0, 3.0];
+        let ids = top_p_indices(&logits, 1e-6);
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn temperature_sampling_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // logits giving p = [~0.88, ~0.12]
+        let logits = [2.0, 0.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[sample_row(&mut rng, &logits, Sampling::Temperature(1.0))] += 1;
+        }
+        let p0 = counts[0] as f32 / 2000.0;
+        assert!((p0 - 0.88).abs() < 0.05, "p0 {p0}");
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = [1.0, 0.9, 0.0];
+        for _ in 0..50 {
+            assert_eq!(sample_row(&mut rng, &logits, Sampling::Temperature(0.01)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top-p requires p")]
+    fn top_p_rejects_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_row(&mut rng, &[1.0], Sampling::TopP(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_top_k_contains_argmax(
+            logits in proptest::collection::vec(-10.0f32..10.0, 1..40),
+            k in 1usize..10,
+        ) {
+            let k = k.min(logits.len());
+            let ids = top_k_indices(&logits, k);
+            prop_assert_eq!(ids.len(), k);
+            prop_assert!(ids.contains(&argmax(&logits)));
+        }
+
+        #[test]
+        fn prop_top_k_are_the_largest(
+            logits in proptest::collection::vec(-10.0f32..10.0, 2..40),
+        ) {
+            let k = logits.len() / 2;
+            if k >= 1 {
+                let ids = top_k_indices(&logits, k);
+                let min_kept = ids.iter().map(|&i| logits[i]).fold(f32::INFINITY, f32::min);
+                for (i, &v) in logits.iter().enumerate() {
+                    if !ids.contains(&i) {
+                        prop_assert!(v <= min_kept + 1e-6);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_sampled_token_in_vocab(
+            logits in proptest::collection::vec(-5.0f32..5.0, 1..20),
+            seed in 0u64..100,
+            p in 0.01f32..1.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for method in [Sampling::Greedy, Sampling::Temperature(0.7),
+                           Sampling::TopK(3.min(logits.len())), Sampling::TopP(p)] {
+                let t = sample_row(&mut rng, &logits, method);
+                prop_assert!(t < logits.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Physical torus axes and axis subsets.
+
+use std::fmt;
+
+/// One physical axis of the 3D torus.
+///
+/// The paper's sharding subscripts (`E_x F_yz`, all-gather(`xy`), …) name
+/// these axes directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// The torus `x` axis.
+    X,
+    /// The torus `y` axis.
+    Y,
+    /// The torus `z` axis.
+    Z,
+}
+
+impl Axis {
+    /// All three axes in canonical `x, y, z` order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Index of the axis: `x = 0`, `y = 1`, `z = 2`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Lowercase name used in sharding notation.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A subset of the three torus axes, e.g. the `yz` in `F_yz`.
+///
+/// Implemented as a tiny bit set; the empty set is valid and denotes a
+/// replicated (unsharded) dimension.
+///
+/// # Examples
+///
+/// ```
+/// use esti_topology::{Axis, AxisSet};
+///
+/// let yz = AxisSet::of(&[Axis::Y, Axis::Z]);
+/// assert!(yz.contains(Axis::Y));
+/// assert!(!yz.contains(Axis::X));
+/// assert_eq!(yz.len(), 2);
+/// assert_eq!(yz.to_string(), "yz");
+/// assert_eq!(AxisSet::all().without(yz), AxisSet::of(&[Axis::X]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AxisSet(u8);
+
+impl AxisSet {
+    /// The empty set (tensor dimension replicated over all chips).
+    #[must_use]
+    pub const fn empty() -> Self {
+        AxisSet(0)
+    }
+
+    /// The full set `{x, y, z}`.
+    #[must_use]
+    pub const fn all() -> Self {
+        AxisSet(0b111)
+    }
+
+    /// A set containing exactly one axis.
+    #[must_use]
+    pub const fn single(axis: Axis) -> Self {
+        AxisSet(1 << axis.index() as u8)
+    }
+
+    /// Builds a set from a slice of axes. Duplicates are allowed and ignored.
+    #[must_use]
+    pub fn of(axes: &[Axis]) -> Self {
+        let mut set = AxisSet::empty();
+        for &a in axes {
+            set = set.with(a);
+        }
+        set
+    }
+
+    /// Returns this set with `axis` inserted.
+    #[must_use]
+    pub const fn with(self, axis: Axis) -> Self {
+        AxisSet(self.0 | (1 << axis.index() as u8))
+    }
+
+    /// Returns this set minus every axis in `other`.
+    #[must_use]
+    pub const fn without(self, other: AxisSet) -> Self {
+        AxisSet(self.0 & !other.0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: AxisSet) -> Self {
+        AxisSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersection(self, other: AxisSet) -> Self {
+        AxisSet(self.0 & other.0)
+    }
+
+    /// Whether `axis` is a member.
+    #[must_use]
+    pub const fn contains(self, axis: Axis) -> bool {
+        self.0 & (1 << axis.index() as u8) != 0
+    }
+
+    /// Whether the two sets share no axis.
+    #[must_use]
+    pub const fn is_disjoint(self, other: AxisSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of axes in the set (0 to 3).
+    #[must_use]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the member axes in canonical `x, y, z` order.
+    pub fn iter(self) -> impl Iterator<Item = Axis> {
+        Axis::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl fmt::Display for AxisSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        for a in self.iter() {
+            f.write_str(a.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Axis> for AxisSet {
+    fn from(axis: Axis) -> Self {
+        AxisSet::single(axis)
+    }
+}
+
+impl FromIterator<Axis> for AxisSet {
+    fn from_iter<I: IntoIterator<Item = Axis>>(iter: I) -> Self {
+        let mut set = AxisSet::empty();
+        for a in iter {
+            set = set.with(a);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert_eq!(AxisSet::empty().len(), 0);
+        assert!(AxisSet::empty().is_empty());
+        assert_eq!(AxisSet::all().len(), 3);
+        for a in Axis::ALL {
+            assert!(AxisSet::all().contains(a));
+            assert!(!AxisSet::empty().contains(a));
+        }
+    }
+
+    #[test]
+    fn of_ignores_duplicates() {
+        let s = AxisSet::of(&[Axis::X, Axis::X, Axis::Y]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn without_removes_members() {
+        let s = AxisSet::all().without(AxisSet::single(Axis::Y));
+        assert_eq!(s, AxisSet::of(&[Axis::X, Axis::Z]));
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(AxisSet::empty().to_string(), "-");
+        assert_eq!(AxisSet::all().to_string(), "xyz");
+        assert_eq!(AxisSet::of(&[Axis::Z, Axis::X]).to_string(), "xz");
+    }
+
+    #[test]
+    fn iter_is_canonical_order() {
+        let s = AxisSet::of(&[Axis::Z, Axis::X]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![Axis::X, Axis::Z]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: AxisSet = [Axis::Y, Axis::Z].into_iter().collect();
+        assert_eq!(s, AxisSet::of(&[Axis::Y, Axis::Z]));
+    }
+
+    fn arb_axis_set() -> impl Strategy<Value = AxisSet> {
+        (0u8..8).prop_map(AxisSet)
+    }
+
+    proptest! {
+        #[test]
+        fn union_intersection_laws(a in arb_axis_set(), b in arb_axis_set()) {
+            prop_assert_eq!(a.union(b), b.union(a));
+            prop_assert_eq!(a.intersection(b), b.intersection(a));
+            prop_assert_eq!(a.union(a), a);
+            prop_assert_eq!(a.intersection(a), a);
+            prop_assert_eq!(a.union(b).intersection(a), a);
+        }
+
+        #[test]
+        fn without_makes_disjoint(a in arb_axis_set(), b in arb_axis_set()) {
+            prop_assert!(a.without(b).is_disjoint(b));
+        }
+
+        #[test]
+        fn len_counts_members(a in arb_axis_set()) {
+            prop_assert_eq!(a.len() as usize, a.iter().count());
+        }
+    }
+}

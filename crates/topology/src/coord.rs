@@ -1,0 +1,93 @@
+//! Chip coordinates on the torus.
+
+use std::fmt;
+
+use crate::Axis;
+
+/// The coordinate of one chip in an `X × Y × Z` torus.
+///
+/// # Examples
+///
+/// ```
+/// use esti_topology::{Axis, ChipCoord};
+///
+/// let c = ChipCoord::new(1, 2, 3);
+/// assert_eq!(c.along(Axis::Y), 2);
+/// assert_eq!(c.with_axis(Axis::Y, 0), ChipCoord::new(1, 0, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ChipCoord {
+    /// Position along the torus `x` axis.
+    pub x: usize,
+    /// Position along the torus `y` axis.
+    pub y: usize,
+    /// Position along the torus `z` axis.
+    pub z: usize,
+}
+
+impl ChipCoord {
+    /// Creates a coordinate. Bounds are checked by [`crate::TorusShape`]
+    /// methods, not here.
+    #[must_use]
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        ChipCoord { x, y, z }
+    }
+
+    /// The component along `axis`.
+    #[must_use]
+    pub const fn along(self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Returns a copy with the component along `axis` replaced by `value`.
+    #[must_use]
+    pub const fn with_axis(self, axis: Axis, value: usize) -> Self {
+        let mut c = self;
+        match axis {
+            Axis::X => c.x = value,
+            Axis::Y => c.y = value,
+            Axis::Z => c.z = value,
+        }
+        c
+    }
+}
+
+impl fmt::Display for ChipCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(usize, usize, usize)> for ChipCoord {
+    fn from((x, y, z): (usize, usize, usize)) -> Self {
+        ChipCoord::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn along_and_with_axis_roundtrip() {
+        let c = ChipCoord::new(4, 5, 6);
+        for a in Axis::ALL {
+            assert_eq!(c.with_axis(a, c.along(a)), c);
+            assert_eq!(c.with_axis(a, 9).along(a), 9);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ChipCoord::new(0, 1, 2).to_string(), "(0,1,2)");
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        assert_eq!(ChipCoord::from((1, 2, 3)), ChipCoord::new(1, 2, 3));
+    }
+}

@@ -1,0 +1,37 @@
+//! 3D torus topology for the `esti` inference-scaling simulator.
+//!
+//! TPU v4 slices are 3D tori named `X × Y × Z` (Section 3.1 of *Efficiently
+//! Scaling Transformer Inference*). Partitioning layouts in the paper are
+//! expressed by assigning logical tensor dimensions to subsets of the three
+//! physical axes — e.g. weights laid out `E_x F_yz` are split `X` ways along
+//! `d_model` and `Y·Z` ways along `d_ff`.
+//!
+//! This crate provides:
+//!
+//! * [`Axis`] and [`AxisSet`] — the physical axes `x`, `y`, `z` and subsets
+//!   thereof (`xy`, `yz`, `xyz`, …) used in sharding subscripts;
+//! * [`TorusShape`] — a slice shape with a catalog of realistic TPU v4
+//!   slices ([`TorusShape::for_chip_count`]);
+//! * [`ChipCoord`] and chip-id linearization, ring neighbours along an axis,
+//!   and enumeration of the chip *groups* that a collective over an
+//!   [`AxisSet`] runs within.
+//!
+//! # Examples
+//!
+//! ```
+//! use esti_topology::{Axis, AxisSet, TorusShape};
+//!
+//! let torus = TorusShape::for_chip_count(64).unwrap(); // 4 x 4 x 4
+//! assert_eq!(torus.chip_count(), 64);
+//! let yz = AxisSet::of(&[Axis::Y, Axis::Z]);
+//! assert_eq!(torus.group_size(yz), 16);
+//! assert_eq!(torus.group_count(yz), 4);
+//! ```
+
+pub mod axis;
+pub mod coord;
+pub mod shape;
+
+pub use axis::{Axis, AxisSet};
+pub use coord::ChipCoord;
+pub use shape::TorusShape;

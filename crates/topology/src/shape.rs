@@ -1,0 +1,334 @@
+//! Torus slice shapes and chip-group enumeration.
+
+use std::fmt;
+
+use crate::{Axis, AxisSet, ChipCoord};
+
+/// The shape of a 3D-torus slice, `X × Y × Z` chips.
+///
+/// The catalog in [`TorusShape::for_chip_count`] mirrors realistic TPU v4
+/// slice shapes (Section 4 benchmarks use 8 to 256 chips). Axis sizes of 1
+/// are allowed and simply mean the slice does not extend along that axis.
+///
+/// # Examples
+///
+/// ```
+/// use esti_topology::{Axis, AxisSet, TorusShape};
+///
+/// let t = TorusShape::new(4, 4, 4);
+/// assert_eq!(t.chip_count(), 64);
+/// assert_eq!(t.size(Axis::X), 4);
+/// let chips: Vec<_> = t.chips().collect();
+/// assert_eq!(chips.len(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TorusShape {
+    x: usize,
+    y: usize,
+    z: usize,
+}
+
+impl TorusShape {
+    /// Creates a torus shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be positive");
+        TorusShape { x, y, z }
+    }
+
+    /// The canonical slice shape for a chip count, if one exists in the
+    /// catalog. Shapes follow TPU v4 slice construction: near-cubic, with
+    /// every axis a power of two and at least 4 where possible (the minimum
+    /// torus-axis size with wraparound links; see Section D "minimum size of
+    /// a TPU v4 torus axis").
+    ///
+    /// Returns `None` for chip counts without a catalog entry.
+    #[must_use]
+    pub fn for_chip_count(n: usize) -> Option<Self> {
+        let (x, y, z) = match n {
+            1 => (1, 1, 1),
+            2 => (1, 1, 2),
+            4 => (1, 1, 4),
+            8 => (1, 2, 4),
+            16 => (1, 4, 4),
+            32 => (2, 4, 4),
+            64 => (4, 4, 4),
+            128 => (4, 4, 8),
+            256 => (4, 8, 8),
+            512 => (8, 8, 8),
+            1024 => (8, 8, 16),
+            _ => return None,
+        };
+        Some(TorusShape::new(x, y, z))
+    }
+
+    /// Chip counts present in the slice catalog, ascending.
+    #[must_use]
+    pub fn catalog_chip_counts() -> &'static [usize] {
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    }
+
+    /// Total number of chips in the slice.
+    #[must_use]
+    pub const fn chip_count(self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Size of the slice along one axis.
+    #[must_use]
+    pub const fn size(self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Product of the axis sizes in `axes` — the number of chips a
+    /// collective over those axes spans (its "group size").
+    #[must_use]
+    pub fn group_size(self, axes: AxisSet) -> usize {
+        axes.iter().map(|a| self.size(a)).product()
+    }
+
+    /// Number of disjoint groups a collective over `axes` partitions the
+    /// slice into. `group_size(axes) * group_count(axes) == chip_count()`.
+    #[must_use]
+    pub fn group_count(self, axes: AxisSet) -> usize {
+        self.chip_count() / self.group_size(axes)
+    }
+
+    /// Whether `coord` lies inside the slice.
+    #[must_use]
+    pub const fn contains(self, coord: ChipCoord) -> bool {
+        coord.x < self.x && coord.y < self.y && coord.z < self.z
+    }
+
+    /// Linearizes a coordinate to a chip id in `0..chip_count()`, row-major
+    /// with `x` slowest and `z` fastest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the slice.
+    #[must_use]
+    pub fn chip_id(self, coord: ChipCoord) -> usize {
+        assert!(self.contains(coord), "coordinate {coord} outside torus {self}");
+        (coord.x * self.y + coord.y) * self.z + coord.z
+    }
+
+    /// Inverse of [`TorusShape::chip_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= chip_count()`.
+    #[must_use]
+    pub fn coord_of(self, id: usize) -> ChipCoord {
+        assert!(id < self.chip_count(), "chip id {id} out of range");
+        let z = id % self.z;
+        let y = (id / self.z) % self.y;
+        let x = id / (self.z * self.y);
+        ChipCoord::new(x, y, z)
+    }
+
+    /// Iterates all chip coordinates in chip-id order.
+    pub fn chips(self) -> impl Iterator<Item = ChipCoord> {
+        (0..self.chip_count()).map(move |id| self.coord_of(id))
+    }
+
+    /// The ring successor of `coord` along `axis` (with wraparound).
+    #[must_use]
+    pub fn ring_next(self, coord: ChipCoord, axis: Axis) -> ChipCoord {
+        let n = self.size(axis);
+        coord.with_axis(axis, (coord.along(axis) + 1) % n)
+    }
+
+    /// The ring predecessor of `coord` along `axis` (with wraparound).
+    #[must_use]
+    pub fn ring_prev(self, coord: ChipCoord, axis: Axis) -> ChipCoord {
+        let n = self.size(axis);
+        coord.with_axis(axis, (coord.along(axis) + n - 1) % n)
+    }
+
+    /// The chips forming the group of `coord` under a collective over
+    /// `axes`: all chips agreeing with `coord` on every axis *not* in
+    /// `axes`. The result is ordered so that members trace a ring
+    /// (lexicographic order over the member axes).
+    #[must_use]
+    pub fn group_of(self, coord: ChipCoord, axes: AxisSet) -> Vec<ChipCoord> {
+        let mut members = Vec::with_capacity(self.group_size(axes));
+        // Iterate member-axis positions lexicographically.
+        let ax: Vec<Axis> = axes.iter().collect();
+        let sizes: Vec<usize> = ax.iter().map(|&a| self.size(a)).collect();
+        let total: usize = sizes.iter().product::<usize>().max(1);
+        for idx in 0..total {
+            let mut c = coord;
+            let mut rem = idx;
+            for (k, &a) in ax.iter().enumerate().rev() {
+                c = c.with_axis(a, rem % sizes[k]);
+                rem /= sizes[k];
+            }
+            members.push(c);
+        }
+        members
+    }
+
+    /// Enumerates every group (as ordered member lists) induced by a
+    /// collective over `axes`. Groups are disjoint and cover the slice.
+    #[must_use]
+    pub fn groups(self, axes: AxisSet) -> Vec<Vec<ChipCoord>> {
+        let mut seen = vec![false; self.chip_count()];
+        let mut out = Vec::with_capacity(self.group_count(axes));
+        for c in self.chips() {
+            if seen[self.chip_id(c)] {
+                continue;
+            }
+            let group = self.group_of(c, axes);
+            for &m in &group {
+                seen[self.chip_id(m)] = true;
+            }
+            out.push(group);
+        }
+        out
+    }
+
+    /// Splits the slice into a differently factored *logical* shape with the
+    /// same chip count, e.g. viewing a `4×4×4` slice as `8×8×1` for a layout
+    /// that wants `X = 8`. Returns `None` if `n_x * n_y * n_z` does not
+    /// equal the chip count.
+    #[must_use]
+    pub fn refactor(self, n_x: usize, n_y: usize, n_z: usize) -> Option<TorusShape> {
+        if n_x * n_y * n_z == self.chip_count() && n_x > 0 && n_y > 0 && n_z > 0 {
+            Some(TorusShape::new(n_x, n_y, n_z))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TorusShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn catalog_chip_counts_match() {
+        for &n in TorusShape::catalog_chip_counts() {
+            let t = TorusShape::for_chip_count(n).unwrap();
+            assert_eq!(t.chip_count(), n, "catalog shape for {n} chips");
+        }
+        assert!(TorusShape::for_chip_count(3).is_none());
+        assert!(TorusShape::for_chip_count(96).is_none());
+    }
+
+    #[test]
+    fn sixty_four_chips_is_cubic() {
+        let t = TorusShape::for_chip_count(64).unwrap();
+        assert_eq!((t.size(Axis::X), t.size(Axis::Y), t.size(Axis::Z)), (4, 4, 4));
+    }
+
+    #[test]
+    fn chip_id_roundtrip() {
+        let t = TorusShape::new(3, 4, 5);
+        for id in 0..t.chip_count() {
+            assert_eq!(t.chip_id(t.coord_of(id)), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside torus")]
+    fn chip_id_rejects_out_of_bounds() {
+        let _ = TorusShape::new(2, 2, 2).chip_id(ChipCoord::new(2, 0, 0));
+    }
+
+    #[test]
+    fn ring_next_wraps() {
+        let t = TorusShape::new(4, 4, 4);
+        let c = ChipCoord::new(3, 1, 1);
+        assert_eq!(t.ring_next(c, Axis::X), ChipCoord::new(0, 1, 1));
+        assert_eq!(t.ring_prev(ChipCoord::new(0, 1, 1), Axis::X), c);
+    }
+
+    #[test]
+    fn group_sizes_multiply() {
+        let t = TorusShape::new(2, 4, 8);
+        let xy = AxisSet::of(&[Axis::X, Axis::Y]);
+        assert_eq!(t.group_size(xy), 8);
+        assert_eq!(t.group_count(xy), 8);
+        assert_eq!(t.group_size(AxisSet::empty()), 1);
+        assert_eq!(t.group_count(AxisSet::empty()), t.chip_count());
+    }
+
+    #[test]
+    fn groups_partition_the_slice() {
+        let t = TorusShape::new(2, 3, 4);
+        for axes in [
+            AxisSet::empty(),
+            AxisSet::single(Axis::X),
+            AxisSet::of(&[Axis::Y, Axis::Z]),
+            AxisSet::all(),
+        ] {
+            let groups = t.groups(axes);
+            assert_eq!(groups.len(), t.group_count(axes));
+            let mut seen = vec![false; t.chip_count()];
+            for g in &groups {
+                assert_eq!(g.len(), t.group_size(axes));
+                for &c in g {
+                    let id = t.chip_id(c);
+                    assert!(!seen[id], "chip {c} in two groups");
+                    seen[id] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn group_of_holds_other_axes_fixed() {
+        let t = TorusShape::new(4, 4, 4);
+        let g = t.group_of(ChipCoord::new(1, 2, 3), AxisSet::single(Axis::Y));
+        assert_eq!(g.len(), 4);
+        for c in g {
+            assert_eq!(c.x, 1);
+            assert_eq!(c.z, 3);
+        }
+    }
+
+    #[test]
+    fn refactor_preserves_count() {
+        let t = TorusShape::new(4, 4, 4);
+        assert_eq!(t.refactor(8, 8, 1), Some(TorusShape::new(8, 8, 1)));
+        assert_eq!(t.refactor(5, 5, 5), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_ids(x in 1usize..5, y in 1usize..5, z in 1usize..5) {
+            let t = TorusShape::new(x, y, z);
+            for c in t.chips() {
+                prop_assert_eq!(t.coord_of(t.chip_id(c)), c);
+            }
+        }
+
+        #[test]
+        fn prop_ring_cycles(x in 1usize..6, y in 1usize..6, z in 1usize..6, ai in 0usize..3) {
+            let t = TorusShape::new(x, y, z);
+            let axis = Axis::ALL[ai];
+            let start = ChipCoord::new(0, 0, 0);
+            let mut c = start;
+            for _ in 0..t.size(axis) {
+                c = t.ring_next(c, axis);
+            }
+            prop_assert_eq!(c, start);
+        }
+    }
+}

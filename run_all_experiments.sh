@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# experiments. Output CSVs land in results/.
+set -euo pipefail
+cd "$(dirname "$0")"
+BINS=(fig1 fig3 fig6 fig7 fig8 fig9 fig_b1 fig_c1
+      table1 table2 table3 table_d
+      ablation_parallel ablation_overlap baseline_pp serving
+      extension_act_quant netsim_check check_claims)
+for b in "${BINS[@]}"; do
+    echo "=== $b ==="
+    cargo run --release -q -p esti-bench --bin "$b"
+    echo
+done

@@ -1,0 +1,45 @@
+//! `esti` — *Efficiently Scaling Transformer Inference* (Pope et al.,
+//! MLSYS 2023), reproduced as a Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`hal`] | `esti-hal` | chip specs (TPU v4 default), dtypes |
+//! | [`topology`] | `esti-topology` | 3D torus, axes, chip groups |
+//! | [`tensor`] | `esti-tensor` | dense tensors, matmul, softmax, int8, sampling |
+//! | [`netsim`] | `esti-netsim` | discrete-event collective simulator |
+//! | [`collectives`] | `esti-collectives` | shared-memory collectives + traffic ledger |
+//! | [`model`] | `esti-model` | PaLM/MT-NLG configs, reference Transformer |
+//! | [`core`] | `esti-core` | partitioning layouts, performance model, planner |
+//! | [`runtime`] | `esti-runtime` | partitioned multi-chip execution engine |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use esti::core::planner::plan_inference;
+//! use esti::core::Machine;
+//! use esti::hal::DType;
+//! use esti::model::ModelConfig;
+//!
+//! // How should PaLM 540B serve a chatbot on 64 chips?
+//! let machine = Machine::tpu_v4_slice(64).unwrap();
+//! let model = ModelConfig::palm_540b_padded();
+//! let plan = plan_inference(&model, &machine, 64, 2048, 64, DType::Int8);
+//! println!(
+//!     "prefill {} + decode {} -> {:.2}s end to end",
+//!     plan.prefill.describe(),
+//!     plan.decode.describe(),
+//!     plan.total_latency
+//! );
+//! ```
+
+pub use esti_collectives as collectives;
+pub use esti_core as core;
+pub use esti_hal as hal;
+pub use esti_model as model;
+pub use esti_netsim as netsim;
+pub use esti_runtime as runtime;
+pub use esti_tensor as tensor;
+pub use esti_topology as topology;

@@ -1,0 +1,184 @@
+//! Workspace-level integration tests: the planner (esti-core), the
+//! functional runtime (esti-runtime), the network simulator (esti-netsim)
+//! and the memory model must agree with each other, not just each pass
+//! their own unit tests.
+
+use esti::core::layout::{AttnSharding, FfnLayout, Layout, MeshFactors, PieceKind};
+use esti::core::memory;
+use esti::core::pareto::{decode_sweep, pareto_frontier};
+use esti::core::planner::{decode_layout_for_batch, plan_inference};
+use esti::core::Machine;
+use esti::hal::{ChipSpec, DType};
+use esti::model::{KvCache, ModelConfig, ReferenceModel};
+use esti::netsim::{analytic_time, simulate_collective, CollectiveKind};
+use esti::runtime::{GenerateOptions, PartitionedEngine, WeightFormat};
+use esti::topology::{Axis, AxisSet, TorusShape};
+
+#[test]
+fn planner_choices_drive_a_working_engine() {
+    // The layout the planner picks for decode must execute correctly.
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 100);
+    let machine = Machine::tpu_v4_slice(4).expect("catalog");
+    let layout = decode_layout_for_batch(model.config(), &machine, 4);
+    assert_eq!(layout.ffn, FfnLayout::WeightStationary2D);
+    assert_eq!(layout.attn, AttnSharding::Batch);
+
+    let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+    let prompts: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 3, b + 5, b + 7]).collect();
+
+    let mut cache = KvCache::new(model.config().n_layers);
+    let expect = model.prefill(&prompts, &mut cache);
+    let got = engine.prefill(&prompts);
+    assert!(got.approx_eq(&expect, 2e-3), "max diff {}", got.max_abs_diff(&expect));
+}
+
+#[test]
+fn plans_for_every_paper_model_are_sane() {
+    for model in ModelConfig::paper_models() {
+        for dtype in [DType::Bf16, DType::Int8] {
+            let machine = Machine::tpu_v4_slice(64).expect("catalog");
+            let plan = plan_inference(&model, &machine, 256, 2048, 64, dtype);
+            assert!(plan.total_latency > 0.0, "{} {dtype}", model.name);
+            assert!(plan.total_mfu > 0.01 && plan.total_mfu < 1.0, "{} {dtype}", model.name);
+            assert!(
+                plan.prefill_est.step_time > plan.decode_est.step_time / 64.0,
+                "prefill of 2048 tokens must beat one decode step ({})",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_kv_footprint_matches_memory_model() {
+    // The memory model's per-chip KV accounting (Table 1's engine) must
+    // equal what the functional runtime actually stores.
+    let cfg = ModelConfig::tiny();
+    let model = ReferenceModel::init_random(cfg.clone(), 101);
+    let (batch, len, n) = (4usize, 6usize, 4usize);
+    let prompts: Vec<Vec<usize>> = (0..batch).map(|b| vec![b % 7; len]).collect();
+    for sharding in [AttnSharding::Head, AttnSharding::Batch] {
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: sharding,
+            mesh: MeshFactors::new(1, n, 1),
+        };
+        let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+        let _ = engine.prefill(&prompts);
+        let measured_elems = engine.max_cache_elements_per_chip() as f64;
+        let model_bytes = memory::kv_bytes_per_chip(&cfg, sharding, n, batch, len, DType::F32);
+        assert_eq!(
+            measured_elems * 4.0,
+            model_bytes,
+            "KV accounting mismatch under {sharding:?}"
+        );
+    }
+}
+
+#[test]
+fn netsim_validates_the_perf_models_collective_costs() {
+    // The perf model charges WS2D's E/X-sized pieces over the yz axes and
+    // its F/YZ-sized pieces over the x axis; the event simulator must agree
+    // with the closed forms it uses.
+    let chip = ChipSpec::tpu_v4();
+    let torus = TorusShape::new(4, 4, 4);
+    for (axes, bytes) in [
+        (AxisSet::single(Axis::X), 2e6),
+        (AxisSet::of(&[Axis::Y, Axis::Z]), 2e6),
+    ] {
+        for kind in [CollectiveKind::AllGather, CollectiveKind::ReduceScatter] {
+            let sim = simulate_collective(&chip, torus, kind, axes, bytes);
+            let ana = analytic_time(&chip, torus, kind, axes, bytes);
+            let rel = (sim - ana).abs() / ana;
+            assert!(rel < 0.4, "{kind:?} over {axes}: sim {sim} vs analytic {ana}");
+        }
+    }
+}
+
+#[test]
+fn comm_pieces_follow_the_paper_axis_assignment() {
+    // Cross-check of Appendix A.2.1 as encoded in the layout: at the
+    // optimal mesh for F = 4E, the per-axis piece volumes are equal.
+    let model = ModelConfig::palm_62b(); // F = 4E
+    let layout = Layout::ws2d(&model, 64);
+    let pieces = layout.layer_comm(&model, 512.0);
+    let yz: Vec<_> = pieces.iter().filter(|p| p.axes == 2).collect();
+    let x: Vec<_> = pieces.iter().filter(|p| p.axes == 1).collect();
+    assert_eq!(yz.len(), 2);
+    assert_eq!(x.len(), 2);
+    assert!(
+        (yz[0].elements - x[0].elements).abs() / x[0].elements < 1e-9,
+        "balanced mesh must equalize E/X and F/YZ volumes"
+    );
+    assert!(pieces.iter().all(|p| p.kind == PieceKind::GatherScatter || p.kind == PieceKind::AllToAll));
+}
+
+#[test]
+fn generation_is_deterministic_across_layouts() {
+    // Greedy generation must produce identical tokens whichever layout
+    // executes it — partitioning is an implementation detail.
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 102);
+    let prompts: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 2, b + 4, b + 6, b + 8]).collect();
+    let opts = GenerateOptions { max_new_tokens: 6, ..GenerateOptions::default() };
+    let mut outputs = Vec::new();
+    for layout in [
+        Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(1, 4, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: MeshFactors::new(2, 2, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightGathered(esti::core::layout::GatherExtent::Xyz),
+            attn: AttnSharding::Batch,
+            mesh: MeshFactors::new(4, 1, 1),
+        },
+    ] {
+        let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+        outputs.push(engine.generate(&prompts, &opts));
+    }
+    assert_eq!(outputs[0], outputs[1], "1D vs 2D generation diverged");
+    assert_eq!(outputs[0], outputs[2], "1D vs WG generation diverged");
+}
+
+#[test]
+fn pareto_frontiers_exist_for_all_models_and_dtypes() {
+    for model in ModelConfig::paper_models() {
+        for dtype in [DType::Bf16, DType::Int8] {
+            let sweep = decode_sweep(&model, dtype, 2048);
+            assert!(!sweep.is_empty(), "{} {dtype}: empty sweep", model.name);
+            let frontier = pareto_frontier(&sweep, |p| p.cost);
+            assert!(!frontier.is_empty());
+            for w in frontier.windows(2) {
+                assert!(w[0].latency <= w[1].latency);
+                assert!(w[0].cost >= w[1].cost);
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_chatbot_latency_is_order_correct() {
+    // Section 1: 64-token turn + 1920-token history + 64-token reply on
+    // 64 chips, int8 -> ~1.9s. Our simulated hardware should land within
+    // 2x of that.
+    let model = ModelConfig::palm_540b_padded();
+    let machine = Machine::tpu_v4_slice(64).expect("catalog");
+    let prefill_l = esti::core::planner::prefill_layout(&model, &machine, 1, 64, DType::Int8);
+    let prefill = esti::core::perf::estimate(
+        &machine,
+        &model,
+        &prefill_l,
+        &esti::core::perf::PhaseSpec::prefill(1, 64),
+        DType::Int8,
+    );
+    let decode_l = decode_layout_for_batch(&model, &machine, 64);
+    let decode =
+        esti::core::perf::generate_latency(&machine, &model, &decode_l, 64, 1984, 64, DType::Int8);
+    let total = prefill.step_time + decode.step_time;
+    assert!(total > 0.95 && total < 3.8, "chatbot total {total}s, paper 1.9s");
+}
