@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lints, and the static partition-plan analyzer.
+# Everything here runs offline; no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (workspace lints, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== esti-lint: static partition-plan & SPMD schedule analysis =="
+cargo run --release -p esti-verify --bin esti-lint
+
+echo "== model-checked collectives (bounded-DFS interleavings) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p esti-collectives --test loom --release
+
+echo "CI OK"

@@ -62,7 +62,7 @@ fn main() {
         rows.push(format!(
             "{batch},{},{}",
             batch * seq,
-            mfus.iter().map(|m| format!("{:.4}", m)).collect::<Vec<_>>().join(",")
+            mfus.iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>().join(",")
         ));
     }
     write_csv("fig7.csv", "sequences,tokens,ws2d,wg_x,wg_xy,wg_xyz", &rows);

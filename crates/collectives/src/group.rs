@@ -1,18 +1,36 @@
 //! Mailbox-and-barrier collective groups.
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::Arc;
 
 use esti_tensor::Tensor;
 
 use crate::stats::{CollectiveOp, TrafficStats};
+use crate::sync::{Barrier, Mutex};
 
 /// Logical activation width used for traffic accounting (bf16, Section 2).
 const ACT_BYTES: u64 = 2;
+
+/// What one member claims to be doing, deposited before each collective in
+/// debug builds so divergent members fail an assertion instead of
+/// deadlocking at the barrier or corrupting each other's mailboxes.
+#[cfg(all(debug_assertions, not(loom)))]
+#[derive(Clone, PartialEq, Debug)]
+struct CallMeta {
+    /// Index of this call in the member's collective sequence.
+    seq: u64,
+    op: CollectiveOp,
+    shape: Vec<usize>,
+    /// Operative dimensions: `[dim, dim]` for gather/scatter/reduce,
+    /// `[split_dim, concat_dim]` for all-to-all.
+    dims: [usize; 2],
+}
 
 struct Shared {
     slots: Vec<Mutex<Option<Tensor>>>,
     barrier: Barrier,
     stats: Option<Arc<TrafficStats>>,
+    #[cfg(all(debug_assertions, not(loom)))]
+    meta: Vec<Mutex<Option<CallMeta>>>,
 }
 
 /// One member's handle to a collective group of simulated chips.
@@ -37,6 +55,9 @@ struct Shared {
 pub struct CommGroup {
     shared: Arc<Shared>,
     rank: usize,
+    /// Number of collectives this member has issued (debug-build SPMD check).
+    #[cfg(all(debug_assertions, not(loom)))]
+    calls: std::cell::Cell<u64>,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -73,9 +94,16 @@ impl CommGroup {
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
             barrier: Barrier::new(size),
             stats,
+            #[cfg(all(debug_assertions, not(loom)))]
+            meta: (0..size).map(|_| Mutex::new(None)).collect(),
         });
         (0..size)
-            .map(|rank| CommGroup { shared: Arc::clone(&shared), rank })
+            .map(|rank| CommGroup {
+                shared: Arc::clone(&shared),
+                rank,
+                #[cfg(all(debug_assertions, not(loom)))]
+                calls: std::cell::Cell::new(0),
+            })
             .collect()
     }
 
@@ -110,6 +138,45 @@ impl CommGroup {
         all
     }
 
+    /// Debug-build SPMD conformance check: every member deposits what it is
+    /// about to do; after a barrier, each asserts all deposits agree. A
+    /// member that diverged (wrong op, wrong shape, out-of-order call) fails
+    /// fast with a message naming both sides, instead of deadlocking at the
+    /// exchange barrier or silently mixing shards. Every member performs the
+    /// identical comparison, so on disagreement *all* members panic and no
+    /// thread is left waiting on a barrier that will never fill.
+    ///
+    /// Disabled under `--cfg loom` to keep the model-checked state space at
+    /// the size of the production protocol.
+    #[cfg(all(debug_assertions, not(loom)))]
+    fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 2]) {
+        if self.size() == 1 {
+            return;
+        }
+        let seq = self.calls.get();
+        self.calls.set(seq + 1);
+        let mine = CallMeta { seq, op, shape: shape.to_vec(), dims };
+        *self.shared.meta[self.rank].lock().expect("meta poisoned") = Some(mine.clone());
+        self.shared.barrier.wait();
+        for (peer, slot) in self.shared.meta.iter().enumerate() {
+            let theirs = slot
+                .lock()
+                .expect("meta poisoned")
+                .clone()
+                .expect("peer deposited call metadata");
+            assert!(
+                mine == theirs,
+                "SPMD violation: rank {} issued {mine:?} but rank {peer} issued {theirs:?} — \
+                 all members of a group must execute the same collective sequence",
+                self.rank,
+            );
+        }
+        self.shared.barrier.wait();
+    }
+
+    #[cfg(not(all(debug_assertions, not(loom))))]
+    fn debug_check_agreement(&self, _op: CollectiveOp, _shape: &[usize], _dims: [usize; 2]) {}
+
     fn record(&self, op: CollectiveOp, elems: usize) {
         if self.rank == 0 {
             if let Some(stats) = &self.shared.stats {
@@ -128,6 +195,7 @@ impl CommGroup {
     /// Panics if members pass incompatible shapes.
     #[must_use]
     pub fn all_gather(&self, shard: &Tensor, dim: usize) -> Tensor {
+        self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim]);
         let parts = self.exchange(shard.clone());
         let refs: Vec<&Tensor> = parts.iter().collect();
         let out = Tensor::concat(&refs, dim);
@@ -145,6 +213,7 @@ impl CommGroup {
     /// Panics if `dim` is not divisible by the group size or shapes differ.
     #[must_use]
     pub fn reduce_scatter(&self, input: &Tensor, dim: usize) -> Tensor {
+        self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim]);
         self.record(CollectiveOp::ReduceScatter, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -169,6 +238,7 @@ impl CommGroup {
     /// (Section 3.1) and charged as both in the traffic ledger.
     #[must_use]
     pub fn all_reduce(&self, input: &Tensor) -> Tensor {
+        self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0]);
         self.record(CollectiveOp::AllReduce, input.numel() * 2);
         if self.size() == 1 {
             return input.clone();
@@ -195,6 +265,7 @@ impl CommGroup {
     /// Panics if `split_dim` is not divisible by the group size.
     #[must_use]
     pub fn all_to_all(&self, input: &Tensor, split_dim: usize, concat_dim: usize) -> Tensor {
+        self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim]);
         self.record(CollectiveOp::AllToAll, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -368,6 +439,55 @@ mod tests {
         assert_eq!(stats.bytes(CollectiveOp::AllGather), 16);
         assert_eq!(stats.bytes(CollectiveOp::ReduceScatter), 16);
         assert_eq!(stats.calls(CollectiveOp::AllGather), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SPMD violation")]
+    fn mismatched_collective_ops_fail_fast() {
+        // One member all-gathers while the other all-reduces: a schedule
+        // divergence that would deadlock or mis-shard in release. The debug
+        // agreement check makes every member panic instead.
+        let mut g = CommGroup::create(2);
+        let g1 = g.remove(1);
+        let g0 = g.remove(0);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = g1.all_gather(&Tensor::ones(vec![2]), 0);
+            });
+            let _ = g0.all_reduce(&Tensor::ones(vec![2]));
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SPMD violation")]
+    fn mismatched_shapes_fail_fast() {
+        let mut g = CommGroup::create(2);
+        let g1 = g.remove(1);
+        let g0 = g.remove(0);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = g1.all_reduce(&Tensor::ones(vec![3]));
+            });
+            let _ = g0.all_reduce(&Tensor::ones(vec![2]));
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SPMD violation")]
+    fn mismatched_dims_fail_fast() {
+        // Same op and shape but different gather dimension.
+        let mut g = CommGroup::create(2);
+        let g1 = g.remove(1);
+        let g0 = g.remove(0);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = g1.all_gather(&Tensor::ones(vec![2, 2]), 1);
+            });
+            let _ = g0.all_gather(&Tensor::ones(vec![2, 2]), 0);
+        });
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod group;
 pub mod stats;
+pub mod sync;
 
 pub use group::CommGroup;
 pub use stats::{CollectiveOp, TrafficStats};

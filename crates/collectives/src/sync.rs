@@ -1,0 +1,70 @@
+//! Synchronization primitives for the collective groups.
+//!
+//! Under `--cfg loom` the mutex and condvar come from the `esti-loom` model
+//! checker, so every blocking operation in [`CommGroup`](crate::CommGroup)
+//! becomes a scheduling point the checker can interleave. In normal builds
+//! they are the plain `std::sync` types with zero overhead.
+//!
+//! The barrier is our own sense-reversing implementation on top of the
+//! switched mutex/condvar (rather than `std::sync::Barrier`) for exactly
+//! that reason: its blocking must be visible to the model checker.
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex};
+
+/// A reusable barrier for a fixed set of participants.
+///
+/// Sense-reversing via a generation counter: the last arrival of a
+/// generation resets the count and bumps the generation, and earlier
+/// arrivals wait for the generation to change — so back-to-back `wait`
+/// calls (the two phases of a mailbox exchange) cannot confuse a fast
+/// participant's second phase with a slow participant's first.
+pub struct Barrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    /// A barrier releasing once `n` participants have called [`wait`].
+    ///
+    /// [`wait`]: Barrier::wait
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier requires at least one participant");
+        Barrier {
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Block until all `n` participants have arrived. Returns `true` on
+    /// exactly one participant per generation (the last to arrive).
+    pub fn wait(&self) -> bool {
+        let mut s = self.state.lock().expect("barrier state poisoned");
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return true;
+        }
+        let generation = s.generation;
+        while s.generation == generation {
+            s = self.cv.wait(s).expect("barrier state poisoned");
+        }
+        false
+    }
+}

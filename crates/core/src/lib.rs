@@ -22,6 +22,8 @@
 //!   (Figures 1, C.1);
 //! * [`planner`] — the layout-selection strategy of Section 4.1 and an
 //!   application-requirements advisor;
+//! * [`schedule`] — symbolic per-chip execution schedules mirroring the
+//!   runtime dataflows, verifiable against the algebra's rewrite rules;
 //! * [`ft`] — the published FasterTransformer baseline numbers used in
 //!   Section 5 / Appendix D.
 //!
@@ -55,6 +57,7 @@ pub mod pareto;
 pub mod perf;
 pub mod pipeline;
 pub mod planner;
+pub mod schedule;
 pub mod serving;
 pub mod sharding;
 

@@ -187,6 +187,90 @@ impl ShardingSpec {
     }
 }
 
+impl std::str::FromStr for ShardingSpec {
+    /// Parses the paper's notation, the inverse of this type's `Display`:
+    /// dimension letters with optional `_axes` subscripts and an optional
+    /// trailing partial-sum marker. Whitespace between dimensions is
+    /// tolerated, so both `"E_xF_yz"` and `"E_x F_yz"` (as printed in the
+    /// paper) parse to the same spec.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esti_core::sharding::ShardingSpec;
+    ///
+    /// let spec: ShardingSpec = "BLE_yz (partialsum-x)".parse().unwrap();
+    /// assert_eq!(spec.to_string(), "BLE_yz (partialsum-x)");
+    /// ```
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (body, partial_sum) = match s.split_once(" (partialsum-") {
+            Some((body, rest)) => {
+                let axes = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unterminated partial-sum marker in {s:?}"))?;
+                (body, axes.parse::<AxisSet>()?)
+            }
+            None => (s, AxisSet::empty()),
+        };
+        let mut dims: Vec<ShardedDim> = Vec::new();
+        let mut chars = body.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c == '_' {
+                let Some(last) = dims.last_mut() else {
+                    return Err(format!("subscript before any dimension in {s:?}"));
+                };
+                if !last.axes.is_empty() {
+                    return Err(format!("dimension {} has two subscripts", last.name));
+                }
+                let mut axes = AxisSet::empty();
+                while let Some(&a) = chars.peek() {
+                    let axis = match a {
+                        'x' => esti_topology::Axis::X,
+                        'y' => esti_topology::Axis::Y,
+                        'z' => esti_topology::Axis::Z,
+                        _ => break,
+                    };
+                    if axes.contains(axis) {
+                        return Err(format!("repeated axis {a} in subscript of {}", last.name));
+                    }
+                    axes = axes.with(axis);
+                    chars.next();
+                }
+                if axes.is_empty() {
+                    return Err(format!("empty subscript on dimension {}", last.name));
+                }
+                last.axes = axes;
+            } else if c.is_ascii_uppercase() {
+                if dims.iter().any(|d| d.name == c) {
+                    return Err(format!("repeated dimension name {c}"));
+                }
+                dims.push(ShardedDim { name: c, axes: AxisSet::empty() });
+            } else {
+                return Err(format!("unexpected character {c:?} in sharding spec {s:?}"));
+            }
+        }
+        if dims.is_empty() {
+            return Err("sharding spec needs at least one dimension".to_string());
+        }
+        for (i, d) in dims.iter().enumerate() {
+            for e in &dims[i + 1..] {
+                if !d.axes.is_disjoint(e.axes) {
+                    return Err(format!(
+                        "axis set {} of dimension {} overlaps dimension {}",
+                        e.axes, e.name, d.name
+                    ));
+                }
+            }
+        }
+        Ok(ShardingSpec { dims, partial_sum })
+    }
+}
+
 impl fmt::Display for ShardingSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for d in &self.dims {
@@ -279,7 +363,83 @@ mod tests {
         let _ = ShardingSpec::new("BLE").shard('Q', AxisSet::all());
     }
 
+    #[test]
+    fn from_str_parses_paper_notation() {
+        let ble: ShardingSpec = "BLE_xyz".parse().unwrap();
+        assert_eq!(ble, ShardingSpec::new("BLE").shard('E', AxisSet::all()));
+
+        // The paper writes weight layouts with a space between dimensions.
+        let w: ShardingSpec = "E_x F_yz".parse().unwrap();
+        assert_eq!(
+            w,
+            ShardingSpec::new("EF")
+                .shard('E', AxisSet::single(Axis::X))
+                .shard('F', AxisSet::of(&[Axis::Y, Axis::Z]))
+        );
+        assert_eq!(w, "E_xF_yz".parse().unwrap());
+
+        let partial: ShardingSpec = "BLE_yz (partialsum-x)".parse().unwrap();
+        assert_eq!(partial.partial_sum(), AxisSet::single(Axis::X));
+        assert_eq!(partial.axes_of('E'), AxisSet::of(&[Axis::Y, Axis::Z]));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_specs() {
+        let cases: &[(&str, &str)] = &[
+            ("", "at least one dimension"),
+            ("BB", "repeated dimension"),
+            ("E_xx", "repeated axis"),
+            ("E_", "empty subscript"),
+            ("_x", "subscript before any dimension"),
+            ("E_x_y", "two subscripts"),
+            ("e", "unexpected character"),
+            ("E_xF_x", "overlaps"),
+            ("BLE_yz (partialsum-x", "unterminated"),
+            ("BLE_yz (partialsum-w)", "unknown torus axis"),
+        ];
+        for (input, expect) in cases {
+            let err = input.parse::<ShardingSpec>().unwrap_err();
+            assert!(err.contains(expect), "{input:?}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn parsed_spec_enforces_divisibility_like_built_ones() {
+        let torus = TorusShape::new(2, 2, 1);
+        let spec: ShardingSpec = "BE_xy".parse().unwrap();
+        assert_eq!(spec.local_shape(&[3, 8], torus), vec![3, 2]);
+        let indivisible = std::panic::catch_unwind(|| spec.local_shape(&[3, 6], torus));
+        assert!(indivisible.is_err(), "6 is not divisible by 4 partitions");
+    }
+
     proptest! {
+        #[test]
+        fn prop_display_round_trips_through_from_str(
+            n_dims in 1usize..5,
+            axis_assignment in prop::collection::vec(0usize..5, 4..5),
+            partial_x in 0usize..2,
+        ) {
+            // Assign disjoint axis subsets to dimensions: each axis goes to
+            // at most one dimension (or none).
+            const NAMES: [char; 4] = ['B', 'L', 'E', 'F'];
+            const CHOICES: [&[Axis]; 5] =
+                [&[], &[Axis::X], &[Axis::Y], &[Axis::Z], &[Axis::Y, Axis::Z]];
+            let mut spec = ShardingSpec::new(&NAMES[..n_dims].iter().collect::<String>());
+            let mut used = AxisSet::empty();
+            for (i, &choice) in axis_assignment.iter().take(n_dims).enumerate() {
+                let axes = AxisSet::of(CHOICES[choice]);
+                if axes.is_disjoint(used) {
+                    used = used.union(axes);
+                    spec = spec.shard(NAMES[i], axes);
+                }
+            }
+            if partial_x == 1 && !used.contains(Axis::X) {
+                spec = spec.partial(AxisSet::single(Axis::X));
+            }
+            let reparsed: ShardingSpec = spec.to_string().parse().unwrap();
+            prop_assert_eq!(reparsed, spec);
+        }
+
         #[test]
         fn prop_local_elements_times_shards_is_global(
             x in 1usize..4, y in 1usize..4, z in 1usize..4,

@@ -1,0 +1,42 @@
+//! `esti-loom` — a minimal, dependency-free concurrency model checker with a
+//! [loom](https://docs.rs/loom)-compatible API surface.
+//!
+//! The real `loom` crate is not vendored in this workspace, so this crate
+//! provides the subset the collectives tests need: [`model`] re-runs a test
+//! closure under every (bounded) interleaving of its threads, serializing
+//! real OS threads through a scheduler token and exploring schedules by
+//! depth-first search over the scheduling decisions.
+//!
+//! # What is modeled
+//!
+//! Threads interleave at *synchronization points*: [`sync::Mutex`] acquire,
+//! [`sync::Condvar`] wait/notify, and [`thread::JoinHandle::join`]. Between
+//! sync points a thread's code runs atomically — which is exactly the level
+//! of granularity needed to model-check a mailbox-and-barrier protocol
+//! whose every shared access goes through a mutex.
+//!
+//! # What is checked
+//!
+//! * assertion failures and panics in any thread, reported with the
+//!   scheduling decision trace that produced them;
+//! * deadlocks: a state where no thread is runnable but some are blocked on
+//!   a mutex, condvar, or join.
+//!
+//! # Bounds
+//!
+//! Exploration is depth-first with replay and is exhaustive when the state
+//! space fits under the iteration cap (default 4096, override with the
+//! `ESTI_LOOM_MAX_ITERS` environment variable or [`Builder`]). Spurious
+//! condvar wakeups are not modeled (an under-approximation; waiters are only
+//! woken by notify), and a thread's data accesses between sync points are
+//! not reordered.
+//!
+//! Outside [`model`], the primitives degrade to their `std::sync`
+//! equivalents so code written against them still runs normally.
+
+pub mod sync;
+pub mod thread;
+
+mod rt;
+
+pub use rt::{model, Builder};

@@ -1,0 +1,440 @@
+//! Scheduler runtime: serializes managed OS threads through a token and
+//! explores scheduling decisions by depth-first search with replay.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to abandon threads of a failed iteration. Threads
+/// unwinding with this payload did not themselves fail; they are being torn
+/// down because another thread panicked or a deadlock was detected.
+pub(crate) struct Abandoned;
+
+/// What a managed thread is currently doing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Ready to run (or running, if `current` points at it).
+    Runnable,
+    /// Waiting to acquire the mutex with this resource id.
+    BlockedMutex(usize),
+    /// Waiting on the condvar with this resource id.
+    BlockedCv(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    /// Returned or unwound; never runs again.
+    Finished,
+}
+
+impl TState {
+    fn is_blocked(self) -> bool {
+        matches!(
+            self,
+            TState::BlockedMutex(_) | TState::BlockedCv(_) | TState::BlockedJoin(_)
+        )
+    }
+}
+
+impl State {
+    /// Whether thread `me` holds the scheduler token and may run.
+    fn scheduled(&self, me: usize) -> bool {
+        self.current == me && self.threads[me] == TState::Runnable
+    }
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// The one thread allowed to run user code right now.
+    current: usize,
+    /// Logical owner of each registered mutex.
+    mutex_held: Vec<Option<usize>>,
+    /// Number of registered condvars.
+    n_condvars: usize,
+    /// Planned decision indices to replay from previous iterations.
+    prefix: Vec<usize>,
+    /// Next decision position (index into `prefix` while replaying).
+    pos: usize,
+    /// Candidate-set size at every decision point taken this iteration.
+    sizes: Vec<usize>,
+    /// Decision index actually taken at every decision point.
+    chosen: Vec<usize>,
+    /// First failure (panic message or deadlock report), if any.
+    failed: Option<String>,
+    /// Set on failure: all threads must stop unwinding with [`Abandoned`].
+    abort: bool,
+}
+
+/// One model-checking iteration's shared runtime.
+pub(crate) struct Rt {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's (runtime, managed thread id), if it is managed.
+pub(crate) fn ctx() -> Option<(Arc<Rt>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Mark the calling OS thread as managed thread `id` of run `rt`.
+pub(crate) fn enter(rt: Arc<Rt>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((rt, id)));
+}
+
+impl Rt {
+    fn new(prefix: Vec<usize>) -> Self {
+        Rt {
+            state: StdMutex::new(State {
+                threads: vec![TState::Runnable],
+                current: 0,
+                mutex_held: Vec::new(),
+                n_condvars: 0,
+                prefix,
+                pos: 0,
+                sizes: Vec::new(),
+                chosen: Vec::new(),
+                failed: None,
+                abort: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register a new mutex; returns its resource id.
+    pub(crate) fn new_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutex_held.push(None);
+        s.mutex_held.len() - 1
+    }
+
+    /// Register a new condvar; returns its resource id.
+    pub(crate) fn new_condvar(&self) -> usize {
+        let mut s = self.lock();
+        s.n_condvars += 1;
+        s.n_condvars - 1
+    }
+
+    /// Register a new managed thread; returns its thread id. The OS thread
+    /// backing it must call [`Rt::wait_first`] before running user code.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(TState::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// Pick the next thread to run. Called with the state lock held, at
+    /// every point where the current thread stops running (yield, block,
+    /// exit). Records the decision for DFS replay/backtracking.
+    fn pick_next(&self, s: &mut State) {
+        if s.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let candidates: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            if s.threads.iter().any(|t| t.is_blocked()) {
+                let stuck: Vec<String> = s
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.is_blocked())
+                    .map(|(i, t)| format!("thread {i} {t:?}"))
+                    .collect();
+                s.failed = Some(format!(
+                    "deadlock: no thread is runnable but some are blocked [{}]",
+                    stuck.join(", ")
+                ));
+                s.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let idx = if s.pos < s.prefix.len() {
+            // Replaying: the candidate set is deterministic given the
+            // prefix, so the recorded index is always in range; clamp
+            // defensively anyway.
+            s.prefix[s.pos].min(candidates.len() - 1)
+        } else {
+            0
+        };
+        s.pos += 1;
+        s.sizes.push(candidates.len());
+        s.chosen.push(idx);
+        s.current = candidates[idx];
+        self.cv.notify_all();
+    }
+
+    /// Block until this thread holds the scheduler token. Panics with
+    /// [`Abandoned`] if the iteration was aborted.
+    fn wait_turn<'a>(&'a self, me: usize, mut s: StdMutexGuard<'a, State>) {
+        while !(s.abort || s.scheduled(me)) {
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let abort = s.abort;
+        drop(s);
+        if abort {
+            std::panic::panic_any(Abandoned);
+        }
+    }
+
+    /// First gate of a freshly spawned managed thread: wait to be scheduled.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let s = self.lock();
+        self.wait_turn(me, s);
+    }
+
+    /// Scheduling point: any runnable thread (including the caller) may be
+    /// chosen to run next.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Abandoned);
+        }
+        self.pick_next(&mut s);
+        self.wait_turn(me, s);
+    }
+
+    /// Logically acquire mutex `rid`, blocking (and rescheduling) while it
+    /// is held. Includes a scheduling point before the acquire.
+    pub(crate) fn mutex_lock(&self, me: usize, rid: usize) {
+        self.yield_point(me);
+        self.mutex_lock_relocked(me, rid);
+    }
+
+    /// Acquire without the leading scheduling point (used to re-acquire
+    /// after a condvar wait, whose wake-up is already a scheduling point).
+    fn mutex_lock_relocked(&self, me: usize, rid: usize) {
+        let mut s = self.lock();
+        loop {
+            if s.abort {
+                drop(s);
+                std::panic::panic_any(Abandoned);
+            }
+            if s.mutex_held[rid].is_none() {
+                s.mutex_held[rid] = Some(me);
+                return;
+            }
+            s.threads[me] = TState::BlockedMutex(rid);
+            self.pick_next(&mut s);
+            while !(s.abort || s.scheduled(me)) {
+                s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Logically release mutex `rid`; contenders become runnable. The
+    /// caller keeps the scheduler token (release is not a yield point).
+    pub(crate) fn mutex_unlock(&self, me: usize, rid: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            // Unwinding guards must not panic again; just let go.
+            return;
+        }
+        debug_assert_eq!(s.mutex_held[rid], Some(me), "unlock of a mutex not held");
+        s.mutex_held[rid] = None;
+        for t in &mut s.threads {
+            if *t == TState::BlockedMutex(rid) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Atomically release mutex `rid`, wait on condvar `cvid`, and
+    /// re-acquire the mutex after being notified.
+    pub(crate) fn condvar_wait(&self, me: usize, cvid: usize, rid: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Abandoned);
+        }
+        debug_assert_eq!(s.mutex_held[rid], Some(me), "condvar wait without the lock");
+        s.mutex_held[rid] = None;
+        for t in &mut s.threads {
+            if *t == TState::BlockedMutex(rid) {
+                *t = TState::Runnable;
+            }
+        }
+        s.threads[me] = TState::BlockedCv(cvid);
+        self.pick_next(&mut s);
+        self.wait_turn(me, s);
+        self.mutex_lock_relocked(me, rid);
+    }
+
+    /// Wake one or all waiters of condvar `cvid` (they then contend for the
+    /// mutex). Includes a scheduling point before the notify.
+    pub(crate) fn condvar_notify(&self, me: usize, cvid: usize, all: bool) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Abandoned);
+        }
+        for t in &mut s.threads {
+            if *t == TState::BlockedCv(cvid) {
+                *t = TState::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Block until thread `target` finishes.
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        while s.threads[target] != TState::Finished {
+            if s.abort {
+                drop(s);
+                std::panic::panic_any(Abandoned);
+            }
+            s.threads[me] = TState::BlockedJoin(target);
+            self.pick_next(&mut s);
+            while !(s.abort || s.scheduled(me)) {
+                s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let abort = s.abort;
+        drop(s);
+        if abort {
+            std::panic::panic_any(Abandoned);
+        }
+    }
+
+    /// Mark this thread finished, wake joiners, and hand off the token.
+    pub(crate) fn exit(&self, me: usize) {
+        let mut s = self.lock();
+        s.threads[me] = TState::Finished;
+        if s.abort {
+            self.cv.notify_all();
+            return;
+        }
+        for t in &mut s.threads {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        self.pick_next(&mut s);
+    }
+
+    /// Record a panic from a managed thread and abort the iteration.
+    /// [`Abandoned`] unwinds are tear-down, not failures.
+    pub(crate) fn handle_panic(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut s = self.lock();
+        s.threads[me] = TState::Finished;
+        if !payload.is::<Abandoned>() && s.failed.is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|m| (*m).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "thread panicked".to_string());
+            s.failed = Some(msg);
+            s.abort = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wait (from the unmanaged driver thread) for the iteration to end:
+    /// either every managed thread finished or the iteration aborted.
+    fn wait_done(&self) {
+        let mut s = self.lock();
+        while !s.abort && s.threads.iter().any(|t| *t != TState::Finished) {
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Model-checking configuration.
+pub struct Builder {
+    /// Maximum number of interleavings to explore. Exploration is
+    /// exhaustive iff the DFS completes within this many iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let max_iterations = std::env::var("ESTI_LOOM_MAX_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4096);
+        Builder { max_iterations }
+    }
+}
+
+impl Builder {
+    /// Run `f` under every explored interleaving; panic on the first
+    /// failing schedule with its decision trace.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        for iteration in 0..self.max_iterations {
+            let rt = Arc::new(Rt::new(prefix.clone()));
+            let main = {
+                let rt = Arc::clone(&rt);
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    enter(Arc::clone(&rt), 0);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        rt.wait_first(0);
+                        f();
+                    }));
+                    match result {
+                        Ok(()) => rt.exit(0),
+                        Err(payload) => rt.handle_panic(0, payload),
+                    }
+                })
+            };
+            rt.wait_done();
+            let _ = main.join();
+            let (failed, chosen, sizes) = {
+                let s = rt.lock();
+                (s.failed.clone(), s.chosen.clone(), s.sizes.clone())
+            };
+            if let Some(msg) = failed {
+                panic!("model check failed (iteration {iteration}, schedule {chosen:?}): {msg}");
+            }
+            // DFS backtrack: advance the deepest decision that still has an
+            // unexplored alternative; exploration is complete when none does.
+            let mut next = chosen;
+            loop {
+                match next.pop() {
+                    None => return,
+                    Some(taken) => {
+                        if taken + 1 < sizes[next.len()] {
+                            next.push(taken + 1);
+                            break;
+                        }
+                    }
+                }
+            }
+            prefix = next;
+        }
+        // Iteration cap reached: bounded (partial) exploration, not a failure.
+    }
+}
+
+/// Check `f` under every explored thread interleaving (bounded DFS).
+///
+/// Panics if any interleaving panics, fails an assertion, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}

@@ -1,0 +1,192 @@
+//! Mutex and condvar whose blocking goes through the model-checking
+//! scheduler when running under [`crate::model`], and through `std::sync`
+//! otherwise.
+
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock,
+};
+
+use crate::rt::{ctx, Rt};
+
+pub use std::sync::Arc;
+
+/// Error half of the `lock()`/`wait()` results. The managed primitives do
+/// not actually poison (a panicking iteration aborts wholesale), but the
+/// `Result` return keeps the call sites source-compatible with `std::sync`.
+#[derive(Debug)]
+pub struct PoisonError;
+
+/// A mutex whose lock acquisition is a model-checking scheduling point.
+pub struct Mutex<T> {
+    rid: OnceLock<usize>,
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the logical lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    /// `(rt, thread id, resource id)` when locked under the scheduler.
+    managed: Option<(Arc<Rt>, usize, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            rid: OnceLock::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    fn rid(&self, rt: &Rt) -> usize {
+        *self.rid.get_or_init(|| rt.new_mutex())
+    }
+
+    /// Acquire the lock, scheduling other threads while blocked.
+    ///
+    /// # Errors
+    ///
+    /// Never actually errors; see [`PoisonError`].
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+        match ctx() {
+            None => {
+                let inner = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    managed: None,
+                })
+            }
+            Some((rt, me)) => {
+                let rid = self.rid(&rt);
+                rt.mutex_lock(me, rid);
+                // The logical lock is held, so the std mutex must be free.
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("scheduler invariant: logical lock held but std mutex contended");
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    managed: Some((rt, me, rid)),
+                })
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before the logical one so the next logical
+        // owner's try_lock cannot race the unlock.
+        self.inner.take();
+        if let Some((rt, me, rid)) = self.managed.take() {
+            rt.mutex_unlock(me, rid);
+        }
+    }
+}
+
+/// A condition variable whose wait/notify are model-checking scheduling
+/// points.
+pub struct Condvar {
+    cvid: OnceLock<usize>,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            cvid: OnceLock::new(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn cvid(&self, rt: &Rt) -> usize {
+        *self.cvid.get_or_init(|| rt.new_condvar())
+    }
+
+    /// Release `guard`'s lock, wait to be notified, and re-acquire it.
+    ///
+    /// # Errors
+    ///
+    /// Never actually errors; see [`PoisonError`].
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, PoisonError> {
+        match guard.managed.take() {
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let inner = self
+                    .inner
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard.inner = Some(inner);
+                Ok(guard)
+            }
+            Some((rt, me, rid)) => {
+                let lock = guard.lock;
+                // Defuse the guard: wait() releases the lock itself.
+                guard.inner.take();
+                drop(guard);
+                let cvid = self.cvid(&rt);
+                rt.condvar_wait(me, cvid, rid);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("scheduler invariant: logical lock held but std mutex contended");
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    managed: Some((rt, me, rid)),
+                })
+            }
+        }
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        match ctx() {
+            None => self.inner.notify_all(),
+            Some((rt, me)) => {
+                let cvid = self.cvid(&rt);
+                rt.condvar_notify(me, cvid, true);
+            }
+        }
+    }
+
+    /// Wake one waiter (the lowest-id blocked thread, deterministically).
+    pub fn notify_one(&self) {
+        match ctx() {
+            None => self.inner.notify_one(),
+            Some((rt, me)) => {
+                let cvid = self.cvid(&rt);
+                rt.condvar_notify(me, cvid, false);
+            }
+        }
+    }
+}

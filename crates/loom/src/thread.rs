@@ -1,0 +1,91 @@
+//! Managed threads: spawned threads register with the current model run's
+//! scheduler and interleave only at synchronization points. Outside a model
+//! run, spawns degrade to plain `std::thread::spawn`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::ctx;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Managed {
+        os: std::thread::JoinHandle<()>,
+        /// Managed thread id, for the logical join.
+        target: usize,
+        /// The child's return value, deposited before it exits.
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawn a thread. Under [`crate::model`] the child is registered with the
+/// scheduler and does not start until it is scheduled.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((rt, _me)) => {
+            let target = rt.register_thread();
+            let result = Arc::new(StdMutex::new(None));
+            let os = {
+                let result = Arc::clone(&result);
+                std::thread::spawn(move || {
+                    crate::rt::enter(Arc::clone(&rt), target);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        rt.wait_first(target);
+                        f()
+                    }));
+                    match outcome {
+                        Ok(value) => {
+                            *result
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+                            rt.exit(target);
+                        }
+                        Err(payload) => rt.handle_panic(target, payload),
+                    }
+                })
+            };
+            JoinHandle {
+                inner: Inner::Managed { os, target, result },
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the child's panic payload if it panicked (only reachable in
+    /// the unmanaged fallback; a managed child's panic aborts the whole
+    /// model iteration instead).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Managed { os, target, result } => {
+                let (rt, me) = ctx().expect("managed handles are joined from managed threads");
+                rt.join(me, target);
+                // Logically finished; the OS thread exits imminently.
+                os.join()?;
+                let value = result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("finished thread deposited its result");
+                Ok(value)
+            }
+        }
+    }
+}

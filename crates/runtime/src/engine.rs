@@ -112,6 +112,12 @@ impl PartitionedEngine {
                 "batch-sharded attention requires multiquery attention (Section 3.3)"
             );
         }
+        // Static preflight: run the symbolic schedule through the
+        // sharding-algebra verifier so an invalid plan fails with the
+        // offending step instead of a shape panic in a worker thread.
+        if let Err(e) = esti_core::schedule::preflight(&cfg, &layout) {
+            panic!("invalid partition plan for {}: {e}", layout.describe());
+        }
         let (x_parts, yz_parts) = match dataflow {
             Dataflow::TwoD => (layout.mesh.x, layout.mesh.yz()),
             Dataflow::WeightGatheredHybrid { n_gather, n_local } => (n_gather, n_local),

@@ -148,6 +148,57 @@ fn weight_gathered_traffic_is_weights_not_activations() {
 }
 
 #[test]
+fn symbolic_schedule_call_counts_match_measured_runtime() {
+    // The static analyzer (esti-verify Pass 2) replays per-chip programs
+    // derived from the symbolic schedule, so the schedule must describe
+    // what the runtime actually does. For 1D weight-stationary layouts the
+    // correspondence is exact: the engine must issue precisely the
+    // collective calls the schedule predicts, group-for-group.
+    use esti_core::schedule::{build_schedule, Step, SymOp};
+
+    fn op_kind(op: SymOp) -> CollectiveOp {
+        match op {
+            SymOp::AllGather { .. } => CollectiveOp::AllGather,
+            SymOp::ReduceScatter { .. } => CollectiveOp::ReduceScatter,
+            SymOp::AllReduce => CollectiveOp::AllReduce,
+            SymOp::AllToAll { .. } => CollectiveOp::AllToAll,
+        }
+    }
+
+    for attn in [AttnSharding::Head, AttnSharding::Batch] {
+        let model = ReferenceModel::init_random(ModelConfig::tiny(), 12);
+        let cfg = model.config();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn,
+            mesh: MeshFactors::new(1, 4, 1),
+        };
+        let (b, l) = (4usize, 2usize);
+        let schedule = build_schedule(cfg, &layout, b * l, 1).expect("schedule");
+        let torus = schedule.torus;
+        let mut expected = std::collections::HashMap::new();
+        for (steps, reps) in [(&schedule.layer, cfg.n_layers), (&schedule.final_steps, 1)] {
+            for step in steps {
+                if let Step::Collective { op, axes, .. } = step {
+                    // One ledger entry per group instance (rank 0 records).
+                    let groups = torus.chip_count() / torus.group_size(*axes);
+                    *expected.entry(op_kind(*op)).or_insert(0u64) += (groups * reps) as u64;
+                }
+            }
+        }
+        let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+        let _ = engine.prefill(&prompts(b, l));
+        for op in CollectiveOp::ALL {
+            assert_eq!(
+                engine.traffic().calls(op),
+                expected.get(&op).copied().unwrap_or(0),
+                "{op:?} call count with {attn:?} attention"
+            );
+        }
+    }
+}
+
+#[test]
 fn decode_step_traffic_scales_with_batch_not_context() {
     // The FFN collectives during decode depend on batch size only — the
     // KV cache is read from local HBM, never communicated (Section 3.3).

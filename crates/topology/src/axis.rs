@@ -132,6 +132,12 @@ impl AxisSet {
         self.0 & other.0 == 0
     }
 
+    /// Whether every axis of `self` is also in `other`.
+    #[must_use]
+    pub const fn is_subset_of(self, other: AxisSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
     /// Number of axes in the set (0 to 3).
     #[must_use]
     pub const fn len(self) -> u32 {
@@ -147,6 +153,43 @@ impl AxisSet {
     /// Iterates the member axes in canonical `x, y, z` order.
     pub fn iter(self) -> impl Iterator<Item = Axis> {
         Axis::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl std::str::FromStr for Axis {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "x" => Ok(Axis::X),
+            "y" => Ok(Axis::Y),
+            "z" => Ok(Axis::Z),
+            other => Err(format!("unknown torus axis {other:?} (expected x, y or z)")),
+        }
+    }
+}
+
+impl std::str::FromStr for AxisSet {
+    /// Parses the subscript notation: `"xyz"`, `"yz"`, `"x"`, or `"-"` for
+    /// the empty set — the inverse of [`AxisSet`]'s `Display`.
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "-" {
+            return Ok(AxisSet::empty());
+        }
+        if s.is_empty() {
+            return Err("empty axis set (write \"-\" for the empty set)".to_string());
+        }
+        let mut set = AxisSet::empty();
+        for c in s.chars() {
+            let axis: Axis = c.to_string().parse()?;
+            if set.contains(axis) {
+                return Err(format!("repeated axis {c} in axis set {s:?}"));
+            }
+            set = set.with(axis);
+        }
+        Ok(set)
     }
 }
 
@@ -211,6 +254,33 @@ mod tests {
         assert_eq!(AxisSet::empty().to_string(), "-");
         assert_eq!(AxisSet::all().to_string(), "xyz");
         assert_eq!(AxisSet::of(&[Axis::Z, Axis::X]).to_string(), "xz");
+    }
+
+    #[test]
+    fn from_str_parses_subscript_notation() {
+        assert_eq!("xyz".parse::<AxisSet>().unwrap(), AxisSet::all());
+        assert_eq!("yz".parse::<AxisSet>().unwrap(), AxisSet::of(&[Axis::Y, Axis::Z]));
+        assert_eq!("-".parse::<AxisSet>().unwrap(), AxisSet::empty());
+        // Order does not matter; the set canonicalizes.
+        assert_eq!("zx".parse::<AxisSet>().unwrap(), AxisSet::of(&[Axis::X, Axis::Z]));
+    }
+
+    #[test]
+    fn from_str_rejects_bad_input() {
+        assert!("".parse::<AxisSet>().unwrap_err().contains("empty"));
+        assert!("xx".parse::<AxisSet>().unwrap_err().contains("repeated axis"));
+        assert!("xw".parse::<AxisSet>().unwrap_err().contains("unknown torus axis"));
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for bits in 0..8u8 {
+            let set: AxisSet = Axis::ALL
+                .into_iter()
+                .filter(|a| bits & (1 << a.index()) != 0)
+                .collect();
+            assert_eq!(set.to_string().parse::<AxisSet>().unwrap(), set);
+        }
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Pass 1 — sharding-algebra conformance of the analytic layout model.
+//!
+//! For each layout, chains [`Layout::weight_spec`] and
+//! [`Layout::activation_spec`] through the [`CommPiece`] sequence returned
+//! by [`Layout::layer_comm`], replaying each piece as a rewrite rule of the
+//! partitioning algebra (Section 3.2) and statically verifying:
+//!
+//! * every sharded dimension divides evenly over the product of its mesh
+//!   axes, and axis sets within a spec are pairwise disjoint;
+//! * every partial-sum marker is resolved by a reduce before consumption
+//!   (each all-gather / reduce-scatter pair closes its own partial sum and
+//!   the chain returns to the layer-boundary spec);
+//! * the post-spec of each piece equals the pre-spec of the next, with the
+//!   intervening einsums inferred by [`expected_einsum`];
+//! * each piece's `elements`, `axes`, and `group` fields agree with the
+//!   spec-derived per-chip element counts and group geometry.
+
+use esti_core::layout::{CommPiece, PieceKind};
+use esti_core::schedule::{apply_op, expected_einsum, SymOp, SymTensor};
+use esti_core::sharding::ShardingSpec;
+use esti_core::{AttnSharding, FfnLayout, GatherExtent, Layout};
+use esti_model::{BlockKind, ModelConfig};
+use esti_topology::{Axis, AxisSet, TorusShape};
+
+/// Result of the algebra pass: one log line per verified chain segment.
+pub type AlgebraLog = Vec<String>;
+
+/// Tolerance for comparing a piece's `f64` element count against the
+/// spec-derived integer count.
+const ELEM_TOL: f64 = 0.5;
+
+fn logical_torus(layout: &Layout) -> TorusShape {
+    TorusShape::new(layout.mesh.x, layout.mesh.y, layout.mesh.z)
+}
+
+fn next_piece<'a>(
+    it: &mut std::slice::Iter<'a, CommPiece>,
+    expect: &str,
+) -> Result<&'a CommPiece, String> {
+    let p = it
+        .next()
+        .ok_or_else(|| format!("layer_comm ended early: expected piece \"{expect}\""))?;
+    if p.label != expect {
+        return Err(format!(
+            "layer_comm order: expected piece \"{expect}\", found \"{}\"",
+            p.label
+        ));
+    }
+    Ok(p)
+}
+
+fn check_elements(label: &str, got: f64, expect: f64) -> Result<(), String> {
+    if (got - expect).abs() > ELEM_TOL {
+        return Err(format!(
+            "{label}: piece claims {got} elements but the sharding spec derives {expect}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_geometry(piece: &CommPiece, axes: AxisSet, torus: TorusShape) -> Result<(), String> {
+    if piece.axes != axes.len() {
+        return Err(format!(
+            "{}: piece claims {} torus axes but the transfer runs over {axes} ({} axes)",
+            piece.label,
+            piece.axes,
+            axes.len()
+        ));
+    }
+    let group = torus.group_size(axes) as f64;
+    if (piece.group - group).abs() > ELEM_TOL {
+        return Err(format!(
+            "{}: piece claims group size {} but axes {axes} span {group} chips",
+            piece.label, piece.group
+        ));
+    }
+    Ok(())
+}
+
+/// Verify one all-gather / reduce-scatter activation pair: the all-gather
+/// must legally remove `axes` from dimension `dim` of `boundary`, and the
+/// reduce-scatter must resolve a partial sum over the same axes back to
+/// the boundary spec (the round trip of the paper's Formulation 1).
+#[allow(clippy::too_many_arguments)]
+fn check_gather_scatter_pair(
+    boundary: &SymTensor,
+    dim: char,
+    axes: AxisSet,
+    torus: TorusShape,
+    serial_factor: f64,
+    ag: &CommPiece,
+    rs: &CommPiece,
+    log: &mut AlgebraLog,
+) -> Result<SymTensor, String> {
+    let gathered = apply_op(SymOp::AllGather { dim }, axes, boundary)
+        .map_err(|e| format!("{}: {e}", ag.label))?;
+    gathered.check(torus).map_err(|e| format!("{}: {e}", ag.label))?;
+    let per_chip =
+        gathered.local_elements(torus).map_err(|e| format!("{}: {e}", ag.label))? as f64;
+    check_elements(ag.label, ag.elements, per_chip * serial_factor)?;
+    check_geometry(ag, axes, torus)?;
+
+    // The computation between the pair leaves a partial sum over exactly
+    // `axes`; the reduce-scatter must resolve it and land on the boundary.
+    let partial = SymTensor {
+        spec: gathered.spec.clone().partial(axes),
+        global: gathered.global.clone(),
+    };
+    let scattered = apply_op(SymOp::ReduceScatter { dim }, axes, &partial)
+        .map_err(|e| format!("{}: {e}", rs.label))?;
+    if scattered != *boundary {
+        return Err(format!(
+            "{}: reduce-scatter lands on {scattered}, not the layer boundary {boundary}",
+            rs.label
+        ));
+    }
+    check_elements(rs.label, rs.elements, per_chip * serial_factor)?;
+    check_geometry(rs, axes, torus)?;
+
+    log.push(format!(
+        "{} / {}: {boundary} <-> {gathered} over {axes} ok",
+        ag.label, rs.label
+    ));
+    Ok(gathered)
+}
+
+/// `EF` spec transposed to `FE` (for the output projection).
+fn transpose_ef(spec: &ShardingSpec) -> ShardingSpec {
+    let names: String = spec.dims().iter().rev().map(|d| d.name).collect();
+    let mut out = ShardingSpec::new(&names);
+    for d in spec.dims() {
+        if !d.axes.is_empty() {
+            out = out.shard(d.name, d.axes);
+        }
+    }
+    out
+}
+
+/// Drop axes of size 1 from every dimension and the partial-sum marker:
+/// such axes are syntactically sharded but semantically replicated, and
+/// `layer_comm` treats their collectives as free.
+fn strip_unit_axes(t: &SymTensor, torus: TorusShape) -> SymTensor {
+    let names: String = t.spec.dims().iter().map(|d| d.name).collect();
+    let mut spec = ShardingSpec::new(&names);
+    for d in t.spec.dims() {
+        let kept: Vec<Axis> = d.axes.iter().filter(|&a| torus.size(a) > 1).collect();
+        if !kept.is_empty() {
+            spec = spec.shard(d.name, AxisSet::of(&kept));
+        }
+    }
+    let partial: Vec<Axis> =
+        t.spec.partial_sum().iter().filter(|&a| torus.size(a) > 1).collect();
+    if !partial.is_empty() {
+        spec = spec.partial(AxisSet::of(&partial));
+    }
+    SymTensor { spec, global: t.global.clone() }
+}
+
+/// Remove `axes` from every dimension of a spec (the effect of gathering
+/// weights over those axes).
+fn remove_axes(spec: &ShardingSpec, axes: AxisSet) -> ShardingSpec {
+    let names: String = spec.dims().iter().map(|d| d.name).collect();
+    let mut out = ShardingSpec::new(&names);
+    for d in spec.dims() {
+        let remaining = d.axes.without(axes);
+        if !remaining.is_empty() {
+            out = out.shard(d.name, remaining);
+        }
+    }
+    out
+}
+
+/// Run the algebra pass for one layout applied to one model.
+///
+/// `batch_tokens` is the `B·L` token count the piece volumes are evaluated
+/// at; callers should pick a multiple of the chip count so batch-sharded
+/// specs stay divisible.
+#[allow(clippy::too_many_lines)]
+pub fn check_layout_algebra(
+    model: &ModelConfig,
+    layout: &Layout,
+    batch_tokens: usize,
+) -> Result<AlgebraLog, String> {
+    let torus = logical_torus(layout);
+    let mut log = AlgebraLog::new();
+    let d_model = model.d_model;
+    let d_ff = model.d_ff;
+    let serial_factor = match model.block {
+        BlockKind::Parallel => 1.0,
+        BlockKind::Serial => 2.0,
+    };
+
+    // Well-formedness + divisibility of the layout's published specs.
+    let weight = SymTensor { spec: layout.weight_spec(), global: vec![d_model, d_ff] };
+    weight.check(torus).map_err(|e| format!("weight spec: {e}"))?;
+    log.push(format!(
+        "weight spec {} divisible on {} chips",
+        weight.spec,
+        torus.chip_count()
+    ));
+
+    let acts =
+        SymTensor { spec: layout.activation_spec(), global: vec![batch_tokens, 1, d_model] };
+    acts.check(torus).map_err(|e| format!("activation spec: {e}"))?;
+    log.push(format!("activation spec {} divisible at {batch_tokens} tokens", acts.spec));
+
+    let pieces = layout.layer_comm(model, batch_tokens as f64);
+    let mut it = pieces.iter();
+
+    let ax = AxisSet::single(Axis::X);
+    let ayz = AxisSet::of(&[Axis::Y, Axis::Z]);
+    let all = AxisSet::all();
+
+    match layout.ffn {
+        FfnLayout::WeightStationary1D => {
+            // BLE_xyz -> all-gather(xyz) -> BLE -> einsums (partial xyz)
+            // -> reduce-scatter(xyz) -> BLE_xyz.
+            let ag = next_piece(&mut it, "acts all-gather")?;
+            let rs = next_piece(&mut it, "acts reduce-scatter")?;
+            let gathered = check_gather_scatter_pair(
+                &acts, 'E', all, torus, serial_factor, ag, rs, &mut log,
+            )?;
+            let hidden = expected_einsum(&gathered, &weight, &['E'], "BLF")
+                .map_err(|e| format!("w_in einsum: {e}"))?;
+            let w_out =
+                SymTensor { spec: transpose_ef(&weight.spec), global: vec![d_ff, d_model] };
+            let out = expected_einsum(&hidden, &w_out, &['F'], "BLE")
+                .map_err(|e| format!("w_out einsum: {e}"))?;
+            if out.spec.partial_sum() != all {
+                return Err(format!(
+                    "1D einsum chain should leave a partial sum over xyz, got {}",
+                    out.spec
+                ));
+            }
+            log.push(format!("einsum chain {gathered} -> {hidden} -> {out} ok"));
+        }
+        FfnLayout::WeightStationary2D => {
+            // Boundary pair over yz on d_model; hidden pair over x on d_ff.
+            let ag_yz = next_piece(&mut it, "acts all-gather(yz)")?;
+            let rs_yz = next_piece(&mut it, "acts reduce-scatter(yz)")?;
+            let ag_x = next_piece(&mut it, "acts all-gather(x)")?;
+            let rs_x = next_piece(&mut it, "acts reduce-scatter(x)")?;
+
+            // The yz pieces carry no serial factor in the analytic model
+            // (only the d_ff-axis pieces double in the serial block).
+            let x_i =
+                check_gather_scatter_pair(&acts, 'E', ayz, torus, 1.0, ag_yz, rs_yz, &mut log)?;
+            // Contraction over E_x leaves a partial sum over x on the
+            // hidden activation, resolved by reduce-scatter onto F (giving
+            // F_xyz), then all-gathered back to F_yz for the output einsum.
+            let hidden = expected_einsum(&x_i, &weight, &['E'], "BLF")
+                .map_err(|e| format!("w_in einsum: {e}"))?;
+            if hidden.spec.partial_sum() != ax {
+                return Err(format!(
+                    "2D w_in einsum should leave a partial sum over x, got {}",
+                    hidden.spec
+                ));
+            }
+            let hidden_sharded = apply_op(SymOp::ReduceScatter { dim: 'F' }, ax, &hidden)
+                .map_err(|e| format!("{}: {e}", rs_x.label))?;
+            hidden_sharded.check(torus).map_err(|e| format!("{}: {e}", rs_x.label))?;
+            let per_chip = hidden_sharded
+                .local_elements(torus)
+                .map_err(|e| format!("{}: {e}", rs_x.label))? as f64;
+            // `elements` is the per-chip payload on the gathered (F_yz) side.
+            let gathered_per_chip = per_chip * torus.group_size(ax) as f64;
+            check_elements(rs_x.label, rs_x.elements, gathered_per_chip * serial_factor)?;
+            check_geometry(rs_x, ax, torus)?;
+            let hidden_yz = apply_op(SymOp::AllGather { dim: 'F' }, ax, &hidden_sharded)
+                .map_err(|e| format!("{}: {e}", ag_x.label))?;
+            check_elements(ag_x.label, ag_x.elements, gathered_per_chip * serial_factor)?;
+            check_geometry(ag_x, ax, torus)?;
+            log.push(format!(
+                "hidden chain {hidden} -> {hidden_sharded} -> {hidden_yz} over x ok"
+            ));
+            let w_out =
+                SymTensor { spec: transpose_ef(&weight.spec), global: vec![d_ff, d_model] };
+            let out = expected_einsum(&hidden_yz, &w_out, &['F'], "BLE")
+                .map_err(|e| format!("w_out einsum: {e}"))?;
+            if out.spec.partial_sum() != ayz {
+                return Err(format!(
+                    "2D w_out einsum should leave a partial sum over yz, got {}",
+                    out.spec
+                ));
+            }
+        }
+        FfnLayout::WeightGathered(extent) => {
+            let gather = match extent {
+                GatherExtent::X => ax,
+                GatherExtent::Xy => AxisSet::of(&[Axis::X, Axis::Y]),
+                GatherExtent::Xyz => all,
+            };
+            let local = all.without(gather);
+            let wp = next_piece(&mut it, "weights all-gather")?;
+            if wp.kind != PieceKind::GatherScatter || !wp.is_weights {
+                return Err(format!("{}: expected a weight gather/scatter piece", wp.label));
+            }
+            // Weights stored E_x F_yz lose the gathered axes on every dim.
+            let gathered_w = SymTensor {
+                spec: remove_axes(&weight.spec, gather),
+                global: weight.global.clone(),
+            };
+            gathered_w.check(torus).map_err(|e| format!("{}: {e}", wp.label))?;
+            // `elements` counts the whole layer's weights (attention
+            // included), which the EF spec alone cannot derive; check the
+            // arithmetic against params_per_layer.
+            let n = torus.chip_count() as f64;
+            let n_gather = torus.group_size(gather) as f64;
+            check_elements(
+                wp.label,
+                wp.elements,
+                model.params_per_layer() as f64 * n_gather / n,
+            )?;
+            check_geometry(wp, gather, torus)?;
+            log.push(format!(
+                "weights all-gather {} -> {} over {gather} ok",
+                weight.spec, gathered_w.spec
+            ));
+
+            if torus.group_size(local) == 1 {
+                // Fully gathered (or the leftover axes have size 1, which
+                // layer_comm treats as free): the layer is local over the
+                // batch shard and the einsum chain must close with no
+                // partial sum. Size-1 axes are stripped first — they are
+                // syntactically sharded but semantically replicated.
+                let acts_n = strip_unit_axes(&acts, torus);
+                let w_n = strip_unit_axes(&gathered_w, torus);
+                let hidden = expected_einsum(&acts_n, &w_n, &['E'], "BLF")
+                    .map_err(|e| format!("w_in einsum: {e}"))?;
+                let w_out =
+                    SymTensor { spec: transpose_ef(&w_n.spec), global: vec![d_ff, d_model] };
+                let out = expected_einsum(&hidden, &w_out, &['F'], "BLE")
+                    .map_err(|e| format!("w_out einsum: {e}"))?;
+                if !out.spec.partial_sum().is_empty() {
+                    return Err(format!(
+                        "fully weight-gathered layer should need no reduce, got {}",
+                        out.spec
+                    ));
+                }
+                if out != acts_n {
+                    return Err(format!(
+                        "fully weight-gathered layer should return to {acts_n}, got {out}"
+                    ));
+                }
+                log.push(format!("local einsum chain {acts_n} -> {hidden} -> {out} ok"));
+            } else {
+                // The remaining 1D-style activation pair over the local axes.
+                let ag = next_piece(&mut it, "acts all-gather")?;
+                let rs = next_piece(&mut it, "acts reduce-scatter")?;
+                let gathered = check_gather_scatter_pair(
+                    &acts, 'E', local, torus, serial_factor, ag, rs, &mut log,
+                )?;
+                let hidden = expected_einsum(&gathered, &gathered_w, &['E'], "BLF")
+                    .map_err(|e| format!("w_in einsum: {e}"))?;
+                let w_out = SymTensor {
+                    spec: transpose_ef(&gathered_w.spec),
+                    global: vec![d_ff, d_model],
+                };
+                let out = expected_einsum(&hidden, &w_out, &['F'], "BLE")
+                    .map_err(|e| format!("w_out einsum: {e}"))?;
+                if out.spec.partial_sum() != local {
+                    return Err(format!(
+                        "weight-gathered einsum chain should leave a partial sum over \
+                         {local}, got {}",
+                        out.spec
+                    ));
+                }
+                log.push(format!("einsum chain {gathered} -> {hidden} -> {out} ok"));
+            }
+        }
+    }
+
+    if layout.attn == AttnSharding::Batch {
+        if model.n_kv_heads() != 1 {
+            return Err(
+                "batch-sharded attention requires multiquery attention (Section 3.3)".to_string()
+            );
+        }
+        let n = torus.chip_count() as f64;
+        let qkv = next_piece(&mut it, "attn qkv all-to-all")?;
+        if qkv.kind != PieceKind::AllToAll {
+            return Err(format!("{}: expected an all-to-all piece", qkv.label));
+        }
+        let fused = (model.attn_dim() + 2 * model.n_kv_heads() * model.d_head) as f64;
+        check_elements(qkv.label, qkv.elements, batch_tokens as f64 * fused / n)?;
+        check_geometry(qkv, all, torus)?;
+        let out = next_piece(&mut it, "attn out all-to-all")?;
+        if out.kind != PieceKind::AllToAll {
+            return Err(format!("{}: expected an all-to-all piece", out.label));
+        }
+        check_elements(
+            out.label,
+            out.elements,
+            batch_tokens as f64 * model.attn_dim() as f64 / n,
+        )?;
+        check_geometry(out, all, torus)?;
+        log.push("attention all-to-all pair ok".to_string());
+    }
+
+    if let Some(p) = it.next() {
+        return Err(format!("unexpected trailing comm piece \"{}\"", p.label));
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esti_core::layout::MeshFactors;
+
+    fn all_layouts(mesh: MeshFactors) -> Vec<Layout> {
+        let mut v = Vec::new();
+        for ffn in [
+            FfnLayout::WeightStationary1D,
+            FfnLayout::WeightStationary2D,
+            FfnLayout::WeightGathered(GatherExtent::X),
+            FfnLayout::WeightGathered(GatherExtent::Xy),
+            FfnLayout::WeightGathered(GatherExtent::Xyz),
+        ] {
+            for attn in [AttnSharding::Head, AttnSharding::Batch] {
+                v.push(Layout { ffn, attn, mesh });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn tiny_model_all_layouts_pass() {
+        let model = ModelConfig::tiny();
+        let mesh = MeshFactors::new(2, 2, 1);
+        for layout in all_layouts(mesh) {
+            let r = check_layout_algebra(&model, &layout, mesh.n_chips() * 4);
+            assert!(r.is_ok(), "{}: {}", layout.describe(), r.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn serial_block_all_layouts_pass() {
+        // Serial blocks double the d_ff-axis piece volumes; head-sharded
+        // attention only (tiny_multihead is multihead).
+        let model = ModelConfig::tiny_multihead();
+        let mesh = MeshFactors::new(2, 2, 1);
+        for layout in all_layouts(mesh) {
+            if layout.attn == AttnSharding::Batch {
+                continue;
+            }
+            let r = check_layout_algebra(&model, &layout, mesh.n_chips() * 4);
+            assert!(r.is_ok(), "{}: {}", layout.describe(), r.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn indivisible_d_model_caught() {
+        // Seeded bad plan for Pass 1: d_model not divisible by the mesh,
+        // so the 1D boundary BLE_xyz cannot shard E.
+        let mut model = ModelConfig::tiny();
+        model.d_model = 6;
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let err = check_layout_algebra(&model, &layout, 16).unwrap_err();
+        assert!(err.contains("divisible"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn indivisible_batch_shard_caught() {
+        // Weight-gathered boundary shards the batch; an odd token count
+        // cannot split over a 4-chip gather group.
+        let model = ModelConfig::tiny();
+        let layout = Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let err = check_layout_algebra(&model, &layout, 3).unwrap_err();
+        assert!(err.contains("divisible"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn batch_attention_requires_multiquery() {
+        let model = ModelConfig::tiny_multihead();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let err = check_layout_algebra(&model, &layout, 16).unwrap_err();
+        assert!(err.contains("multiquery"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn tampered_piece_caught() {
+        // Seeded bad pieces: take a real layout's comm sequence and
+        // corrupt one field at a time; the piece-level checks must reject
+        // each corruption with the piece's label in the message.
+        let model = ModelConfig::tiny();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let torus = TorusShape::new(2, 2, 1);
+        let pieces = layout.layer_comm(&model, 16.0);
+        let good = &pieces[0]; // "acts all-gather", elements 16*16, axes 3, group 4
+
+        let mut wrong_volume = *good;
+        wrong_volume.elements *= 2.0;
+        let err = check_elements(wrong_volume.label, wrong_volume.elements, good.elements)
+            .unwrap_err();
+        assert!(err.contains("acts all-gather"), "got {err}");
+
+        let mut wrong_axes = *good;
+        wrong_axes.axes = 1;
+        let err = check_geometry(&wrong_axes, AxisSet::all(), torus).unwrap_err();
+        assert!(err.contains("torus axes"), "got {err}");
+
+        let mut wrong_group = *good;
+        wrong_group.group = 16.0;
+        let err = check_geometry(&wrong_group, AxisSet::all(), torus).unwrap_err();
+        assert!(err.contains("group size"), "got {err}");
+    }
+}

@@ -1,0 +1,54 @@
+//! `esti-lint` — static checks over every built-in layout × model × slice
+//! combination. Exits 0 iff no combination fails a pass.
+
+use esti_verify::{run_all, Outcome};
+
+fn main() {
+    let results = run_all();
+    let mut passes = 0usize;
+    let mut skips = 0usize;
+    let mut fails = 0usize;
+    let mut warnings = 0usize;
+    let mut scenario = String::new();
+
+    for r in &results {
+        if r.scenario != scenario {
+            scenario = r.scenario.clone();
+            println!("\n== {scenario} ==");
+        }
+        match &r.outcome {
+            Outcome::Pass { spmd, mem } => {
+                passes += 1;
+                let wg = match &mem.wg_warning {
+                    Some(w) => {
+                        warnings += 1;
+                        format!("  WARN {w}")
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "  PASS {:<55} spmd {} chips/{} firings, mem {}{wg}",
+                    r.layout,
+                    spmd.chips,
+                    spmd.firings,
+                    mem.summary()
+                );
+            }
+            Outcome::Skipped(e) => {
+                skips += 1;
+                println!("  skip {:<55} {e}", r.layout);
+            }
+            Outcome::Fail(e) => {
+                fails += 1;
+                println!("  FAIL {:<55} {e}", r.layout);
+            }
+        }
+    }
+
+    println!(
+        "\nesti-lint: {passes} passed, {skips} skipped, {warnings} warnings, {fails} failed"
+    );
+    if fails > 0 {
+        std::process::exit(1);
+    }
+}

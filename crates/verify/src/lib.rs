@@ -1,0 +1,29 @@
+//! Static partition-plan and SPMD collective-schedule analyzer.
+//!
+//! Three passes over the partitioning layouts of Pope et al. (MLSYS 2023),
+//! run without executing the runtime:
+//!
+//! * [`algebra`] — chains each layout's sharding specs through its
+//!   analytic communication pieces under the rewrite rules of Section 3.2,
+//!   checking divisibility, axis disjointness, partial-sum resolution, and
+//!   piece-by-piece spec continuity;
+//! * [`spmd`] — extracts the per-chip collective sequence from the
+//!   symbolic schedule ([`esti_core::schedule`]) and proves every
+//!   communication group's members issue identical sequences (no shape or
+//!   op mismatch, no deadlock);
+//! * [`memfit`] — sums weight-shard, KV-cache, and activation bytes per
+//!   chip against the esti-hal HBM capacity, reporting margins and
+//!   weight-gathered working-set warnings.
+//!
+//! The `esti-lint` binary sweeps every built-in layout × model × slice
+//! combination ([`scenarios`]) and exits nonzero on any failure.
+
+pub mod algebra;
+pub mod memfit;
+pub mod scenarios;
+pub mod spmd;
+
+pub use algebra::check_layout_algebra;
+pub use memfit::{check_memory_fit, MemReport};
+pub use scenarios::{builtin_scenarios, run_all, ComboResult, Outcome, Scenario};
+pub use spmd::{check_schedule_spmd, check_spmd, per_chip_program, SpmdError, SpmdReport};

@@ -1,0 +1,167 @@
+//! Pass 3 — static memory-fit analysis.
+//!
+//! Sums the per-chip weight shard, KV cache, and activation working set
+//! for a (machine, model, layout, batch, context) configuration against
+//! the esti-hal HBM capacity, reporting the margin. A configuration whose
+//! steady-state residents overflow HBM is a hard failure; a
+//! weight-gathered layout whose *transient* gathered-weights working set
+//! overflows (Section 3.5) is reported as a warning, since the runtime can
+//! trade it off by gathering in chunks.
+
+use esti_core::memory::{
+    kv_bytes_per_chip, weight_bytes_per_chip, wg_working_set_bytes,
+};
+use esti_core::{FfnLayout, Layout, Machine};
+use esti_hal::DType;
+use esti_model::ModelConfig;
+
+/// Fraction of HBM usable for model state (the rest is runtime overhead).
+pub const USABLE_HBM_FRACTION: f64 = 0.95;
+
+/// Per-chip memory accounting for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemReport {
+    /// Weight-shard bytes resident per chip.
+    pub weight_bytes: f64,
+    /// KV-cache bytes resident per chip.
+    pub kv_bytes: f64,
+    /// Activation working-set bytes per chip.
+    pub act_bytes: f64,
+    /// Usable per-chip HBM bytes (capacity × [`USABLE_HBM_FRACTION`]).
+    pub capacity: f64,
+    /// Whether the steady-state residents fit.
+    pub fits: bool,
+    /// Remaining capacity as a fraction of usable HBM (negative if over).
+    pub margin_frac: f64,
+    /// Set when a weight-gathered layout's transient working set would
+    /// exceed the remaining capacity.
+    pub wg_warning: Option<String>,
+}
+
+impl MemReport {
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        format!(
+            "{:.2} GiB weights + {:.2} GiB kv + {:.3} GiB acts vs {:.1} GiB usable \
+             ({:+.1}% margin){}",
+            self.weight_bytes / gib,
+            self.kv_bytes / gib,
+            self.act_bytes / gib,
+            self.capacity / gib,
+            self.margin_frac * 100.0,
+            if self.wg_warning.is_some() { " [wg warning]" } else { "" }
+        )
+    }
+}
+
+/// Compute the memory report for one configuration.
+///
+/// Mirrors [`esti_core::memory::fits_in_memory`] (same activation
+/// allowance) but itemizes the terms and adds the weight-gathered
+/// working-set warning of [`esti_core::memory::wg_fits_in_memory`].
+#[must_use]
+pub fn check_memory_fit(
+    machine: &Machine,
+    model: &ModelConfig,
+    layout: &Layout,
+    batch: usize,
+    context: usize,
+    weight_dtype: DType,
+    kv_dtype: DType,
+) -> MemReport {
+    let n = machine.n_chips();
+    let weight_bytes = weight_bytes_per_chip(model, n, weight_dtype);
+    let kv_bytes = kv_bytes_per_chip(model, layout.attn, n, batch, context, kv_dtype);
+    let act_bytes = 4.0 * batch as f64 * model.d_model as f64 * 2.0;
+    let capacity = machine.chip.hbm_capacity * USABLE_HBM_FRACTION;
+    let resident = weight_bytes + kv_bytes + act_bytes;
+    let fits = resident <= capacity;
+    let margin_frac = (capacity - resident) / capacity;
+
+    let wg_warning = match layout.ffn {
+        FfnLayout::WeightGathered(extent) => {
+            let n_gather = extent.n_gather(layout.mesh);
+            let working = wg_working_set_bytes(model, n_gather, n, weight_dtype);
+            (resident + working > capacity).then(|| {
+                let gib = 1024.0 * 1024.0 * 1024.0;
+                format!(
+                    "transient gathered-weights working set ({:.2} GiB, double-buffered \
+                     x{n_gather} gather) exceeds the remaining {:.2} GiB; the runtime \
+                     must gather in chunks (Section 3.5)",
+                    working / gib,
+                    (capacity - resident) / gib,
+                )
+            })
+        }
+        FfnLayout::WeightStationary1D | FfnLayout::WeightStationary2D => None,
+    };
+
+    MemReport { weight_bytes, kv_bytes, act_bytes, capacity, fits, margin_frac, wg_warning }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esti_core::layout::MeshFactors;
+    use esti_core::{AttnSharding, GatherExtent};
+
+    #[test]
+    fn palm_540b_bf16_overflows_8_chips() {
+        let machine = Machine::tpu_v4_slice(8).unwrap();
+        let model = ModelConfig::palm_540b();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(8, model.d_model, model.d_ff),
+        };
+        let r = check_memory_fit(&machine, &model, &layout, 64, 2048, DType::Bf16, DType::Bf16);
+        assert!(!r.fits, "540B bf16 cannot fit 8 chips: {}", r.summary());
+        assert!(r.margin_frac < 0.0);
+    }
+
+    #[test]
+    fn palm_540b_int8_fits_64_chips() {
+        let machine = Machine::tpu_v4_slice(64).unwrap();
+        let model = ModelConfig::palm_540b();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(64, model.d_model, model.d_ff),
+        };
+        let r = check_memory_fit(&machine, &model, &layout, 64, 2048, DType::Int8, DType::Int8);
+        assert!(r.fits, "540B int8 should fit 64 chips: {}", r.summary());
+        assert!(r.wg_warning.is_none());
+    }
+
+    #[test]
+    fn wg_working_set_warns_but_does_not_fail() {
+        // Fully weight-gathered 540B at bf16 on 64 chips: the residents
+        // fit but the transient gathered copy does not (Section 3.5).
+        let machine = Machine::tpu_v4_slice(64).unwrap();
+        let model = ModelConfig::palm_540b_padded();
+        let layout = Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Batch,
+            mesh: Layout::ws2d_mesh(64, model.d_model, model.d_ff),
+        };
+        let r = check_memory_fit(&machine, &model, &layout, 512, 2048, DType::Bf16, DType::Bf16);
+        assert!(r.fits, "residents should fit: {}", r.summary());
+        assert!(r.wg_warning.is_some(), "expected a working-set warning");
+    }
+
+    #[test]
+    fn tiny_model_has_wide_margin() {
+        let machine = Machine::tpu_v4_slice(8).unwrap();
+        let model = ModelConfig::tiny();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 2),
+        };
+        let r = check_memory_fit(&machine, &model, &layout, 8, 64, DType::Bf16, DType::Bf16);
+        assert!(r.fits);
+        assert!(r.margin_frac > 0.99, "tiny model should leave >99% free");
+    }
+}
