@@ -10,11 +10,26 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== overlap conformance: chunked executor bit-identical to monolithic =="
+cargo test -q --release -p esti-runtime --test overlap
+
+echo "== benches compile =="
+cargo bench --no-run -q
+
 echo "== clippy (workspace lints, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== esti-lint: static partition-plan & SPMD schedule analysis =="
-cargo run --release -p esti-verify --bin esti-lint
+# check_combo runs every schedule twice — monolithic and with the
+# runtime's overlap chunking — and run_scenario upgrades any skip on a
+# planner-chosen layout to a failure, so a planner-chosen chunked
+# schedule that fails to verify (or is skipped) fails this gate.
+lint_out=$(cargo run --release -p esti-verify --bin esti-lint)
+echo "$lint_out"
+if echo "$lint_out" | grep -q "skip planner"; then
+  echo "FAIL: esti-lint skipped a planner-chosen schedule" >&2
+  exit 1
+fi
 
 echo "== model-checked collectives (bounded-DFS interleavings) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p esti-collectives --test loom --release

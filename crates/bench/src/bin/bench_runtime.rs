@@ -1,0 +1,262 @@
+//! `bench-runtime` — wall-clock benchmarks of this PR's two mechanisms:
+//! the cache-blocked matmul kernel and the overlapped (chunked-collective)
+//! executor. Written with plain [`std::time::Instant`] so the numbers are
+//! real elapsed time, and dumped to `BENCH_runtime.json` at the workspace
+//! root for the acceptance gate:
+//!
+//! * blocked matmul >= 1.5x over the naive kernel at 256^3 and up;
+//! * overlapped+blocked decode >= 1.2x over the pre-PR configuration
+//!   (monolithic collectives + naive kernel) on the 8-chip 1D
+//!   weight-stationary layout.
+//!
+//! The measured communication-hiding fraction is cross-checked against the
+//! analytic `esti_netsim::overlap` model. On a single-core host the
+//! thread-per-chip simulation cannot actually hide communication under
+//! compute (every barrier is a context switch), so the measured fraction
+//! is reported alongside the analytic prediction rather than gated.
+
+use std::time::Instant;
+
+use esti_bench::{banner, results_dir};
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_hal::ChipSpec;
+use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind, ReferenceModel};
+use esti_netsim::{looped_einsum_time, unfused_einsum_time, EinsumSpec};
+use esti_runtime::{ExecMode, PartitionedEngine, WeightFormat};
+use esti_tensor::ops::{self, MatmulKernel};
+use esti_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimum elapsed seconds of `f` over `reps` runs (after one warmup).
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A scaled-up tiny model whose matmuls are big enough to time: the
+/// structure of `ModelConfig::tiny()` at `d_model` 256.
+fn tiny8x() -> ModelConfig {
+    ModelConfig {
+        name: "tiny8x".to_owned(),
+        n_layers: 2,
+        d_model: 256,
+        d_ff: 1024,
+        n_heads: 8,
+        d_head: 32,
+        vocab: 128,
+        attention: AttentionKind::MultiQuery,
+        block: BlockKind::Parallel,
+        mlp: MlpKind::SwiGlu,
+        position: PositionKind::Rope,
+        max_seq: 64,
+    }
+}
+
+const BATCH: usize = 64;
+const PREFILL_LEN: usize = 16;
+const DECODE_STEPS: usize = 4;
+
+fn prompts(vocab: usize) -> Vec<Vec<usize>> {
+    (0..BATCH).map(|b| (0..PREFILL_LEN).map(|t| (b * 7 + t * 3 + 1) % vocab).collect()).collect()
+}
+
+/// Wall-clock seconds per decode step under one (exec, kernel) setting.
+/// Each rep builds a fresh engine, prefills, then times `DECODE_STEPS`
+/// decode steps.
+fn decode_seconds(model: &ReferenceModel, layout: Layout, exec: ExecMode, kernel: MatmulKernel) -> f64 {
+    ops::set_matmul_kernel(kernel);
+    let vocab = model.config().vocab;
+    let toks = prompts(vocab);
+    let mut best = f64::INFINITY;
+    for rep in 0..3 {
+        let mut engine = PartitionedEngine::new_with_exec(model, layout, WeightFormat::Exact, exec);
+        let _ = engine.prefill(&toks);
+        let mut next: Vec<usize> = (0..BATCH).map(|b| (b + rep) % vocab).collect();
+        let t = Instant::now();
+        for _ in 0..DECODE_STEPS {
+            let logits = engine.decode_step(&next);
+            next = (0..BATCH).map(|b| (b + logits.shape()[0]) % vocab).collect();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / DECODE_STEPS as f64);
+    }
+    ops::set_matmul_kernel(MatmulKernel::Blocked);
+    best
+}
+
+/// Total nanoseconds chips spent blocked inside collectives over
+/// `DECODE_STEPS` decode steps (untimed run, blocked kernel).
+fn decode_comm_nanos(model: &ReferenceModel, layout: Layout, exec: ExecMode) -> u64 {
+    let toks = prompts(model.config().vocab);
+    let mut engine = PartitionedEngine::new_with_exec(model, layout, WeightFormat::Exact, exec);
+    let _ = engine.prefill(&toks);
+    engine.reset_comm_times();
+    let next: Vec<usize> = (0..BATCH).map(|b| b % model.config().vocab).collect();
+    for _ in 0..DECODE_STEPS {
+        let _ = engine.decode_step(&next);
+    }
+    engine.comm_times().iter().map(esti_collectives::CommTimes::total_nanos).sum()
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let mut json = String::from("{\n");
+
+    banner("Matmul kernel: cache-blocked vs naive (square, f32)");
+    println!("{:>6} {:>12} {:>12} {:>8}", "n", "naive us", "blocked us", "speedup");
+    let mut rng = StdRng::seed_from_u64(7);
+    json.push_str("  \"matmul\": [\n");
+    let mut gate_256 = 0.0f64;
+    for (i, &n) in [128usize, 256, 384].iter().enumerate() {
+        let a = Tensor::randn(&mut rng, vec![n, n], 1.0);
+        let b = Tensor::randn(&mut rng, vec![n, n], 1.0);
+        ops::set_matmul_kernel(MatmulKernel::Naive);
+        let naive = time_best(5, || {
+            let _ = ops::matmul(&a, &b);
+        });
+        ops::set_matmul_kernel(MatmulKernel::Blocked);
+        let blocked = time_best(5, || {
+            let _ = ops::matmul(&a, &b);
+        });
+        let speedup = naive / blocked;
+        if n == 256 {
+            gate_256 = speedup;
+        }
+        println!("{n:>6} {:>12.1} {:>12.1} {speedup:>8.2}", naive * 1e6, blocked * 1e6);
+        json.push_str(&format!(
+            "    {{\"n\": {n}, \"naive_us\": {:.3}, \"blocked_us\": {:.3}, \"speedup\": {speedup:.4}}}{}\n",
+            naive * 1e6,
+            blocked * 1e6,
+            if i == 2 { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    banner("Decode step: tiny8x, batch 64, 8 chips");
+    let model = ReferenceModel::init_random(tiny8x(), 11);
+    let ws1d = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Batch,
+        mesh: MeshFactors::new(1, 8, 1),
+    };
+    let ws2d = Layout {
+        ffn: FfnLayout::WeightStationary2D,
+        attn: AttnSharding::Batch,
+        mesh: MeshFactors::new(2, 2, 2),
+    };
+    let wg = Layout {
+        ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+        attn: AttnSharding::Batch,
+        mesh: MeshFactors::new(8, 1, 1),
+    };
+    println!(
+        "{:<28} {:>14} {:>16} {:>14} {:>8}",
+        "layout", "pre-PR us", "mono+blocked us", "overlapped us", "speedup"
+    );
+    json.push_str("  \"decode\": [\n");
+    let mut gate_1d = 0.0f64;
+    for (i, (name, layout)) in
+        [("ws1d_8chips", ws1d), ("ws2d_2x2x2", ws2d), ("wg_xyz_8chips", wg)].into_iter().enumerate()
+    {
+        // Pre-PR configuration: monolithic collectives, naive kernel. The
+        // middle column isolates the kernel win from the chunking effect
+        // (on a single-core host the extra chunk barriers are pure cost;
+        // on a parallel host they are what buys the overlap).
+        let base = decode_seconds(&model, layout, ExecMode::Monolithic, MatmulKernel::Naive);
+        let mono = decode_seconds(&model, layout, ExecMode::Monolithic, MatmulKernel::Blocked);
+        let new =
+            decode_seconds(&model, layout, ExecMode::Overlapped { chunks: 4 }, MatmulKernel::Blocked);
+        let speedup = base / new;
+        if i == 0 {
+            gate_1d = speedup;
+        }
+        println!(
+            "{name:<28} {:>14.0} {:>16.0} {:>14.0} {speedup:>8.2}",
+            base * 1e6,
+            mono * 1e6,
+            new * 1e6
+        );
+        json.push_str(&format!(
+            "    {{\"layout\": \"{name}\", \"baseline_us\": {:.1}, \"mono_blocked_us\": {:.1}, \"overlapped_us\": {:.1}, \"speedup\": {speedup:.4}}}{}\n",
+            base * 1e6,
+            mono * 1e6,
+            new * 1e6,
+            if i == 2 { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    banner("Communication blocking time and overlap cross-check (ws1d)");
+    let ws1d = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Batch,
+        mesh: MeshFactors::new(1, 8, 1),
+    };
+    let comm_mono = decode_comm_nanos(&model, ws1d, ExecMode::Monolithic);
+    let comm_over = decode_comm_nanos(&model, ws1d, ExecMode::Overlapped { chunks: 4 });
+    let measured_hidden = 1.0 - comm_over as f64 / comm_mono as f64;
+    // Analytic counterpart: the netsim Looped CollectiveEinsum model at the
+    // same shapes — the ws1d block all-reduce (ring 8) overlapped with the
+    // output projections that feed it.
+    let chip = ChipSpec::tpu_v4();
+    let cfg = model.config();
+    let rows = BATCH as f64;
+    let bytes_per_shard = rows * cfg.d_model as f64 * 2.0 / 8.0;
+    let flops_per_shard =
+        2.0 * rows * (cfg.d_model as f64 / 8.0) * (cfg.d_ff + cfg.n_heads * cfg.d_head) as f64;
+    let spec = EinsumSpec::new(8, bytes_per_shard, flops_per_shard);
+    let unfused = unfused_einsum_time(&chip, &spec);
+    let fused = looped_einsum_time(&chip, &spec);
+    let analytic_hidden = 1.0 - fused / unfused;
+    println!(
+        "measured: blocked {:.0} us monolithic vs {:.0} us overlapped (hidden fraction {measured_hidden:.2})",
+        comm_mono as f64 / 1e3,
+        comm_over as f64 / 1e3,
+    );
+    println!(
+        "analytic (netsim, TPU v4 shapes): fused {:.2} us vs unfused {:.2} us (hidden fraction {analytic_hidden:.2})",
+        fused * 1e6,
+        unfused * 1e6,
+    );
+    println!("note: single-core hosts serialize the chip threads, so the measured");
+    println!("fraction under-reports what the analytic model predicts for real links.");
+    json.push_str(&format!(
+        "  \"overlap_crosscheck\": {{\"comm_blocked_monolithic_us\": {:.1}, \"comm_blocked_overlapped_us\": {:.1}, \"measured_hidden_fraction\": {measured_hidden:.4}, \"analytic_hidden_fraction\": {analytic_hidden:.4}}},\n",
+        comm_mono as f64 / 1e3,
+        comm_over as f64 / 1e3,
+    ));
+
+    banner("Per-chip communication summary (ws1d overlapped, 4 decode steps)");
+    let mut engine =
+        PartitionedEngine::new_with_exec(&model, ws1d, WeightFormat::Exact, ExecMode::Overlapped { chunks: 4 });
+    let _ = engine.prefill(&prompts(cfg.vocab));
+    engine.reset_comm_times();
+    let next: Vec<usize> = (0..BATCH).map(|b| b % cfg.vocab).collect();
+    for _ in 0..DECODE_STEPS {
+        let _ = engine.decode_step(&next);
+    }
+    print!("{}", engine.comm_time_summary());
+
+    json.push_str(&format!(
+        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.5, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2}}\n}}\n"
+    ));
+
+    let root = results_dir().parent().map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+    let path = root.join("BENCH_runtime.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\n[wrote {}]", path.display()),
+        Err(e) => eprintln!("note: cannot write {}: {e}", path.display()),
+    }
+
+    banner("Acceptance gates");
+    println!("matmul 256^3 blocked/naive: {gate_256:.2}x (require >= 1.5x)");
+    println!("decode ws1d overlapped+blocked vs pre-PR: {gate_1d:.2}x (require >= 1.2x)");
+    assert!(gate_256 >= 1.5, "matmul gate failed: {gate_256:.2}x < 1.5x");
+    assert!(gate_1d >= 1.2, "decode gate failed: {gate_1d:.2}x < 1.2x");
+}

@@ -1,10 +1,12 @@
 //! Mailbox-and-barrier collective groups.
 
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
 
 use esti_tensor::Tensor;
 
-use crate::stats::{CollectiveOp, TrafficStats};
+use crate::stats::{CollectiveOp, CommTimes, TrafficStats};
 use crate::sync::{Barrier, Mutex};
 
 /// Logical activation width used for traffic accounting (bf16, Section 2).
@@ -20,9 +22,12 @@ struct CallMeta {
     seq: u64,
     op: CollectiveOp,
     shape: Vec<usize>,
-    /// Operative dimensions: `[dim, dim]` for gather/scatter/reduce,
-    /// `[split_dim, concat_dim]` for all-to-all.
-    dims: [usize; 2],
+    /// Operative dimensions plus chunk count: `[dim, dim, chunks]` for
+    /// gather/scatter/reduce, `[split_dim, concat_dim, chunks]` for
+    /// all-to-all. Monolithic calls use `chunks == 1`; a chunked call whose
+    /// peers disagree on the chunk count would desynchronize the mailbox
+    /// protocol, so the count is part of the agreement check.
+    dims: [usize; 3],
 }
 
 struct Shared {
@@ -55,9 +60,11 @@ struct Shared {
 pub struct CommGroup {
     shared: Arc<Shared>,
     rank: usize,
+    /// Per-member wall-clock nanoseconds blocked in each collective kind.
+    times: [Cell<u64>; 4],
     /// Number of collectives this member has issued (debug-build SPMD check).
     #[cfg(all(debug_assertions, not(loom)))]
-    calls: std::cell::Cell<u64>,
+    calls: Cell<u64>,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -101,8 +108,9 @@ impl CommGroup {
             .map(|rank| CommGroup {
                 shared: Arc::clone(&shared),
                 rank,
+                times: Default::default(),
                 #[cfg(all(debug_assertions, not(loom)))]
-                calls: std::cell::Cell::new(0),
+                calls: Cell::new(0),
             })
             .collect()
     }
@@ -149,7 +157,7 @@ impl CommGroup {
     /// Disabled under `--cfg loom` to keep the model-checked state space at
     /// the size of the production protocol.
     #[cfg(all(debug_assertions, not(loom)))]
-    fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 2]) {
+    fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 3]) {
         if self.size() == 1 {
             return;
         }
@@ -175,13 +183,49 @@ impl CommGroup {
     }
 
     #[cfg(not(all(debug_assertions, not(loom))))]
-    fn debug_check_agreement(&self, _op: CollectiveOp, _shape: &[usize], _dims: [usize; 2]) {}
+    fn debug_check_agreement(&self, _op: CollectiveOp, _shape: &[usize], _dims: [usize; 3]) {}
 
     fn record(&self, op: CollectiveOp, elems: usize) {
         if self.rank == 0 {
             if let Some(stats) = &self.shared.stats {
                 stats.record(op, elems as u64 * ACT_BYTES);
             }
+        }
+    }
+
+    /// Accumulates wall-clock time blocked in a collective: always into this
+    /// member's [`times`](CommGroup::times), and on rank 0 into the shared
+    /// [`TrafficStats`] ledger.
+    fn note_time(&self, op: CollectiveOp, start: Instant) {
+        let d = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let cell = &self.times[op.slot()];
+        cell.set(cell.get().wrapping_add(d));
+        if self.rank == 0 {
+            if let Some(stats) = &self.shared.stats {
+                stats.record_nanos(op, d);
+            }
+        }
+    }
+
+    /// This member's accumulated wall-clock time blocked per collective
+    /// kind. For chunked collectives only the blocking `collect` phase
+    /// counts — compute slotted between `post` and `collect` is excluded —
+    /// so comparing this against a monolithic run shows how much
+    /// communication the overlap actually hid.
+    #[must_use]
+    pub fn times(&self) -> CommTimes {
+        CommTimes::from_nanos([
+            self.times[0].get(),
+            self.times[1].get(),
+            self.times[2].get(),
+            self.times[3].get(),
+        ])
+    }
+
+    /// Clears this member's accumulated collective times.
+    pub fn reset_times(&self) {
+        for t in &self.times {
+            t.set(0);
         }
     }
 
@@ -195,11 +239,13 @@ impl CommGroup {
     /// Panics if members pass incompatible shapes.
     #[must_use]
     pub fn all_gather(&self, shard: &Tensor, dim: usize) -> Tensor {
-        self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim]);
+        let t0 = Instant::now();
+        self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim, 1]);
         let parts = self.exchange(shard.clone());
         let refs: Vec<&Tensor> = parts.iter().collect();
         let out = Tensor::concat(&refs, dim);
         self.record(CollectiveOp::AllGather, out.numel());
+        self.note_time(CollectiveOp::AllGather, t0);
         out
     }
 
@@ -213,7 +259,8 @@ impl CommGroup {
     /// Panics if `dim` is not divisible by the group size or shapes differ.
     #[must_use]
     pub fn reduce_scatter(&self, input: &Tensor, dim: usize) -> Tensor {
-        self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim]);
+        let t0 = Instant::now();
+        self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim, 1]);
         self.record(CollectiveOp::ReduceScatter, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -230,7 +277,9 @@ impl CommGroup {
             sum.dim(dim)
         );
         let part = sum.dim(dim) / k;
-        sum.slice(dim, self.rank * part, part)
+        let out = sum.slice(dim, self.rank * part, part);
+        self.note_time(CollectiveOp::ReduceScatter, t0);
+        out
     }
 
     /// all-reduce: sums every member's `input` element-wise, replicating the
@@ -238,7 +287,8 @@ impl CommGroup {
     /// (Section 3.1) and charged as both in the traffic ledger.
     #[must_use]
     pub fn all_reduce(&self, input: &Tensor) -> Tensor {
-        self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0]);
+        let t0 = Instant::now();
+        self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0, 1]);
         self.record(CollectiveOp::AllReduce, input.numel() * 2);
         if self.size() == 1 {
             return input.clone();
@@ -248,6 +298,7 @@ impl CommGroup {
         for p in &parts[1..] {
             sum = &sum + p;
         }
+        self.note_time(CollectiveOp::AllReduce, t0);
         sum
     }
 
@@ -265,7 +316,8 @@ impl CommGroup {
     /// Panics if `split_dim` is not divisible by the group size.
     #[must_use]
     pub fn all_to_all(&self, input: &Tensor, split_dim: usize, concat_dim: usize) -> Tensor {
-        self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim]);
+        let t0 = Instant::now();
+        self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim, 1]);
         self.record(CollectiveOp::AllToAll, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -283,7 +335,360 @@ impl CommGroup {
             .map(|p| p.slice(split_dim, self.rank * part, part))
             .collect();
         let refs: Vec<&Tensor> = mine.iter().collect();
-        Tensor::concat(&refs, concat_dim)
+        let out = Tensor::concat(&refs, concat_dim);
+        self.note_time(CollectiveOp::AllToAll, t0);
+        out
+    }
+
+    /// Opens a chunked collective: the member will [`post`] `chunks` chunks
+    /// and [`collect`] each one, interleaving its own compute between the
+    /// two — the Looped CollectiveEinsum step API (Section 3.5). All
+    /// members must open the same op with the same shape, dims and chunk
+    /// count (checked in debug builds like any other collective).
+    ///
+    /// `shape`/`dims` describe the *whole* logical collective (as the
+    /// monolithic call would), and `elems` is the volume the monolithic
+    /// call would record, so the traffic ledger sees one call of identical
+    /// byte volume regardless of chunking.
+    ///
+    /// [`post`]: ChunkedExchange::post
+    /// [`collect`]: ChunkedExchange::collect
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero, or (debug builds) if members disagree.
+    #[must_use]
+    pub fn begin_chunked(
+        &self,
+        op: CollectiveOp,
+        shape: &[usize],
+        dims: [usize; 2],
+        chunks: usize,
+        elems: usize,
+    ) -> ChunkedExchange<'_> {
+        assert!(chunks > 0, "chunked collective requires at least one chunk");
+        self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks]);
+        self.record(op, elems);
+        ChunkedExchange { group: self, op, chunks, posted: 0, collected: 0, solo: None }
+    }
+
+    /// Chunked all-gather: identical result to [`all_gather`], moved as
+    /// `chunks` slices of `shard` along `dim` so a caller using
+    /// [`begin_chunked`] directly can compute on chunk `i-1` while chunk `i`
+    /// is in flight. This convenience wrapper does no compute; it exists for
+    /// conformance tests and as the reassembly reference.
+    ///
+    /// [`all_gather`]: CommGroup::all_gather
+    /// [`begin_chunked`]: CommGroup::begin_chunked
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard.dim(dim)` is not divisible by `chunks`.
+    #[must_use]
+    pub fn all_gather_chunked(&self, shard: &Tensor, dim: usize, chunks: usize) -> Tensor {
+        if chunks == 1 {
+            return self.all_gather(shard, dim);
+        }
+        let extent = shard.dim(dim);
+        assert!(
+            extent.is_multiple_of(chunks),
+            "all-gather dim {dim} of size {extent} not divisible by {chunks} chunks"
+        );
+        let step = extent / chunks;
+        let out_elems = shard.numel() * self.size();
+        let mut ex =
+            self.begin_chunked(CollectiveOp::AllGather, shard.shape(), [dim, dim], chunks, out_elems);
+        let mut per_chunk: Vec<Vec<Tensor>> = Vec::with_capacity(chunks);
+        ex.post(shard.slice(dim, 0, step));
+        for c in 1..chunks {
+            per_chunk.push(ex.collect());
+            ex.post(shard.slice(dim, c * step, step));
+        }
+        per_chunk.push(ex.collect());
+        // Reassemble rank-major, chunk-inner: rank r's full shard is its
+        // chunks in ascending order, exactly as the monolithic concat sees it.
+        let mut pieces: Vec<&Tensor> = Vec::with_capacity(self.size() * chunks);
+        for r in 0..self.size() {
+            for chunk in &per_chunk {
+                pieces.push(&chunk[r]);
+            }
+        }
+        Tensor::concat(&pieces, dim)
+    }
+
+    /// Chunked reduce-scatter: identical result to [`reduce_scatter`],
+    /// exchanged as `chunks` pieces. Chunk `c` carries slice `c` of every
+    /// destination's scatter part (not a contiguous run of `dim`), so each
+    /// collected chunk is immediately reducible to a piece of this member's
+    /// output.
+    ///
+    /// [`reduce_scatter`]: CommGroup::reduce_scatter
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `size() * chunks`.
+    #[must_use]
+    pub fn reduce_scatter_chunked(&self, input: &Tensor, dim: usize, chunks: usize) -> Tensor {
+        if chunks == 1 {
+            return self.reduce_scatter(input, dim);
+        }
+        let k = self.size();
+        let extent = input.dim(dim);
+        assert!(
+            extent.is_multiple_of(k),
+            "reduce-scatter dim {dim} of size {extent} not divisible by group size {k}"
+        );
+        let part = extent / k;
+        assert!(
+            part.is_multiple_of(chunks),
+            "reduce-scatter part of size {part} not divisible by {chunks} chunks"
+        );
+        let step = part / chunks;
+        let mut ex = self.begin_chunked(
+            CollectiveOp::ReduceScatter,
+            input.shape(),
+            [dim, dim],
+            chunks,
+            input.numel(),
+        );
+        let post_chunk = |c: usize| -> Tensor {
+            let slices: Vec<Tensor> =
+                (0..k).map(|j| input.slice(dim, j * part + c * step, step)).collect();
+            let refs: Vec<&Tensor> = slices.iter().collect();
+            Tensor::concat(&refs, dim)
+        };
+        // Summing rank-ascending keeps the per-element accumulation chain
+        // identical to the monolithic reduce, hence bit-identical results.
+        let reduce_mine = |parts: Vec<Tensor>| -> Tensor {
+            let mut sum = parts[0].slice(dim, self.rank * step, step);
+            for p in &parts[1..] {
+                sum = &sum + &p.slice(dim, self.rank * step, step);
+            }
+            sum
+        };
+        let mut mine: Vec<Tensor> = Vec::with_capacity(chunks);
+        ex.post(post_chunk(0));
+        for c in 1..chunks {
+            mine.push(reduce_mine(ex.collect()));
+            ex.post(post_chunk(c));
+        }
+        mine.push(reduce_mine(ex.collect()));
+        let refs: Vec<&Tensor> = mine.iter().collect();
+        Tensor::concat(&refs, dim)
+    }
+
+    /// Chunked all-reduce: identical result to [`all_reduce`], exchanged as
+    /// `chunks` contiguous slices along `chunk_dim`.
+    ///
+    /// [`all_reduce`]: CommGroup::all_reduce
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_dim` is not divisible by `chunks`.
+    #[must_use]
+    pub fn all_reduce_chunked(&self, input: &Tensor, chunk_dim: usize, chunks: usize) -> Tensor {
+        if chunks == 1 {
+            return self.all_reduce(input);
+        }
+        let extent = input.dim(chunk_dim);
+        assert!(
+            extent.is_multiple_of(chunks),
+            "all-reduce chunk dim {chunk_dim} of size {extent} not divisible by {chunks} chunks"
+        );
+        let step = extent / chunks;
+        let mut ex = self.begin_chunked(
+            CollectiveOp::AllReduce,
+            input.shape(),
+            [chunk_dim, chunk_dim],
+            chunks,
+            input.numel() * 2,
+        );
+        let reduce = |parts: Vec<Tensor>| -> Tensor {
+            let mut sum = parts[0].clone();
+            for p in &parts[1..] {
+                sum = &sum + p;
+            }
+            sum
+        };
+        let mut out: Vec<Tensor> = Vec::with_capacity(chunks);
+        ex.post(input.slice(chunk_dim, 0, step));
+        for c in 1..chunks {
+            out.push(reduce(ex.collect()));
+            ex.post(input.slice(chunk_dim, c * step, step));
+        }
+        out.push(reduce(ex.collect()));
+        let refs: Vec<&Tensor> = out.iter().collect();
+        Tensor::concat(&refs, chunk_dim)
+    }
+
+    /// Chunked all-to-all: identical result to [`all_to_all`], exchanged as
+    /// `chunks` slices along `concat_dim` (which must differ from
+    /// `split_dim`, as it does in the multiquery-attention reshard this
+    /// primitive exists for).
+    ///
+    /// [`all_to_all`]: CommGroup::all_to_all
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dims coincide or either divisibility fails.
+    #[must_use]
+    pub fn all_to_all_chunked(
+        &self,
+        input: &Tensor,
+        split_dim: usize,
+        concat_dim: usize,
+        chunks: usize,
+    ) -> Tensor {
+        if chunks == 1 {
+            return self.all_to_all(input, split_dim, concat_dim);
+        }
+        assert_ne!(split_dim, concat_dim, "chunked all-to-all needs distinct dims");
+        let k = self.size();
+        assert!(
+            input.dim(split_dim).is_multiple_of(k),
+            "all-to-all split dim {split_dim} of size {} not divisible by group size {k}",
+            input.dim(split_dim)
+        );
+        let extent = input.dim(concat_dim);
+        assert!(
+            extent.is_multiple_of(chunks),
+            "all-to-all concat dim {concat_dim} of size {extent} not divisible by {chunks} chunks"
+        );
+        let step = extent / chunks;
+        let part = input.dim(split_dim) / k;
+        let mut ex = self.begin_chunked(
+            CollectiveOp::AllToAll,
+            input.shape(),
+            [split_dim, concat_dim],
+            chunks,
+            input.numel(),
+        );
+        let mut per_chunk: Vec<Vec<Tensor>> = Vec::with_capacity(chunks);
+        let slice_mine = |parts: Vec<Tensor>| -> Vec<Tensor> {
+            parts.iter().map(|p| p.slice(split_dim, self.rank * part, part)).collect()
+        };
+        ex.post(input.slice(concat_dim, 0, step));
+        for c in 1..chunks {
+            per_chunk.push(slice_mine(ex.collect()));
+            ex.post(input.slice(concat_dim, c * step, step));
+        }
+        per_chunk.push(slice_mine(ex.collect()));
+        // Rank-major, chunk-inner: rank r's full contribution is its chunks
+        // in ascending order, matching the monolithic rank-order concat.
+        let mut pieces: Vec<&Tensor> = Vec::with_capacity(k * chunks);
+        for r in 0..k {
+            for chunk in &per_chunk {
+                pieces.push(&chunk[r]);
+            }
+        }
+        Tensor::concat(&pieces, concat_dim)
+    }
+}
+
+/// An in-flight chunked collective opened by [`CommGroup::begin_chunked`]:
+/// the async step API of the Looped CollectiveEinsum. The caller alternates
+/// [`post`](ChunkedExchange::post) (non-blocking deposit of chunk `i`) with
+/// its own compute on chunk `i-1`, then [`collect`](ChunkedExchange::collect)
+/// (blocking receipt) — hiding communication behind the einsum it feeds:
+///
+/// ```text
+/// post(0); for c in 1..C { compute(c-1); collect(c-1) -> post(c) } ...
+/// ```
+///
+/// Slot discipline: the mailbox holds one chunk per member, so every chunk
+/// must be collected before the next is posted (asserted). The two-phase
+/// barrier inside `collect` guarantees no member can race ahead and
+/// overwrite a slot a peer is still reading.
+///
+/// # Examples
+///
+/// ```
+/// use esti_collectives::{CollectiveOp, CommGroup};
+/// use esti_tensor::Tensor;
+///
+/// let mut solo = CommGroup::create(1);
+/// let g = solo.remove(0);
+/// let t = Tensor::ones(vec![2]);
+/// let mut ex = g.begin_chunked(CollectiveOp::AllGather, t.shape(), [0, 0], 2, 4);
+/// ex.post(t.slice(0, 0, 1));
+/// // ... compute on the previous chunk here ...
+/// let first = ex.collect();
+/// assert_eq!(first[0].data(), &[1.0]);
+/// ex.post(t.slice(0, 1, 1));
+/// let _ = ex.collect();
+/// ```
+pub struct ChunkedExchange<'g> {
+    group: &'g CommGroup,
+    op: CollectiveOp,
+    chunks: usize,
+    posted: usize,
+    collected: usize,
+    /// Size-1 groups have no peers to exchange with; the posted chunk
+    /// parks here until collected.
+    solo: Option<Tensor>,
+}
+
+impl ChunkedExchange<'_> {
+    /// Deposits the next chunk without blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all chunks were already posted or the previous chunk has
+    /// not been collected yet.
+    pub fn post(&mut self, chunk: Tensor) {
+        assert!(self.posted < self.chunks, "all {} chunks already posted", self.chunks);
+        assert_eq!(
+            self.posted, self.collected,
+            "collect the in-flight chunk before posting the next (one mailbox slot per member)"
+        );
+        if self.group.size() == 1 {
+            self.solo = Some(chunk);
+        } else {
+            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") = Some(chunk);
+        }
+        self.posted += 1;
+    }
+
+    /// Blocks until every member has posted its current chunk and returns
+    /// the deposits in rank order. The blocking time is what the collective
+    /// time ledger charges — compute done between `post` and `collect` is
+    /// exactly the hidden communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk is in flight.
+    pub fn collect(&mut self) -> Vec<Tensor> {
+        assert_eq!(self.posted, self.collected + 1, "no posted chunk to collect");
+        self.collected += 1;
+        let t0 = Instant::now();
+        let parts = if self.group.size() == 1 {
+            vec![self.solo.take().expect("posted chunk present")]
+        } else {
+            self.group.shared.barrier.wait();
+            let all: Vec<Tensor> = self
+                .group
+                .shared
+                .slots
+                .iter()
+                .map(|s| s.lock().expect("slot poisoned").clone().expect("peer deposited"))
+                .collect();
+            self.group.shared.barrier.wait();
+            all
+        };
+        self.group.note_time(self.op, t0);
+        parts
+    }
+
+    /// Total number of chunks in this collective.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Chunks not yet collected.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.chunks - self.collected
     }
 }
 
@@ -488,6 +893,163 @@ mod tests {
             });
             let _ = g0.all_gather(&Tensor::ones(vec![2, 2]), 0);
         });
+    }
+
+    #[test]
+    fn chunked_collectives_match_monolithic() {
+        for size in [1usize, 2, 4] {
+            for chunks in [1usize, 2, 4] {
+                let outs = run_group(size, |r, g| {
+                    let input = Tensor::from_vec(
+                        vec![4, 16],
+                        (0..64).map(|i| (r * 100 + i) as f32 * 0.25).collect(),
+                    );
+                    let ag = g.all_gather_chunked(&input, 0, chunks);
+                    let ag_ref = g.all_gather(&input, 0);
+                    let rs = g.reduce_scatter_chunked(&input, 1, chunks);
+                    let rs_ref = g.reduce_scatter(&input, 1);
+                    let ar = g.all_reduce_chunked(&input, 1, chunks);
+                    let ar_ref = g.all_reduce(&input);
+                    let a2a = g.all_to_all_chunked(&input, 0, 1, chunks);
+                    let a2a_ref = g.all_to_all(&input, 0, 1);
+                    [(ag, ag_ref), (rs, rs_ref), (ar, ar_ref), (a2a, a2a_ref)]
+                });
+                for pairs in outs {
+                    for (chunked, monolithic) in pairs {
+                        assert_eq!(
+                            chunked.max_abs_diff(&monolithic),
+                            0.0,
+                            "size {size} chunks {chunks}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_exchange_pipelines_compute_between_post_and_collect() {
+        // The step API: post chunk c, compute on chunk c-1, collect chunk
+        // c-1 — an all-gather-fed accumulation done chunk by chunk.
+        let chunks = 4;
+        let outs = run_group(3, |r, g| {
+            let shard = Tensor::from_vec(vec![8], (0..8).map(|i| (r * 8 + i) as f32).collect());
+            let reference = g.all_gather(&shard, 0);
+            let mut ex =
+                g.begin_chunked(CollectiveOp::AllGather, shard.shape(), [0, 0], chunks, 24);
+            let mut acc = 0.0f32;
+            let mut gathered: Vec<Vec<Tensor>> = Vec::new();
+            ex.post(shard.slice(0, 0, 2));
+            for c in 1..chunks {
+                // "compute" on the previous chunk while this one is in flight
+                if let Some(prev) = gathered.last() {
+                    acc += prev.iter().map(|t| t.data().iter().sum::<f32>()).sum::<f32>();
+                }
+                gathered.push(ex.collect());
+                ex.post(shard.slice(0, c * 2, 2));
+            }
+            acc += gathered.last().expect("chunk").iter()
+                .map(|t| t.data().iter().sum::<f32>()).sum::<f32>();
+            gathered.push(ex.collect());
+            assert_eq!(ex.remaining(), 0);
+            (reference, gathered, acc)
+        });
+        for (reference, gathered, _) in outs {
+            let mut pieces = Vec::new();
+            for r in 0..3 {
+                for chunk in &gathered {
+                    pieces.push(chunk[r].clone());
+                }
+            }
+            let refs: Vec<&Tensor> = pieces.iter().collect();
+            assert_eq!(Tensor::concat(&refs, 0).max_abs_diff(&reference), 0.0);
+        }
+    }
+
+    #[test]
+    fn collective_times_accumulate_blocking_time() {
+        let stats = TrafficStats::new();
+        let members = CommGroup::create_with_stats(2, Arc::clone(&stats));
+        let times = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .enumerate()
+                .map(|(r, m)| {
+                    s.spawn(move || {
+                        if r == 0 {
+                            // Make rank 1 demonstrably block in the barrier.
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        let _ = m.all_reduce(&Tensor::ones(vec![4]));
+                        m.times()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("member")).collect::<Vec<_>>()
+        });
+        assert!(
+            times[1].nanos(CollectiveOp::AllReduce) >= 1_000_000,
+            "rank 1 blocked {} ns, expected >= 1ms",
+            times[1].nanos(CollectiveOp::AllReduce)
+        );
+        assert_eq!(times[1].nanos(CollectiveOp::AllGather), 0);
+        assert!(stats.nanos(CollectiveOp::AllReduce) > 0);
+        assert_eq!(times[1].total_nanos(), times[1].nanos(CollectiveOp::AllReduce));
+        let mut merged = times[0];
+        merged.merge(&times[1]);
+        assert_eq!(
+            merged.total_nanos(),
+            times[0].total_nanos() + times[1].total_nanos()
+        );
+    }
+
+    #[test]
+    fn chunked_traffic_recorded_once_with_monolithic_volume() {
+        let stats = TrafficStats::new();
+        let members = CommGroup::create_with_stats(2, Arc::clone(&stats));
+        std::thread::scope(|s| {
+            for m in members {
+                s.spawn(move || {
+                    let t = Tensor::ones(vec![4]);
+                    let _ = m.all_gather_chunked(&t, 0, 2);
+                    let _ = m.reduce_scatter_chunked(&Tensor::ones(vec![8]), 0, 4);
+                });
+            }
+        });
+        // Identical to the monolithic ledger: AG output 8 elems * 2 bytes,
+        // RS input 8 elems * 2 bytes, one call each.
+        assert_eq!(stats.bytes(CollectiveOp::AllGather), 16);
+        assert_eq!(stats.bytes(CollectiveOp::ReduceScatter), 16);
+        assert_eq!(stats.calls(CollectiveOp::AllGather), 1);
+        assert_eq!(stats.calls(CollectiveOp::ReduceScatter), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SPMD violation")]
+    fn mismatched_chunk_counts_fail_fast() {
+        // Same op, shape and dims but different chunk counts: the mailbox
+        // protocols would desynchronize, so the agreement check must fire.
+        let mut g = CommGroup::create(2);
+        let g1 = g.remove(1);
+        let g0 = g.remove(0);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = g1.all_reduce_chunked(&Tensor::ones(vec![4]), 0, 4);
+            });
+            let _ = g0.all_reduce_chunked(&Tensor::ones(vec![4]), 0, 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "collect the in-flight chunk")]
+    fn chunked_exchange_enforces_slot_discipline() {
+        let mut solo = CommGroup::create(1);
+        let g = solo.remove(0);
+        let t = Tensor::ones(vec![4]);
+        let mut ex = g.begin_chunked(CollectiveOp::AllGather, t.shape(), [0, 0], 2, 8);
+        ex.post(t.slice(0, 0, 2));
+        ex.post(t.slice(0, 2, 2)); // must collect first
     }
 
     #[test]

@@ -401,6 +401,12 @@ pub enum Step {
         input: SymTensor,
         /// Declared sharding after the collective (checked against the rule).
         output: SymTensor,
+        /// Number of chunks the runtime moves this collective in
+        /// (Section 3.4 overlap): 1 means monolithic; `N > 1` means the
+        /// runtime pipelines N sub-transfers, computing on chunk `i-1`
+        /// while chunk `i` is in flight. Purely a runtime execution hint —
+        /// the sharding-algebra semantics are identical for every value.
+        chunks: usize,
     },
     /// A sharded einsum (matmul): `x · w` contracting `contract`.
     Einsum {
@@ -520,6 +526,104 @@ impl Schedule {
             .filter(|s| matches!(s, Step::Collective { .. }))
             .collect()
     }
+
+    /// Annotate the collectives the overlapped runtime pipelines with their
+    /// chunk counts: each marked step gets `chunks =
+    /// effective_chunks(extent, want)` where `extent` is the chunkable
+    /// extent of the transfer (see [`effective_chunks`]), and every other
+    /// collective stays monolithic. The marked set per dataflow mirrors
+    /// exactly what `esti-runtime`'s overlapped executor chunks, so the
+    /// static analyzer sees the same sub-op streams the engine issues.
+    ///
+    /// Chunking never changes sharding semantics, so the annotated
+    /// schedule verifies iff the original does.
+    #[must_use]
+    pub fn with_overlap_chunks(mut self, want: usize) -> Self {
+        if want <= 1 {
+            return self;
+        }
+        let flow = flow_of(&self.layout);
+        let torus = self.torus;
+        for step in self.layer.iter_mut().chain(&mut self.final_steps) {
+            let Step::Collective { label, op, axes, input, chunks, .. } = step else {
+                continue;
+            };
+            if !overlap_chunkable(flow, label) {
+                continue;
+            }
+            let Ok(shape) = input.local_shape(torus) else { continue };
+            let extent = match op {
+                SymOp::AllGather { dim } => input.dim_index(*dim).map(|i| shape[i]),
+                SymOp::ReduceScatter { dim } => input
+                    .dim_index(*dim)
+                    .map(|i| shape[i] / torus.group_size(*axes)),
+                // The runtime chunks an all-reduce along the last (feature)
+                // dimension of the partial-sum tensor.
+                SymOp::AllReduce => shape.last().copied(),
+                // Attention all-to-alls stay monolithic: they sit between
+                // two local ops with nothing to overlap against.
+                SymOp::AllToAll { .. } => None,
+            };
+            if let Some(extent) = extent {
+                *chunks = effective_chunks(extent, want);
+            }
+        }
+        self
+    }
+}
+
+/// Labels of the collectives the overlapped executor pipelines, per
+/// dataflow. Must stay in lockstep with `esti-runtime`'s engine: a label
+/// listed here is chunked by the runtime whenever its extent divides, and
+/// nothing else is.
+fn overlap_chunkable(flow: Flow, label: &str) -> bool {
+    // 1D weight-stationary: the output-side all-reduces around the
+    // attention and FFN blocks (Section 3.4's weight-stationary overlap).
+    const ONE_D: [&str; 3] = ["attn all-reduce", "mlp all-reduce", "block all-reduce"];
+    // 2D weight-stationary: the activation all-gathers feeding the
+    // projections and the reduce-scatters draining them (yz axis, where
+    // the big volumes move).
+    const TWO_D: [&str; 5] = [
+        "acts all-gather (yz)",
+        "mlp acts all-gather (yz)",
+        "attn reduce-scatter (yz)",
+        "mlp reduce-scatter (yz)",
+        "block reduce-scatter (yz)",
+    ];
+    // Fully weight-gathered: the per-layer weight all-gathers overlap with
+    // the matmuls that consume them (Section 3.2.3).
+    const WG: [&str; 7] = [
+        "wq weight all-gather",
+        "wk weight all-gather",
+        "wv weight all-gather",
+        "wo weight all-gather",
+        "w_in weight all-gather",
+        "w_gate weight all-gather",
+        "w_out weight all-gather",
+    ];
+    match flow {
+        Flow::OneD => ONE_D.contains(&label),
+        Flow::TwoD => TWO_D.contains(&label),
+        Flow::WgFull => WG.contains(&label),
+        // Hybrid keeps its weight gathers monolithic (they span only the
+        // small gather axes) and overlaps the 1D-style all-reduces.
+        Flow::WgHybrid { .. } => ONE_D.contains(&label),
+    }
+}
+
+/// Largest divisor of `extent` that is at most `want` — the chunk count the
+/// runtime actually uses when asked to pipeline a collective of the given
+/// chunkable extent in `want` chunks. Degenerate extents (0 or 1) and
+/// `want <= 1` give 1 (monolithic).
+#[must_use]
+pub fn effective_chunks(extent: usize, want: usize) -> usize {
+    if extent <= 1 || want <= 1 {
+        return 1;
+    }
+    (1..=want.min(extent))
+        .rev()
+        .find(|&c| extent.is_multiple_of(c))
+        .unwrap_or(1)
 }
 
 /// Walk a step list, verifying each step against the available tensors and
@@ -661,6 +765,7 @@ impl Plan {
             axes,
             input: input.clone(),
             output: output.clone(),
+            chunks: 1,
         });
         Ok(output)
     }
@@ -1555,6 +1660,75 @@ mod tests {
         // Mismatched contraction sharding is rejected.
         let x3 = SymTensor::new("BLF", &[8, 2, 64]);
         assert!(expected_einsum(&x3, &w2, &['F'], "BLE").is_err());
+    }
+
+    #[test]
+    fn effective_chunks_largest_divisor() {
+        assert_eq!(effective_chunks(16, 4), 4);
+        assert_eq!(effective_chunks(6, 4), 3);
+        assert_eq!(effective_chunks(7, 4), 1);
+        assert_eq!(effective_chunks(8, 3), 2);
+        assert_eq!(effective_chunks(12, 5), 4);
+        assert_eq!(effective_chunks(1, 4), 1);
+        assert_eq!(effective_chunks(0, 4), 1);
+        assert_eq!(effective_chunks(16, 1), 1);
+        assert_eq!(effective_chunks(16, 0), 1);
+        assert_eq!(effective_chunks(3, 8), 3);
+    }
+
+    #[test]
+    fn overlap_chunks_marked_per_flow_and_schedule_still_verifies() {
+        let cfg = ModelConfig::tiny();
+        for layout in layouts_for(MeshFactors::new(2, 2, 1)) {
+            let s = build_schedule(&cfg, &layout, 16, 4).unwrap().with_overlap_chunks(4);
+            s.verify()
+                .unwrap_or_else(|e| panic!("{}: verify after chunking: {e}", layout.describe()));
+            let flow = flow_of(&layout);
+            let mut chunked = 0usize;
+            for step in s.layer.iter().chain(&s.final_steps) {
+                let Step::Collective { label, op, axes, input, chunks, .. } = step else {
+                    continue;
+                };
+                if !overlap_chunkable(flow, label) {
+                    assert_eq!(*chunks, 1, "{label}: unmarked collective must stay monolithic");
+                    continue;
+                }
+                let shape = input.local_shape(s.torus).unwrap();
+                let extent = match op {
+                    SymOp::AllGather { dim } => shape[input.dim_index(*dim).unwrap()],
+                    SymOp::ReduceScatter { dim } => {
+                        shape[input.dim_index(*dim).unwrap()] / s.torus.group_size(*axes)
+                    }
+                    SymOp::AllReduce => *shape.last().unwrap(),
+                    SymOp::AllToAll { .. } => unreachable!("all-to-all is never chunkable"),
+                };
+                assert_eq!(*chunks, effective_chunks(extent, 4), "{label}");
+                if *chunks > 1 {
+                    chunked += 1;
+                }
+            }
+            assert!(
+                chunked > 0,
+                "{}: expected at least one pipelined collective",
+                layout.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_chunks_want_one_is_identity() {
+        let cfg = ModelConfig::tiny();
+        let layout = Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let s = build_schedule(&cfg, &layout, 16, 4).unwrap().with_overlap_chunks(1);
+        for step in s.collectives() {
+            if let Step::Collective { chunks, .. } = step {
+                assert_eq!(*chunks, 1);
+            }
+        }
     }
 
     #[test]

@@ -2,15 +2,60 @@
 
 use std::sync::Arc;
 
-use esti_collectives::{CommGroup, TrafficStats};
+use esti_collectives::{CommGroup, CommTimes, TrafficStats};
 use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_core::schedule::effective_chunks;
 use esti_model::reference::{attention_core, gelu, mm3};
 use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_tensor::{ops, Tensor};
 
-use crate::shard::{shard_1d, shard_2d, shard_wg, shard_wg_hybrid, LayerShard};
+use crate::overlap::{
+    looped_ag_einsums, looped_ar_cols, looped_rs_cols, looped_wg_cols, looped_wg_rows,
+};
+use crate::shard::{shard_1d, shard_2d, shard_wg, shard_wg_hybrid, LayerShard, ShardMat};
 
 pub use crate::shard::WeightFormat;
+
+/// How the engine moves each overlappable collective (Section 3.5).
+///
+/// Both modes run the *same* looped code path — monolithic execution is
+/// the one-chunk case — so for float-stored weights the two produce
+/// bit-identical logits for every chunk count. What changes is transport
+/// granularity: overlapped execution pipelines each marked collective as
+/// `chunks` sub-transfers, computing on chunk `i-1` while chunk `i` is in
+/// flight (the Looped CollectiveEinsum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every collective moves as one transfer; einsums run whole.
+    Monolithic,
+    /// Looped CollectiveEinsum with the given chunk-count target. Each
+    /// collective actually uses the largest divisor of its chunked extent
+    /// that is `<= chunks` (see [`effective_chunks`]), so awkward shapes
+    /// degrade gracefully toward monolithic instead of panicking.
+    Overlapped {
+        /// Requested chunks per collective (`1` behaves like monolithic).
+        chunks: usize,
+    },
+}
+
+impl Default for ExecMode {
+    /// Overlapped with four chunks: enough pipelining to hide most of a
+    /// collective behind its einsum without shrinking chunk matmuls into
+    /// launch-overhead territory.
+    fn default() -> Self {
+        ExecMode::Overlapped { chunks: 4 }
+    }
+}
+
+impl ExecMode {
+    /// The chunk-count target this mode asks of each collective.
+    fn want(self) -> usize {
+        match self {
+            ExecMode::Monolithic => 1,
+            ExecMode::Overlapped { chunks } => chunks.max(1),
+        }
+    }
+}
 
 /// Which partitioned dataflow a layout lowers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +106,7 @@ pub struct PartitionedEngine {
     cfg: ModelConfig,
     layout: Layout,
     dataflow: Dataflow,
+    exec: ExecMode,
     chips: Vec<ChipState>,
     stats: Arc<TrafficStats>,
     /// Full embedding table, used host-side for the input lookup.
@@ -91,6 +137,23 @@ impl PartitionedEngine {
     /// batch-sharded attention is requested for a multihead model.
     #[must_use]
     pub fn new(model: &ReferenceModel, layout: Layout, fmt: WeightFormat) -> Self {
+        PartitionedEngine::new_with_exec(model, layout, fmt, ExecMode::default())
+    }
+
+    /// Like [`PartitionedEngine::new`], with an explicit execution mode —
+    /// [`ExecMode::Monolithic`] for the unpipelined baseline, or
+    /// [`ExecMode::Overlapped`] with a chosen chunk count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PartitionedEngine::new`].
+    #[must_use]
+    pub fn new_with_exec(
+        model: &ReferenceModel,
+        layout: Layout,
+        fmt: WeightFormat,
+        exec: ExecMode,
+    ) -> Self {
         let cfg = model.config().clone();
         let n = layout.mesh.n_chips();
         let dataflow = match layout.ffn {
@@ -196,10 +259,17 @@ impl PartitionedEngine {
             cfg,
             layout,
             dataflow,
+            exec,
             chips,
             stats,
             batch: None,
         }
+    }
+
+    /// The execution mode this engine runs with.
+    #[must_use]
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// The model configuration.
@@ -224,6 +294,63 @@ impl PartitionedEngine {
     #[must_use]
     pub fn traffic(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Per-chip wall-clock time blocked in collectives, merged across each
+    /// chip's groups, in rank order. For chunked collectives only the
+    /// blocking `collect` phase counts, so comparing a monolithic run
+    /// against an overlapped one shows how much communication the overlap
+    /// actually hid.
+    #[must_use]
+    pub fn comm_times(&self) -> Vec<CommTimes> {
+        self.chips
+            .iter()
+            .map(|c| {
+                let mut t = c.g_all.times();
+                if let Some(g) = &c.g_x {
+                    t.merge(&g.times());
+                }
+                if let Some(g) = &c.g_yz {
+                    t.merge(&g.times());
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// Human-readable per-chip summary of [`PartitionedEngine::comm_times`]
+    /// (microseconds blocked per collective kind), for benchmark dumps.
+    #[must_use]
+    pub fn comm_time_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (rank, t) in self.comm_times().iter().enumerate() {
+            let us = |op| t.nanos(op) as f64 / 1e3;
+            let _ = writeln!(
+                s,
+                "chip {rank}: blocked {:.1}us (ag {:.1} rs {:.1} ar {:.1} a2a {:.1})",
+                t.total_nanos() as f64 / 1e3,
+                us(esti_collectives::CollectiveOp::AllGather),
+                us(esti_collectives::CollectiveOp::ReduceScatter),
+                us(esti_collectives::CollectiveOp::AllReduce),
+                us(esti_collectives::CollectiveOp::AllToAll),
+            );
+        }
+        s
+    }
+
+    /// Clears every chip's per-group collective-time counters (the shared
+    /// [`TrafficStats`] ledger has its own [`TrafficStats::reset`]).
+    pub fn reset_comm_times(&self) {
+        for c in &self.chips {
+            c.g_all.reset_times();
+            if let Some(g) = &c.g_x {
+                g.reset_times();
+            }
+            if let Some(g) = &c.g_yz {
+                g.reset_times();
+            }
+        }
     }
 
     /// Tokens currently cached per sequence.
@@ -361,6 +488,7 @@ impl PartitionedEngine {
             _ => (1, self.chips.len()),
         };
         let n = self.chips.len();
+        let want = self.exec.want();
         let outputs: Vec<Option<Tensor>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .chips
@@ -369,11 +497,11 @@ impl PartitionedEngine {
                     let x = x.clone();
                     let cfg = &cfg;
                     s.spawn(move || match dataflow {
-                        Dataflow::OneD => forward_1d(cfg, chip, x, attn, n),
-                        Dataflow::TwoD => forward_2d(cfg, chip, x, attn, x_parts, yz_parts),
-                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, n),
+                        Dataflow::OneD => forward_1d(cfg, chip, x, attn, n, want),
+                        Dataflow::TwoD => forward_2d(cfg, chip, x, attn, x_parts, yz_parts, want),
+                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, n, want),
                         Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
-                            forward_wg_hybrid(cfg, chip, x, attn, n_gather, n_local)
+                            forward_wg_hybrid(cfg, chip, x, attn, n_gather, n_local, want)
                         }
                     })
                 })
@@ -451,11 +579,12 @@ fn forward_1d(
     mut x: Tensor,
     attn: AttnSharding,
     n: usize,
+    want: usize,
 ) -> Option<Tensor> {
     let ChipState { rank, layers, cache, g_all, ln_final, embed_t, .. } = chip;
     let rank = *rank;
     for (li, shard) in layers.iter().enumerate() {
-        x = layer_1d(cfg, shard, x, attn, g_all, cache, li, rank, n);
+        x = layer_1d(cfg, shard, x, attn, g_all, cache, li, rank, n, want);
     }
     if rank == 0 {
         let h = ln3(&x, ln_final);
@@ -467,7 +596,10 @@ fn forward_1d(
 
 /// One 1D weight-stationary Transformer layer: the Megatron dataflow with
 /// a parallel or serialized block, shared by the pure 1D and the hybrid
-/// weight-gathered forwards.
+/// weight-gathered forwards. The block's output projections are fused into
+/// the all-reduce as a looped collective einsum chunked over `d_model`
+/// (column chunks of `wo`/`w_out` are produced just in time to feed the
+/// chunk pipeline).
 #[allow(clippy::too_many_arguments)]
 fn layer_1d(
     cfg: &ModelConfig,
@@ -479,20 +611,21 @@ fn layer_1d(
     li: usize,
     rank: usize,
     n: usize,
+    want: usize,
 ) -> Tensor {
+    let c = effective_chunks(cfg.d_model, want);
     let serial = cfg.block == esti_model::BlockKind::Serial;
     if serial {
-        let a_part = attn_1d(cfg, shard, &ln3(&x, &shard.ln1), attn, group, cache, li, rank, n);
-        let x1 = &x + &group.all_reduce(&a_part);
+        let ctx = attn_ctx_1d(cfg, shard, &ln3(&x, &shard.ln1), attn, group, cache, li, rank, n);
+        let x1 = &x + &looped_ar_cols(group, &[(&ctx, &shard.wo)], c);
         let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
-        let m_part = mlp_1d(cfg, shard, &ln3(&x1, ln2));
-        &x1 + &group.all_reduce(&m_part)
+        let h = mlp_hidden_1d(cfg, shard, &ln3(&x1, ln2));
+        &x1 + &looped_ar_cols(group, &[(&h, &shard.w_out)], c)
     } else {
         let ln = ln3(&x, &shard.ln1);
-        let a_part = attn_1d(cfg, shard, &ln, attn, group, cache, li, rank, n);
-        let m_part = mlp_1d(cfg, shard, &ln);
-        let part = &a_part + &m_part;
-        &x + &group.all_reduce(&part)
+        let ctx = attn_ctx_1d(cfg, shard, &ln, attn, group, cache, li, rank, n);
+        let h = mlp_hidden_1d(cfg, shard, &ln);
+        &x + &looped_ar_cols(group, &[(&ctx, &shard.wo), (&h, &shard.w_out)], c)
     }
 }
 
@@ -507,6 +640,7 @@ fn forward_wg_hybrid(
     attn: AttnSharding,
     n_gather: usize,
     n_local: usize,
+    want: usize,
 ) -> Option<Tensor> {
     let ChipState { i, j, layers, cache, g_x, g_yz, ln_final, embed_t, .. } = chip;
     let (g, b) = (*i, *j);
@@ -517,8 +651,10 @@ fn forward_wg_hybrid(
     let mut x = x_full.slice(0, g * slice, slice);
     let _ = n_local;
     for (li, shard) in layers.iter().enumerate() {
+        // Weight gathers over the small gather groups stay monolithic (the
+        // planner marks only the 1D all-reduces as overlap-chunkable here).
         let w = gather_layer(cfg, g_gather, shard);
-        x = layer_1d(cfg, &w, x, attn, g_local, cache, li, b, g_local.size());
+        x = layer_1d(cfg, &w, x, attn, g_local, cache, li, b, g_local.size(), want);
     }
     if b == 0 {
         // x is replicated within the local group; the b = 0 member of each
@@ -530,8 +666,11 @@ fn forward_wg_hybrid(
     }
 }
 
+/// 1D attention up to (but not including) the output projection: returns
+/// the per-chip context `[B, l, h_loc*dh]`, which the caller contracts
+/// with `wo` inside the looped all-reduce.
 #[allow(clippy::too_many_arguments)]
-fn attn_1d(
+fn attn_ctx_1d(
     cfg: &ModelConfig,
     shard: &LayerShard,
     ln: &Tensor,
@@ -553,7 +692,7 @@ fn attn_1d(
         q = ops::rope(&q, dh, base);
         k = ops::rope(&k, dh, base);
     }
-    let attn_out = match attn {
+    match attn {
         AttnSharding::Head => {
             cache.append(li, &k, &v);
             let (kc, vc) = cache.get(li).expect("cache populated by append");
@@ -573,21 +712,23 @@ fn attn_1d(
             let attn_b = attention_core(&q_b, kc, vc, dh); // [B/n, l, H*dh]
             g_all.all_to_all(&attn_b, 2, 0) // [B, l, h_loc*dh]
         }
-    };
-    shard.wo.mm3(&attn_out) // [B, l, E] partial sum
+    }
 }
 
-fn mlp_1d(cfg: &ModelConfig, shard: &LayerShard, ln: &Tensor) -> Tensor {
+/// 1D MLP up to (but not including) the output projection: returns the
+/// hidden activations `[B, l, f_loc]`, which the caller contracts with
+/// `w_out` inside the looped all-reduce.
+fn mlp_hidden_1d(cfg: &ModelConfig, shard: &LayerShard, ln: &Tensor) -> Tensor {
     let gate = shard.w_gate.as_ref().map(|g| g.mm3(ln));
     let up = shard.w_in.mm3(ln);
-    let h = mlp_hidden(cfg, gate, up);
-    shard.w_out.mm3(&h) // [B, l, E] partial sum
+    mlp_hidden(cfg, gate, up)
 }
 
 // ---------------------------------------------------------------------------
 // 2D weight-stationary dataflow (Section 3.2.2)
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn forward_2d(
     cfg: &ModelConfig,
     chip: &mut ChipState,
@@ -595,6 +736,7 @@ fn forward_2d(
     attn: AttnSharding,
     x_parts: usize,
     yz_parts: usize,
+    want: usize,
 ) -> Option<Tensor> {
     let ChipState { rank, i, j, layers, cache, g_all, g_x, g_yz, ln_final, embed_t } = chip;
     let (rank, i, j) = (*rank, *i, *j);
@@ -604,27 +746,60 @@ fn forward_2d(
     let e = cfg.d_model;
     let e_n = e / n;
     let off = i * (e / x_parts) + j * e_n;
+    // Both yz collectives chunk over the boundary-sharded width E/n: the
+    // all-gather streams `E/n`-wide activation chunks into the projection
+    // einsums, the reduce-scatter emits each destination's `E/n` slice
+    // chunk by chunk.
+    let c_yz = effective_chunks(e_n, want);
     // Boundary state: x sharded E_xyz.
     let mut x_loc = x_full.slice(2, off, e_n);
     for (li, shard) in layers.iter().enumerate() {
         let serial = cfg.block == esti_model::BlockKind::Serial;
         if serial {
             let xn = sharded_layernorm(g_all, &x_loc, &shard.ln1, e);
-            let x_i = g_yz.all_gather(&xn, 2); // [B, l, E/X]
-            let a_part = attn_2d(cfg, shard, cache, li, &x_i, attn, g_x, g_yz, i, j, x_parts, yz_parts);
-            let x1_loc = &x_loc + &g_yz.reduce_scatter(&a_part, 2);
+            let mut proj =
+                looped_ag_einsums(g_yz, &xn, &[&shard.wq, &shard.wk, &shard.wv], c_yz);
+            let v_part = proj.pop().expect("three projections");
+            let k_part = proj.pop().expect("three projections");
+            let q_part = proj.pop().expect("three projections");
+            let attn_j = attn_2d_ctx(
+                cfg, cache, li, q_part, k_part, v_part, attn, g_x, g_yz, i, j, x_parts, yz_parts,
+            );
+            let x1_loc = &x_loc + &looped_rs_cols(g_yz, &[(&attn_j, &shard.wo)], c_yz);
             let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
             let x1n = sharded_layernorm(g_all, &x1_loc, ln2, e);
-            let x1_i = g_yz.all_gather(&x1n, 2);
-            let m_part = mlp_2d(cfg, shard, g_x, &x1_i);
-            x_loc = &x1_loc + &g_yz.reduce_scatter(&m_part, 2);
+            let mlp_w: Vec<&ShardMat> = match &shard.w_gate {
+                Some(g) => vec![g, &shard.w_in],
+                None => vec![&shard.w_in],
+            };
+            let mut proj = looped_ag_einsums(g_yz, &x1n, &mlp_w, c_yz);
+            let up_part = proj.pop().expect("mlp input projection");
+            let gate_part = proj.pop();
+            let h_j = mlp_2d_hidden(cfg, g_x, gate_part, up_part);
+            x_loc = &x1_loc + &looped_rs_cols(g_yz, &[(&h_j, &shard.w_out)], c_yz);
         } else {
             let xn = sharded_layernorm(g_all, &x_loc, &shard.ln1, e);
-            let x_i = g_yz.all_gather(&xn, 2); // [B, l, E/X] (E_i slice)
-            let a_part = attn_2d(cfg, shard, cache, li, &x_i, attn, g_x, g_yz, i, j, x_parts, yz_parts);
-            let m_part = mlp_2d(cfg, shard, g_x, &x_i);
-            let part = &a_part + &m_part; // [B, l, E/X] partial over j
-            x_loc = &x_loc + &g_yz.reduce_scatter(&part, 2);
+            // One streamed all-gather feeds every projection of the
+            // parallel block (attention and MLP share the layernormed x_i).
+            let mut weights: Vec<&ShardMat> = vec![&shard.wq, &shard.wk, &shard.wv];
+            if let Some(g) = &shard.w_gate {
+                weights.push(g);
+            }
+            weights.push(&shard.w_in);
+            let mut proj = looped_ag_einsums(g_yz, &xn, &weights, c_yz);
+            let up_part = proj.pop().expect("mlp input projection");
+            let gate_part = if shard.w_gate.is_some() { proj.pop() } else { None };
+            let v_part = proj.pop().expect("three projections");
+            let k_part = proj.pop().expect("three projections");
+            let q_part = proj.pop().expect("three projections");
+            let attn_j = attn_2d_ctx(
+                cfg, cache, li, q_part, k_part, v_part, attn, g_x, g_yz, i, j, x_parts, yz_parts,
+            );
+            let h_j = mlp_2d_hidden(cfg, g_x, gate_part, up_part);
+            // One chunked reduce-scatter carries both partials: chunk `c`
+            // of `wo`'s and `w_out`'s columns is computed just in time.
+            x_loc = &x_loc
+                + &looped_rs_cols(g_yz, &[(&attn_j, &shard.wo), (&h_j, &shard.w_out)], c_yz);
         }
     }
     // Final layernorm + logit projection: partial over all chips.
@@ -638,27 +813,35 @@ fn forward_2d(
     }
 }
 
-fn mlp_2d(cfg: &ModelConfig, shard: &LayerShard, g_x: &CommGroup, x_i: &Tensor) -> Tensor {
-    // x_i [B, l, E/X] @ W_in(i,j) [E/X, F/YZ] -> partial over i.
-    let gate_part = shard.w_gate.as_ref().map(|g| g.mm3(x_i));
-    let up_part = shard.w_in.mm3(x_i);
-    // reduce-scatter(x) along the hidden dimension (the paper's choice,
-    // Section 3.5), apply the nonlinearity on [B, l, F/n] shards, then
-    // all-gather(x) back to [B, l, F/YZ].
+/// 2D MLP between the input and output projections: reduce-scatter(x) the
+/// partial gate/up along the hidden dimension (the paper's choice, Section
+/// 3.5), apply the nonlinearity on `[B, l, F/n]` shards, all-gather(x)
+/// back to `[B, l, F/YZ]`. The caller contracts the result with `w_out`
+/// inside the looped yz reduce-scatter.
+fn mlp_2d_hidden(
+    cfg: &ModelConfig,
+    g_x: &CommGroup,
+    gate_part: Option<Tensor>,
+    up_part: Tensor,
+) -> Tensor {
     let gate_sh = gate_part.map(|g| g_x.reduce_scatter(&g, 2));
     let up_sh = g_x.reduce_scatter(&up_part, 2);
     let h_sh = mlp_hidden(cfg, gate_sh, up_sh);
-    let h_j = g_x.all_gather(&h_sh, 2); // [B, l, F/YZ]
-    shard.w_out.mm3(&h_j) // [B, l, E/X] partial over j
+    g_x.all_gather(&h_sh, 2) // [B, l, F/YZ]
 }
 
+/// 2D attention from the partial (over `i`) Q/K/V projections up to (but
+/// not including) the output projection: returns the head-sharded context
+/// `[B, l, H_yz*dh]`, which the caller contracts with `wo` inside the
+/// looped yz reduce-scatter. The small x-axis collectives stay monolithic.
 #[allow(clippy::too_many_arguments)]
-fn attn_2d(
+fn attn_2d_ctx(
     cfg: &ModelConfig,
-    shard: &LayerShard,
     cache: &mut KvCache,
     li: usize,
-    x_i: &Tensor,
+    q_part: Tensor,
+    k_part: Tensor,
+    v_part: Tensor,
     attn: AttnSharding,
     g_x: &CommGroup,
     g_yz: &CommGroup,
@@ -670,15 +853,15 @@ fn attn_2d(
     let dh = cfg.d_head;
     // Projections are partial over i; all-reduce(x) replicates them within
     // the x group (Q/K/V are small relative to the FFN activations).
-    let mut q_j = g_x.all_reduce(&shard.wq.mm3(x_i)); // [B, l, H_yz*dh]
-    let mut k_j = g_x.all_reduce(&shard.wk.mm3(x_i));
-    let v_j = g_x.all_reduce(&shard.wv.mm3(x_i));
+    let mut q_j = g_x.all_reduce(&q_part); // [B, l, H_yz*dh]
+    let mut k_j = g_x.all_reduce(&k_part);
+    let v_j = g_x.all_reduce(&v_part);
     if cfg.position == PositionKind::Rope {
         let base = cache.len_of(li);
         q_j = ops::rope(&q_j, dh, base);
         k_j = ops::rope(&k_j, dh, base);
     }
-    let attn_j = match attn {
+    match attn {
         AttnSharding::Head => {
             // MQ: k_j is the full single head, cached replicated (the
             // "baseline multiquery" layout). MHA: own heads only.
@@ -706,35 +889,45 @@ fn attn_2d(
             let attn_b = g_x.all_gather(&attn_bi, 0); // [B/YZ, l, H*dh]
             g_yz.all_to_all(&attn_b, 2, 0) // [B, l, H_yz*dh]
         }
-    };
-    shard.wo.mm3(&attn_j) // [B, l, E/X] partial over j
+    }
 }
 
 // ---------------------------------------------------------------------------
 // weight-gathered dataflow (Section 3.2.3, XYZ extent)
 // ---------------------------------------------------------------------------
 
-fn forward_wg(cfg: &ModelConfig, chip: &mut ChipState, x_full: Tensor, n: usize) -> Option<Tensor> {
+fn forward_wg(
+    cfg: &ModelConfig,
+    chip: &mut ChipState,
+    x_full: Tensor,
+    n: usize,
+    want: usize,
+) -> Option<Tensor> {
     let ChipState { rank, layers, cache, g_all, ln_final, embed_t, .. } = chip;
     let rank = *rank;
     let b = x_full.dim(0);
     let b_loc = b / n;
-    // Activations stay batch-sharded and fully stationary; weights are
-    // all-gathered just before each layer's einsums.
+    // Weight gathers chunk over the *sharded* extent each chip owns: heads
+    // for the attention projections, hidden width for the MLP — matching
+    // the symbolic schedule's chunk marks.
+    let c_h = effective_chunks(cfg.n_heads / n, want);
+    let c_f = effective_chunks(cfg.d_ff / n, want);
+    // Activations stay batch-sharded and fully stationary; weight shards
+    // are streamed through their einsums chunk by chunk, each layer's
+    // matmul consuming chunk `i-1` while chunk `i` is in flight.
     let mut x = x_full.slice(0, rank * b_loc, b_loc);
     for (li, shard) in layers.iter().enumerate() {
-        let w = gather_layer(cfg, g_all, shard);
         let serial = cfg.block == esti_model::BlockKind::Serial;
         if serial {
-            let a = attn_local(cfg, cache, li, &ln3(&x, &w.ln1), &w);
+            let a = attn_wg(cfg, cache, li, &ln3(&x, &shard.ln1), shard, g_all, c_h);
             let x1 = &x + &a;
-            let ln2 = w.ln2.as_ref().expect("serial block requires ln2");
-            let m = mlp_local(cfg, &ln3(&x1, ln2), &w);
+            let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
+            let m = mlp_wg(cfg, &ln3(&x1, ln2), shard, g_all, c_f);
             x = &x1 + &m;
         } else {
-            let ln = ln3(&x, &w.ln1);
-            let a = attn_local(cfg, cache, li, &ln, &w);
-            let m = mlp_local(cfg, &ln, &w);
+            let ln = ln3(&x, &shard.ln1);
+            let a = attn_wg(cfg, cache, li, &ln, shard, g_all, c_h);
+            let m = mlp_wg(cfg, &ln, shard, g_all, c_f);
             x = &(&x + &a) + &m;
         }
     }
@@ -748,11 +941,13 @@ fn forward_wg(cfg: &ModelConfig, chip: &mut ChipState, x_full: Tensor, n: usize)
     }
 }
 
-/// All-gathers one layer's weight shards into full matrices. Quantized
-/// shards travel as their dense view; the gathered result stays dense for
-/// the local einsums (on real hardware the int8 payload would be gathered
-/// and dequantized on arrival — the traffic the analytic model charges is
-/// the stored-dtype volume either way).
+/// All-gathers one layer's weight shards into full matrices — the
+/// *monolithic* weight-gather, still used by the hybrid dataflow whose
+/// planner keeps weight gathers unchunked. Quantized shards travel as
+/// their dense view; the gathered result stays dense for the local einsums
+/// (on real hardware the int8 payload would be gathered and dequantized on
+/// arrival — the traffic the analytic model charges is the stored-dtype
+/// volume either way).
 fn gather_layer(cfg: &ModelConfig, g: &CommGroup, s: &LayerShard) -> LayerShard {
     let ag = |m: &crate::shard::ShardMat, dim: usize| {
         crate::shard::ShardMat::Dense(g.all_gather(&m.dense(), dim))
@@ -771,16 +966,28 @@ fn gather_layer(cfg: &ModelConfig, g: &CommGroup, s: &LayerShard) -> LayerShard 
     }
 }
 
-fn attn_local(
+/// Weight-gathered attention: every projection streams its weight gather
+/// through the einsum ([`looped_wg_cols`] for the head-sharded Q/K/V,
+/// [`looped_wg_rows`] for the row-sharded output projection). Multiquery
+/// K/V shards are replicated — nothing to gather, plain local matmuls.
+fn attn_wg(
     cfg: &ModelConfig,
     cache: &mut KvCache,
     li: usize,
     ln: &Tensor,
-    w: &LayerShard,
+    shard: &LayerShard,
+    g: &CommGroup,
+    chunks: usize,
 ) -> Tensor {
-    let mut q = w.wq.mm3(ln);
-    let mut k = w.wk.mm3(ln);
-    let v = w.wv.mm3(ln);
+    let mut q = looped_wg_cols(g, ln, &shard.wq, chunks);
+    let (mut k, v) = if cfg.n_kv_heads() == 1 {
+        (shard.wk.mm3(ln), shard.wv.mm3(ln))
+    } else {
+        (
+            looped_wg_cols(g, ln, &shard.wk, chunks),
+            looped_wg_cols(g, ln, &shard.wv, chunks),
+        )
+    };
     if cfg.position == PositionKind::Rope {
         let base = cache.len_of(li);
         q = ops::rope(&q, cfg.d_head, base);
@@ -789,11 +996,19 @@ fn attn_local(
     cache.append(li, &k, &v);
     let (kc, vc) = cache.get(li).expect("cache populated by append");
     let attn = attention_core(&q, kc, vc, cfg.d_head);
-    w.wo.mm3(&attn)
+    looped_wg_rows(g, &attn, &shard.wo, chunks)
 }
 
-fn mlp_local(cfg: &ModelConfig, ln: &Tensor, w: &LayerShard) -> Tensor {
-    let gate = w.w_gate.as_ref().map(|g| g.mm3(ln));
-    let up = w.w_in.mm3(ln);
-    w.w_out.mm3(&mlp_hidden(cfg, gate, up))
+/// Weight-gathered MLP: streamed column gathers for the input (and gate)
+/// projections, a streamed row gather for the output projection.
+fn mlp_wg(
+    cfg: &ModelConfig,
+    ln: &Tensor,
+    shard: &LayerShard,
+    g: &CommGroup,
+    chunks: usize,
+) -> Tensor {
+    let gate = shard.w_gate.as_ref().map(|w| looped_wg_cols(g, ln, w, chunks));
+    let up = looped_wg_cols(g, ln, &shard.w_in, chunks);
+    looped_wg_rows(g, &mlp_hidden(cfg, gate, up), &shard.w_out, chunks)
 }

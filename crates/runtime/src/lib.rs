@@ -47,7 +47,8 @@
 
 pub mod engine;
 pub mod generate;
+mod overlap;
 pub mod shard;
 
-pub use engine::{PartitionedEngine, WeightFormat};
+pub use engine::{ExecMode, PartitionedEngine, WeightFormat};
 pub use generate::GenerateOptions;

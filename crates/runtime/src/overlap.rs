@@ -1,0 +1,372 @@
+//! Looped CollectiveEinsum execution (Section 3.5): fused einsum +
+//! collective loops that move each collective as a pipeline of chunks,
+//! computing on chunk `i-1` while chunk `i` is in flight.
+//!
+//! Every helper here is the *single* code path for both execution modes:
+//! [`ExecMode::Monolithic`](crate::ExecMode::Monolithic) simply runs the
+//! same loop with one chunk. Bit-identical results across modes and chunk
+//! counts therefore hold by construction, given two invariants:
+//!
+//! 1. the matmul kernel accumulates every output element by one serial
+//!    chain of adds in strictly ascending `k` order, so splitting a
+//!    contraction at any `k` (or column) boundary and continuing the chain
+//!    reproduces the monolithic product bit-for-bit
+//!    ([`ops::matmul_acc_rows`] / [`ops::matmul_cols`]);
+//! 2. where transport order differs from contraction order (a gathered
+//!    contraction receives rank `r`'s chunk `i` before rank `r+1`'s chunk
+//!    `0`), the helper keeps one accumulator *per source rank* — each a
+//!    pure ascending-`k` chain — and folds them in ascending rank order at
+//!    the end. The fold shape depends only on the group size, never the
+//!    chunk count.
+//!
+//! Int8 shards run the integer kernel on whole matrices, so the paths that
+//! fuse a chunked collective into a float matmul fall back to the
+//! monolithic collective for quantized weights — in *both* modes, keeping
+//! the mode-equivalence guarantee format-independent.
+
+use esti_collectives::{CollectiveOp, CommGroup};
+use esti_tensor::{ops, Tensor};
+
+use crate::shard::ShardMat;
+
+/// Flattens `[B, L, D]` activations to `[B·L, D]` for the rank-2 kernels.
+fn flat2(x: &Tensor) -> Tensor {
+    let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+    x.reshape(vec![b * l, d])
+}
+
+fn any_int8(terms: &[(&Tensor, &ShardMat)]) -> bool {
+    terms.iter().any(|(_, w)| matches!(w, ShardMat::Int8(_)))
+}
+
+/// The dense tensor behind a shard known to be float-stored (callers check
+/// for int8 first and take the fallback path).
+fn dense_ref(w: &ShardMat) -> &Tensor {
+    match w {
+        ShardMat::Dense(t) => t,
+        ShardMat::Int8(_) => unreachable!("int8 shards take the monolithic fallback"),
+    }
+}
+
+/// Rank-ascending elementwise sum — the reduction order every monolithic
+/// collective uses, reproduced here chunk by chunk.
+fn sum_ranks(parts: &[Tensor]) -> Tensor {
+    let mut sum = parts[0].clone();
+    for p in &parts[1..] {
+        sum = &sum + p;
+    }
+    sum
+}
+
+/// Fused partial-matmul + all-reduce, chunked over the output columns: the
+/// 1D weight-stationary block epilogue. Computes
+/// `all_reduce(Σ_t xₜ × wₜ)` by producing each column chunk of the local
+/// partial sum just in time to feed the chunk pipeline.
+///
+/// Column chunking is bit-exact (each output element's `k` chain is
+/// independent of which column block computes it), and the chunked
+/// all-reduce sums ranks in the same ascending order as the monolithic
+/// one, so the result is bit-identical for every chunk count.
+///
+/// # Panics
+///
+/// Panics if the weights' output width is not divisible by `chunks`.
+pub(crate) fn looped_ar_cols(
+    group: &CommGroup,
+    terms: &[(&Tensor, &ShardMat)],
+    chunks: usize,
+) -> Tensor {
+    if any_int8(terms) {
+        let mut part = terms[0].1.mm3(terms[0].0);
+        for (x, w) in &terms[1..] {
+            part = &part + &w.mm3(x);
+        }
+        return group.all_reduce(&part);
+    }
+    let (b, l) = (terms[0].0.dim(0), terms[0].0.dim(1));
+    let rows = b * l;
+    let flats: Vec<Tensor> = terms.iter().map(|(x, _)| flat2(x)).collect();
+    let ws: Vec<&Tensor> = terms.iter().map(|(_, w)| dense_ref(w)).collect();
+    let n_out = ws[0].dim(1);
+    assert!(
+        n_out.is_multiple_of(chunks),
+        "all-reduce output width {n_out} not divisible by {chunks} chunks"
+    );
+    let step = n_out / chunks;
+    let compute = |ci: usize| -> Tensor {
+        let mut part = ops::matmul_cols(&flats[0], ws[0], ci * step, step);
+        for t in 1..flats.len() {
+            part = &part + &ops::matmul_cols(&flats[t], ws[t], ci * step, step);
+        }
+        part
+    };
+    let mut ex = group.begin_chunked(
+        CollectiveOp::AllReduce,
+        &[rows, n_out],
+        [1, 1],
+        chunks,
+        rows * n_out * 2,
+    );
+    let mut out: Vec<Tensor> = Vec::with_capacity(chunks);
+    ex.post(compute(0));
+    for ci in 1..chunks {
+        // Compute chunk `ci` while chunk `ci-1` is in flight.
+        let next = compute(ci);
+        out.push(sum_ranks(&ex.collect()));
+        ex.post(next);
+    }
+    out.push(sum_ranks(&ex.collect()));
+    let refs: Vec<&Tensor> = out.iter().collect();
+    Tensor::concat(&refs, 1).into_reshape(vec![b, l, n_out])
+}
+
+/// Fused partial-matmul + reduce-scatter, chunked within each destination's
+/// scatter slice: the 2D weight-stationary block epilogue. Computes
+/// `reduce_scatter(Σ_t xₜ × wₜ, dim 2)`, producing for chunk `c` the `c`-th
+/// sub-slice of *every* destination's output so each collected chunk
+/// reduces immediately to a piece of this member's result.
+///
+/// Bit-identical to the monolithic matmul + reduce-scatter for every chunk
+/// count (column chunking + rank-ascending reduction, as in
+/// [`looped_ar_cols`]).
+///
+/// # Panics
+///
+/// Panics if the output width is not divisible by `size() * chunks`.
+pub(crate) fn looped_rs_cols(
+    group: &CommGroup,
+    terms: &[(&Tensor, &ShardMat)],
+    chunks: usize,
+) -> Tensor {
+    if any_int8(terms) {
+        let mut part = terms[0].1.mm3(terms[0].0);
+        for (x, w) in &terms[1..] {
+            part = &part + &w.mm3(x);
+        }
+        return group.reduce_scatter(&part, 2);
+    }
+    let (b, l) = (terms[0].0.dim(0), terms[0].0.dim(1));
+    let rows = b * l;
+    let flats: Vec<Tensor> = terms.iter().map(|(x, _)| flat2(x)).collect();
+    let ws: Vec<&Tensor> = terms.iter().map(|(_, w)| dense_ref(w)).collect();
+    let n_out = ws[0].dim(1);
+    let k = group.size();
+    assert!(
+        n_out.is_multiple_of(k),
+        "reduce-scatter output width {n_out} not divisible by group size {k}"
+    );
+    let part_w = n_out / k;
+    assert!(
+        part_w.is_multiple_of(chunks),
+        "reduce-scatter part width {part_w} not divisible by {chunks} chunks"
+    );
+    let step = part_w / chunks;
+    let compute = |ci: usize| -> Tensor {
+        let pieces: Vec<Tensor> = (0..k)
+            .map(|dest| {
+                let c0 = dest * part_w + ci * step;
+                let mut p = ops::matmul_cols(&flats[0], ws[0], c0, step);
+                for t in 1..flats.len() {
+                    p = &p + &ops::matmul_cols(&flats[t], ws[t], c0, step);
+                }
+                p
+            })
+            .collect();
+        let refs: Vec<&Tensor> = pieces.iter().collect();
+        Tensor::concat(&refs, 1)
+    };
+    let mine = |parts: Vec<Tensor>| -> Tensor {
+        let mut sum = parts[0].slice(1, group.rank() * step, step);
+        for p in &parts[1..] {
+            sum = &sum + &p.slice(1, group.rank() * step, step);
+        }
+        sum
+    };
+    let mut ex = group.begin_chunked(
+        CollectiveOp::ReduceScatter,
+        &[rows, n_out],
+        [1, 1],
+        chunks,
+        rows * n_out,
+    );
+    let mut out: Vec<Tensor> = Vec::with_capacity(chunks);
+    ex.post(compute(0));
+    for ci in 1..chunks {
+        let next = compute(ci);
+        out.push(mine(ex.collect()));
+        ex.post(next);
+    }
+    out.push(mine(ex.collect()));
+    let refs: Vec<&Tensor> = out.iter().collect();
+    Tensor::concat(&refs, 1).into_reshape(vec![b, l, part_w])
+}
+
+/// Streamed activation all-gather feeding a set of contractions: the 2D
+/// weight-stationary block prologue. Equivalent to
+/// `x_i = all_gather(xn, dim 2); [w.mm3(&x_i) for w in weights]`, but each
+/// collected chunk of `xn` is multiplied into per-source-rank accumulators
+/// while the next chunk is in flight, and the accumulators are folded in
+/// ascending rank order at the end (invariant 2 in the module docs).
+///
+/// # Panics
+///
+/// Panics if `xn`'s sharded width is not divisible by `chunks`.
+pub(crate) fn looped_ag_einsums(
+    group: &CommGroup,
+    xn: &Tensor,
+    weights: &[&ShardMat],
+    chunks: usize,
+) -> Vec<Tensor> {
+    if weights.iter().any(|w| matches!(w, ShardMat::Int8(_))) {
+        let x_i = group.all_gather(xn, 2);
+        return weights.iter().map(|w| w.mm3(&x_i)).collect();
+    }
+    let (b, l, e_loc) = (xn.dim(0), xn.dim(1), xn.dim(2));
+    let rows = b * l;
+    let k = group.size();
+    assert!(
+        e_loc.is_multiple_of(chunks),
+        "all-gather width {e_loc} not divisible by {chunks} chunks"
+    );
+    let step = e_loc / chunks;
+    let flat = flat2(xn);
+    let ws: Vec<&Tensor> = weights.iter().map(|w| dense_ref(w)).collect();
+    let widths: Vec<usize> = ws.iter().map(|w| w.dim(1)).collect();
+    let mut accs: Vec<Vec<Tensor>> = widths
+        .iter()
+        .map(|&n_w| (0..k).map(|_| Tensor::zeros(vec![rows, n_w])).collect())
+        .collect();
+    let absorb = |parts: &[Tensor], ci: usize, accs: &mut Vec<Vec<Tensor>>| {
+        for (r, chunk) in parts.iter().enumerate() {
+            let r0 = r * e_loc + ci * step;
+            for (wi, w) in ws.iter().enumerate() {
+                ops::matmul_acc_rows(chunk, w, r0, &mut accs[wi][r]);
+            }
+        }
+    };
+    let mut ex = group.begin_chunked(
+        CollectiveOp::AllGather,
+        &[rows, e_loc],
+        [1, 1],
+        chunks,
+        rows * e_loc * k,
+    );
+    ex.post(flat.slice(1, 0, step));
+    for ci in 1..chunks {
+        let parts = ex.collect();
+        // Post chunk `ci` first, then contract chunk `ci-1` "behind" it.
+        ex.post(flat.slice(1, ci * step, step));
+        absorb(&parts, ci - 1, &mut accs);
+    }
+    let parts = ex.collect();
+    absorb(&parts, chunks - 1, &mut accs);
+    accs.into_iter()
+        .zip(widths)
+        .map(|(rank_accs, n_w)| sum_ranks(&rank_accs).into_reshape(vec![b, l, n_w]))
+        .collect()
+}
+
+/// Streamed weight all-gather for a column-sharded matrix, fused with its
+/// einsum: the weight-gathered prologue for `wq`/`wk`/`wv`/`w_in`/`w_gate`.
+/// Equivalent to `x × all_gather(shard, dim 1)`; each collected chunk
+/// writes its own column block of the output, so the result is
+/// bit-identical to the gathered monolithic matmul for every chunk count.
+///
+/// Int8 shards travel as their dense view, exactly like the monolithic
+/// weight-gather (the ledger charges stored-dtype volume either way).
+///
+/// # Panics
+///
+/// Panics if the shard's column count is not divisible by `chunks`.
+pub(crate) fn looped_wg_cols(
+    group: &CommGroup,
+    x: &Tensor,
+    shard: &ShardMat,
+    chunks: usize,
+) -> Tensor {
+    let w = shard.dense();
+    let (b, l) = (x.dim(0), x.dim(1));
+    let rows = b * l;
+    let (e, w_loc) = (w.dim(0), w.dim(1));
+    let k = group.size();
+    assert!(
+        w_loc.is_multiple_of(chunks),
+        "weight-gather shard width {w_loc} not divisible by {chunks} chunks"
+    );
+    let step = w_loc / chunks;
+    let flat = flat2(x);
+    let mut out = Tensor::zeros(vec![rows, w_loc * k]);
+    let absorb = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
+        for (r, chunk) in parts.iter().enumerate() {
+            ops::matmul_into_cols(&flat, chunk, out, r * w_loc + ci * step);
+        }
+    };
+    let mut ex = group.begin_chunked(
+        CollectiveOp::AllGather,
+        &[e, w_loc],
+        [1, 1],
+        chunks,
+        e * w_loc * k,
+    );
+    ex.post(w.slice(1, 0, step));
+    for ci in 1..chunks {
+        let parts = ex.collect();
+        ex.post(w.slice(1, ci * step, step));
+        absorb(&parts, ci - 1, &mut out);
+    }
+    let parts = ex.collect();
+    absorb(&parts, chunks - 1, &mut out);
+    out.into_reshape(vec![b, l, w_loc * k])
+}
+
+/// Streamed weight all-gather for a row-sharded matrix, fused with its
+/// einsum: the weight-gathered epilogue for `wo`/`w_out`. Equivalent to
+/// `x × all_gather(shard, dim 0)` with one ascending-`k` accumulator per
+/// source rank, folded in ascending rank order (invariant 2 in the module
+/// docs), so results are chunk-count- and mode-invariant.
+///
+/// # Panics
+///
+/// Panics if the shard's row count is not divisible by `chunks`.
+pub(crate) fn looped_wg_rows(
+    group: &CommGroup,
+    x: &Tensor,
+    shard: &ShardMat,
+    chunks: usize,
+) -> Tensor {
+    let w = shard.dense();
+    let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+    let rows = b * l;
+    let (w_loc, n_out) = (w.dim(0), w.dim(1));
+    let k = group.size();
+    assert_eq!(d, w_loc * k, "row-gather contraction width mismatch");
+    assert!(
+        w_loc.is_multiple_of(chunks),
+        "weight-gather shard height {w_loc} not divisible by {chunks} chunks"
+    );
+    let step = w_loc / chunks;
+    let flat = flat2(x);
+    let mut accs: Vec<Tensor> = (0..k).map(|_| Tensor::zeros(vec![rows, n_out])).collect();
+    let absorb = |parts: &[Tensor], ci: usize, accs: &mut Vec<Tensor>| {
+        for (r, chunk) in parts.iter().enumerate() {
+            let a = flat.slice(1, r * w_loc + ci * step, step);
+            ops::matmul_acc_rows(&a, chunk, 0, &mut accs[r]);
+        }
+    };
+    let mut ex = group.begin_chunked(
+        CollectiveOp::AllGather,
+        &[w_loc, n_out],
+        [0, 0],
+        chunks,
+        w_loc * n_out * k,
+    );
+    ex.post(w.slice(0, 0, step));
+    for ci in 1..chunks {
+        let parts = ex.collect();
+        ex.post(w.slice(0, ci * step, step));
+        absorb(&parts, ci - 1, &mut accs);
+    }
+    let parts = ex.collect();
+    absorb(&parts, chunks - 1, &mut accs);
+    sum_ranks(&accs).into_reshape(vec![b, l, n_out])
+}

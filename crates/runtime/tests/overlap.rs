@@ -1,0 +1,178 @@
+//! Conformance tests for the overlapped (Looped CollectiveEinsum)
+//! executor: for every layout, overlapped execution must be *bit-identical*
+//! to monolithic execution — `max_abs_diff == 0.0`, not a tolerance — for
+//! every chunk count, while both stay within tolerance of the single-chip
+//! reference. The traffic ledger must also be identical: chunking changes
+//! transport granularity, never the bytes an op is charged.
+
+use esti_collectives::CollectiveOp;
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_model::{KvCache, ModelConfig, ReferenceModel};
+use esti_runtime::{ExecMode, PartitionedEngine, WeightFormat};
+use esti_tensor::Tensor;
+
+const TOL: f32 = 2e-3;
+
+/// Every dataflow on four chips, plus the two-chip 1D case.
+fn layouts(attn: AttnSharding) -> Vec<Layout> {
+    vec![
+        Layout { ffn: FfnLayout::WeightStationary1D, attn, mesh: MeshFactors::new(1, 2, 1) },
+        Layout { ffn: FfnLayout::WeightStationary1D, attn, mesh: MeshFactors::new(1, 4, 1) },
+        Layout { ffn: FfnLayout::WeightStationary2D, attn, mesh: MeshFactors::new(2, 2, 1) },
+        Layout { ffn: FfnLayout::WeightGathered(GatherExtent::Xyz), attn, mesh: MeshFactors::new(4, 1, 1) },
+        Layout { ffn: FfnLayout::WeightGathered(GatherExtent::X), attn, mesh: MeshFactors::new(2, 2, 1) },
+    ]
+}
+
+/// Runs prefill + two decode steps under `exec`, returning all logits.
+fn run(
+    model: &ReferenceModel,
+    layout: Layout,
+    fmt: WeightFormat,
+    exec: ExecMode,
+    tokens: &[Vec<usize>],
+) -> Vec<Tensor> {
+    let mut engine = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
+    let mut out = vec![engine.prefill(tokens)];
+    let mut next: Vec<usize> =
+        (0..tokens.len()).map(|b| (b + 3) % model.config().vocab).collect();
+    for _ in 0..2 {
+        out.push(engine.decode_step(&next));
+        next = next.iter().map(|&t| (t * 5 + 1) % model.config().vocab).collect();
+    }
+    out
+}
+
+fn assert_bit_identical(model: &ReferenceModel, layout: Layout, fmt: WeightFormat) {
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 5, b + 9, b + 2]).collect();
+    let mono = run(model, layout, fmt, ExecMode::Monolithic, &tokens);
+    for chunks in [2usize, 4] {
+        let over = run(model, layout, fmt, ExecMode::Overlapped { chunks }, &tokens);
+        for (step, (m, o)) in mono.iter().zip(&over).enumerate() {
+            assert_eq!(
+                o.max_abs_diff(m),
+                0.0,
+                "{} chunks={chunks} step {step}: overlapped != monolithic",
+                layout.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_bit_identical_to_monolithic_multiquery() {
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 60);
+    for attn in [AttnSharding::Head, AttnSharding::Batch] {
+        for layout in layouts(attn) {
+            assert_bit_identical(&model, layout, WeightFormat::Exact);
+        }
+    }
+}
+
+#[test]
+fn overlapped_bit_identical_to_monolithic_multihead_serial() {
+    let model = ReferenceModel::init_random(ModelConfig::tiny_multihead(), 61);
+    for layout in layouts(AttnSharding::Head) {
+        assert_bit_identical(&model, layout, WeightFormat::Exact);
+    }
+}
+
+#[test]
+fn overlapped_bit_identical_for_int8_and_bf16() {
+    // Quantized weights take the monolithic-arithmetic fallback inside the
+    // looped helpers — in both modes, so mode-equivalence must still be
+    // exact. bf16 exercises dense storage with rounded values.
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 62);
+    for fmt in [WeightFormat::Int8, WeightFormat::Bf16] {
+        for layout in layouts(AttnSharding::Head) {
+            assert_bit_identical(&model, layout, fmt);
+        }
+    }
+}
+
+#[test]
+fn overlapped_matches_reference_within_tolerance() {
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 63);
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 2, b + 6, b + 1, b + 8]).collect();
+    let mut cache = KvCache::new(model.config().n_layers);
+    let expect = model.prefill(&tokens, &mut cache);
+    for layout in layouts(AttnSharding::Batch) {
+        let mut engine = PartitionedEngine::new_with_exec(
+            &model,
+            layout,
+            WeightFormat::Exact,
+            ExecMode::Overlapped { chunks: 4 },
+        );
+        let got = engine.prefill(&tokens);
+        assert!(
+            got.approx_eq(&expect, TOL),
+            "{}: max diff {:e}",
+            layout.describe(),
+            got.max_abs_diff(&expect)
+        );
+    }
+}
+
+#[test]
+fn chunking_does_not_change_the_traffic_ledger() {
+    // A chunked collective is one logical op: same calls, same bytes.
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 64);
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 4]).collect();
+    for attn in [AttnSharding::Head, AttnSharding::Batch] {
+        for layout in layouts(attn) {
+            let mut mono = PartitionedEngine::new_with_exec(
+                &model,
+                layout,
+                WeightFormat::Exact,
+                ExecMode::Monolithic,
+            );
+            let mut over = PartitionedEngine::new_with_exec(
+                &model,
+                layout,
+                WeightFormat::Exact,
+                ExecMode::Overlapped { chunks: 4 },
+            );
+            let _ = mono.prefill(&tokens);
+            let _ = over.prefill(&tokens);
+            let _ = mono.decode_step(&[1, 2, 3, 4]);
+            let _ = over.decode_step(&[1, 2, 3, 4]);
+            for op in CollectiveOp::ALL {
+                assert_eq!(
+                    mono.traffic().calls(op),
+                    over.traffic().calls(op),
+                    "{} {op:?} call count",
+                    layout.describe()
+                );
+                assert_eq!(
+                    mono.traffic().bytes(op),
+                    over.traffic().bytes(op),
+                    "{} {op:?} bytes",
+                    layout.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn comm_times_are_recorded_per_chip() {
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 65);
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 4]).collect();
+    let layout = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Head,
+        mesh: MeshFactors::new(1, 4, 1),
+    };
+    let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+    let _ = engine.prefill(&tokens);
+    let times = engine.comm_times();
+    assert_eq!(times.len(), 4);
+    assert!(
+        times.iter().any(|t| t.total_nanos() > 0),
+        "collectives must record blocking time"
+    );
+    let summary = engine.comm_time_summary();
+    assert!(summary.lines().count() == 4 && summary.contains("chip 0"), "{summary}");
+    engine.reset_comm_times();
+    assert!(engine.comm_times().iter().all(|t| t.total_nanos() == 0));
+}

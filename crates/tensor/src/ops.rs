@@ -5,12 +5,196 @@
 //! ([`swish_base2`]) that replace `exp` with the cheaper `exp2`, exploiting
 //! `e^x = 2^(x·log2 e)`.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::Tensor;
+
+/// Which inner matmul kernel [`matmul`] dispatches to.
+///
+/// The blocked kernel is the default; the naive kernel is kept as a
+/// correctness oracle and so benchmarks can measure the pre-optimization
+/// baseline in the same binary. Either kernel accumulates every output
+/// element in strictly ascending `k` order, so for inputs without exact
+/// zeros the two produce bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulKernel {
+    /// Cache-blocked, 4×-unrolled kernel.
+    Blocked,
+    /// Scalar i-k-j kernel with the historical `av == 0.0` skip.
+    Naive,
+}
+
+static MATMUL_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel used by [`matmul`] / [`batched_matmul`] process-wide.
+/// Both kernels are correct; this is a benchmarking escape hatch.
+pub fn set_matmul_kernel(kernel: MatmulKernel) {
+    let v = match kernel {
+        MatmulKernel::Blocked => 0,
+        MatmulKernel::Naive => 1,
+    };
+    MATMUL_KERNEL.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected matmul kernel.
+#[must_use]
+pub fn matmul_kernel() -> MatmulKernel {
+    if MATMUL_KERNEL.load(Ordering::Relaxed) == 0 {
+        MatmulKernel::Blocked
+    } else {
+        MatmulKernel::Naive
+    }
+}
+
+/// Column width of one register tile: `MR` accumulator rows of `NR` floats
+/// stay resident in vector registers across the entire `k` loop.
+const NR: usize = 32;
+/// Row count of one register tile: independent accumulator chains per lane.
+const MR: usize = 4;
+
+/// Full-tile microkernel: `out[i..i+MR, j..j+NR] += a[i..i+MR, :] × b[:, j..j+NR]`.
+/// All loop bounds are compile-time constants so the accumulator tile is
+/// promoted to registers — the `k` loop touches memory only for the `b` row
+/// slice and `MR` scalars of `a`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn mm_tile_full(
+    ad: &[f32],
+    a_stride: usize,
+    bd: &[f32],
+    b_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let o0 = (i + r) * o_stride + j;
+        row.copy_from_slice(&out[o0..o0 + NR]);
+    }
+    for kk in 0..k {
+        let brow: &[f32; NR] = bd[kk * b_stride + j..][..NR].try_into().expect("NR slice");
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = ad[(i + r) * a_stride + kk];
+            // One separate add per k step — never a fused multi-term sum —
+            // so every output element is a single serial chain in strictly
+            // ascending k order, matching the scalar kernel bit-for-bit.
+            for (x, &bv) in row.iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let o0 = (i + r) * o_stride + j;
+        out[o0..o0 + NR].copy_from_slice(row);
+    }
+}
+
+/// Edge-tile microkernel for the `m % MR` / `n % NR` remainders: identical
+/// accumulation order to [`mm_tile_full`], with runtime tile bounds.
+#[allow(clippy::too_many_arguments)]
+fn mm_tile_edge(
+    ad: &[f32],
+    a_stride: usize,
+    bd: &[f32],
+    b_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate().take(mr) {
+        let o0 = (i + r) * o_stride + j;
+        row[..nr].copy_from_slice(&out[o0..o0 + nr]);
+    }
+    for kk in 0..k {
+        let brow = &bd[kk * b_stride + j..][..nr];
+        for (r, row) in acc.iter_mut().enumerate().take(mr) {
+            let av = ad[(i + r) * a_stride + kk];
+            for (x, &bv) in row[..nr].iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr) {
+        let o0 = (i + r) * o_stride + j;
+        out[o0..o0 + nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+/// Register-tiled matmul core accumulating `out += a × b`, with explicit row
+/// strides so callers can address sub-blocks of larger matrices without
+/// copying. Tiles the output into `MR × NR` register blocks; the `j`-outer
+/// loop keeps the active `k × NR` panel of `b` hot in L1/L2 across row
+/// tiles. Each output element is accumulated by a single serial chain of
+/// additions in strictly ascending `k` order — the property the
+/// chunked/looped collective paths rely on for bit-identical results
+/// regardless of how the contraction is split.
+#[allow(clippy::too_many_arguments)]
+fn mm_kernel(
+    ad: &[f32],
+    a_stride: usize,
+    bd: &[f32],
+    b_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut j = 0;
+    while j + NR <= n {
+        let mut i = 0;
+        while i + MR <= m {
+            mm_tile_full(ad, a_stride, bd, b_stride, out, o_stride, i, j, k);
+            i += MR;
+        }
+        if i < m {
+            mm_tile_edge(ad, a_stride, bd, b_stride, out, o_stride, i, j, k, m - i, NR);
+        }
+        j += NR;
+    }
+    if j < n {
+        let nr = n - j;
+        let mut i = 0;
+        while i < m {
+            let mr = MR.min(m - i);
+            mm_tile_edge(ad, a_stride, bd, b_stride, out, o_stride, i, j, k, mr, nr);
+            i += mr;
+        }
+    }
+}
+
+/// The historical scalar kernel (i-k-j with a zero-skip), on raw slices.
+fn mm_naive_kernel(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// Matrix product of rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
-/// Uses an i-k-j loop order so the inner loop streams both `b` and the
-/// output row contiguously.
+/// Dispatches to a cache-blocked, 4×-unrolled kernel (see
+/// [`set_matmul_kernel`] for the escape hatch back to the scalar oracle).
+/// Every output element is accumulated in strictly ascending `k` order, so
+/// splitting the contraction into chunks and accumulating the chunks in
+/// order reproduces the monolithic result bit-for-bit.
 ///
 /// # Panics
 ///
@@ -26,31 +210,104 @@ use crate::Tensor;
 /// ```
 #[must_use]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    if matmul_kernel() == MatmulKernel::Naive {
+        return matmul_naive(a, b);
+    }
     assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
     assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    mm_kernel(a.data(), k, b.data(), n, &mut out, n, m, k, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
+/// The pre-optimization scalar matmul, kept as a correctness oracle: i-k-j
+/// loop order with an `av == 0.0` skip. Bit-identical to [`matmul`] for
+/// inputs without exact zeros (both accumulate in ascending `k` order).
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+#[must_use]
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    mm_naive_kernel(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `a × b[:, c0..c0+cn]` without materializing the column slice of `b`:
+/// the looped-collective building block for output-dim chunked einsums.
+/// Equals `matmul(a, b)` restricted to those columns, bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch or if the column range exceeds `b`.
+#[must_use]
+pub fn matmul_cols(a: &Tensor, b: &Tensor, c0: usize, cn: usize) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_cols lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_cols rhs must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n_full) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_cols inner dimension mismatch: {k} vs {k2}");
+    assert!(c0 + cn <= n_full, "column range {c0}+{cn} exceeds {n_full}");
+    let mut out = vec![0.0f32; m * cn];
+    mm_kernel(a.data(), k, &b.data()[c0..], n_full, &mut out, cn, m, k, cn);
+    Tensor::from_vec(vec![m, cn], out)
+}
+
+/// Accumulates `out += a × b[r0..r0+a.dim(1), :]` — a contraction-chunk
+/// update against a row range of `b`, used to stream all-gathered chunks
+/// through an einsum. Accumulation stays in ascending `k` order within the
+/// chunk, so chunk-by-chunk accumulation over an ascending range equals a
+/// single matmul over the whole range bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch or if the row range exceeds `b`.
+pub fn matmul_acc_rows(a: &Tensor, b: &Tensor, r0: usize, out: &mut Tensor) {
+    assert_eq!(a.rank(), 2, "matmul_acc_rows lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_acc_rows rhs must be rank-2");
+    assert_eq!(out.rank(), 2, "matmul_acc_rows out must be rank-2");
+    let (m, kc) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    assert!(r0 + kc <= b.dim(0), "row range {r0}+{kc} exceeds {}", b.dim(0));
+    assert_eq!(out.shape(), &[m, n], "matmul_acc_rows output shape mismatch");
+    let bd = &b.data()[r0 * n..];
+    mm_kernel(a.data(), kc, bd, n, out.data_mut(), n, m, kc, n);
+}
+
+/// Writes `a × b` into columns `[c0, c0 + b.dim(1))` of `out`
+/// (accumulating; the target region is normally zero-initialized). Lets a
+/// streamed weight-gather assemble its output column block by column block.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch or if the column range exceeds `out`.
+pub fn matmul_into_cols(a: &Tensor, b: &Tensor, out: &mut Tensor, c0: usize) {
+    assert_eq!(a.rank(), 2, "matmul_into_cols lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_into_cols rhs must be rank-2");
+    assert_eq!(out.rank(), 2, "matmul_into_cols out must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, cn) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_into_cols inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.dim(0), m, "matmul_into_cols row count mismatch");
+    let n_out = out.dim(1);
+    assert!(c0 + cn <= n_out, "column range {c0}+{cn} exceeds {n_out}");
+    mm_kernel(a.data(), k, b.data(), cn, &mut out.data_mut()[c0..], n_out, m, k, cn);
+}
+
 /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+///
+/// Writes every batch element directly into one preallocated output buffer
+/// — no per-batch slice/reshape/concat allocations on the attention hot
+/// path.
 ///
 /// # Panics
 ///
@@ -60,15 +317,23 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 3, "batched_matmul lhs must be rank-3");
     assert_eq!(b.rank(), 3, "batched_matmul rhs must be rank-3");
     assert_eq!(a.dim(0), b.dim(0), "batch dimension mismatch");
-    let batch = a.dim(0);
-    let mut parts = Vec::with_capacity(batch);
+    let (batch, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let (k2, n) = (b.dim(1), b.dim(2));
+    assert_eq!(k, k2, "batched_matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; batch * m * n];
+    let (ad, bd) = (a.data(), b.data());
+    let naive = matmul_kernel() == MatmulKernel::Naive;
     for i in 0..batch {
-        let ai = a.slice(0, i, 1).into_reshape(vec![a.dim(1), a.dim(2)]);
-        let bi = b.slice(0, i, 1).into_reshape(vec![b.dim(1), b.dim(2)]);
-        parts.push(matmul(&ai, &bi).into_reshape(vec![1, a.dim(1), b.dim(2)]));
+        let a_i = &ad[i * m * k..(i + 1) * m * k];
+        let b_i = &bd[i * k * n..(i + 1) * k * n];
+        let o_i = &mut out[i * m * n..(i + 1) * m * n];
+        if naive {
+            mm_naive_kernel(a_i, b_i, o_i, m, k, n);
+        } else {
+            mm_kernel(a_i, k, b_i, n, o_i, n, m, k, n);
+        }
     }
-    let refs: Vec<&Tensor> = parts.iter().collect();
-    Tensor::concat(&refs, 0)
+    Tensor::from_vec(vec![batch, m, n], out)
 }
 
 /// Numerically-stable softmax along the last dimension.
@@ -448,5 +713,83 @@ mod tests {
     #[should_panic(expected = "even d_head")]
     fn rope_rejects_odd_head_dim() {
         let _ = rope(&Tensor::zeros(vec![1, 1, 3]), 3, 0);
+    }
+
+    #[test]
+    fn blocked_matches_naive_oracle_bitwise() {
+        // Sizes crossing the NB/MR tile boundaries and k % 4 remainders.
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (7, 13, 9), (4, 4, 129), (5, 130, 131), (33, 17, 257)] {
+            let a = Tensor::randn(&mut rng, vec![m, k], 1.0);
+            let b = Tensor::randn(&mut rng, vec![k, n], 1.0);
+            let blocked = matmul(&a, &b);
+            let naive = matmul_naive(&a, &b);
+            assert_eq!(blocked.max_abs_diff(&naive), 0.0, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_cols_matches_full_product() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Tensor::randn(&mut rng, vec![6, 10], 1.0);
+        let b = Tensor::randn(&mut rng, vec![10, 12], 1.0);
+        let full = matmul(&a, &b);
+        for (c0, cn) in [(0, 12), (0, 3), (5, 7), (11, 1)] {
+            let cols = matmul_cols(&a, &b, c0, cn);
+            assert_eq!(cols.max_abs_diff(&full.slice(1, c0, cn)), 0.0, "cols {c0}+{cn}");
+        }
+    }
+
+    #[test]
+    fn matmul_acc_rows_chunked_contraction_is_bitwise_exact() {
+        // Accumulating ascending k-chunks must reproduce the monolithic
+        // product bit-for-bit — the invariant the looped collectives use.
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::randn(&mut rng, vec![5, 12], 1.0);
+        let b = Tensor::randn(&mut rng, vec![12, 7], 1.0);
+        let full = matmul(&a, &b);
+        for chunk in [1usize, 2, 3, 4, 6, 12] {
+            let mut acc = Tensor::zeros(vec![5, 7]);
+            let mut k0 = 0;
+            while k0 < 12 {
+                let kc = chunk.min(12 - k0);
+                matmul_acc_rows(&a.slice(1, k0, kc), &b, k0, &mut acc);
+                k0 += kc;
+            }
+            assert_eq!(acc.max_abs_diff(&full), 0.0, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_cols_assembles_column_blocks() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Tensor::randn(&mut rng, vec![4, 9], 1.0);
+        let b = Tensor::randn(&mut rng, vec![9, 10], 1.0);
+        let full = matmul(&a, &b);
+        let mut out = Tensor::zeros(vec![4, 10]);
+        for c0 in [6, 0, 3] {
+            matmul_into_cols(&a, &b.slice(1, c0, 3), &mut out, c0);
+        }
+        matmul_into_cols(&a, &b.slice(1, 9, 1), &mut out, 9);
+        assert_eq!(out.max_abs_diff(&full), 0.0);
+    }
+
+    #[test]
+    fn kernel_knob_roundtrips() {
+        assert_eq!(matmul_kernel(), MatmulKernel::Blocked);
+        set_matmul_kernel(MatmulKernel::Naive);
+        assert_eq!(matmul_kernel(), MatmulKernel::Naive);
+        set_matmul_kernel(MatmulKernel::Blocked);
+        assert_eq!(matmul_kernel(), MatmulKernel::Blocked);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_blocked_equals_naive(seed in 0u64..200, m in 1usize..9, k in 1usize..40, n in 1usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&mut rng, vec![m, k], 1.0);
+            let b = Tensor::randn(&mut rng, vec![k, n], 1.0);
+            prop_assert_eq!(matmul(&a, &b).max_abs_diff(&matmul_naive(&a, &b)), 0.0);
+        }
     }
 }

@@ -1,0 +1,33 @@
+// Release-mode timing sanity check for the blocked kernel (ignored by default;
+// the tracked numbers live in esti-bench / BENCH_runtime.json).
+use esti_tensor::{ops::{matmul, matmul_naive}, Tensor};
+use std::time::Instant;
+
+fn fill(n: usize, scale: f32) -> Tensor {
+    let data: Vec<f32> = (0..n * n).map(|i| scale * ((i % 17) as f32 - 8.0)).collect();
+    Tensor::from_vec(vec![n, n], data)
+}
+
+#[test]
+#[ignore]
+fn speed_check() {
+    let n = 256;
+    let a = fill(n, 0.1);
+    let b = fill(n, 0.05);
+    let _ = matmul(&a, &b);
+    let _ = matmul_naive(&a, &b);
+    let t0 = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(matmul(std::hint::black_box(&a), std::hint::black_box(&b)));
+    }
+    let blocked = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(matmul_naive(std::hint::black_box(&a), std::hint::black_box(&b)));
+    }
+    let naive = t1.elapsed();
+    eprintln!(
+        "blocked {blocked:?} naive {naive:?} speedup {:.2}",
+        naive.as_secs_f64() / blocked.as_secs_f64()
+    );
+}

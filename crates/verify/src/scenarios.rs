@@ -106,6 +106,24 @@ pub fn check_combo(s: &Scenario, layout: &Layout) -> Outcome {
         Ok(r) => r,
         Err(e) => return classify(format!("spmd: {e}")),
     };
+    // Pass 2b: the overlapped runtime's chunked schedule. Chunking splits
+    // each marked collective into sub-ops but must not change sharding
+    // semantics or deadlock-freedom — so the annotated schedule has to
+    // verify too, with at least as many group firings.
+    let chunked = schedule.with_overlap_chunks(4);
+    if let Err(e) = chunked.verify() {
+        return classify(format!("chunked schedule: {e}"));
+    }
+    let chunked_spmd = match check_schedule_spmd(&chunked) {
+        Ok(r) => r,
+        Err(e) => return classify(format!("chunked spmd: {e}")),
+    };
+    if chunked_spmd.firings < spmd.firings {
+        return Outcome::Fail(format!(
+            "chunked spmd: firings dropped {} -> {}",
+            spmd.firings, chunked_spmd.firings
+        ));
+    }
     // Pass 3: memory fit.
     let mem = check_memory_fit(
         &s.machine,
