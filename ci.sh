@@ -13,6 +13,10 @@ cargo test -q --workspace
 echo "== overlap conformance: chunked executor bit-identical to monolithic =="
 cargo test -q --release -p esti-runtime --test overlap
 
+echo "== serving conformance: scheduler token streams identical to isolated generate =="
+# Covers every built-in decode layout plus the ragged-workload proptest.
+cargo test -q --release -p esti-runtime --test serving
+
 echo "== benches compile =="
 cargo bench --no-run -q
 

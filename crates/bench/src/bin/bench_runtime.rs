@@ -22,7 +22,9 @@ use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFacto
 use esti_hal::ChipSpec;
 use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_netsim::{looped_einsum_time, unfused_einsum_time, EinsumSpec};
-use esti_runtime::{ExecMode, PartitionedEngine, WeightFormat};
+use esti_runtime::{
+    ContinuousBatcher, ExecMode, PartitionedEngine, ServingOptions, ServingRequest, WeightFormat,
+};
 use esti_tensor::ops::{self, MatmulKernel};
 use esti_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -232,6 +234,48 @@ fn main() {
         comm_over as f64 / 1e3,
     ));
 
+    banner("Serving: continuous batching vs serial (tiny8x, 8 chips, ws1d)");
+    // The Section 4.4 effect measured end to end: the same request stream
+    // served through the continuous-batching scheduler at full decode
+    // capacity vs forced batch-1 (serial) decode. Head-sharded attention so
+    // a batch-1 decode tier is a valid layout.
+    let serve_layout = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Head,
+        mesh: MeshFactors::new(1, 8, 1),
+    };
+    let (serve_n, serve_prompt, serve_gen, serve_cap) = (12usize, 12usize, 8usize, 8usize);
+    let serve_requests: Vec<ServingRequest> = (0..serve_n)
+        .map(|i| ServingRequest {
+            prompt: (0..serve_prompt).map(|t| (i * 7 + t * 3 + 1) % cfg.vocab).collect(),
+            max_new_tokens: serve_gen,
+            seed: i as u64,
+            arrival: 0.0,
+        })
+        .collect();
+    let serve_tput = |cap: usize| {
+        let opts = ServingOptions { max_decode_batch: cap, ..ServingOptions::default() };
+        let mut batcher = ContinuousBatcher::new(&model, serve_layout, WeightFormat::Exact, opts);
+        let mut best = 0.0f64;
+        for _ in 0..2 {
+            best = best.max(batcher.serve(&serve_requests).throughput_tokens_per_sec());
+        }
+        best
+    };
+    let batched_tput = serve_tput(serve_cap);
+    let serial_tput = serve_tput(1);
+    let gate_serving = batched_tput / serial_tput;
+    println!(
+        "{serve_n} requests x ({serve_prompt} prompt + {serve_gen} generated) tokens: \
+         batched (cap {serve_cap}) {batched_tput:.0} tok/s vs serial {serial_tput:.0} tok/s \
+         ({gate_serving:.2}x)"
+    );
+    json.push_str(&format!(
+        "  \"serving\": {{\"requests\": {serve_n}, \"prompt_len\": {serve_prompt}, \"gen_len\": {serve_gen}, \
+         \"decode_batch\": {serve_cap}, \"batched_tok_per_s\": {batched_tput:.1}, \
+         \"serial_tok_per_s\": {serial_tput:.1}, \"batching_speedup\": {gate_serving:.4}}},\n"
+    ));
+
     banner("Per-chip communication summary (ws1d overlapped, 4 decode steps)");
     let mut engine =
         PartitionedEngine::new_with_exec(&model, ws1d, WeightFormat::Exact, ExecMode::Overlapped { chunks: 4 });
@@ -244,7 +288,7 @@ fn main() {
     print!("{}", engine.comm_time_summary());
 
     json.push_str(&format!(
-        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.5, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2}}\n}}\n"
+        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.5, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1}}\n}}\n"
     ));
 
     let root = results_dir().parent().map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
@@ -257,6 +301,8 @@ fn main() {
     banner("Acceptance gates");
     println!("matmul 256^3 blocked/naive: {gate_256:.2}x (require >= 1.5x)");
     println!("decode ws1d overlapped+blocked vs pre-PR: {gate_1d:.2}x (require >= 1.2x)");
+    println!("serving continuous batching vs serial: {gate_serving:.2}x (require >= 1.1x)");
     assert!(gate_256 >= 1.5, "matmul gate failed: {gate_256:.2}x < 1.5x");
     assert!(gate_1d >= 1.2, "decode gate failed: {gate_1d:.2}x < 1.2x");
+    assert!(gate_serving >= 1.1, "serving gate failed: {gate_serving:.2}x < 1.1x");
 }

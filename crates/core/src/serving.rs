@@ -79,6 +79,22 @@ pub struct ServingReport {
 }
 
 impl ServingReport {
+    /// Assembles a report from per-request outcomes and decode-tier
+    /// counters, deriving the makespan and a well-defined mean occupancy
+    /// (`0.0`, not NaN, when no steps executed). Shared by the analytical
+    /// simulator and the measured runtime scheduler so both report
+    /// identically shaped statistics.
+    #[must_use]
+    pub fn new(requests: Vec<RequestStats>, decode_steps: usize, occupancy_sum: usize) -> Self {
+        let makespan = requests.iter().map(|r| r.finished).fold(0.0, f64::max);
+        let mean_decode_batch = if decode_steps == 0 {
+            0.0
+        } else {
+            occupancy_sum as f64 / decode_steps as f64
+        };
+        ServingReport { requests, makespan, decode_steps, mean_decode_batch }
+    }
+
     /// Mean end-to-end latency.
     #[must_use]
     pub fn mean_latency(&self) -> Seconds {
@@ -86,7 +102,10 @@ impl ServingReport {
         total / self.requests.len() as f64
     }
 
-    /// A latency percentile in `[0, 100]` (nearest-rank).
+    /// A latency percentile in `[0, 100]`, by the nearest-rank definition:
+    /// the smallest latency `l` such that at least `p%` of requests have
+    /// latency `<= l` — i.e. the sorted value at rank `⌈p/100 · n⌉`
+    /// (1-based; `p = 0` maps to the minimum).
     ///
     /// # Panics
     ///
@@ -97,14 +116,33 @@ impl ServingReport {
         assert!(!self.requests.is_empty(), "no requests simulated");
         let mut lats: Vec<f64> = self.requests.iter().map(RequestStats::latency).collect();
         lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let rank = ((p / 100.0) * (lats.len() as f64 - 1.0)).round() as usize;
-        lats[rank]
+        let rank = ((p / 100.0) * lats.len() as f64).ceil() as usize;
+        lats[rank.max(1) - 1]
     }
 
-    /// Generated tokens per second over the whole run.
+    /// The first arrival time — the start of the interval over which
+    /// throughput is meaningful (idle time before any work exists says
+    /// nothing about the system).
+    #[must_use]
+    pub fn first_arrival(&self) -> Seconds {
+        self.requests.iter().map(|r| r.arrival).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Generated tokens per second, measured from the first arrival to the
+    /// last completion (not from t = 0, which would understate throughput
+    /// for traces that start late). For per-request generation lengths that
+    /// vary, pass the actual total via
+    /// [`ServingReport::generated_throughput`].
     #[must_use]
     pub fn throughput_tokens_per_sec(&self, gen_len: usize) -> f64 {
-        (self.requests.len() * gen_len) as f64 / self.makespan
+        self.generated_throughput(self.requests.len() * gen_len)
+    }
+
+    /// [`ServingReport::throughput_tokens_per_sec`] for an explicit total
+    /// token count.
+    #[must_use]
+    pub fn generated_throughput(&self, total_tokens: usize) -> f64 {
+        total_tokens as f64 / (self.makespan - self.first_arrival())
     }
 }
 
@@ -174,6 +212,11 @@ pub fn simulate(model: &ModelConfig, cfg: &ServingConfig, arrivals: &[Seconds]) 
     let mut now: Seconds = 0.0;
     let mut steps = 0usize;
     let mut occupancy_sum = 0usize;
+    if cfg.gen_len == 0 {
+        // Degenerate: nothing to decode — requests finish as they prefill.
+        finished_at.copy_from_slice(&prefilled_at);
+        pending.clear();
+    }
     while !pending.is_empty() || !in_flight.is_empty() {
         // Admit every request already prefilled, up to the cap.
         while in_flight.len() < cfg.max_decode_batch {
@@ -210,13 +253,7 @@ pub fn simulate(model: &ModelConfig, cfg: &ServingConfig, arrivals: &[Seconds]) 
         .zip(&finished_at)
         .map(|((&arrival, &prefilled), &finished)| RequestStats { arrival, prefilled, finished })
         .collect();
-    let makespan = requests.iter().map(|r| r.finished).fold(0.0, f64::max);
-    ServingReport {
-        requests,
-        makespan,
-        decode_steps: steps,
-        mean_decode_batch: occupancy_sum as f64 / steps.max(1) as f64,
-    }
+    ServingReport::new(requests, steps, occupancy_sum)
 }
 
 /// Evenly spaced arrivals at `rate` requests/second for `n` requests —
@@ -376,5 +413,57 @@ mod tests {
     fn unsorted_arrivals_rejected() {
         let (model, cfg) = config();
         let _ = simulate(&model, &cfg, &[1.0, 0.5]);
+    }
+
+    fn fixture_report(lats: &[f64]) -> ServingReport {
+        let requests = lats
+            .iter()
+            .map(|&l| RequestStats { arrival: 0.0, prefilled: l / 2.0, finished: l })
+            .collect();
+        ServingReport::new(requests, 0, 0)
+    }
+
+    #[test]
+    fn percentile_is_true_nearest_rank() {
+        // Hand-checked 4-element fixture. Nearest-rank: the value at
+        // 1-based rank ceil(p/100 * 4). The old round(p/100 * (n-1))
+        // formula gave 3.0 at p50 — neither nearest-rank nor interpolation.
+        let r = fixture_report(&[4.0, 2.0, 1.0, 3.0]);
+        assert_eq!(r.latency_percentile(0.0), 1.0);
+        assert_eq!(r.latency_percentile(25.0), 1.0);
+        assert_eq!(r.latency_percentile(50.0), 2.0);
+        assert_eq!(r.latency_percentile(75.0), 3.0);
+        assert_eq!(r.latency_percentile(100.0), 4.0);
+        // Just past a rank boundary, the next order statistic is taken.
+        assert_eq!(r.latency_percentile(50.1), 3.0);
+    }
+
+    #[test]
+    fn throughput_measures_from_first_arrival() {
+        // A trace that starts 100s in: dead time before the first arrival
+        // must not dilute throughput.
+        let requests = vec![
+            RequestStats { arrival: 100.0, prefilled: 101.0, finished: 104.0 },
+            RequestStats { arrival: 102.0, prefilled: 103.0, finished: 110.0 },
+        ];
+        let r = ServingReport::new(requests, 10, 15);
+        assert_eq!(r.first_arrival(), 100.0);
+        // 2 requests x 5 tokens over (110 - 100) seconds.
+        assert!((r.throughput_tokens_per_sec(5) - 1.0).abs() < 1e-12);
+        assert!((r.generated_throughput(20) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_decode_steps_yield_finite_stats() {
+        let (model, mut cfg) = config();
+        cfg.gen_len = 0;
+        let report = simulate(&model, &cfg, &[0.0, 1.0]);
+        assert_eq!(report.decode_steps, 0);
+        assert_eq!(report.mean_decode_batch, 0.0);
+        assert!(report.mean_decode_batch.is_finite(), "must not be NaN");
+        // Requests finish when prefilled.
+        for r in &report.requests {
+            assert_eq!(r.finished, r.prefilled);
+        }
     }
 }

@@ -2,13 +2,70 @@
 //!
 //! The KV cache is the second-largest tensor group in generative inference
 //! (Section 2, "Memory costs"): keys and values of every layer must persist
-//! for the whole decode. This container stores them as
-//! `[B, L, Hkv · d_head]` per layer and grows along `L` as prefill chunks
-//! and decode steps append.
+//! for the whole decode. This container stores them as preallocated
+//! `[B, capacity, Hkv · d_head]` slabs per layer with a valid length per
+//! batch row, so decode steps write in place (amortized O(1) per token
+//! instead of rebuilding the whole cache via concat), and so sequences of
+//! different ages can coexist in one batch — the slot management that
+//! continuous batching needs.
 
 use esti_tensor::Tensor;
 
-/// Per-layer key/value tensors for a batch of sequences.
+/// One layer's key/value slab: `k`/`v` are `[B, capacity, D]` buffers of
+/// which row `r` holds `lens[r]` valid positions (the rest is scratch).
+#[derive(Debug, Clone)]
+struct Entry {
+    k: Tensor,
+    v: Tensor,
+    lens: Vec<usize>,
+}
+
+impl Entry {
+    fn capacity(&self) -> usize {
+        self.k.dim(1)
+    }
+
+    fn width(&self) -> usize {
+        self.k.dim(2)
+    }
+
+    fn batch(&self) -> usize {
+        self.k.dim(0)
+    }
+
+    /// Grows both slabs to at least `need` positions per row, copying the
+    /// valid prefixes. Doubles the current capacity so repeated one-token
+    /// appends stay amortized O(1).
+    fn ensure_capacity(&mut self, need: usize) {
+        let cap = self.capacity();
+        if need <= cap {
+            return;
+        }
+        let new_cap = need.max(cap * 2);
+        let (b, d) = (self.batch(), self.width());
+        let mut k = Tensor::zeros(vec![b, new_cap, d]);
+        let mut v = Tensor::zeros(vec![b, new_cap, d]);
+        for (r, &len) in self.lens.iter().enumerate() {
+            let src = r * cap * d;
+            let dst = r * new_cap * d;
+            k.data_mut()[dst..dst + len * d].copy_from_slice(&self.k.data()[src..src + len * d]);
+            v.data_mut()[dst..dst + len * d].copy_from_slice(&self.v.data()[src..src + len * d]);
+        }
+        self.k = k;
+        self.v = v;
+    }
+
+    /// Writes `l` positions into row `r` starting at offset `at`.
+    /// `k_src`/`v_src` are contiguous `[l * D]` slices.
+    fn write_row(&mut self, r: usize, at: usize, k_src: &[f32], v_src: &[f32]) {
+        let (cap, d) = (self.capacity(), self.width());
+        let off = (r * cap + at) * d;
+        self.k.data_mut()[off..off + k_src.len()].copy_from_slice(k_src);
+        self.v.data_mut()[off..off + v_src.len()].copy_from_slice(v_src);
+    }
+}
+
+/// Per-layer key/value slabs for a batch of sequences.
 ///
 /// # Examples
 ///
@@ -22,17 +79,28 @@ use esti_tensor::Tensor;
 /// cache.append(0, &Tensor::zeros(vec![2, 1, 8]), &Tensor::zeros(vec![2, 1, 8]));
 /// assert_eq!(cache.len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct KvCache {
-    /// `layers[i] = Some((k, v))` with `k`, `v` of shape `[B, L, Hkv·dh]`.
-    layers: Vec<Option<(Tensor, Tensor)>>,
+    layers: Vec<Option<Entry>>,
+    /// Minimum per-row capacity for new or growing slabs, set by
+    /// [`KvCache::reserve`] so a known decode horizon allocates once.
+    reserve_hint: usize,
 }
 
 impl KvCache {
     /// Creates an empty cache for a model with `n_layers` layers.
     #[must_use]
     pub fn new(n_layers: usize) -> Self {
-        KvCache { layers: vec![None; n_layers] }
+        KvCache { layers: vec![None; n_layers], reserve_hint: 0 }
+    }
+
+    /// Pre-sizes the cache: every layer's slab (current and future) will
+    /// hold at least `positions` per row before any further reallocation.
+    pub fn reserve(&mut self, positions: usize) {
+        self.reserve_hint = self.reserve_hint.max(positions);
+        for entry in self.layers.iter_mut().flatten() {
+            entry.ensure_capacity(positions);
+        }
     }
 
     /// Number of layers.
@@ -41,14 +109,19 @@ impl KvCache {
         self.layers.len()
     }
 
-    /// Number of cached token positions (0 if nothing appended yet).
-    /// All layers always hold the same length.
+    /// Number of cached token positions (0 if nothing appended yet) — for
+    /// ragged batches, the longest row. All layers hold the same lengths
+    /// between forward passes.
     #[must_use]
     pub fn len(&self) -> usize {
+        self.len_of_first()
+    }
+
+    fn len_of_first(&self) -> usize {
         self.layers
             .first()
             .and_then(|l| l.as_ref())
-            .map_or(0, |(k, _)| k.dim(1))
+            .map_or(0, |e| e.lens.iter().copied().max().unwrap_or(0))
     }
 
     /// Whether the cache holds no tokens.
@@ -57,20 +130,33 @@ impl KvCache {
         self.len() == 0
     }
 
-    /// Cached positions for one specific layer. During a forward pass,
-    /// layers before the current one have already appended the new chunk,
-    /// so per-layer lengths are what positional encodings must use.
+    /// Cached positions for one specific layer (longest row). During a
+    /// forward pass, layers before the current one have already appended
+    /// the new chunk, so per-layer lengths are what positional encodings
+    /// must use.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
     #[must_use]
     pub fn len_of(&self, layer: usize) -> usize {
-        self.layers[layer].as_ref().map_or(0, |(k, _)| k.dim(1))
+        self.layers[layer]
+            .as_ref()
+            .map_or(0, |e| e.lens.iter().copied().max().unwrap_or(0))
     }
 
-    /// Appends new key/value tensors (`[B, L_new, Hkv·dh]`) for `layer`
-    /// along the sequence dimension.
+    /// Valid positions per batch row for `layer` (empty if nothing cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn row_lens(&self, layer: usize) -> &[usize] {
+        self.layers[layer].as_ref().map_or(&[], |e| &e.lens)
+    }
+
+    /// Appends new key/value tensors (`[B, L_new, Hkv·dh]`) for `layer`,
+    /// writing in place at each row's current length.
     ///
     /// # Panics
     ///
@@ -79,30 +165,121 @@ impl KvCache {
     pub fn append(&mut self, layer: usize, k: &Tensor, v: &Tensor) {
         assert_eq!(k.shape(), v.shape(), "K and V must have matching shapes");
         assert_eq!(k.rank(), 3, "KV tensors must be [B, L, Hkv*dh]");
-        let entry = &mut self.layers[layer];
-        *entry = Some(match entry.take() {
-            None => (k.clone(), v.clone()),
-            Some((old_k, old_v)) => (
-                Tensor::concat(&[&old_k, k], 1),
-                Tensor::concat(&[&old_v, v], 1),
-            ),
+        let (b, l, d) = (k.dim(0), k.dim(1), k.dim(2));
+        let hint = self.reserve_hint;
+        let entry = self.layers[layer].get_or_insert_with(|| Entry {
+            k: Tensor::zeros(vec![b, l.max(hint), d]),
+            v: Tensor::zeros(vec![b, l.max(hint), d]),
+            lens: vec![0; b],
         });
+        assert_eq!(entry.batch(), b, "batch dim disagrees with cached contents");
+        assert_eq!(entry.width(), d, "feature dim disagrees with cached contents");
+        let need = entry.lens.iter().copied().max().unwrap_or(0) + l;
+        entry.ensure_capacity(need.max(hint));
+        for r in 0..b {
+            let at = entry.lens[r];
+            let src = r * l * d;
+            // Split borrows: copy out of the (immutable) inputs into the slab.
+            entry.write_row(r, at, &k.data()[src..src + l * d], &v.data()[src..src + l * d]);
+            entry.lens[r] = at + l;
+        }
     }
 
-    /// The cached `(K, V)` pair for `layer`, if any tokens are cached.
+    /// Overwrites one batch row of `layer` with a single sequence
+    /// (`[l, Hkv·dh]`), creating the layer's slab for `batch` rows if it
+    /// does not exist yet — the insertion half of slot management.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `row >= batch`.
+    pub fn write_slot(&mut self, layer: usize, row: usize, batch: usize, k: &Tensor, v: &Tensor) {
+        assert_eq!(k.shape(), v.shape(), "K and V must have matching shapes");
+        assert_eq!(k.rank(), 2, "slot KV tensors must be [l, Hkv*dh]");
+        assert!(row < batch, "row {row} out of range for batch {batch}");
+        let (l, d) = (k.dim(0), k.dim(1));
+        let hint = self.reserve_hint;
+        let entry = self.layers[layer].get_or_insert_with(|| Entry {
+            k: Tensor::zeros(vec![batch, l.max(hint), d]),
+            v: Tensor::zeros(vec![batch, l.max(hint), d]),
+            lens: vec![0; batch],
+        });
+        assert_eq!(entry.batch(), batch, "batch dim disagrees with cached contents");
+        assert_eq!(entry.width(), d, "feature dim disagrees with cached contents");
+        entry.ensure_capacity(l.max(hint));
+        entry.write_row(row, 0, k.data(), v.data());
+        entry.lens[row] = l;
+    }
+
+    /// Reads one batch row of `layer` back as `([l, D], [l, D])` tensors —
+    /// the extraction half of slot management.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` has no contents or `row` is out of range.
+    #[must_use]
+    pub fn read_slot(&self, layer: usize, row: usize) -> (Tensor, Tensor) {
+        let entry = self.layers[layer].as_ref().expect("layer has no cached contents");
+        let (cap, d) = (entry.capacity(), entry.width());
+        let len = entry.lens[row];
+        let off = row * cap * d;
+        let k = Tensor::from_vec(vec![len, d], entry.k.data()[off..off + len * d].to_vec());
+        let v = Tensor::from_vec(vec![len, d], entry.v.data()[off..off + len * d].to_vec());
+        (k, v)
+    }
+
+    /// Marks one batch row empty in every layer (eviction). The slab keeps
+    /// its capacity; the row's contents become scratch.
+    pub fn clear_slot(&mut self, row: usize) {
+        for entry in self.layers.iter_mut().flatten() {
+            entry.lens[row] = 0;
+        }
+    }
+
+    /// The raw cached `(K, V)` slabs for `layer` (`[B, capacity, Hkv·dh]`),
+    /// if any rows exist. Positions beyond [`KvCache::row_lens`] are
+    /// scratch; masked attention must consume only the valid prefixes.
     #[must_use]
     pub fn get(&self, layer: usize) -> Option<(&Tensor, &Tensor)> {
-        self.layers[layer].as_ref().map(|(k, v)| (k, v))
+        self.layers[layer].as_ref().map(|e| (&e.k, &e.v))
     }
 
-    /// Total elements held (keys + values across all layers), the quantity
-    /// the memory model charges per decode step.
+    /// The cached `(K, V)` pair for `layer` trimmed to the valid length —
+    /// the dense `[B, L, Hkv·dh]` view the old concat-based cache exposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths (use [`KvCache::read_slot`]
+    /// for ragged contents).
+    #[must_use]
+    pub fn contents(&self, layer: usize) -> Option<(Tensor, Tensor)> {
+        let entry = self.layers[layer].as_ref()?;
+        let len = entry.lens[0];
+        assert!(
+            entry.lens.iter().all(|&l| l == len),
+            "contents() requires uniform row lengths; got {:?}",
+            entry.lens
+        );
+        let (b, cap, d) = (entry.batch(), entry.capacity(), entry.width());
+        let mut k = Tensor::zeros(vec![b, len, d]);
+        let mut v = Tensor::zeros(vec![b, len, d]);
+        for r in 0..b {
+            let src = r * cap * d;
+            let dst = r * len * d;
+            k.data_mut()[dst..dst + len * d].copy_from_slice(&entry.k.data()[src..src + len * d]);
+            v.data_mut()[dst..dst + len * d].copy_from_slice(&entry.v.data()[src..src + len * d]);
+        }
+        Some((k, v))
+    }
+
+    /// Total *valid* elements held (keys + values across all layers), the
+    /// quantity the memory model charges per decode step. Reserved-but-
+    /// unwritten capacity is not counted.
     #[must_use]
     pub fn total_elements(&self) -> usize {
         self.layers
             .iter()
             .flatten()
-            .map(|(k, v)| k.numel() + v.numel())
+            .map(|e| 2 * e.width() * e.lens.iter().sum::<usize>())
             .sum()
     }
 
@@ -117,10 +294,10 @@ impl KvCache {
     /// Panics if `k` is zero.
     pub fn repeat_batch(&mut self, k: usize) {
         assert!(k > 0, "repeat factor must be positive");
-        for entry in &mut self.layers {
-            if let Some((key, value)) = entry.take() {
-                *entry = Some((key.repeat_interleave(0, k), value.repeat_interleave(0, k)));
-            }
+        for entry in self.layers.iter_mut().flatten() {
+            entry.k = entry.k.repeat_interleave(0, k);
+            entry.v = entry.v.repeat_interleave(0, k);
+            entry.lens = entry.lens.iter().flat_map(|&l| std::iter::repeat_n(l, k)).collect();
         }
     }
 
@@ -154,10 +331,46 @@ mod tests {
         let k2 = Tensor::full(vec![2, 1, 4], 2.0);
         c.append(0, &k2, &k2);
         assert_eq!(c.len(), 3);
-        let (k, _) = c.get(0).unwrap();
+        let (k, _) = c.contents(0).unwrap();
         assert_eq!(k.shape(), &[2, 3, 4]);
         assert_eq!(k.at(&[0, 0, 0]), 1.0);
         assert_eq!(k.at(&[0, 2, 0]), 2.0);
+    }
+
+    #[test]
+    fn append_is_in_place_after_reserve() {
+        // The O(L^2)-copy bugfix, pinned: with capacity reserved up front,
+        // appending must not reallocate the slab, and contents/len() must
+        // behave exactly as the concat-based cache did.
+        let mut c = KvCache::new(1);
+        c.reserve(64);
+        let step = |v: f32| Tensor::full(vec![1, 1, 2], v);
+        c.append(0, &step(0.0), &step(0.0));
+        let ptr = c.get(0).unwrap().0.data().as_ptr();
+        for i in 1..64 {
+            c.append(0, &step(i as f32), &step(-(i as f32)));
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.get(0).unwrap().0.data().as_ptr(), ptr, "append must write in place");
+        let (k, v) = c.contents(0).unwrap();
+        assert_eq!(k.shape(), &[1, 64, 2]);
+        for i in 0..64 {
+            assert_eq!(k.at(&[0, i, 0]), i as f32);
+            assert_eq!(v.at(&[0, i, 1]), -(i as f32));
+        }
+    }
+
+    #[test]
+    fn unreserved_append_grows_amortized() {
+        let mut c = KvCache::new(1);
+        let step = Tensor::full(vec![1, 1, 2], 1.0);
+        for _ in 0..100 {
+            c.append(0, &step, &step);
+        }
+        assert_eq!(c.len(), 100);
+        let cap = c.get(0).unwrap().0.dim(1);
+        assert!((100..=256).contains(&cap), "capacity {cap} should double geometrically");
+        assert_eq!(c.total_elements(), 2 * 100 * 2, "only valid elements are counted");
     }
 
     #[test]
@@ -175,12 +388,47 @@ mod tests {
         let k = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
         c.append(0, &k, &k);
         c.repeat_batch(3);
-        let (kk, _) = c.get(0).unwrap();
+        let (kk, _) = c.contents(0).unwrap();
         assert_eq!(kk.shape(), &[6, 1, 2]);
         assert_eq!(kk.at(&[0, 0, 0]), 1.0);
         assert_eq!(kk.at(&[2, 0, 0]), 1.0);
         assert_eq!(kk.at(&[3, 0, 0]), 3.0);
         assert_eq!(c.len(), 1); // sequence length unchanged
+    }
+
+    #[test]
+    fn slots_insert_read_and_evict() {
+        let mut c = KvCache::new(2);
+        let ka = Tensor::from_vec(vec![3, 2], (0..6).map(|i| i as f32).collect());
+        let va = ka.scale(10.0);
+        for layer in 0..2 {
+            c.write_slot(layer, 1, 4, &ka, &va);
+        }
+        assert_eq!(c.row_lens(0), &[0, 3, 0, 0]);
+        let (k, v) = c.read_slot(0, 1);
+        assert_eq!(k.data(), ka.data());
+        assert_eq!(v.data(), va.data());
+        assert_eq!(c.read_slot(1, 0).0.dim(0), 0, "untouched rows are empty");
+        // Overwrite with a shorter sequence, then evict.
+        let kb = Tensor::from_vec(vec![1, 2], vec![7.0, 8.0]);
+        c.write_slot(0, 1, 4, &kb, &kb);
+        assert_eq!(c.row_lens(0), &[0, 1, 0, 0]);
+        assert_eq!(c.read_slot(0, 1).0.data(), &[7.0, 8.0]);
+        c.clear_slot(1);
+        assert_eq!(c.row_lens(0), &[0, 0, 0, 0]);
+        assert_eq!(c.row_lens(1), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ragged_rows_append_independently() {
+        let mut c = KvCache::new(1);
+        let ka = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        c.write_slot(0, 0, 2, &ka, &ka);
+        let step = Tensor::full(vec![2, 1, 2], 9.0);
+        c.append(0, &step, &step);
+        assert_eq!(c.row_lens(0), &[3, 1]);
+        assert_eq!(c.read_slot(0, 0).0.data(), &[1.0, 2.0, 3.0, 4.0, 9.0, 9.0]);
+        assert_eq!(c.read_slot(0, 1).0.data(), &[9.0, 9.0]);
     }
 
     #[test]

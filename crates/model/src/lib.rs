@@ -35,5 +35,5 @@ pub mod weights;
 
 pub use config::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind};
 pub use kvcache::KvCache;
-pub use reference::{attention_core, ReferenceModel};
+pub use reference::{attention_core, attention_core_ragged, ReferenceModel};
 pub use weights::{LayerWeights, Weights};

@@ -195,7 +195,7 @@ impl ReferenceModel {
         }
         cache.append(li, &k_new, &v_new);
         let (k_all, v_all) = cache.get(li).expect("cache populated by append");
-        let attn = attention_core(&q, k_all, v_all, dh);
+        let attn = attention_core_ragged(&q, k_all, v_all, dh, cache.row_lens(li));
         mm3(&attn, &layer.wo)
     }
 
@@ -233,19 +233,49 @@ impl ReferenceModel {
 /// dims disagree.
 #[must_use]
 pub fn attention_core(q: &Tensor, k: &Tensor, v: &Tensor, d_head: usize) -> Tensor {
+    let lens = vec![k.dim(1); q.dim(0)];
+    attention_core_ragged(q, k, v, d_head, &lens)
+}
+
+/// Length-masked variant of [`attention_core`] for ragged batches: `k`/`v`
+/// are `[B, capacity, Hkv·dh]` slabs (as stored by the slot-based
+/// [`KvCache`]) of which row `bi` holds `lens[bi]` valid positions; row
+/// `bi`'s queries occupy absolute positions `lens[bi] - Lq .. lens[bi]`.
+/// With uniform `lens` equal to the capacity this is exactly
+/// [`attention_core`] — each batch row was already computed independently,
+/// so trimming per row changes nothing for dense inputs.
+///
+/// # Panics
+///
+/// Panics if `lens` disagrees with the batch dim, any `lens[bi]` exceeds
+/// the slab capacity or is shorter than `Lq`, or head widths are not
+/// multiples of `d_head`.
+#[must_use]
+pub fn attention_core_ragged(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    d_head: usize,
+    lens: &[usize],
+) -> Tensor {
     let (b, l_q) = (q.dim(0), q.dim(1));
     assert_eq!(k.dim(0), b, "batch mismatch between Q and K");
     assert_eq!(k.shape(), v.shape(), "K and V must have matching shapes");
-    let l_k = k.dim(1);
+    assert_eq!(lens.len(), b, "one valid length per batch row");
+    let cap = k.dim(1);
     assert!(q.dim(2).is_multiple_of(d_head) && k.dim(2).is_multiple_of(d_head), "head width mismatch");
     let hq = q.dim(2) / d_head;
     let hkv = k.dim(2) / d_head;
+    let kd = hkv * d_head;
     let scale = 1.0 / (d_head as f32).sqrt();
     let mut per_batch = Vec::with_capacity(b);
-    for bi in 0..b {
+    for (bi, &l_k) in lens.iter().enumerate() {
+        assert!(l_k <= cap, "row {bi} length {l_k} exceeds slab capacity {cap}");
+        assert!(l_k >= l_q, "row {bi} length {l_k} shorter than query length {l_q}");
         let q_b = q.slice(0, bi, 1).into_reshape(vec![l_q, hq * d_head]);
-        let k_b = k.slice(0, bi, 1).into_reshape(vec![l_k, hkv * d_head]);
-        let v_b = v.slice(0, bi, 1).into_reshape(vec![l_k, hkv * d_head]);
+        let row = bi * cap * kd;
+        let k_b = Tensor::from_vec(vec![l_k, kd], k.data()[row..row + l_k * kd].to_vec());
+        let v_b = Tensor::from_vec(vec![l_k, kd], v.data()[row..row + l_k * kd].to_vec());
         let mut heads = Vec::with_capacity(hq);
         for hi in 0..hq {
             let kv_i = hi % hkv;

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use esti_collectives::{CommGroup, CommTimes, TrafficStats};
 use esti_core::layout::{AttnSharding, FfnLayout, Layout};
 use esti_core::schedule::effective_chunks;
-use esti_model::reference::{attention_core, gelu, mm3};
+use esti_model::reference::{attention_core_ragged, gelu, mm3};
 use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_tensor::{ops, Tensor};
 
@@ -115,6 +115,23 @@ pub struct PartitionedEngine {
     pos_embed: Option<Tensor>,
     /// Batch size fixed at the first prefill (cache sharding depends on it).
     batch: Option<usize>,
+    /// Per-row cached positions when the engine runs in slot mode
+    /// ([`PartitionedEngine::begin_slots`]): row `r`'s next token occupies
+    /// absolute position `row_lens[r]`. `None` in classic (uniform) mode.
+    row_lens: Option<Vec<usize>>,
+}
+
+/// One request's KV cache in canonical (layout-independent) form, as
+/// extracted from / inserted into an engine's slot: per layer, `(K, V)`
+/// tensors of shape `[len, Hkv·d_head]` holding every attention head. K is
+/// stored post-RoPE (rotations bake in absolute positions), so moving a
+/// request between engines of *any* layout preserves its values exactly.
+#[derive(Debug, Clone)]
+pub struct RequestKv {
+    /// Cached positions (prompt so far).
+    pub len: usize,
+    /// Per-layer canonical `(K, V)`, each `[len, Hkv·d_head]`.
+    layers: Vec<(Tensor, Tensor)>,
 }
 
 impl std::fmt::Debug for PartitionedEngine {
@@ -263,6 +280,7 @@ impl PartitionedEngine {
             chips,
             stats,
             batch: None,
+            row_lens: None,
         }
     }
 
@@ -398,6 +416,206 @@ impl PartitionedEngine {
             c.cache.clear();
         }
         self.batch = None;
+        self.row_lens = None;
+    }
+
+    // -----------------------------------------------------------------
+    // Slot mode: ragged-batch decode for continuous batching
+    // -----------------------------------------------------------------
+
+    /// Switches the engine into slot mode with a fixed decode batch of
+    /// `slots` rows, each an independent sequence of its own age (or idle).
+    /// Caches are cleared and pre-sized to `reserve` positions per row so
+    /// steady-state decode never reallocates. Subsequent
+    /// [`PartitionedEngine::decode_step`] calls must pass exactly `slots`
+    /// tokens (idle rows carry a dummy token; every op treats batch rows
+    /// independently, so idle rows cannot perturb live ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or violates the layout's batch
+    /// divisibility requirements.
+    pub fn begin_slots(&mut self, slots: usize, reserve: usize) {
+        assert!(slots > 0, "slot count must be positive");
+        self.validate_batch(slots);
+        for c in &mut self.chips {
+            c.cache.clear();
+            c.cache.reserve(reserve);
+        }
+        self.batch = Some(slots);
+        self.row_lens = Some(vec![0; slots]);
+    }
+
+    /// Cached positions per slot (slot mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not in slot mode.
+    #[must_use]
+    pub fn slot_lens(&self) -> &[usize] {
+        self.row_lens.as_deref().expect("engine not in slot mode; call begin_slots")
+    }
+
+    /// The smallest batch size this engine's layout accepts — the padding
+    /// factor a batch-1 prefill needs on batch-sharded layouts (replicating
+    /// a prompt changes nothing row-wise; row 0 stays bit-identical).
+    #[must_use]
+    pub fn min_batch(&self) -> usize {
+        let n = self.chips.len();
+        let mut m = 1;
+        match self.dataflow {
+            Dataflow::WeightGathered => m = n,
+            Dataflow::WeightGatheredHybrid { n_gather, .. } => m = m.max(n_gather),
+            Dataflow::OneD | Dataflow::TwoD => {}
+        }
+        if self.layout.attn == AttnSharding::Batch && self.dataflow != Dataflow::WeightGathered {
+            m = m.max(n);
+        }
+        m
+    }
+
+    /// Batch rows of the full batch `b` that `chip`'s KV cache holds, as
+    /// `(start, count)` — the inverse of each dataflow's cache slicing.
+    fn chip_rows(&self, chip: &ChipState, b: usize) -> (usize, usize) {
+        let n = self.chips.len();
+        match (self.dataflow, self.layout.attn) {
+            (Dataflow::OneD | Dataflow::TwoD, AttnSharding::Head) => (0, b),
+            (Dataflow::OneD, AttnSharding::Batch) | (Dataflow::WeightGathered, _) => {
+                (chip.rank * (b / n), b / n)
+            }
+            (Dataflow::TwoD, AttnSharding::Batch) => {
+                let b_n = b / n;
+                let b_yz = b / self.layout.mesh.yz();
+                (chip.j * b_yz + chip.i * b_n, b_n)
+            }
+            (Dataflow::WeightGatheredHybrid { n_gather, n_local }, attn) => {
+                let slice = b / n_gather;
+                match attn {
+                    AttnSharding::Head => (chip.i * slice, slice),
+                    AttnSharding::Batch => {
+                        let b_loc = slice / n_local;
+                        (chip.i * slice + chip.j * b_loc, b_loc)
+                    }
+                }
+            }
+        }
+    }
+
+    /// KV heads of the canonical `[len, Hkv·dh]` row that `chip`'s cache
+    /// holds, as `(start, count)` — multiquery K/V is replicated (every
+    /// chip holds the single head); multihead K/V shards like Q.
+    fn chip_kv_heads(&self, chip: &ChipState) -> (usize, usize) {
+        let n_kv = self.cfg.n_kv_heads();
+        if n_kv == 1 {
+            return (0, 1);
+        }
+        match self.dataflow {
+            Dataflow::OneD => {
+                let h = n_kv / self.chips.len();
+                (chip.rank * h, h)
+            }
+            Dataflow::TwoD => {
+                let h = n_kv / self.layout.mesh.yz();
+                (chip.j * h, h)
+            }
+            Dataflow::WeightGathered => (0, n_kv),
+            Dataflow::WeightGatheredHybrid { n_local, .. } => {
+                let h = n_kv / n_local;
+                (chip.j * h, h)
+            }
+        }
+    }
+
+    /// Extracts batch row `row`'s KV cache in canonical form, assembling
+    /// head shards across chips (replicated shards are written
+    /// idempotently). Works in both classic and slot mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is cached or `row` is out of range.
+    #[must_use]
+    pub fn extract_kv(&self, row: usize) -> RequestKv {
+        let b = self.batch.expect("extract_kv requires cached contents");
+        assert!(row < b, "row {row} out of range for batch {b}");
+        let dh = self.cfg.d_head;
+        let d = self.cfg.n_kv_heads() * dh;
+        let mut len = None;
+        let layers = (0..self.cfg.n_layers)
+            .map(|li| {
+                let mut k = None;
+                let mut v = None;
+                for chip in &self.chips {
+                    let (r0, rc) = self.chip_rows(chip, b);
+                    if row < r0 || row >= r0 + rc {
+                        continue;
+                    }
+                    let (tk, tv) = chip.cache.read_slot(li, row - r0);
+                    let l = tk.dim(0);
+                    assert!(*len.get_or_insert(l) == l, "chips disagree on row length");
+                    let k = k.get_or_insert_with(|| Tensor::zeros(vec![l, d]));
+                    let v = v.get_or_insert_with(|| Tensor::zeros(vec![l, d]));
+                    let (h0, hc) = self.chip_kv_heads(chip);
+                    let w = hc * dh;
+                    for r in 0..l {
+                        let dst = r * d + h0 * dh;
+                        k.data_mut()[dst..dst + w].copy_from_slice(&tk.data()[r * w..(r + 1) * w]);
+                        v.data_mut()[dst..dst + w].copy_from_slice(&tv.data()[r * w..(r + 1) * w]);
+                    }
+                }
+                (k.expect("some chip covers every row"), v.expect("some chip covers every row"))
+            })
+            .collect();
+        RequestKv { len: len.expect("model has at least one layer"), layers }
+    }
+
+    /// Inserts a request's canonical KV into slot `slot`, overwriting
+    /// whatever the slot held; each chip takes its own head shard of its
+    /// own batch rows. Slot mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not in slot mode, `slot` is out of range, or
+    /// the KV's layer count or width disagrees with the model.
+    pub fn insert_kv(&mut self, slot: usize, kv: &RequestKv) {
+        let b = self.batch.expect("insert_kv requires slot mode");
+        assert!(slot < b, "slot {slot} out of range for batch {b}");
+        assert_eq!(kv.layers.len(), self.cfg.n_layers, "layer count mismatch");
+        let dh = self.cfg.d_head;
+        let n_kv = self.cfg.n_kv_heads();
+        for ci in 0..self.chips.len() {
+            let (r0, rc) = self.chip_rows(&self.chips[ci], b);
+            if slot < r0 || slot >= r0 + rc {
+                continue;
+            }
+            let (h0, hc) = self.chip_kv_heads(&self.chips[ci]);
+            let chip = &mut self.chips[ci];
+            for (li, (k, v)) in kv.layers.iter().enumerate() {
+                assert_eq!(k.dim(1), n_kv * dh, "canonical KV width mismatch");
+                let ks = k.slice(1, h0 * dh, hc * dh);
+                let vs = v.slice(1, h0 * dh, hc * dh);
+                chip.cache.write_slot(li, slot - r0, rc, &ks, &vs);
+            }
+        }
+        self.row_lens.as_mut().expect("insert_kv requires slot mode")[slot] = kv.len;
+    }
+
+    /// Evicts slot `slot`: its cached positions become scratch and its age
+    /// resets to zero. Slot mode only. Also the cheap way to keep *idle*
+    /// slots from aging (their dummy appends otherwise accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not in slot mode or `slot` is out of range.
+    pub fn evict_slot(&mut self, slot: usize) {
+        let b = self.batch.expect("evict_slot requires slot mode");
+        assert!(slot < b, "slot {slot} out of range for batch {b}");
+        for ci in 0..self.chips.len() {
+            let (r0, rc) = self.chip_rows(&self.chips[ci], b);
+            if slot >= r0 && slot < r0 + rc {
+                self.chips[ci].cache.clear_slot(slot - r0);
+            }
+        }
+        self.row_lens.as_mut().expect("evict_slot requires slot mode")[slot] = 0;
     }
 
     /// Prefill over a chunk of tokens (`[B][L]`), returning logits
@@ -437,8 +655,9 @@ impl PartitionedEngine {
             Some(prev) => assert_eq!(b, prev, "batch size changed mid-conversation; call reset()"),
         }
         let e = self.cfg.d_model;
-        // Cache length before this pass = absolute position of the chunk.
-        let base = self.cache_len();
+        // Cached positions before this pass = absolute position of the
+        // chunk; in slot mode each row carries its own age.
+        let bases = self.row_bases(b);
         let mut x = Tensor::zeros(vec![b, l, e]);
         for (bi, seq) in tokens.iter().enumerate() {
             assert_eq!(seq.len(), l, "ragged batch: all sequences must have equal length");
@@ -447,13 +666,22 @@ impl PartitionedEngine {
                 for ei in 0..e {
                     let mut v = self.embed.at(&[tok, ei]);
                     if let Some(pos) = &self.pos_embed {
-                        v += pos.at(&[base + li, ei]);
+                        v += pos.at(&[bases[bi] + li, ei]);
                     }
                     x.set(&[bi, li, ei], v);
                 }
             }
         }
         x
+    }
+
+    /// Absolute position of each row's next token: uniform (the shared
+    /// cache length) in classic mode, per-slot ages in slot mode.
+    fn row_bases(&self, b: usize) -> Vec<usize> {
+        match &self.row_lens {
+            Some(lens) => lens.clone(),
+            None => vec![self.cache_len(); b],
+        }
     }
 
     fn validate_batch(&self, b: usize) {
@@ -489,6 +717,8 @@ impl PartitionedEngine {
         };
         let n = self.chips.len();
         let want = self.exec.want();
+        let (b, l) = (x.dim(0), x.dim(1));
+        let bases = self.row_bases(b);
         let outputs: Vec<Option<Tensor>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .chips
@@ -496,18 +726,26 @@ impl PartitionedEngine {
                 .map(|chip| {
                     let x = x.clone();
                     let cfg = &cfg;
+                    let bases = &bases;
                     s.spawn(move || match dataflow {
-                        Dataflow::OneD => forward_1d(cfg, chip, x, attn, n, want),
-                        Dataflow::TwoD => forward_2d(cfg, chip, x, attn, x_parts, yz_parts, want),
-                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, n, want),
+                        Dataflow::OneD => forward_1d(cfg, chip, x, bases, attn, n, want),
+                        Dataflow::TwoD => {
+                            forward_2d(cfg, chip, x, bases, attn, x_parts, yz_parts, want)
+                        }
+                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, bases, n, want),
                         Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
-                            forward_wg_hybrid(cfg, chip, x, attn, n_gather, n_local, want)
+                            forward_wg_hybrid(cfg, chip, x, bases, attn, n_gather, n_local, want)
                         }
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("chip thread panicked")).collect()
         });
+        if let Some(lens) = &mut self.row_lens {
+            for len in lens.iter_mut() {
+                *len += l;
+            }
+        }
         if matches!(dataflow, Dataflow::WeightGatheredHybrid { .. }) {
             // One logits slice per gather group (rank order == g order);
             // concatenate along the batch dimension.
@@ -577,6 +815,7 @@ fn forward_1d(
     cfg: &ModelConfig,
     chip: &mut ChipState,
     mut x: Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     n: usize,
     want: usize,
@@ -584,7 +823,7 @@ fn forward_1d(
     let ChipState { rank, layers, cache, g_all, ln_final, embed_t, .. } = chip;
     let rank = *rank;
     for (li, shard) in layers.iter().enumerate() {
-        x = layer_1d(cfg, shard, x, attn, g_all, cache, li, rank, n, want);
+        x = layer_1d(cfg, shard, x, bases, attn, g_all, cache, li, rank, n, want);
     }
     if rank == 0 {
         let h = ln3(&x, ln_final);
@@ -605,6 +844,7 @@ fn layer_1d(
     cfg: &ModelConfig,
     shard: &LayerShard,
     x: Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     group: &CommGroup,
     cache: &mut KvCache,
@@ -616,14 +856,15 @@ fn layer_1d(
     let c = effective_chunks(cfg.d_model, want);
     let serial = cfg.block == esti_model::BlockKind::Serial;
     if serial {
-        let ctx = attn_ctx_1d(cfg, shard, &ln3(&x, &shard.ln1), attn, group, cache, li, rank, n);
+        let ctx =
+            attn_ctx_1d(cfg, shard, &ln3(&x, &shard.ln1), bases, attn, group, cache, li, rank, n);
         let x1 = &x + &looped_ar_cols(group, &[(&ctx, &shard.wo)], c);
         let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
         let h = mlp_hidden_1d(cfg, shard, &ln3(&x1, ln2));
         &x1 + &looped_ar_cols(group, &[(&h, &shard.w_out)], c)
     } else {
         let ln = ln3(&x, &shard.ln1);
-        let ctx = attn_ctx_1d(cfg, shard, &ln, attn, group, cache, li, rank, n);
+        let ctx = attn_ctx_1d(cfg, shard, &ln, bases, attn, group, cache, li, rank, n);
         let h = mlp_hidden_1d(cfg, shard, &ln);
         &x + &looped_ar_cols(group, &[(&ctx, &shard.wo), (&h, &shard.w_out)], c)
     }
@@ -633,10 +874,12 @@ fn layer_1d(
 /// batch is sharded over `n_gather` groups; within each group, weights are
 /// all-gathered into 1D shards and the layer runs as 1D weight-stationary
 /// over the `n_local` chips holding that batch slice.
+#[allow(clippy::too_many_arguments)]
 fn forward_wg_hybrid(
     cfg: &ModelConfig,
     chip: &mut ChipState,
     x_full: Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     n_gather: usize,
     n_local: usize,
@@ -649,12 +892,13 @@ fn forward_wg_hybrid(
     let batch = x_full.dim(0);
     let slice = batch / n_gather;
     let mut x = x_full.slice(0, g * slice, slice);
+    let bases = &bases[g * slice..(g + 1) * slice];
     let _ = n_local;
     for (li, shard) in layers.iter().enumerate() {
         // Weight gathers over the small gather groups stay monolithic (the
         // planner marks only the 1D all-reduces as overlap-chunkable here).
         let w = gather_layer(cfg, g_gather, shard);
-        x = layer_1d(cfg, &w, x, attn, g_local, cache, li, b, g_local.size(), want);
+        x = layer_1d(cfg, &w, x, bases, attn, g_local, cache, li, b, g_local.size(), want);
     }
     if b == 0 {
         // x is replicated within the local group; the b = 0 member of each
@@ -674,6 +918,7 @@ fn attn_ctx_1d(
     cfg: &ModelConfig,
     shard: &LayerShard,
     ln: &Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     g_all: &CommGroup,
     cache: &mut KvCache,
@@ -688,15 +933,14 @@ fn attn_ctx_1d(
     if cfg.position == PositionKind::Rope {
         // RoPE is head-local and position-dependent only, so rotating the
         // shards before any resharding matches the reference exactly.
-        let base = cache.len_of(li);
-        q = ops::rope(&q, dh, base);
-        k = ops::rope(&k, dh, base);
+        q = ops::rope_rows(&q, dh, bases);
+        k = ops::rope_rows(&k, dh, bases);
     }
     match attn {
         AttnSharding::Head => {
             cache.append(li, &k, &v);
             let (kc, vc) = cache.get(li).expect("cache populated by append");
-            attention_core(&q, kc, vc, dh)
+            attention_core_ragged(&q, kc, vc, dh, cache.row_lens(li))
         }
         AttnSharding::Batch => {
             // Reshard Q from head-sharded to batch-sharded (Figure 5b);
@@ -709,7 +953,7 @@ fn attn_ctx_1d(
             let v_b = v.slice(0, rank * b_loc, b_loc);
             cache.append(li, &k_b, &v_b);
             let (kc, vc) = cache.get(li).expect("cache populated by append");
-            let attn_b = attention_core(&q_b, kc, vc, dh); // [B/n, l, H*dh]
+            let attn_b = attention_core_ragged(&q_b, kc, vc, dh, cache.row_lens(li)); // [B/n, l, H*dh]
             g_all.all_to_all(&attn_b, 2, 0) // [B, l, h_loc*dh]
         }
     }
@@ -733,6 +977,7 @@ fn forward_2d(
     cfg: &ModelConfig,
     chip: &mut ChipState,
     x_full: Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     x_parts: usize,
     yz_parts: usize,
@@ -763,7 +1008,8 @@ fn forward_2d(
             let k_part = proj.pop().expect("three projections");
             let q_part = proj.pop().expect("three projections");
             let attn_j = attn_2d_ctx(
-                cfg, cache, li, q_part, k_part, v_part, attn, g_x, g_yz, i, j, x_parts, yz_parts,
+                cfg, cache, li, q_part, k_part, v_part, bases, attn, g_x, g_yz, i, j, x_parts,
+                yz_parts,
             );
             let x1_loc = &x_loc + &looped_rs_cols(g_yz, &[(&attn_j, &shard.wo)], c_yz);
             let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
@@ -793,7 +1039,8 @@ fn forward_2d(
             let k_part = proj.pop().expect("three projections");
             let q_part = proj.pop().expect("three projections");
             let attn_j = attn_2d_ctx(
-                cfg, cache, li, q_part, k_part, v_part, attn, g_x, g_yz, i, j, x_parts, yz_parts,
+                cfg, cache, li, q_part, k_part, v_part, bases, attn, g_x, g_yz, i, j, x_parts,
+                yz_parts,
             );
             let h_j = mlp_2d_hidden(cfg, g_x, gate_part, up_part);
             // One chunked reduce-scatter carries both partials: chunk `c`
@@ -842,6 +1089,7 @@ fn attn_2d_ctx(
     q_part: Tensor,
     k_part: Tensor,
     v_part: Tensor,
+    bases: &[usize],
     attn: AttnSharding,
     g_x: &CommGroup,
     g_yz: &CommGroup,
@@ -857,9 +1105,8 @@ fn attn_2d_ctx(
     let mut k_j = g_x.all_reduce(&k_part);
     let v_j = g_x.all_reduce(&v_part);
     if cfg.position == PositionKind::Rope {
-        let base = cache.len_of(li);
-        q_j = ops::rope(&q_j, dh, base);
-        k_j = ops::rope(&k_j, dh, base);
+        q_j = ops::rope_rows(&q_j, dh, bases);
+        k_j = ops::rope_rows(&k_j, dh, bases);
     }
     match attn {
         AttnSharding::Head => {
@@ -867,7 +1114,7 @@ fn attn_2d_ctx(
             // "baseline multiquery" layout). MHA: own heads only.
             cache.append(li, &k_j, &v_j);
             let (kc, vc) = cache.get(li).expect("cache populated by append");
-            attention_core(&q_j, kc, vc, dh)
+            attention_core_ragged(&q_j, kc, vc, dh, cache.row_lens(li))
         }
         AttnSharding::Batch => {
             let b = q_j.dim(0);
@@ -883,7 +1130,7 @@ fn attn_2d_ctx(
             let v_bi = v_j.slice(0, kv_off, b_n);
             cache.append(li, &k_bi, &v_bi);
             let (kc, vc) = cache.get(li).expect("cache populated by append");
-            let attn_bi = attention_core(&q_bi, kc, vc, dh); // [B/n, l, H*dh]
+            let attn_bi = attention_core_ragged(&q_bi, kc, vc, dh, cache.row_lens(li)); // [B/n, l, H*dh]
             // Gather the batch back over x, then all-to-all back to
             // head sharding over yz.
             let attn_b = g_x.all_gather(&attn_bi, 0); // [B/YZ, l, H*dh]
@@ -900,6 +1147,7 @@ fn forward_wg(
     cfg: &ModelConfig,
     chip: &mut ChipState,
     x_full: Tensor,
+    bases: &[usize],
     n: usize,
     want: usize,
 ) -> Option<Tensor> {
@@ -916,17 +1164,18 @@ fn forward_wg(
     // are streamed through their einsums chunk by chunk, each layer's
     // matmul consuming chunk `i-1` while chunk `i` is in flight.
     let mut x = x_full.slice(0, rank * b_loc, b_loc);
+    let bases = &bases[rank * b_loc..(rank + 1) * b_loc];
     for (li, shard) in layers.iter().enumerate() {
         let serial = cfg.block == esti_model::BlockKind::Serial;
         if serial {
-            let a = attn_wg(cfg, cache, li, &ln3(&x, &shard.ln1), shard, g_all, c_h);
+            let a = attn_wg(cfg, cache, li, &ln3(&x, &shard.ln1), bases, shard, g_all, c_h);
             let x1 = &x + &a;
             let ln2 = shard.ln2.as_ref().expect("serial block requires ln2");
             let m = mlp_wg(cfg, &ln3(&x1, ln2), shard, g_all, c_f);
             x = &x1 + &m;
         } else {
             let ln = ln3(&x, &shard.ln1);
-            let a = attn_wg(cfg, cache, li, &ln, shard, g_all, c_h);
+            let a = attn_wg(cfg, cache, li, &ln, bases, shard, g_all, c_h);
             let m = mlp_wg(cfg, &ln, shard, g_all, c_f);
             x = &(&x + &a) + &m;
         }
@@ -970,11 +1219,13 @@ fn gather_layer(cfg: &ModelConfig, g: &CommGroup, s: &LayerShard) -> LayerShard 
 /// through the einsum ([`looped_wg_cols`] for the head-sharded Q/K/V,
 /// [`looped_wg_rows`] for the row-sharded output projection). Multiquery
 /// K/V shards are replicated — nothing to gather, plain local matmuls.
+#[allow(clippy::too_many_arguments)]
 fn attn_wg(
     cfg: &ModelConfig,
     cache: &mut KvCache,
     li: usize,
     ln: &Tensor,
+    bases: &[usize],
     shard: &LayerShard,
     g: &CommGroup,
     chunks: usize,
@@ -989,13 +1240,12 @@ fn attn_wg(
         )
     };
     if cfg.position == PositionKind::Rope {
-        let base = cache.len_of(li);
-        q = ops::rope(&q, cfg.d_head, base);
-        k = ops::rope(&k, cfg.d_head, base);
+        q = ops::rope_rows(&q, cfg.d_head, bases);
+        k = ops::rope_rows(&k, cfg.d_head, bases);
     }
     cache.append(li, &k, &v);
     let (kc, vc) = cache.get(li).expect("cache populated by append");
-    let attn = attention_core(&q, kc, vc, cfg.d_head);
+    let attn = attention_core_ragged(&q, kc, vc, cfg.d_head, cache.row_lens(li));
     looped_wg_rows(g, &attn, &shard.wo, chunks)
 }
 

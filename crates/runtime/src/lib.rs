@@ -48,7 +48,9 @@
 pub mod engine;
 pub mod generate;
 mod overlap;
+pub mod serving;
 pub mod shard;
 
-pub use engine::{ExecMode, PartitionedEngine, WeightFormat};
+pub use engine::{ExecMode, PartitionedEngine, RequestKv, WeightFormat};
 pub use generate::GenerateOptions;
+pub use serving::{ContinuousBatcher, ServingOptions, ServingOutcome, ServingRequest};

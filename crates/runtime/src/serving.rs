@@ -1,0 +1,342 @@
+//! Continuous-batching serving over the partitioned engine (Section 4.4).
+//!
+//! Where [`esti_core::serving`] *models* the paper's two-tier arrangement
+//! analytically, this module *runs* it: a batch-1 prefill tier
+//! ([`PartitionedEngine`] at the layout's minimum batch) pipelines into a
+//! fixed-capacity decode tier running in slot mode
+//! ([`PartitionedEngine::begin_slots`]). Variable-length prompts arrive in
+//! a queue, are prefilled (optionally chunked), admitted into free decode
+//! slots at step boundaries up to the cap, and evicted on completion.
+//!
+//! Correctness rests on two properties proved elsewhere in the workspace:
+//! every op treats batch rows independently (so a request's row in a
+//! padded, mixed-age batch computes bit-identically to running it alone),
+//! and the canonical [`RequestKv`] form is layout-independent (so a
+//! prefill-tier cache moves into any decode-tier slot exactly). The
+//! conformance tests assert the visible consequence: per-request token
+//! streams identical to isolated [`PartitionedEngine::generate`] runs.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use esti_core::layout::Layout;
+use esti_core::serving::{RequestStats, ServingReport};
+use esti_model::{PositionKind, ReferenceModel};
+use esti_tensor::sample::{sample_row, Sampling};
+
+use crate::engine::{ExecMode, PartitionedEngine, WeightFormat};
+
+/// One queued generation request.
+#[derive(Debug, Clone)]
+pub struct ServingRequest {
+    /// Prompt tokens (any length ≥ 1; requests in one queue may differ).
+    pub prompt: Vec<usize>,
+    /// Tokens to generate for this request.
+    pub max_new_tokens: usize,
+    /// Per-request RNG seed — sampling draws are independent streams, so a
+    /// request's tokens do not depend on what else shares its batch.
+    pub seed: u64,
+    /// Arrival time in seconds relative to the start of serving.
+    pub arrival: f64,
+}
+
+impl ServingRequest {
+    /// A request arriving at `t = 0` with default generation length.
+    #[must_use]
+    pub fn immediate(prompt: Vec<usize>, max_new_tokens: usize) -> Self {
+        ServingRequest { prompt, max_new_tokens, seed: 0, arrival: 0.0 }
+    }
+}
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingOptions {
+    /// Decode-tier slot count (the in-flight cap). Must satisfy the
+    /// layout's batch divisibility requirements.
+    pub max_decode_batch: usize,
+    /// Sampling method applied to every request.
+    pub sampling: Sampling,
+    /// Chunked (incremental) prefill size; `None` prefills each prompt in
+    /// one pass.
+    pub prefill_chunk: Option<usize>,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        ServingOptions { max_decode_batch: 4, sampling: Sampling::Greedy, prefill_chunk: None }
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// Generated tokens per request, in request order.
+    pub outputs: Vec<Vec<usize>>,
+    /// Measured per-request latency/TTFT stats plus decode-tier occupancy,
+    /// in the same shape the analytical simulator reports — so measured
+    /// and modeled runs cross-check directly.
+    pub report: ServingReport,
+    /// Per decode step: live (non-idle) slots and measured wall-clock
+    /// seconds — the curve to compare against analytical step times.
+    pub step_log: Vec<(usize, f64)>,
+    /// Total tokens generated across all requests.
+    pub total_generated: usize,
+}
+
+impl ServingOutcome {
+    /// Measured decode throughput in generated tokens per second.
+    #[must_use]
+    pub fn throughput_tokens_per_sec(&self) -> f64 {
+        self.report.generated_throughput(self.total_generated)
+    }
+}
+
+/// A live request occupying a decode slot.
+struct Active {
+    idx: usize,
+    rng: StdRng,
+    next_tok: usize,
+}
+
+/// The two-tier continuous-batching scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use esti_core::planner::decode_layout;
+/// use esti_core::Machine;
+/// use esti_model::{ModelConfig, ReferenceModel};
+/// use esti_runtime::{ContinuousBatcher, ServingOptions, ServingRequest, WeightFormat};
+///
+/// let model = ReferenceModel::init_random(ModelConfig::tiny(), 0);
+/// let machine = Machine::tpu_v4_slice(4).unwrap();
+/// let layout = decode_layout(model.config(), &machine);
+/// let mut batcher =
+///     ContinuousBatcher::new(&model, layout, WeightFormat::Exact, ServingOptions::default());
+/// let requests = vec![
+///     ServingRequest::immediate(vec![1, 2, 3], 4),
+///     ServingRequest::immediate(vec![5, 6], 4),
+/// ];
+/// let outcome = batcher.serve(&requests);
+/// assert_eq!(outcome.outputs.len(), 2);
+/// assert!(outcome.outputs.iter().all(|o| o.len() == 4));
+/// ```
+pub struct ContinuousBatcher {
+    prefill: PartitionedEngine,
+    decode: PartitionedEngine,
+    opts: ServingOptions,
+}
+
+impl ContinuousBatcher {
+    /// Builds both tiers from one model and layout (the common case; the
+    /// paper's tiers may differ in chip count, which maps here to building
+    /// with different layouts via two engines — a future extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.max_decode_batch` is zero or violates the layout's
+    /// batch divisibility requirements, or on any condition
+    /// [`PartitionedEngine::new`] panics on.
+    #[must_use]
+    pub fn new(
+        model: &ReferenceModel,
+        layout: Layout,
+        fmt: WeightFormat,
+        opts: ServingOptions,
+    ) -> Self {
+        ContinuousBatcher::new_with_exec(model, layout, fmt, ExecMode::default(), opts)
+    }
+
+    /// Like [`ContinuousBatcher::new`] with an explicit execution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ContinuousBatcher::new`].
+    #[must_use]
+    pub fn new_with_exec(
+        model: &ReferenceModel,
+        layout: Layout,
+        fmt: WeightFormat,
+        exec: ExecMode,
+        opts: ServingOptions,
+    ) -> Self {
+        assert!(opts.max_decode_batch > 0, "decode batch cap must be positive");
+        let prefill = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
+        let decode = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
+        ContinuousBatcher { prefill, decode, opts }
+    }
+
+    /// The decode-tier engine (for inspecting traffic or comm times).
+    #[must_use]
+    pub fn decode_engine(&self) -> &PartitionedEngine {
+        &self.decode
+    }
+
+    /// Serves `requests` (sorted by arrival) to completion and returns
+    /// every request's generated tokens plus measured statistics.
+    ///
+    /// Admission policy: FIFO. At every step boundary, each arrived request
+    /// at the queue head is prefilled (batch-1, padded to the layout's
+    /// minimum batch by prompt replication) and takes the lowest free slot,
+    /// until slots or arrived requests run out. The decode tier then steps
+    /// the full slot batch — idle slots carry a dummy token and are
+    /// re-evicted each step so they neither age nor allocate. A request
+    /// leaves its slot the moment its last token is sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty or not sorted by arrival, a prompt is
+    /// empty, or a learned-position model would exceed `max_seq`.
+    pub fn serve(&mut self, requests: &[ServingRequest]) -> ServingOutcome {
+        assert!(!requests.is_empty(), "no requests to serve");
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival time"
+        );
+        let cfg = self.decode.config().clone();
+        for r in requests {
+            assert!(!r.prompt.is_empty(), "empty prompt");
+            if cfg.position == PositionKind::Learned {
+                assert!(
+                    r.prompt.len() + r.max_new_tokens <= cfg.max_seq,
+                    "request needs {} positions but max_seq is {}",
+                    r.prompt.len() + r.max_new_tokens,
+                    cfg.max_seq
+                );
+            }
+        }
+        let cap = self.opts.max_decode_batch;
+        let reserve =
+            requests.iter().map(|r| r.prompt.len() + r.max_new_tokens).max().unwrap_or(0);
+        self.decode.begin_slots(cap, reserve);
+        let pad = self.prefill.min_batch();
+
+        let t0 = Instant::now();
+        let now = || t0.elapsed().as_secs_f64();
+        let n = requests.len();
+        let mut outputs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut prefilled_at = vec![0.0f64; n];
+        let mut finished_at = vec![0.0f64; n];
+        let mut pending: VecDeque<usize> = (0..n).collect();
+        let mut active: Vec<Option<Active>> = (0..cap).map(|_| None).collect();
+        let mut step_log: Vec<(usize, f64)> = Vec::new();
+        let mut occupancy_sum = 0usize;
+
+        loop {
+            // Admission at the step boundary.
+            while let Some(&idx) = pending.front() {
+                if requests[idx].arrival > now() {
+                    break;
+                }
+                let Some(slot) = active.iter().position(Option::is_none) else { break };
+                pending.pop_front();
+                let req = &requests[idx];
+                let last_logits = self.prefill_padded(&req.prompt, pad);
+                let mut rng = StdRng::seed_from_u64(req.seed);
+                prefilled_at[idx] = now();
+                if req.max_new_tokens == 0 {
+                    finished_at[idx] = prefilled_at[idx];
+                    continue;
+                }
+                // The first generated token comes from the prefill logits —
+                // its sampling time is the TTFT recorded above.
+                let tok = sample_row(&mut rng, &last_logits, self.opts.sampling);
+                outputs[idx].push(tok);
+                if req.max_new_tokens == 1 {
+                    finished_at[idx] = now();
+                    continue;
+                }
+                let kv = self.prefill.extract_kv(0);
+                self.decode.insert_kv(slot, &kv);
+                active[slot] = Some(Active { idx, rng, next_tok: tok });
+            }
+
+            let live = active.iter().flatten().count();
+            if live == 0 {
+                let Some(&idx) = pending.front() else { break };
+                // Nothing in flight and the next request has not arrived:
+                // nap (bounded, so a mis-scheduled wakeup self-corrects).
+                let wait = requests[idx].arrival - now();
+                if wait > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(wait.min(0.02)));
+                }
+                continue;
+            }
+
+            // Idle slots are re-evicted so their dummy appends neither age
+            // their positions nor grow their slabs.
+            for (s, slot) in active.iter().enumerate() {
+                if slot.is_none() {
+                    self.decode.evict_slot(s);
+                }
+            }
+
+            // One decode step over the full slot batch.
+            let tokens: Vec<usize> =
+                active.iter().map(|a| a.as_ref().map_or(0, |a| a.next_tok)).collect();
+            let t_step = Instant::now();
+            let logits = self.decode.decode_step(&tokens); // [cap, V]
+            step_log.push((live, t_step.elapsed().as_secs_f64()));
+            occupancy_sum += live;
+
+            let v = cfg.vocab;
+            for (s, slot) in active.iter_mut().enumerate() {
+                let Some(a) = slot else { continue };
+                let row = &logits.data()[s * v..(s + 1) * v];
+                let tok = sample_row(&mut a.rng, row, self.opts.sampling);
+                outputs[a.idx].push(tok);
+                if outputs[a.idx].len() == requests[a.idx].max_new_tokens {
+                    finished_at[a.idx] = now();
+                    *slot = None;
+                    self.decode.evict_slot(s);
+                } else {
+                    a.next_tok = tok;
+                }
+            }
+        }
+
+        let stats: Vec<RequestStats> = requests
+            .iter()
+            .zip(prefilled_at.iter().zip(&finished_at))
+            .map(|(r, (&prefilled, &finished))| RequestStats {
+                arrival: r.arrival,
+                prefilled,
+                finished,
+            })
+            .collect();
+        let total_generated = outputs.iter().map(Vec::len).sum();
+        ServingOutcome {
+            report: ServingReport::new(stats, step_log.len(), occupancy_sum),
+            step_log,
+            outputs,
+            total_generated,
+        }
+    }
+
+    /// Prefills one prompt on the prefill tier, padded to batch `pad` by
+    /// replication (row 0 is bit-unaffected — batch rows are independent
+    /// everywhere), honoring the chunked-prefill option. Returns row 0's
+    /// last-position logits; the tier's cache then holds the prompt's KV
+    /// for [`PartitionedEngine::extract_kv`].
+    fn prefill_padded(&mut self, prompt: &[usize], pad: usize) -> Vec<f32> {
+        self.prefill.reset();
+        let len = prompt.len();
+        let chunk = self.opts.prefill_chunk.unwrap_or(len).max(1);
+        let v = self.prefill.config().vocab;
+        let mut last: Option<Vec<f32>> = None;
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let chunk_tokens: Vec<Vec<usize>> =
+                (0..pad).map(|_| prompt[start..end].to_vec()).collect();
+            let logits = self.prefill.prefill(&chunk_tokens); // [pad, l, V]
+            let l = end - start;
+            last = Some(logits.slice(1, l - 1, 1).data()[..v].to_vec());
+            start = end;
+        }
+        last.expect("at least one prefill chunk")
+    }
+}

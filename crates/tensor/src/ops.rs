@@ -499,6 +499,46 @@ pub fn rope(t: &Tensor, d_head: usize, base_pos: usize) -> Tensor {
     Tensor::from_vec(vec![b, l, hd], out)
 }
 
+/// Per-row-base variant of [`rope`]: batch row `bi`'s positions start at
+/// `bases[bi]` instead of one shared `base_pos`, so sequences of different
+/// ages can share a batch (continuous batching). Each element's rotation
+/// depends only on its own row's absolute position, so for uniform `bases`
+/// this is bit-identical to [`rope`].
+///
+/// # Panics
+///
+/// Panics if `t` is not rank 3, `d_head` is odd, the last dimension is not
+/// a multiple of `d_head`, or `bases` disagrees with the batch dim.
+#[must_use]
+pub fn rope_rows(t: &Tensor, d_head: usize, bases: &[usize]) -> Tensor {
+    assert_eq!(t.rank(), 3, "rope expects [B, L, H*d_head]");
+    assert!(d_head.is_multiple_of(2), "rope requires an even d_head");
+    let (b, l, hd) = (t.dim(0), t.dim(1), t.dim(2));
+    assert!(hd % d_head == 0, "last dimension must be a multiple of d_head");
+    assert_eq!(bases.len(), b, "one position base per batch row");
+    let heads = hd / d_head;
+    let half = d_head / 2;
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|i| 1.0 / 10000f32.powf(2.0 * i as f32 / d_head as f32))
+        .collect();
+    let mut out = t.data().to_vec();
+    for (bi, &base) in bases.iter().enumerate() {
+        for li in 0..l {
+            let p = (base + li) as f32;
+            for (i, &f) in inv_freq.iter().enumerate() {
+                let (sin, cos) = (p * f).sin_cos();
+                for h in 0..heads {
+                    let off = ((bi * l + li) * hd) + h * d_head + 2 * i;
+                    let (x0, x1) = (out[off], out[off + 1]);
+                    out[off] = x0 * cos - x1 * sin;
+                    out[off + 1] = x0 * sin + x1 * cos;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![b, l, hd], out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +735,34 @@ mod tests {
         let row1 = rope(&t.slice(1, 1, 1), 4, 4);
         assert!(whole.slice(1, 0, 1).approx_eq(&row0, 1e-6));
         assert!(whole.slice(1, 1, 1).approx_eq(&row1, 1e-6));
+    }
+
+    #[test]
+    fn rope_rows_uniform_bases_bitwise_equals_rope() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let t = Tensor::randn(&mut rng, vec![3, 2, 8], 1.0);
+        let uniform = rope_rows(&t, 4, &[7, 7, 7]);
+        assert_eq!(uniform.data(), rope(&t, 4, 7).data());
+    }
+
+    #[test]
+    fn rope_rows_rotates_each_row_at_its_own_base() {
+        // Ragged bases must match slicing each row out and applying the
+        // uniform rope at that row's base — bitwise, since per-element
+        // arithmetic is identical.
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = Tensor::randn(&mut rng, vec![2, 3, 8], 1.0);
+        let ragged = rope_rows(&t, 4, &[0, 11]);
+        for (bi, base) in [(0usize, 0usize), (1, 11)] {
+            let row = rope(&t.slice(0, bi, 1), 4, base);
+            assert_eq!(ragged.slice(0, bi, 1).data(), row.data(), "row {bi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one position base per batch row")]
+    fn rope_rows_checks_base_count() {
+        let _ = rope_rows(&Tensor::zeros(vec![2, 1, 4]), 4, &[0]);
     }
 
     #[test]
