@@ -17,6 +17,13 @@ echo "== serving conformance: scheduler token streams identical to isolated gene
 # Covers every built-in decode layout plus the ragged-workload proptest.
 cargo test -q --release -p esti-runtime --test serving
 
+echo "== int8 conformance: quantized wire volume and chunk-count bit-identity =="
+# The int8 data path: chunked quantized all-gathers reassemble exactly,
+# the ledger charges quantized (not dense f32) bytes, and int8 overlapped
+# execution is bit-identical to monolithic for arbitrary chunk counts.
+cargo test -q --release -p esti-collectives --test chunked
+cargo test -q --release -p esti-runtime --test int8
+
 echo "== benches compile =="
 cargo bench --no-run -q
 

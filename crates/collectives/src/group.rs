@@ -4,13 +4,40 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
-use esti_tensor::Tensor;
+use esti_tensor::{QuantizedMatrix, Tensor};
 
 use crate::stats::{CollectiveOp, CommTimes, TrafficStats};
 use crate::sync::{Barrier, Mutex};
 
 /// Logical activation width used for traffic accounting (bf16, Section 2).
 const ACT_BYTES: u64 = 2;
+
+/// What one mailbox slot carries: a dense activation tensor, or a quantized
+/// weight shard moved in its wire format (int8 values + per-column f32
+/// scales). Keeping the quantized form first-class in the mailbox is what
+/// lets weight-gathered layouts move int8 bytes instead of the dequantized
+/// f32 view — the ledger then charges the true quantized volume.
+#[derive(Clone)]
+enum Payload {
+    Dense(Tensor),
+    Quant(QuantizedMatrix),
+}
+
+impl Payload {
+    fn into_dense(self) -> Tensor {
+        match self {
+            Payload::Dense(t) => t,
+            Payload::Quant(_) => panic!("expected dense payload in mailbox slot"),
+        }
+    }
+
+    fn into_quant(self) -> QuantizedMatrix {
+        match self {
+            Payload::Dense(_) => panic!("expected quantized payload in mailbox slot"),
+            Payload::Quant(q) => q,
+        }
+    }
+}
 
 /// What one member claims to be doing, deposited before each collective in
 /// debug builds so divergent members fail an assertion instead of
@@ -28,10 +55,14 @@ struct CallMeta {
     /// peers disagree on the chunk count would desynchronize the mailbox
     /// protocol, so the count is part of the agreement check.
     dims: [usize; 3],
+    /// Whether the payload moves in the quantized wire format. A member
+    /// posting a dense tensor while a peer posts int8 values would corrupt
+    /// the exchange, so the payload form is part of the agreement check.
+    quant: bool,
 }
 
 struct Shared {
-    slots: Vec<Mutex<Option<Tensor>>>,
+    slots: Vec<Mutex<Option<Payload>>>,
     barrier: Barrier,
     stats: Option<Arc<TrafficStats>>,
     #[cfg(all(debug_assertions, not(loom)))]
@@ -131,12 +162,29 @@ impl CommGroup {
     /// everyone's deposits, in rank order. Two barrier phases ensure no
     /// member races ahead and overwrites a slot that others still read.
     fn exchange(&self, t: Tensor) -> Vec<Tensor> {
+        self.exchange_payload(Payload::Dense(t))
+            .into_iter()
+            .map(Payload::into_dense)
+            .collect()
+    }
+
+    /// [`exchange`](Self::exchange) for quantized weight shards: every
+    /// member deposits int8 values + scales and receives everyone's, in
+    /// rank order.
+    fn exchange_quant(&self, q: QuantizedMatrix) -> Vec<QuantizedMatrix> {
+        self.exchange_payload(Payload::Quant(q))
+            .into_iter()
+            .map(Payload::into_quant)
+            .collect()
+    }
+
+    fn exchange_payload(&self, p: Payload) -> Vec<Payload> {
         if self.size() == 1 {
-            return vec![t];
+            return vec![p];
         }
-        *self.shared.slots[self.rank].lock().expect("slot poisoned") = Some(t);
+        *self.shared.slots[self.rank].lock().expect("slot poisoned") = Some(p);
         self.shared.barrier.wait();
-        let all: Vec<Tensor> = self
+        let all: Vec<Payload> = self
             .shared
             .slots
             .iter()
@@ -157,13 +205,13 @@ impl CommGroup {
     /// Disabled under `--cfg loom` to keep the model-checked state space at
     /// the size of the production protocol.
     #[cfg(all(debug_assertions, not(loom)))]
-    fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 3]) {
+    fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 3], quant: bool) {
         if self.size() == 1 {
             return;
         }
         let seq = self.calls.get();
         self.calls.set(seq + 1);
-        let mine = CallMeta { seq, op, shape: shape.to_vec(), dims };
+        let mine = CallMeta { seq, op, shape: shape.to_vec(), dims, quant };
         *self.shared.meta[self.rank].lock().expect("meta poisoned") = Some(mine.clone());
         self.shared.barrier.wait();
         for (peer, slot) in self.shared.meta.iter().enumerate() {
@@ -183,12 +231,26 @@ impl CommGroup {
     }
 
     #[cfg(not(all(debug_assertions, not(loom))))]
-    fn debug_check_agreement(&self, _op: CollectiveOp, _shape: &[usize], _dims: [usize; 3]) {}
+    fn debug_check_agreement(
+        &self,
+        _op: CollectiveOp,
+        _shape: &[usize],
+        _dims: [usize; 3],
+        _quant: bool,
+    ) {
+    }
 
     fn record(&self, op: CollectiveOp, elems: usize) {
+        self.record_raw(op, elems as u64 * ACT_BYTES);
+    }
+
+    /// Records an exact byte count — the quantized collectives charge their
+    /// true wire volume (int8 values + f32 scales) instead of
+    /// `elements × ACT_BYTES`.
+    fn record_raw(&self, op: CollectiveOp, bytes: u64) {
         if self.rank == 0 {
             if let Some(stats) = &self.shared.stats {
-                stats.record(op, elems as u64 * ACT_BYTES);
+                stats.record(op, bytes);
             }
         }
     }
@@ -240,7 +302,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_gather(&self, shard: &Tensor, dim: usize) -> Tensor {
         let t0 = Instant::now();
-        self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim, 1]);
+        self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim, 1], false);
         let parts = self.exchange(shard.clone());
         let refs: Vec<&Tensor> = parts.iter().collect();
         let out = Tensor::concat(&refs, dim);
@@ -260,7 +322,7 @@ impl CommGroup {
     #[must_use]
     pub fn reduce_scatter(&self, input: &Tensor, dim: usize) -> Tensor {
         let t0 = Instant::now();
-        self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim, 1]);
+        self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim, 1], false);
         self.record(CollectiveOp::ReduceScatter, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -288,7 +350,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_reduce(&self, input: &Tensor) -> Tensor {
         let t0 = Instant::now();
-        self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0, 1]);
+        self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0, 1], false);
         self.record(CollectiveOp::AllReduce, input.numel() * 2);
         if self.size() == 1 {
             return input.clone();
@@ -317,7 +379,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_to_all(&self, input: &Tensor, split_dim: usize, concat_dim: usize) -> Tensor {
         let t0 = Instant::now();
-        self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim, 1]);
+        self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim, 1], false);
         self.record(CollectiveOp::AllToAll, input.numel());
         if self.size() == 1 {
             return input.clone();
@@ -338,6 +400,136 @@ impl CommGroup {
         let out = Tensor::concat(&refs, concat_dim);
         self.note_time(CollectiveOp::AllToAll, t0);
         out
+    }
+
+    /// Quantized all-gather: every member deposits its int8 weight shard in
+    /// wire format (values + per-column scales) and receives every rank's
+    /// shard, in rank order. The caller reassembles (or streams) them —
+    /// returning the parts rather than a concatenation keeps each shard's
+    /// scales attached to its values.
+    ///
+    /// `dim` is the logical concatenation dimension of the gather (0 = row
+    /// shards sharing no scales, 1 = column shards partitioning the scale
+    /// vector); it only participates in the SPMD agreement check here.
+    ///
+    /// Traffic ledger: per-chip *output* bytes like the dense
+    /// [`all_gather`](Self::all_gather), but at the true quantized volume —
+    /// `size() × shard.storage_bytes()` (1 byte per value + 4 per scale)
+    /// instead of `elements × 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if members disagree on op, shape or dims.
+    #[must_use]
+    pub fn all_gather_quant(&self, shard: &QuantizedMatrix, dim: usize) -> Vec<QuantizedMatrix> {
+        let t0 = Instant::now();
+        let shape = [shard.rows(), shard.cols()];
+        self.debug_check_agreement(CollectiveOp::AllGather, &shape, [dim, dim, 1], true);
+        self.record_raw(
+            CollectiveOp::AllGather,
+            (self.size() * shard.storage_bytes()) as u64,
+        );
+        let parts = self.exchange_quant(shard.clone());
+        self.note_time(CollectiveOp::AllGather, t0);
+        parts
+    }
+
+    /// Chunked quantized all-gather: identical result to
+    /// [`all_gather_quant`](Self::all_gather_quant), moved as `chunks`
+    /// slices of the shard along `dim` (row slices for `dim == 0`, column
+    /// slices for `dim == 1`). Like the dense chunked wrappers this does no
+    /// compute; the overlap loops use [`begin_chunked_quant`] directly.
+    ///
+    /// [`begin_chunked_quant`]: Self::begin_chunked_quant
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not 0 or 1, or the shard extent along `dim` is
+    /// not divisible by `chunks`.
+    #[must_use]
+    pub fn all_gather_quant_chunked(
+        &self,
+        shard: &QuantizedMatrix,
+        dim: usize,
+        chunks: usize,
+    ) -> Vec<QuantizedMatrix> {
+        if chunks == 1 {
+            return self.all_gather_quant(shard, dim);
+        }
+        assert!(dim < 2, "quantized shards are rank-2; dim must be 0 or 1");
+        let extent = if dim == 0 { shard.rows() } else { shard.cols() };
+        assert!(
+            extent.is_multiple_of(chunks),
+            "quantized all-gather dim {dim} of size {extent} not divisible by {chunks} chunks"
+        );
+        let step = extent / chunks;
+        let shape = [shard.rows(), shard.cols()];
+        let wire = self.size() * shard.storage_bytes();
+        let mut ex = self.begin_chunked_quant(
+            CollectiveOp::AllGather,
+            &shape,
+            [dim, dim],
+            chunks,
+            wire,
+        );
+        let slice = |c: usize| -> QuantizedMatrix {
+            if dim == 0 {
+                shard.slice_rows(c * step, step)
+            } else {
+                shard.slice_cols(c * step, step)
+            }
+        };
+        let mut per_chunk: Vec<Vec<QuantizedMatrix>> = Vec::with_capacity(chunks);
+        ex.post(slice(0));
+        for c in 1..chunks {
+            per_chunk.push(ex.collect());
+            ex.post(slice(c));
+        }
+        per_chunk.push(ex.collect());
+        // Reassemble each rank's shard from its chunks in ascending order:
+        // values and scales land exactly where the monolithic gather put
+        // them (row chunks share one scale vector; column chunks partition
+        // it).
+        (0..self.size())
+            .map(|r| {
+                let parts: Vec<&QuantizedMatrix> = per_chunk.iter().map(|c| &c[r]).collect();
+                if dim == 0 {
+                    QuantizedMatrix::concat_rows(&parts)
+                } else {
+                    QuantizedMatrix::concat_cols(&parts)
+                }
+            })
+            .collect()
+    }
+
+    /// Opens a chunked collective over quantized payloads — the quantized
+    /// twin of [`begin_chunked`](Self::begin_chunked), used by the
+    /// weight-gathered overlap loops to stream int8 shard slices while the
+    /// previous slice's fused dequant-einsum runs.
+    ///
+    /// `wire_bytes` is the exact byte volume the monolithic quantized
+    /// collective would charge (values + scales), recorded once regardless
+    /// of chunking. Row-chunked streams resend the full scale vector with
+    /// every chunk; that duplication is a simulation artifact (a real
+    /// implementation ships the scales once) and is deliberately not
+    /// charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero, or (debug builds) if members disagree.
+    #[must_use]
+    pub fn begin_chunked_quant(
+        &self,
+        op: CollectiveOp,
+        shape: &[usize],
+        dims: [usize; 2],
+        chunks: usize,
+        wire_bytes: usize,
+    ) -> ChunkedQuantExchange<'_> {
+        assert!(chunks > 0, "chunked collective requires at least one chunk");
+        self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks], true);
+        self.record_raw(op, wire_bytes as u64);
+        ChunkedQuantExchange { group: self, op, chunks, posted: 0, collected: 0, solo: None }
     }
 
     /// Opens a chunked collective: the member will [`post`] `chunks` chunks
@@ -367,7 +559,7 @@ impl CommGroup {
         elems: usize,
     ) -> ChunkedExchange<'_> {
         assert!(chunks > 0, "chunked collective requires at least one chunk");
-        self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks]);
+        self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks], false);
         self.record(op, elems);
         ChunkedExchange { group: self, op, chunks, posted: 0, collected: 0, solo: None }
     }
@@ -644,7 +836,8 @@ impl ChunkedExchange<'_> {
         if self.group.size() == 1 {
             self.solo = Some(chunk);
         } else {
-            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") = Some(chunk);
+            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") =
+                Some(Payload::Dense(chunk));
         }
         self.posted += 1;
     }
@@ -670,7 +863,99 @@ impl ChunkedExchange<'_> {
                 .shared
                 .slots
                 .iter()
-                .map(|s| s.lock().expect("slot poisoned").clone().expect("peer deposited"))
+                .map(|s| {
+                    s.lock()
+                        .expect("slot poisoned")
+                        .clone()
+                        .expect("peer deposited")
+                        .into_dense()
+                })
+                .collect();
+            self.group.shared.barrier.wait();
+            all
+        };
+        self.group.note_time(self.op, t0);
+        parts
+    }
+
+    /// Total number of chunks in this collective.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Chunks not yet collected.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.chunks - self.collected
+    }
+}
+
+/// An in-flight chunked collective over quantized payloads, opened by
+/// [`CommGroup::begin_chunked_quant`]: identical post/collect protocol and
+/// slot discipline to [`ChunkedExchange`], but each chunk is an int8 shard
+/// slice in wire format (values + scales) rather than a dense tensor —
+/// the transport the weight-gathered overlap loops stream while running
+/// the fused scale-on-arrival einsum on the previous slice.
+pub struct ChunkedQuantExchange<'g> {
+    group: &'g CommGroup,
+    op: CollectiveOp,
+    chunks: usize,
+    posted: usize,
+    collected: usize,
+    /// Size-1 groups have no peers to exchange with; the posted chunk
+    /// parks here until collected.
+    solo: Option<QuantizedMatrix>,
+}
+
+impl ChunkedQuantExchange<'_> {
+    /// Deposits the next quantized chunk without blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all chunks were already posted or the previous chunk has
+    /// not been collected yet.
+    pub fn post(&mut self, chunk: QuantizedMatrix) {
+        assert!(self.posted < self.chunks, "all {} chunks already posted", self.chunks);
+        assert_eq!(
+            self.posted, self.collected,
+            "collect the in-flight chunk before posting the next (one mailbox slot per member)"
+        );
+        if self.group.size() == 1 {
+            self.solo = Some(chunk);
+        } else {
+            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") =
+                Some(Payload::Quant(chunk));
+        }
+        self.posted += 1;
+    }
+
+    /// Blocks until every member has posted its current chunk and returns
+    /// the deposits in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk is in flight.
+    pub fn collect(&mut self) -> Vec<QuantizedMatrix> {
+        assert_eq!(self.posted, self.collected + 1, "no posted chunk to collect");
+        self.collected += 1;
+        let t0 = Instant::now();
+        let parts = if self.group.size() == 1 {
+            vec![self.solo.take().expect("posted chunk present")]
+        } else {
+            self.group.shared.barrier.wait();
+            let all: Vec<QuantizedMatrix> = self
+                .group
+                .shared
+                .slots
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("slot poisoned")
+                        .clone()
+                        .expect("peer deposited")
+                        .into_quant()
+                })
                 .collect();
             self.group.shared.barrier.wait();
             all

@@ -46,5 +46,5 @@ pub mod group;
 pub mod stats;
 pub mod sync;
 
-pub use group::{ChunkedExchange, CommGroup};
+pub use group::{ChunkedExchange, ChunkedQuantExchange, CommGroup};
 pub use stats::{CollectiveOp, CommTimes, TrafficStats};

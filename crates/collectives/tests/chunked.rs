@@ -4,9 +4,10 @@
 //! groups. This is the invariant that lets the overlapped engine swap a
 //! monolithic collective for a chunked pipeline without changing results.
 
-use esti_collectives::CommGroup;
-use esti_tensor::Tensor;
+use esti_collectives::{CollectiveOp, CommGroup, TrafficStats};
+use esti_tensor::{QuantizedMatrix, Tensor};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Runs `f(rank, group)` on one thread per member, collecting rank-order
 /// results.
@@ -101,4 +102,74 @@ proptest! {
             prop_assert_eq!(chunked.max_abs_diff(&monolithic), 0.0);
         }
     }
+
+    #[test]
+    fn quant_all_gather_round_trips_shards_exactly(
+        size in prop::sample::select(vec![1usize, 2, 4, 8]),
+        rows in 1usize..7,
+        cols in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        // Every rank must receive every peer's shard with values AND scales
+        // bit-identical to the sender's local quantization.
+        let outs = run_group(size, |r, g| {
+            let q = QuantizedMatrix::quantize(&payload(r, vec![rows, cols], seed));
+            let gathered = g.all_gather_quant(&q, 0);
+            (q, gathered)
+        });
+        let locals: Vec<&QuantizedMatrix> = outs.iter().map(|(q, _)| q).collect();
+        for (_, gathered) in &outs {
+            prop_assert_eq!(gathered.len(), size);
+            for (got, want) in gathered.iter().zip(&locals) {
+                prop_assert_eq!(got.values(), want.values());
+                prop_assert_eq!(got.scales(), want.scales());
+            }
+        }
+    }
+
+    #[test]
+    fn quant_chunked_all_gather_matches_monolithic(
+        size in prop::sample::select(vec![2usize, 4, 8]),
+        chunks in 1usize..5,
+        mult in 1usize..4,
+        dim in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // Chunked transport (row or column slices) must reassemble to the
+        // identical quantized shards — values and scales — that the
+        // monolithic quantized gather delivers.
+        let shape = if dim == 0 { vec![chunks * mult, 3] } else { vec![3, chunks * mult] };
+        let outs = run_group(size, |r, g| {
+            let q = QuantizedMatrix::quantize(&payload(r, shape.clone(), seed));
+            (g.all_gather_quant_chunked(&q, dim, chunks), g.all_gather_quant(&q, dim))
+        });
+        for (chunked, monolithic) in outs {
+            prop_assert_eq!(chunked.len(), monolithic.len());
+            for (c, m) in chunked.iter().zip(&monolithic) {
+                prop_assert_eq!(c, m);
+            }
+        }
+    }
+}
+
+#[test]
+fn quant_all_gather_charges_quantized_volume() {
+    // The ledger must charge 1 byte per int8 value + 4 per f32 scale —
+    // not the dense elements × ACT_BYTES — and record one call no matter
+    // the chunk count.
+    let stats = TrafficStats::new();
+    let members = CommGroup::create_with_stats(4, Arc::clone(&stats));
+    std::thread::scope(|s| {
+        for m in members {
+            s.spawn(move || {
+                let q = QuantizedMatrix::quantize(&Tensor::ones(vec![8, 6]));
+                let _ = m.all_gather_quant(&q, 1);
+                let _ = m.all_gather_quant_chunked(&q, 1, 3);
+            });
+        }
+    });
+    // Each call: 4 ranks × (8·6 values × 1 byte + 6 scales × 4 bytes).
+    let per_call = 4 * (8 * 6 + 6 * 4) as u64;
+    assert_eq!(stats.bytes(CollectiveOp::AllGather), 2 * per_call);
+    assert_eq!(stats.calls(CollectiveOp::AllGather), 2);
 }

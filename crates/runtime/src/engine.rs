@@ -1192,14 +1192,28 @@ fn forward_wg(
 
 /// All-gathers one layer's weight shards into full matrices — the
 /// *monolithic* weight-gather, still used by the hybrid dataflow whose
-/// planner keeps weight gathers unchunked. Quantized shards travel as
-/// their dense view; the gathered result stays dense for the local einsums
-/// (on real hardware the int8 payload would be gathered and dequantized on
-/// arrival — the traffic the analytic model charges is the stored-dtype
-/// volume either way).
+/// planner keeps weight gathers unchunked. Quantized shards travel in
+/// their wire format (int8 values + per-column f32 scales) and stay
+/// quantized after the gather: column shards reassemble into one
+/// [`ShardMat::Int8`] (every output column's scale lives wholly in one
+/// shard), row shards become a [`ShardMat::Int8Cat`] of the
+/// independently-scaled blocks so the downstream einsum can fold scaled
+/// per-block partials. The ledger therefore charges the quantized byte
+/// volume, matching the stored-dtype traffic the analytic model charges.
 fn gather_layer(cfg: &ModelConfig, g: &CommGroup, s: &LayerShard) -> LayerShard {
-    let ag = |m: &crate::shard::ShardMat, dim: usize| {
-        crate::shard::ShardMat::Dense(g.all_gather(&m.dense(), dim))
+    use crate::shard::ShardMat;
+    let ag = |m: &ShardMat, dim: usize| match m {
+        ShardMat::Int8(q) => {
+            let parts = g.all_gather_quant(q, dim);
+            if dim == 1 {
+                let refs: Vec<&esti_tensor::QuantizedMatrix> = parts.iter().collect();
+                ShardMat::Int8(esti_tensor::QuantizedMatrix::concat_cols(&refs))
+            } else {
+                ShardMat::Int8Cat(parts)
+            }
+        }
+        ShardMat::Int8Cat(_) => unreachable!("stored shards are never gathered concatenations"),
+        ShardMat::Dense(_) => ShardMat::Dense(g.all_gather(&m.dense(), dim)),
     };
     LayerShard {
         wq: ag(&s.wq, 1),

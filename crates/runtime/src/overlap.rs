@@ -11,7 +11,8 @@
 //!    chain of adds in strictly ascending `k` order, so splitting a
 //!    contraction at any `k` (or column) boundary and continuing the chain
 //!    reproduces the monolithic product bit-for-bit
-//!    ([`ops::matmul_acc_rows`] / [`ops::matmul_cols`]);
+//!    ([`ops::matmul_acc_rows`] / [`ops::matmul_cols`], and their int8
+//!    twins on [`QuantizedMatrix`]);
 //! 2. where transport order differs from contraction order (a gathered
 //!    contraction receives rank `r`'s chunk `i` before rank `r+1`'s chunk
 //!    `0`), the helper keeps one accumulator *per source rank* — each a
@@ -19,13 +20,18 @@
 //!    the end. The fold shape depends only on the group size, never the
 //!    chunk count.
 //!
-//! Int8 shards run the integer kernel on whole matrices, so the paths that
-//! fuse a chunked collective into a float matmul fall back to the
-//! monolithic collective for quantized weights — in *both* modes, keeping
-//! the mode-equivalence guarantee format-independent.
+//! Int8 shards are first-class here: the weight-gathered streams move the
+//! quantized wire format (int8 values + per-column scales) through
+//! [`CommGroup::begin_chunked_quant`] and run the fused scale-on-arrival
+//! einsum on each received slice. Column streams apply each slice's scales
+//! as its output block is produced; row streams keep the per-rank
+//! accumulators *unscaled* (all row slices of one rank share one scale
+//! vector) and apply the scales exactly once before the rank fold — so the
+//! int8 paths satisfy the same two invariants and stay bit-identical
+//! across modes and chunk counts.
 
 use esti_collectives::{CollectiveOp, CommGroup};
-use esti_tensor::{ops, Tensor};
+use esti_tensor::{ops, QuantizedMatrix, Tensor};
 
 use crate::shard::ShardMat;
 
@@ -33,19 +39,6 @@ use crate::shard::ShardMat;
 fn flat2(x: &Tensor) -> Tensor {
     let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
     x.reshape(vec![b * l, d])
-}
-
-fn any_int8(terms: &[(&Tensor, &ShardMat)]) -> bool {
-    terms.iter().any(|(_, w)| matches!(w, ShardMat::Int8(_)))
-}
-
-/// The dense tensor behind a shard known to be float-stored (callers check
-/// for int8 first and take the fallback path).
-fn dense_ref(w: &ShardMat) -> &Tensor {
-    match w {
-        ShardMat::Dense(t) => t,
-        ShardMat::Int8(_) => unreachable!("int8 shards take the monolithic fallback"),
-    }
 }
 
 /// Rank-ascending elementwise sum — the reduction order every monolithic
@@ -64,9 +57,11 @@ fn sum_ranks(parts: &[Tensor]) -> Tensor {
 /// partial sum just in time to feed the chunk pipeline.
 ///
 /// Column chunking is bit-exact (each output element's `k` chain is
-/// independent of which column block computes it), and the chunked
+/// independent of which column block computes it — and int8 scales are
+/// per-column, so a scaled column chunk is self-contained), and the chunked
 /// all-reduce sums ranks in the same ascending order as the monolithic
-/// one, so the result is bit-identical for every chunk count.
+/// one, so the result is bit-identical for every chunk count and weight
+/// format.
 ///
 /// # Panics
 ///
@@ -76,27 +71,19 @@ pub(crate) fn looped_ar_cols(
     terms: &[(&Tensor, &ShardMat)],
     chunks: usize,
 ) -> Tensor {
-    if any_int8(terms) {
-        let mut part = terms[0].1.mm3(terms[0].0);
-        for (x, w) in &terms[1..] {
-            part = &part + &w.mm3(x);
-        }
-        return group.all_reduce(&part);
-    }
     let (b, l) = (terms[0].0.dim(0), terms[0].0.dim(1));
     let rows = b * l;
     let flats: Vec<Tensor> = terms.iter().map(|(x, _)| flat2(x)).collect();
-    let ws: Vec<&Tensor> = terms.iter().map(|(_, w)| dense_ref(w)).collect();
-    let n_out = ws[0].dim(1);
+    let n_out = terms[0].1.cols();
     assert!(
         n_out.is_multiple_of(chunks),
         "all-reduce output width {n_out} not divisible by {chunks} chunks"
     );
     let step = n_out / chunks;
     let compute = |ci: usize| -> Tensor {
-        let mut part = ops::matmul_cols(&flats[0], ws[0], ci * step, step);
+        let mut part = terms[0].1.matmul_cols(&flats[0], ci * step, step);
         for t in 1..flats.len() {
-            part = &part + &ops::matmul_cols(&flats[t], ws[t], ci * step, step);
+            part = &part + &terms[t].1.matmul_cols(&flats[t], ci * step, step);
         }
         part
     };
@@ -127,8 +114,8 @@ pub(crate) fn looped_ar_cols(
 /// reduces immediately to a piece of this member's result.
 ///
 /// Bit-identical to the monolithic matmul + reduce-scatter for every chunk
-/// count (column chunking + rank-ascending reduction, as in
-/// [`looped_ar_cols`]).
+/// count and weight format (column chunking + rank-ascending reduction, as
+/// in [`looped_ar_cols`]).
 ///
 /// # Panics
 ///
@@ -138,18 +125,10 @@ pub(crate) fn looped_rs_cols(
     terms: &[(&Tensor, &ShardMat)],
     chunks: usize,
 ) -> Tensor {
-    if any_int8(terms) {
-        let mut part = terms[0].1.mm3(terms[0].0);
-        for (x, w) in &terms[1..] {
-            part = &part + &w.mm3(x);
-        }
-        return group.reduce_scatter(&part, 2);
-    }
     let (b, l) = (terms[0].0.dim(0), terms[0].0.dim(1));
     let rows = b * l;
     let flats: Vec<Tensor> = terms.iter().map(|(x, _)| flat2(x)).collect();
-    let ws: Vec<&Tensor> = terms.iter().map(|(_, w)| dense_ref(w)).collect();
-    let n_out = ws[0].dim(1);
+    let n_out = terms[0].1.cols();
     let k = group.size();
     assert!(
         n_out.is_multiple_of(k),
@@ -165,9 +144,9 @@ pub(crate) fn looped_rs_cols(
         let pieces: Vec<Tensor> = (0..k)
             .map(|dest| {
                 let c0 = dest * part_w + ci * step;
-                let mut p = ops::matmul_cols(&flats[0], ws[0], c0, step);
+                let mut p = terms[0].1.matmul_cols(&flats[0], c0, step);
                 for t in 1..flats.len() {
-                    p = &p + &ops::matmul_cols(&flats[t], ws[t], c0, step);
+                    p = &p + &terms[t].1.matmul_cols(&flats[t], c0, step);
                 }
                 p
             })
@@ -208,19 +187,21 @@ pub(crate) fn looped_rs_cols(
 /// while the next chunk is in flight, and the accumulators are folded in
 /// ascending rank order at the end (invariant 2 in the module docs).
 ///
+/// Int8 weights accumulate *unscaled* integer partial products through the
+/// same per-rank chains; their per-column scales are applied exactly once
+/// after the rank fold, so chunking never changes where the scale lands.
+///
 /// # Panics
 ///
-/// Panics if `xn`'s sharded width is not divisible by `chunks`.
+/// Panics if `xn`'s sharded width is not divisible by `chunks`, or if a
+/// weight is an [`ShardMat::Int8Cat`] (gathered concatenations never feed
+/// this 2D prologue).
 pub(crate) fn looped_ag_einsums(
     group: &CommGroup,
     xn: &Tensor,
     weights: &[&ShardMat],
     chunks: usize,
 ) -> Vec<Tensor> {
-    if weights.iter().any(|w| matches!(w, ShardMat::Int8(_))) {
-        let x_i = group.all_gather(xn, 2);
-        return weights.iter().map(|w| w.mm3(&x_i)).collect();
-    }
     let (b, l, e_loc) = (xn.dim(0), xn.dim(1), xn.dim(2));
     let rows = b * l;
     let k = group.size();
@@ -230,8 +211,7 @@ pub(crate) fn looped_ag_einsums(
     );
     let step = e_loc / chunks;
     let flat = flat2(xn);
-    let ws: Vec<&Tensor> = weights.iter().map(|w| dense_ref(w)).collect();
-    let widths: Vec<usize> = ws.iter().map(|w| w.dim(1)).collect();
+    let widths: Vec<usize> = weights.iter().map(|w| w.cols()).collect();
     let mut accs: Vec<Vec<Tensor>> = widths
         .iter()
         .map(|&n_w| (0..k).map(|_| Tensor::zeros(vec![rows, n_w])).collect())
@@ -239,8 +219,14 @@ pub(crate) fn looped_ag_einsums(
     let absorb = |parts: &[Tensor], ci: usize, accs: &mut Vec<Vec<Tensor>>| {
         for (r, chunk) in parts.iter().enumerate() {
             let r0 = r * e_loc + ci * step;
-            for (wi, w) in ws.iter().enumerate() {
-                ops::matmul_acc_rows(chunk, w, r0, &mut accs[wi][r]);
+            for (wi, w) in weights.iter().enumerate() {
+                match w {
+                    ShardMat::Dense(w) => ops::matmul_acc_rows(chunk, w, r0, &mut accs[wi][r]),
+                    ShardMat::Int8(q) => q.matmul_acc_rows(chunk, r0, &mut accs[wi][r]),
+                    ShardMat::Int8Cat(_) => {
+                        unreachable!("2D blocks are stored shards, never gathered concatenations")
+                    }
+                }
             }
         }
     };
@@ -261,8 +247,17 @@ pub(crate) fn looped_ag_einsums(
     let parts = ex.collect();
     absorb(&parts, chunks - 1, &mut accs);
     accs.into_iter()
+        .zip(weights)
         .zip(widths)
-        .map(|(rank_accs, n_w)| sum_ranks(&rank_accs).into_reshape(vec![b, l, n_w]))
+        .map(|((rank_accs, w), n_w)| {
+            let mut out = sum_ranks(&rank_accs);
+            if let ShardMat::Int8(q) = w {
+                // One deferred scale application per output column — the
+                // accumulators above carried raw integer partial products.
+                q.apply_scales(&mut out);
+            }
+            out.into_reshape(vec![b, l, n_w])
+        })
         .collect()
 }
 
@@ -272,51 +267,92 @@ pub(crate) fn looped_ag_einsums(
 /// writes its own column block of the output, so the result is
 /// bit-identical to the gathered monolithic matmul for every chunk count.
 ///
-/// Int8 shards travel as their dense view, exactly like the monolithic
-/// weight-gather (the ledger charges stored-dtype volume either way).
+/// Int8 shards move in their wire format — int8 values plus the matching
+/// per-column scale slice — and each arriving slice runs the fused
+/// dequant-GEMM ([`QuantizedMatrix::matmul_into_cols`]): scale-on-arrival,
+/// no dense f32 view ever touches the interconnect. The ledger accordingly
+/// charges the quantized byte volume.
 ///
 /// # Panics
 ///
-/// Panics if the shard's column count is not divisible by `chunks`.
+/// Panics if the shard's column count is not divisible by `chunks`, or if
+/// the shard is an [`ShardMat::Int8Cat`] (stored weight-gathered shards are
+/// never gathered concatenations).
 pub(crate) fn looped_wg_cols(
     group: &CommGroup,
     x: &Tensor,
     shard: &ShardMat,
     chunks: usize,
 ) -> Tensor {
-    let w = shard.dense();
     let (b, l) = (x.dim(0), x.dim(1));
     let rows = b * l;
-    let (e, w_loc) = (w.dim(0), w.dim(1));
     let k = group.size();
-    assert!(
-        w_loc.is_multiple_of(chunks),
-        "weight-gather shard width {w_loc} not divisible by {chunks} chunks"
-    );
-    let step = w_loc / chunks;
     let flat = flat2(x);
-    let mut out = Tensor::zeros(vec![rows, w_loc * k]);
-    let absorb = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
-        for (r, chunk) in parts.iter().enumerate() {
-            ops::matmul_into_cols(&flat, chunk, out, r * w_loc + ci * step);
+    match shard {
+        ShardMat::Dense(w) => {
+            let (e, w_loc) = (w.dim(0), w.dim(1));
+            assert!(
+                w_loc.is_multiple_of(chunks),
+                "weight-gather shard width {w_loc} not divisible by {chunks} chunks"
+            );
+            let step = w_loc / chunks;
+            let mut out = Tensor::zeros(vec![rows, w_loc * k]);
+            let absorb = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
+                for (r, chunk) in parts.iter().enumerate() {
+                    ops::matmul_into_cols(&flat, chunk, out, r * w_loc + ci * step);
+                }
+            };
+            let mut ex = group.begin_chunked(
+                CollectiveOp::AllGather,
+                &[e, w_loc],
+                [1, 1],
+                chunks,
+                e * w_loc * k,
+            );
+            ex.post(w.slice(1, 0, step));
+            for ci in 1..chunks {
+                let parts = ex.collect();
+                ex.post(w.slice(1, ci * step, step));
+                absorb(&parts, ci - 1, &mut out);
+            }
+            let parts = ex.collect();
+            absorb(&parts, chunks - 1, &mut out);
+            out.into_reshape(vec![b, l, w_loc * k])
         }
-    };
-    let mut ex = group.begin_chunked(
-        CollectiveOp::AllGather,
-        &[e, w_loc],
-        [1, 1],
-        chunks,
-        e * w_loc * k,
-    );
-    ex.post(w.slice(1, 0, step));
-    for ci in 1..chunks {
-        let parts = ex.collect();
-        ex.post(w.slice(1, ci * step, step));
-        absorb(&parts, ci - 1, &mut out);
+        ShardMat::Int8(q) => {
+            let (e, w_loc) = (q.rows(), q.cols());
+            assert!(
+                w_loc.is_multiple_of(chunks),
+                "weight-gather shard width {w_loc} not divisible by {chunks} chunks"
+            );
+            let step = w_loc / chunks;
+            let mut out = Tensor::zeros(vec![rows, w_loc * k]);
+            let absorb = |parts: &[QuantizedMatrix], ci: usize, out: &mut Tensor| {
+                for (r, chunk) in parts.iter().enumerate() {
+                    chunk.matmul_into_cols(&flat, out, r * w_loc + ci * step);
+                }
+            };
+            let mut ex = group.begin_chunked_quant(
+                CollectiveOp::AllGather,
+                &[e, w_loc],
+                [1, 1],
+                chunks,
+                k * q.storage_bytes(),
+            );
+            ex.post(q.slice_cols(0, step));
+            for ci in 1..chunks {
+                let parts = ex.collect();
+                ex.post(q.slice_cols(ci * step, step));
+                absorb(&parts, ci - 1, &mut out);
+            }
+            let parts = ex.collect();
+            absorb(&parts, chunks - 1, &mut out);
+            out.into_reshape(vec![b, l, w_loc * k])
+        }
+        ShardMat::Int8Cat(_) => {
+            unreachable!("stored weight-gathered shards are never gathered concatenations")
+        }
     }
-    let parts = ex.collect();
-    absorb(&parts, chunks - 1, &mut out);
-    out.into_reshape(vec![b, l, w_loc * k])
 }
 
 /// Streamed weight all-gather for a row-sharded matrix, fused with its
@@ -325,48 +361,101 @@ pub(crate) fn looped_wg_cols(
 /// source rank, folded in ascending rank order (invariant 2 in the module
 /// docs), so results are chunk-count- and mode-invariant.
 ///
+/// Int8 shards stream int8 row slices; every slice of one rank shares that
+/// rank's full per-column scale vector, so the per-rank accumulators stay
+/// *unscaled* and each rank's scales are applied exactly once before the
+/// rank fold — the chunk count never moves a scale application.
+///
 /// # Panics
 ///
-/// Panics if the shard's row count is not divisible by `chunks`.
+/// Panics if the shard's row count is not divisible by `chunks`, or if the
+/// shard is an [`ShardMat::Int8Cat`].
 pub(crate) fn looped_wg_rows(
     group: &CommGroup,
     x: &Tensor,
     shard: &ShardMat,
     chunks: usize,
 ) -> Tensor {
-    let w = shard.dense();
     let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
     let rows = b * l;
-    let (w_loc, n_out) = (w.dim(0), w.dim(1));
     let k = group.size();
-    assert_eq!(d, w_loc * k, "row-gather contraction width mismatch");
-    assert!(
-        w_loc.is_multiple_of(chunks),
-        "weight-gather shard height {w_loc} not divisible by {chunks} chunks"
-    );
-    let step = w_loc / chunks;
     let flat = flat2(x);
-    let mut accs: Vec<Tensor> = (0..k).map(|_| Tensor::zeros(vec![rows, n_out])).collect();
-    let absorb = |parts: &[Tensor], ci: usize, accs: &mut Vec<Tensor>| {
-        for (r, chunk) in parts.iter().enumerate() {
-            let a = flat.slice(1, r * w_loc + ci * step, step);
-            ops::matmul_acc_rows(&a, chunk, 0, &mut accs[r]);
+    match shard {
+        ShardMat::Dense(w) => {
+            let (w_loc, n_out) = (w.dim(0), w.dim(1));
+            assert_eq!(d, w_loc * k, "row-gather contraction width mismatch");
+            assert!(
+                w_loc.is_multiple_of(chunks),
+                "weight-gather shard height {w_loc} not divisible by {chunks} chunks"
+            );
+            let step = w_loc / chunks;
+            let mut accs: Vec<Tensor> = (0..k).map(|_| Tensor::zeros(vec![rows, n_out])).collect();
+            let absorb = |parts: &[Tensor], ci: usize, accs: &mut Vec<Tensor>| {
+                for (r, chunk) in parts.iter().enumerate() {
+                    let a = flat.slice(1, r * w_loc + ci * step, step);
+                    ops::matmul_acc_rows(&a, chunk, 0, &mut accs[r]);
+                }
+            };
+            let mut ex = group.begin_chunked(
+                CollectiveOp::AllGather,
+                &[w_loc, n_out],
+                [0, 0],
+                chunks,
+                w_loc * n_out * k,
+            );
+            ex.post(w.slice(0, 0, step));
+            for ci in 1..chunks {
+                let parts = ex.collect();
+                ex.post(w.slice(0, ci * step, step));
+                absorb(&parts, ci - 1, &mut accs);
+            }
+            let parts = ex.collect();
+            absorb(&parts, chunks - 1, &mut accs);
+            sum_ranks(&accs).into_reshape(vec![b, l, n_out])
         }
-    };
-    let mut ex = group.begin_chunked(
-        CollectiveOp::AllGather,
-        &[w_loc, n_out],
-        [0, 0],
-        chunks,
-        w_loc * n_out * k,
-    );
-    ex.post(w.slice(0, 0, step));
-    for ci in 1..chunks {
-        let parts = ex.collect();
-        ex.post(w.slice(0, ci * step, step));
-        absorb(&parts, ci - 1, &mut accs);
+        ShardMat::Int8(q) => {
+            let (w_loc, n_out) = (q.rows(), q.cols());
+            assert_eq!(d, w_loc * k, "row-gather contraction width mismatch");
+            assert!(
+                w_loc.is_multiple_of(chunks),
+                "weight-gather shard height {w_loc} not divisible by {chunks} chunks"
+            );
+            let step = w_loc / chunks;
+            let mut accs: Vec<Tensor> = (0..k).map(|_| Tensor::zeros(vec![rows, n_out])).collect();
+            // Each rank's scale vector, captured from its first received
+            // slice (every row slice of one rank carries the same scales).
+            let mut scales: Vec<Option<QuantizedMatrix>> = (0..k).map(|_| None).collect();
+            let mut absorb = |parts: Vec<QuantizedMatrix>, ci: usize, accs: &mut Vec<Tensor>| {
+                for (r, chunk) in parts.into_iter().enumerate() {
+                    let a = flat.slice(1, r * w_loc + ci * step, step);
+                    chunk.matmul_acc_rows(&a, 0, &mut accs[r]);
+                    if scales[r].is_none() {
+                        scales[r] = Some(chunk);
+                    }
+                }
+            };
+            let mut ex = group.begin_chunked_quant(
+                CollectiveOp::AllGather,
+                &[w_loc, n_out],
+                [0, 0],
+                chunks,
+                k * q.storage_bytes(),
+            );
+            ex.post(q.slice_rows(0, step));
+            for ci in 1..chunks {
+                let parts = ex.collect();
+                ex.post(q.slice_rows(ci * step, step));
+                absorb(parts, ci - 1, &mut accs);
+            }
+            let parts = ex.collect();
+            absorb(parts, chunks - 1, &mut accs);
+            for (acc, holder) in accs.iter_mut().zip(&scales) {
+                holder.as_ref().expect("absorbed at least one slice").apply_scales(acc);
+            }
+            sum_ranks(&accs).into_reshape(vec![b, l, n_out])
+        }
+        ShardMat::Int8Cat(_) => {
+            unreachable!("stored weight-gathered shards are never gathered concatenations")
+        }
     }
-    let parts = ex.collect();
-    absorb(&parts, chunks - 1, &mut accs);
-    sum_ranks(&accs).into_reshape(vec![b, l, n_out])
 }

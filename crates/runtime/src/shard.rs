@@ -38,6 +38,13 @@ pub enum ShardMat {
     Dense(Tensor),
     /// int8 weight-only quantization (Section 3.6).
     Int8(QuantizedMatrix),
+    /// Row-concatenation of int8 blocks, each with its own per-column
+    /// scales — the result of all-gathering a row-sharded quantized matrix
+    /// (each source rank quantized its block independently, so the blocks
+    /// cannot merge into one `QuantizedMatrix` without re-quantizing).
+    /// Contracting against it folds the blocks' scaled partial products in
+    /// ascending rank order, matching the looped weight-gather exactly.
+    Int8Cat(Vec<QuantizedMatrix>),
 }
 
 impl ShardMat {
@@ -51,10 +58,65 @@ impl ShardMat {
     pub fn mm3(&self, x: &Tensor) -> Tensor {
         match self {
             ShardMat::Dense(w) => mm3(x, w),
-            ShardMat::Int8(q) => {
-                let (b, l, e) = (x.dim(0), x.dim(1), x.dim(2));
-                let flat = x.reshape(vec![b * l, e]);
-                q.matmul(&flat).into_reshape(vec![b, l, q.cols()])
+            ShardMat::Int8(q) => q.matmul3(x),
+            ShardMat::Int8Cat(blocks) => {
+                let mut off = 0;
+                let mut sum: Option<Tensor> = None;
+                for q in blocks {
+                    let part = q.matmul3(&x.slice(2, off, q.rows()));
+                    off += q.rows();
+                    sum = Some(match sum {
+                        None => part,
+                        Some(s) => &s + &part,
+                    });
+                }
+                sum.expect("Int8Cat has at least one block")
+            }
+        }
+    }
+
+    /// Number of output columns this shard produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dense shard is not rank 2.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        match self {
+            ShardMat::Dense(w) => w.dim(1),
+            ShardMat::Int8(q) => q.cols(),
+            ShardMat::Int8Cat(blocks) => blocks[0].cols(),
+        }
+    }
+
+    /// `flat [m, d] × shard[:, c0..c0+cn]` without materializing the column
+    /// slice — the chunked-output primitive the looped all-reduce /
+    /// reduce-scatter epilogues use. Bit-identical to the corresponding
+    /// columns of the full product for every chunking (columns are
+    /// independent accumulation chains; int8 scales are per-column).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if the column range exceeds the shard.
+    #[must_use]
+    pub fn matmul_cols(&self, flat: &Tensor, c0: usize, cn: usize) -> Tensor {
+        match self {
+            ShardMat::Dense(w) => ops::matmul_cols(flat, w, c0, cn),
+            ShardMat::Int8(q) => q.matmul_cols(flat, c0, cn),
+            ShardMat::Int8Cat(blocks) => {
+                // Ascending block (= source rank) order, each block a scaled
+                // product over its own row range of the contraction.
+                let mut off = 0;
+                let mut sum: Option<Tensor> = None;
+                for q in blocks {
+                    let part = q.matmul_cols(&flat.slice(1, off, q.rows()), c0, cn);
+                    off += q.rows();
+                    sum = Some(match sum {
+                        None => part,
+                        Some(s) => &s + &part,
+                    });
+                }
+                sum.expect("Int8Cat has at least one block")
             }
         }
     }
@@ -66,6 +128,11 @@ impl ShardMat {
         match self {
             ShardMat::Dense(w) => w.clone(),
             ShardMat::Int8(q) => q.dequantize(),
+            ShardMat::Int8Cat(blocks) => {
+                let parts: Vec<Tensor> = blocks.iter().map(QuantizedMatrix::dequantize).collect();
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                Tensor::concat(&refs, 0)
+            }
         }
     }
 
@@ -76,6 +143,7 @@ impl ShardMat {
         match self {
             ShardMat::Dense(w) => w.numel() * 4,
             ShardMat::Int8(q) => q.storage_bytes(),
+            ShardMat::Int8Cat(blocks) => blocks.iter().map(QuantizedMatrix::storage_bytes).sum(),
         }
     }
 }

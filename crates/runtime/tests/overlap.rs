@@ -79,9 +79,10 @@ fn overlapped_bit_identical_to_monolithic_multihead_serial() {
 
 #[test]
 fn overlapped_bit_identical_for_int8_and_bf16() {
-    // Quantized weights take the monolithic-arithmetic fallback inside the
-    // looped helpers — in both modes, so mode-equivalence must still be
-    // exact. bf16 exercises dense storage with rounded values.
+    // Quantized weights stream their int8 wire format through the looped
+    // helpers (fused dequant-GEMM on each arriving slice), so the
+    // mode-equivalence must hold for genuinely chunked int8 transport.
+    // bf16 exercises dense storage with rounded values.
     let model = ReferenceModel::init_random(ModelConfig::tiny(), 62);
     for fmt in [WeightFormat::Int8, WeightFormat::Bf16] {
         for layout in layouts(AttnSharding::Head) {

@@ -26,6 +26,11 @@ pub enum MatmulKernel {
 
 static MATMUL_KERNEL: AtomicU8 = AtomicU8::new(0);
 
+/// Serializes tests (here and in `quant`) that flip the process-wide kernel
+/// knob, so concurrently running tests never observe a mid-test setting.
+#[cfg(test)]
+pub(crate) static KNOB_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Selects the kernel used by [`matmul`] / [`batched_matmul`] process-wide.
 /// Both kernels are correct; this is a benchmarking escape hatch.
 pub fn set_matmul_kernel(kernel: MatmulKernel) {
@@ -844,6 +849,7 @@ mod tests {
 
     #[test]
     fn kernel_knob_roundtrips() {
+        let _guard = KNOB_TEST_LOCK.lock().unwrap();
         assert_eq!(matmul_kernel(), MatmulKernel::Blocked);
         set_matmul_kernel(MatmulKernel::Naive);
         assert_eq!(matmul_kernel(), MatmulKernel::Naive);

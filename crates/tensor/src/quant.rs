@@ -5,7 +5,20 @@
 //! the memory-time saving that drives the paper's low-latency int8 results —
 //! while matmul arithmetic stays in floating point, matching "the matmuls
 //! still use bfloat16 arithmetic" (Section 4.4).
+//!
+//! The GEMM family here mirrors the f32 kernels in [`crate::ops`]: a
+//! register-tiled blocked core with f32 accumulators (int8 values widened to
+//! f32 one rhs row at a time), a scalar oracle kernel selectable through the
+//! same [`crate::ops::set_matmul_kernel`] knob, and chunk-safe
+//! `matmul_cols` / `matmul_acc_rows` / `matmul_into_cols` variants so
+//! quantized weights compose with the looped-collective overlap paths.
+//! Every kernel accumulates each output element by one serial chain of adds
+//! in strictly ascending `k` order, and the per-column scale is applied
+//! exactly once after the full contraction — so splitting the contraction
+//! (or the column range) into chunks reproduces the monolithic result
+//! bit-for-bit.
 
+use crate::ops::{matmul_kernel, MatmulKernel};
 use crate::Tensor;
 
 /// A rank-2 weight matrix stored as int8 with per-column scales.
@@ -28,6 +41,147 @@ pub struct QuantizedMatrix {
     values: Vec<i8>,
     /// One scale per column; `w[i][j] ≈ values[i][j] * scales[j]`.
     scales: Vec<f32>,
+}
+
+/// Column width of one register tile (matches the f32 kernel in `ops`).
+const NR: usize = 32;
+/// Accumulator rows per register tile.
+const MR: usize = 4;
+
+/// Full-tile int8 microkernel over a pre-widened rhs panel:
+/// `out[i..i+MR, j..j+NR] += a[i..i+MR, :] × panel`, where `panel` holds the
+/// int8 block `v[:, j..j+NR]` already widened to f32 (row `kk` at
+/// `panel[kk*NR..]`). Unscaled — callers apply the per-column scale once
+/// after the full contraction. Accumulation order is identical to the f32
+/// tile: one serial chain of adds per output element, strictly ascending `k`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn qmm_tile_full(
+    ad: &[f32],
+    a_stride: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    o_stride: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let o0 = (i + r) * o_stride + j;
+        row.copy_from_slice(&out[o0..o0 + NR]);
+    }
+    for kk in 0..k {
+        let brow: &[f32; NR] = panel[kk * NR..][..NR].try_into().expect("NR panel row");
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = ad[(i + r) * a_stride + kk];
+            for (x, &bv) in row.iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let o0 = (i + r) * o_stride + j;
+        out[o0..o0 + NR].copy_from_slice(row);
+    }
+}
+
+/// Edge-tile int8 microkernel for the `m % MR` / `n % NR` remainders:
+/// identical accumulation order to [`qmm_tile_full`] with runtime bounds
+/// (panel row `kk` at `panel[kk*nr..]`).
+#[allow(clippy::too_many_arguments)]
+fn qmm_tile_edge(
+    ad: &[f32],
+    a_stride: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    o_stride: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate().take(mr) {
+        let o0 = (i + r) * o_stride + j;
+        row[..nr].copy_from_slice(&out[o0..o0 + nr]);
+    }
+    for kk in 0..k {
+        let brow = &panel[kk * nr..][..nr];
+        for (r, row) in acc.iter_mut().enumerate().take(mr) {
+            let av = ad[(i + r) * a_stride + kk];
+            for (x, &bv) in row[..nr].iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr) {
+        let o0 = (i + r) * o_stride + j;
+        out[o0..o0 + nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+/// Register-tiled int8 GEMM core accumulating `out += a × values` (unscaled),
+/// with explicit strides so callers can address sub-blocks of larger
+/// matrices without copying — the int8 twin of `ops::mm_kernel`. Each
+/// `NR`-wide column block of the int8 rhs is widened to an f32 panel *once*
+/// and reused by every row tile, so the i8→f32 conversion costs `O(k·n)`
+/// instead of `O(m·k·n / MR)`; widening is pure precomputation, so the
+/// per-element accumulation chains are unchanged.
+#[allow(clippy::too_many_arguments)]
+fn qmm_kernel(
+    ad: &[f32],
+    a_stride: usize,
+    vd: &[i8],
+    v_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut panel = vec![0.0f32; k * NR];
+    let mut j = 0;
+    while j < n {
+        let nr = NR.min(n - j);
+        for kk in 0..k {
+            let src = &vd[kk * v_stride + j..][..nr];
+            for (x, &v) in panel[kk * nr..kk * nr + nr].iter_mut().zip(src) {
+                *x = f32::from(v);
+            }
+        }
+        let panel = &panel[..k * nr];
+        let mut i = 0;
+        if nr == NR {
+            while i + MR <= m {
+                qmm_tile_full(ad, a_stride, panel, out, o_stride, i, j, k);
+                i += MR;
+            }
+        }
+        while i < m {
+            let mr = MR.min(m - i);
+            qmm_tile_edge(ad, a_stride, panel, out, o_stride, i, j, k, mr, nr);
+            i += mr;
+        }
+        j += NR;
+    }
+}
+
+/// The scalar oracle kernel: plain i-k-j accumulation, unscaled. Unlike the
+/// f32 oracle this has no `av == 0.0` skip — the branch was near-never taken
+/// on real activations and poisoned the hot loop.
+fn qmm_scalar_kernel(ad: &[f32], vd: &[i8], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let vrow = &vd[kk * n..(kk + 1) * n];
+            for (o, &wv) in orow.iter_mut().zip(vrow) {
+                *o += av * f32::from(wv);
+            }
+        }
+    }
 }
 
 impl QuantizedMatrix {
@@ -59,6 +213,19 @@ impl QuantizedMatrix {
         QuantizedMatrix { rows, cols, values, scales }
     }
 
+    /// Reassembles a matrix from raw parts — the receive side of the
+    /// quantized wire format (int8 values + per-column f32 scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or `scales.len() != cols`.
+    #[must_use]
+    pub fn from_parts(rows: usize, cols: usize, values: Vec<i8>, scales: Vec<f32>) -> Self {
+        assert_eq!(values.len(), rows * cols, "values length mismatch");
+        assert_eq!(scales.len(), cols, "scales length mismatch");
+        QuantizedMatrix { rows, cols, values, scales }
+    }
+
     /// Number of rows (input channels).
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -75,6 +242,13 @@ impl QuantizedMatrix {
     #[must_use]
     pub fn scales(&self) -> &[f32] {
         &self.scales
+    }
+
+    /// The raw row-major int8 values — the payload the quantized collectives
+    /// move on the wire.
+    #[must_use]
+    pub fn values(&self) -> &[i8] {
+        &self.values
     }
 
     /// Reconstructs the floating-point matrix.
@@ -94,7 +268,9 @@ impl QuantizedMatrix {
     ///
     /// Accumulates in f32 over the int8 values, applying the column scale
     /// once per output — the standard inference dataflow for weight-only
-    /// quantization.
+    /// quantization. Dispatches through [`crate::ops::matmul_kernel`]: the
+    /// blocked kernel by default, or the scalar oracle. Both accumulate in
+    /// strictly ascending `k` order and are bit-identical.
     ///
     /// # Panics
     ///
@@ -104,24 +280,244 @@ impl QuantizedMatrix {
         assert_eq!(x.rank(), 2, "quantized matmul lhs must be rank-2");
         assert_eq!(x.dim(1), self.rows, "quantized matmul inner dimension mismatch");
         let m = x.dim(0);
-        let mut out = vec![0.0f32; m * self.cols];
-        for i in 0..m {
-            let xrow = &x.data()[i * self.rows..(i + 1) * self.rows];
-            let orow = &mut out[i * self.cols..(i + 1) * self.cols];
-            for (k, &xv) in xrow.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let wrow = &self.values[k * self.cols..(k + 1) * self.cols];
-                for (o, &wv) in orow.iter_mut().zip(wrow) {
-                    *o += xv * f32::from(wv);
-                }
+        let mut out = Tensor::zeros(vec![m, self.cols]);
+        self.mm_dispatch(x.data(), out.data_mut(), m);
+        self.apply_scales(&mut out);
+        out
+    }
+
+    /// [`Self::matmul`] writing into a preallocated `[m, cols]` output,
+    /// overwriting its contents — avoids the per-call allocation in steady
+    /// state decode loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or shape mismatch between `x`, `self`, and `out`.
+    pub fn matmul_into(&self, x: &Tensor, out: &mut Tensor) {
+        assert_eq!(x.rank(), 2, "quantized matmul lhs must be rank-2");
+        assert_eq!(x.dim(1), self.rows, "quantized matmul inner dimension mismatch");
+        let m = x.dim(0);
+        assert_eq!(out.rank(), 2, "matmul_into output must be rank-2");
+        assert_eq!(out.dim(0), m, "matmul_into output row mismatch");
+        assert_eq!(out.dim(1), self.cols, "matmul_into output col mismatch");
+        out.data_mut().fill(0.0);
+        self.mm_dispatch(x.data(), out.data_mut(), m);
+        self.apply_scales(out);
+    }
+
+    /// Rank-3 batched product: `x [b, l, rows] → [b, l, cols]`, contracting
+    /// the trailing dim against the matrix without reshape copies. The
+    /// batched form the runtime's `[batch, seq, features]` einsums use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 3 or its trailing dimension mismatches.
+    #[must_use]
+    pub fn matmul3(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "matmul3 lhs must be rank-3");
+        assert_eq!(x.dim(2), self.rows, "matmul3 inner dimension mismatch");
+        let (b, l) = (x.dim(0), x.dim(1));
+        let m = b * l;
+        let mut out = Tensor::zeros(vec![b, l, self.cols]);
+        self.mm_dispatch(x.data(), out.data_mut(), m);
+        // Per-column scaling over the flat [m, cols] view.
+        for row in out.data_mut().chunks_exact_mut(self.cols) {
+            for (o, &s) in row.iter_mut().zip(&self.scales) {
+                *o *= s;
             }
+        }
+        out
+    }
+
+    /// `x × self[:, c0..c0+cn]` without materializing the column slice:
+    /// equals [`Self::matmul`] restricted to those columns, bit-for-bit
+    /// (scales are per-column, so a column chunk is self-contained).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if the column range exceeds `cols`.
+    #[must_use]
+    pub fn matmul_cols(&self, x: &Tensor, c0: usize, cn: usize) -> Tensor {
+        assert_eq!(x.rank(), 2, "matmul_cols lhs must be rank-2");
+        assert_eq!(x.dim(1), self.rows, "matmul_cols inner dimension mismatch");
+        assert!(c0 + cn <= self.cols, "column range {c0}+{cn} exceeds {}", self.cols);
+        let m = x.dim(0);
+        let mut out = vec![0.0f32; m * cn];
+        qmm_kernel(x.data(), self.rows, &self.values[c0..], self.cols, &mut out, cn, m, self.rows, cn);
+        for row in out.chunks_exact_mut(cn) {
+            for (o, &s) in row.iter_mut().zip(&self.scales[c0..c0 + cn]) {
+                *o *= s;
+            }
+        }
+        Tensor::from_vec(vec![m, cn], out)
+    }
+
+    /// Writes the *scaled* product `x × self` into columns
+    /// `[c0, c0 + cols)` of a wider output, in place — the fused
+    /// scale-on-arrival step of the weight-gathered overlap loop. The target
+    /// column range must contain zeros (the scale is applied in place after
+    /// the unscaled accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if the column range exceeds the output.
+    pub fn matmul_into_cols(&self, x: &Tensor, out: &mut Tensor, c0: usize) {
+        assert_eq!(x.rank(), 2, "matmul_into_cols lhs must be rank-2");
+        assert_eq!(x.dim(1), self.rows, "matmul_into_cols inner dimension mismatch");
+        assert_eq!(out.rank(), 2, "matmul_into_cols output must be rank-2");
+        assert_eq!(out.dim(0), x.dim(0), "matmul_into_cols output row mismatch");
+        let n_out = out.dim(1);
+        assert!(c0 + self.cols <= n_out, "column range {c0}+{} exceeds {n_out}", self.cols);
+        let m = x.dim(0);
+        qmm_kernel(
+            x.data(),
+            self.rows,
+            &self.values,
+            self.cols,
+            &mut out.data_mut()[c0..],
+            n_out,
+            m,
+            self.rows,
+            self.cols,
+        );
+        for i in 0..m {
+            let orow = &mut out.data_mut()[i * n_out + c0..i * n_out + c0 + self.cols];
             for (o, &s) in orow.iter_mut().zip(&self.scales) {
                 *o *= s;
             }
         }
-        Tensor::from_vec(vec![m, self.cols], out)
+    }
+
+    /// Accumulates the **unscaled** partial product of `x` against the row
+    /// block `self[r0..r0+x.cols, :]` into `out` — the contraction-dim
+    /// chunking primitive. Because every kernel accumulates in ascending `k`
+    /// order, running consecutive row chunks in order and then applying
+    /// [`Self::apply_scales`] once reproduces the monolithic
+    /// [`Self::matmul`] bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if the row range exceeds `rows`.
+    pub fn matmul_acc_rows(&self, x: &Tensor, r0: usize, out: &mut Tensor) {
+        assert_eq!(x.rank(), 2, "matmul_acc_rows lhs must be rank-2");
+        let kc = x.dim(1);
+        assert!(r0 + kc <= self.rows, "row range {r0}+{kc} exceeds {}", self.rows);
+        assert_eq!(out.rank(), 2, "matmul_acc_rows output must be rank-2");
+        assert_eq!(out.dim(0), x.dim(0), "matmul_acc_rows output row mismatch");
+        assert_eq!(out.dim(1), self.cols, "matmul_acc_rows output col mismatch");
+        let m = x.dim(0);
+        qmm_kernel(
+            x.data(),
+            kc,
+            &self.values[r0 * self.cols..],
+            self.cols,
+            out.data_mut(),
+            self.cols,
+            m,
+            kc,
+            self.cols,
+        );
+    }
+
+    /// Multiplies each column `j` of a `[*, cols]` tensor by `scales[j]` in
+    /// place — the single deferred scale application paired with the
+    /// unscaled [`Self::matmul_acc_rows`] accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dimension of `out` is not `cols`.
+    pub fn apply_scales(&self, out: &mut Tensor) {
+        assert_eq!(out.dim(out.rank() - 1), self.cols, "apply_scales trailing dim mismatch");
+        for row in out.data_mut().chunks_exact_mut(self.cols) {
+            for (o, &s) in row.iter_mut().zip(&self.scales) {
+                *o *= s;
+            }
+        }
+    }
+
+    /// The column block `self[:, c0..c0+cn]` as a standalone quantized
+    /// matrix (values and the matching scale slice) — the chunked wire unit
+    /// for column-streamed weight gathers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range exceeds `cols`.
+    #[must_use]
+    pub fn slice_cols(&self, c0: usize, cn: usize) -> Self {
+        assert!(c0 + cn <= self.cols, "column range {c0}+{cn} exceeds {}", self.cols);
+        let mut values = Vec::with_capacity(self.rows * cn);
+        for i in 0..self.rows {
+            values.extend_from_slice(&self.values[i * self.cols + c0..i * self.cols + c0 + cn]);
+        }
+        QuantizedMatrix { rows: self.rows, cols: cn, values, scales: self.scales[c0..c0 + cn].to_vec() }
+    }
+
+    /// The row block `self[r0..r0+rn, :]` as a standalone quantized matrix.
+    /// All row blocks share the full per-column scale vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range exceeds `rows`.
+    #[must_use]
+    pub fn slice_rows(&self, r0: usize, rn: usize) -> Self {
+        assert!(r0 + rn <= self.rows, "row range {r0}+{rn} exceeds {}", self.rows);
+        QuantizedMatrix {
+            rows: rn,
+            cols: self.cols,
+            values: self.values[r0 * self.cols..(r0 + rn) * self.cols].to_vec(),
+            scales: self.scales.clone(),
+        }
+    }
+
+    /// Concatenates column blocks (same row count) back into one matrix —
+    /// the inverse of slicing a column-sharded weight, values and scales
+    /// both exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts disagree.
+    #[must_use]
+    pub fn concat_cols(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut values = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for p in parts {
+                values.extend_from_slice(&p.values[i * p.cols..(i + 1) * p.cols]);
+            }
+        }
+        let mut scales = Vec::with_capacity(cols);
+        for p in parts {
+            scales.extend_from_slice(&p.scales);
+        }
+        QuantizedMatrix { rows, cols, values, scales }
+    }
+
+    /// Concatenates row blocks that share one per-column scale vector —
+    /// the inverse of [`Self::slice_rows`], used to reassemble a rank's
+    /// shard from row-streamed chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, column counts disagree, or the parts do
+    /// not carry bit-identical scales (row blocks of one matrix always do).
+    #[must_use]
+    pub fn concat_rows(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "concat_rows col mismatch");
+        assert!(
+            parts.iter().all(|p| p.scales == parts[0].scales),
+            "concat_rows requires identical per-column scales"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut values = Vec::with_capacity(rows * cols);
+        for p in parts {
+            values.extend_from_slice(&p.values);
+        }
+        QuantizedMatrix { rows, cols, values, scales: parts[0].scales.clone() }
     }
 
     /// Bytes occupied by the quantized representation (int8 values plus
@@ -135,6 +531,18 @@ impl QuantizedMatrix {
     #[must_use]
     pub fn max_error(&self, col: usize) -> f32 {
         self.scales[col] * 0.5
+    }
+
+    /// Unscaled `out += x × values` through the process-wide kernel knob.
+    fn mm_dispatch(&self, ad: &[f32], out: &mut [f32], m: usize) {
+        match matmul_kernel() {
+            MatmulKernel::Blocked => {
+                qmm_kernel(ad, self.rows, &self.values, self.cols, out, self.cols, m, self.rows, self.cols);
+            }
+            MatmulKernel::Naive => {
+                qmm_scalar_kernel(ad, &self.values, out, m, self.rows, self.cols);
+            }
+        }
     }
 }
 
@@ -213,6 +621,138 @@ mod tests {
         assert!(q.storage_bytes() < 128 * 64 * 2); // beats bf16
     }
 
+    #[test]
+    fn blocked_matches_scalar_oracle_bitwise() {
+        let _guard = ops::KNOB_TEST_LOCK.lock().unwrap();
+        // Odd sizes exercise both edge-tile paths.
+        let mut rng = StdRng::seed_from_u64(21);
+        for (m, k, n) in [(1, 64, 96), (7, 33, 67), (4, 128, 32), (13, 5, 130)] {
+            let w = Tensor::randn(&mut rng, vec![k, n], 0.7);
+            let x = Tensor::randn(&mut rng, vec![m, k], 1.0);
+            let q = QuantizedMatrix::quantize(&w);
+            ops::set_matmul_kernel(ops::MatmulKernel::Naive);
+            let oracle = q.matmul(&x);
+            ops::set_matmul_kernel(ops::MatmulKernel::Blocked);
+            let blocked = q.matmul(&x);
+            assert_eq!(blocked.data(), oracle.data(), "kernel divergence at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_exact_zero_activations() {
+        // The old scalar loop skipped zero activations; both kernels must
+        // now produce the identical (and correct) result on sparse input.
+        let _guard = ops::KNOB_TEST_LOCK.lock().unwrap();
+        let w = Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.0, 4.0]);
+        let x = Tensor::from_vec(vec![1, 2], vec![0.0, 2.0]);
+        let q = QuantizedMatrix::quantize(&w);
+        let full = ops::matmul(&x, &q.dequantize());
+        ops::set_matmul_kernel(ops::MatmulKernel::Naive);
+        let oracle = q.matmul(&x);
+        ops::set_matmul_kernel(ops::MatmulKernel::Blocked);
+        let blocked = q.matmul(&x);
+        assert!(oracle.approx_eq(&full, 1e-6));
+        assert_eq!(oracle.data(), blocked.data());
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_overwrites() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let w = Tensor::randn(&mut rng, vec![40, 24], 0.5);
+        let x = Tensor::randn(&mut rng, vec![3, 40], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let expect = q.matmul(&x);
+        let mut out = Tensor::from_vec(vec![3, 24], vec![7.0; 3 * 24]); // stale garbage
+        q.matmul_into(&x, &mut out);
+        assert_eq!(out.data(), expect.data());
+    }
+
+    #[test]
+    fn matmul3_matches_flattened_matmul() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let w = Tensor::randn(&mut rng, vec![17, 39], 0.6);
+        let x = Tensor::randn(&mut rng, vec![2, 3, 17], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let out3 = q.matmul3(&x);
+        let flat = x.reshape(vec![6, 17]);
+        let out2 = q.matmul(&flat);
+        assert_eq!(out3.shape(), &[2, 3, 39]);
+        assert_eq!(out3.data(), out2.data());
+    }
+
+    #[test]
+    fn matmul_cols_is_bitwise_slice_of_matmul() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let w = Tensor::randn(&mut rng, vec![19, 70], 0.8);
+        let x = Tensor::randn(&mut rng, vec![5, 19], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let full = q.matmul(&x);
+        for (c0, cn) in [(0, 70), (0, 35), (35, 35), (3, 64), (69, 1)] {
+            let part = q.matmul_cols(&x, c0, cn);
+            let reference = full.slice(1, c0, cn);
+            assert_eq!(part.data(), reference.data(), "cols {c0}+{cn}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_cols_assembles_full_product() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let wa = Tensor::randn(&mut rng, vec![16, 33], 0.5);
+        let wb = Tensor::randn(&mut rng, vec![16, 31], 0.5);
+        let x = Tensor::randn(&mut rng, vec![4, 16], 1.0);
+        let (qa, qb) = (QuantizedMatrix::quantize(&wa), QuantizedMatrix::quantize(&wb));
+        let mut out = Tensor::zeros(vec![4, 64]);
+        qa.matmul_into_cols(&x, &mut out, 0);
+        qb.matmul_into_cols(&x, &mut out, 33);
+        let expect = Tensor::concat(&[&qa.matmul(&x), &qb.matmul(&x)], 1);
+        assert_eq!(out.data(), expect.data());
+    }
+
+    #[test]
+    fn acc_rows_chunked_contraction_is_bitwise_exact() {
+        // Split the contraction dim at every chunking granularity; ascending
+        // accumulation + one deferred scale must equal the monolithic path
+        // bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(26);
+        let w = Tensor::randn(&mut rng, vec![48, 37], 0.9);
+        let x = Tensor::randn(&mut rng, vec![3, 48], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let mono = q.matmul(&x);
+        for chunks in [1usize, 2, 3, 4, 6, 8] {
+            let step = 48 / chunks;
+            let mut acc = Tensor::zeros(vec![3, 37]);
+            for c in 0..chunks {
+                q.matmul_acc_rows(&x.slice(1, c * step, step), c * step, &mut acc);
+            }
+            q.apply_scales(&mut acc);
+            assert_eq!(acc.data(), mono.data(), "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip_exactly() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let w = Tensor::randn(&mut rng, vec![10, 12], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let (ca, cb) = (q.slice_cols(0, 5), q.slice_cols(5, 7));
+        let back = QuantizedMatrix::concat_cols(&[&ca, &cb]);
+        assert_eq!(back, q);
+        let (ra, rb) = (q.slice_rows(0, 4), q.slice_rows(4, 6));
+        let rback = QuantizedMatrix::concat_rows(&[&ra, &rb]);
+        assert_eq!(rback, q);
+    }
+
+    #[test]
+    fn sliced_matmul_matches_sliced_dense() {
+        // A column block behaves exactly like quantizing that block alone.
+        let mut rng = StdRng::seed_from_u64(28);
+        let w = Tensor::randn(&mut rng, vec![20, 44], 0.4);
+        let x = Tensor::randn(&mut rng, vec![2, 20], 1.0);
+        let q = QuantizedMatrix::quantize(&w);
+        let block = q.slice_cols(8, 20);
+        assert_eq!(block.matmul(&x).data(), q.matmul_cols(&x, 8, 20).data());
+    }
+
     proptest! {
         #[test]
         fn prop_dequantize_bounded(seed in 0u64..200, std in 0.01f32..4.0) {
@@ -236,6 +776,20 @@ mod tests {
             let d = QuantizedMatrix::quantize(&w).dequantize();
             let d2 = QuantizedMatrix::quantize(&d).dequantize();
             prop_assert!(d.approx_eq(&d2, 1e-5));
+        }
+
+        #[test]
+        fn prop_blocked_equals_oracle(seed in 0u64..60, m in 1usize..9, k in 1usize..70, n in 1usize..70) {
+            let _guard = ops::KNOB_TEST_LOCK.lock().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = Tensor::randn(&mut rng, vec![k, n], 0.8);
+            let x = Tensor::randn(&mut rng, vec![m, k], 1.0);
+            let q = QuantizedMatrix::quantize(&w);
+            ops::set_matmul_kernel(ops::MatmulKernel::Naive);
+            let oracle = q.matmul(&x);
+            ops::set_matmul_kernel(ops::MatmulKernel::Blocked);
+            let blocked = q.matmul(&x);
+            prop_assert_eq!(blocked.data(), oracle.data());
         }
     }
 }
