@@ -24,6 +24,13 @@ echo "== int8 conformance: quantized wire volume and chunk-count bit-identity ==
 cargo test -q --release -p esti-collectives --test chunked
 cargo test -q --release -p esti-runtime --test int8
 
+echo "== fault conformance: crash any rank, recovered streams bit-identical =="
+# PR 5's chaos suite: for every decode layout, crash or stall any rank at
+# any step and require (a) a structured error within the deadline — never
+# a hang — and (b) post-recovery token streams bit-identical to a
+# fault-free run, with the replay cost matching esti-netsim's model.
+cargo test -q --release -p esti-runtime --test faults
+
 echo "== benches compile =="
 cargo bench --no-run -q
 

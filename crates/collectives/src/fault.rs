@@ -1,0 +1,231 @@
+//! Deterministic fault injection for the collectives layer.
+//!
+//! A [`FaultPlan`] is a set of `(chip, call index) → fault` triggers armed
+//! into every [`CommGroup`](crate::CommGroup) handle a chip owns (via a
+//! shared [`FaultState`]). Each chip counts its own collective calls across
+//! all of its groups, so "crash chip 2 on its 3rd collective" means the same
+//! thing on every layout and is bitwise reproducible from a seed.
+//!
+//! Faults and deadline expiries surface as a structured [`CollectiveError`]
+//! rather than a hang: the error travels as a typed panic payload (see
+//! [`crate::sync::Barrier::wait`]) so the collectives' tensor-returning API
+//! stays unchanged, and the engine harvests it from the worker's join
+//! handle.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Structured failure of a collective operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A peer chip panicked (or was fault-injected to crash); `rank` is the
+    /// global chip id of the dead peer, even when observed through a
+    /// sub-communicator whose local ranks are numbered differently.
+    PeerCrashed {
+        /// Global chip id of the crashed peer.
+        rank: usize,
+    },
+    /// A barrier wait exceeded its deadline (a peer is stalled or a link is
+    /// pathologically slow), or a peer's wait did and it cancelled the
+    /// group.
+    Timeout {
+        /// The deadline that expired (the observer's own, for waiters woken
+        /// by a peer's cancellation).
+        deadline: Duration,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::PeerCrashed { rank } => {
+                write!(f, "collective aborted: peer chip {rank} crashed")
+            }
+            CollectiveError::Timeout { deadline } => {
+                write!(f, "collective timed out after {deadline:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// Panic payload carried by the chip that crashed by injection itself (its
+/// peers carry [`CollectiveError::PeerCrashed`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Global chip id that was crashed.
+    pub chip: usize,
+}
+
+/// What a trigger does to the chip when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chip dies: its groups are cancelled and it unwinds with
+    /// [`InjectedCrash`].
+    Crash,
+    /// The chip freezes for the duration before its collective (peers hit
+    /// their deadline unless the stall is shorter). The stall aborts early
+    /// if a peer cancels the group meanwhile.
+    Stall(Duration),
+    /// A slow link: the chip's collective is delayed by the duration but
+    /// completes normally. Never an error — execution is merely late.
+    Delay(Duration),
+}
+
+/// One `(chip, call index) → fault` trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trigger {
+    /// Global chip id the fault fires on.
+    pub chip: usize,
+    /// Zero-based index of the chip's collective call (counted across all
+    /// of its groups since arming) at which the fault fires.
+    pub call: u64,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of fault triggers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a crash of `chip` at its `call`-th collective.
+    #[must_use]
+    pub fn crash(mut self, chip: usize, call: u64) -> Self {
+        self.triggers.push(Trigger { chip, call, kind: FaultKind::Crash });
+        self
+    }
+
+    /// Add a stall of `chip` for `dur` at its `call`-th collective.
+    #[must_use]
+    pub fn stall(mut self, chip: usize, call: u64, dur: Duration) -> Self {
+        self.triggers.push(Trigger { chip, call, kind: FaultKind::Stall(dur) });
+        self
+    }
+
+    /// Add a delayed link: `chip`'s `call`-th collective is late by `dur`.
+    #[must_use]
+    pub fn delay(mut self, chip: usize, call: u64, dur: Duration) -> Self {
+        self.triggers.push(Trigger { chip, call, kind: FaultKind::Delay(dur) });
+        self
+    }
+
+    /// A single seeded crash: chip and call index are drawn from `seed`
+    /// (splitmix64) over `n_chips` chips and call indices `0..max_call`.
+    /// The same seed always produces the same trigger.
+    #[must_use]
+    pub fn seeded_crash(seed: u64, n_chips: usize, max_call: u64) -> Self {
+        assert!(n_chips > 0 && max_call > 0, "seeded crash needs a non-empty domain");
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let chip = (next() % n_chips as u64) as usize;
+        let call = next() % max_call;
+        FaultPlan::new().crash(chip, call)
+    }
+
+    /// The triggers in insertion order.
+    #[must_use]
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
+    /// True iff the plan has no triggers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// The fault (if any) that fires for `chip` at call index `call`.
+    #[must_use]
+    pub fn fires(&self, chip: usize, call: u64) -> Option<FaultKind> {
+        self.triggers
+            .iter()
+            .find(|t| t.chip == chip && t.call == call)
+            .map(|t| t.kind)
+    }
+}
+
+/// An armed [`FaultPlan`]: the plan plus one collective-call counter per
+/// chip, shared by all of that chip's group handles.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    counters: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    /// Arm `plan` over `n_chips` chips with all counters at zero.
+    #[must_use]
+    pub fn new(plan: FaultPlan, n_chips: usize) -> Self {
+        FaultState {
+            plan,
+            counters: (0..n_chips).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Count one collective call by `chip` and return the fault that fires
+    /// at this call, if any.
+    pub fn on_call(&self, chip: usize) -> Option<FaultKind> {
+        let call = self.counters[chip].fetch_add(1, Ordering::Relaxed);
+        self.plan.fires(chip, call)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_only_at_its_trigger() {
+        let plan = FaultPlan::new().crash(1, 3).delay(2, 0, Duration::from_millis(1));
+        assert_eq!(plan.fires(1, 3), Some(FaultKind::Crash));
+        assert_eq!(plan.fires(1, 2), None);
+        assert_eq!(plan.fires(0, 3), None);
+        assert_eq!(plan.fires(2, 0), Some(FaultKind::Delay(Duration::from_millis(1))));
+    }
+
+    #[test]
+    fn seeded_crash_is_reproducible_and_in_range() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded_crash(seed, 4, 7);
+            let b = FaultPlan::seeded_crash(seed, 4, 7);
+            assert_eq!(a, b);
+            let t = a.triggers()[0];
+            assert!(t.chip < 4 && t.call < 7);
+            assert_eq!(t.kind, FaultKind::Crash);
+        }
+        // Different seeds reach different triggers (not a constant plan).
+        let distinct: std::collections::HashSet<(usize, u64)> = (0..64)
+            .map(|s| {
+                let t = FaultPlan::seeded_crash(s, 4, 7).triggers()[0];
+                (t.chip, t.call)
+            })
+            .collect();
+        assert!(distinct.len() > 8, "seeded crashes should spread over the domain");
+    }
+
+    #[test]
+    fn state_counts_calls_per_chip() {
+        let state = FaultState::new(FaultPlan::new().crash(0, 1), 2);
+        assert_eq!(state.on_call(0), None); // call 0
+        assert_eq!(state.on_call(1), None); // chip 1 has its own counter
+        assert_eq!(state.on_call(0), Some(FaultKind::Crash)); // call 1
+        assert_eq!(state.on_call(0), None); // one-shot: counter moves past
+    }
+}

@@ -1,13 +1,14 @@
 //! Mailbox-and-barrier collective groups.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use esti_tensor::{QuantizedMatrix, Tensor};
 
+use crate::fault::{FaultKind, FaultState, InjectedCrash};
 use crate::stats::{CollectiveOp, CommTimes, TrafficStats};
-use crate::sync::{Barrier, Mutex};
+use crate::sync::{Barrier, BarrierFate, Mutex, PoisonError};
 
 /// Logical activation width used for traffic accounting (bf16, Section 2).
 const ACT_BYTES: u64 = 2;
@@ -93,9 +94,24 @@ pub struct CommGroup {
     rank: usize,
     /// Per-member wall-clock nanoseconds blocked in each collective kind.
     times: [Cell<u64>; 4],
+    /// Deadline applied to every barrier wait this member performs. `None`
+    /// (the default for raw groups) blocks forever like the pre-fault
+    /// protocol; the engine arms a finite deadline so a stalled peer
+    /// surfaces a structured [`CollectiveError`](crate::CollectiveError)
+    /// instead of a hang.
+    deadline: Cell<Option<Duration>>,
+    /// Armed fault plan, shared (with per-chip call counters) by all of
+    /// this chip's group handles. `chip` is the *global* chip id, which may
+    /// differ from `rank` inside a sub-communicator.
+    fault: RefCell<Option<FaultArm>>,
     /// Number of collectives this member has issued (debug-build SPMD check).
     #[cfg(all(debug_assertions, not(loom)))]
     calls: Cell<u64>,
+}
+
+struct FaultArm {
+    state: Arc<FaultState>,
+    chip: usize,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -140,6 +156,8 @@ impl CommGroup {
                 shared: Arc::clone(&shared),
                 rank,
                 times: Default::default(),
+                deadline: Cell::new(None),
+                fault: RefCell::new(None),
                 #[cfg(all(debug_assertions, not(loom)))]
                 calls: Cell::new(0),
             })
@@ -156,6 +174,96 @@ impl CommGroup {
     #[must_use]
     pub fn size(&self) -> usize {
         self.shared.slots.len()
+    }
+
+    /// Sets the deadline applied to every barrier wait this member
+    /// performs. `None` restores the pre-fault block-forever behaviour.
+    pub fn set_deadline(&self, deadline: Option<Duration>) {
+        self.deadline.set(deadline);
+    }
+
+    /// This member's barrier-wait deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline.get()
+    }
+
+    /// Arms `state`'s fault plan on this handle. `chip` is the global chip
+    /// id owning the handle (its trigger key and the rank reported to peers
+    /// on a crash); all of one chip's handles share one `state` so its
+    /// collective calls are counted across groups.
+    pub fn arm_faults(&self, state: Arc<FaultState>, chip: usize) {
+        *self.fault.borrow_mut() = Some(FaultArm { state, chip });
+    }
+
+    /// Disarms any fault plan on this handle.
+    pub fn clear_faults(&self) {
+        *self.fault.borrow_mut() = None;
+    }
+
+    /// Marks the group dead because global chip `chip` crashed and wakes
+    /// every member blocked in a collective; they surface
+    /// [`CollectiveError::PeerCrashed`](crate::CollectiveError::PeerCrashed).
+    /// Idempotent; the first recorded cause wins.
+    pub fn cancel(&self, chip: usize) {
+        self.shared.barrier.cancel(chip);
+    }
+
+    /// Marks the group dead because a member's deadline expired; blocked
+    /// members surface
+    /// [`CollectiveError::Timeout`](crate::CollectiveError::Timeout).
+    pub fn cancel_timeout(&self) {
+        self.shared.barrier.cancel_timeout();
+    }
+
+    /// One barrier phase under this member's deadline. A structured failure
+    /// (peer crash, timeout) propagates as a typed panic payload so the
+    /// tensor-returning collective API stays unchanged; the engine's
+    /// per-chip `catch_unwind` harvests it into an `EngineError`.
+    fn barrier_wait(&self) {
+        if let Err(err) = self.shared.barrier.wait_deadline(self.deadline.get()) {
+            std::panic::panic_any(err);
+        }
+    }
+
+    /// Fault-injection hook at the top of every collective entry point:
+    /// counts this chip's call and fires its armed trigger, if any.
+    fn fault_point(&self) {
+        let Some((state, chip)) = self
+            .fault
+            .borrow()
+            .as_ref()
+            .map(|arm| (Arc::clone(&arm.state), arm.chip))
+        else {
+            return;
+        };
+        match state.on_call(chip) {
+            None => {}
+            Some(FaultKind::Crash) => {
+                // Die before touching the mailbox: peers observe the
+                // cancellation (here for this group; the engine cancels the
+                // chip's other groups when the unwind reaches it).
+                self.shared.barrier.cancel(chip);
+                std::panic::panic_any(InjectedCrash { chip });
+            }
+            Some(FaultKind::Stall(dur)) => {
+                // Freeze in small slices, abandoning the stall early once a
+                // peer has cancelled the group (its deadline expired) — the
+                // engine then tears down in ~the deadline, not the full
+                // stall duration.
+                let slice = Duration::from_millis(2);
+                let mut left = dur;
+                while left > Duration::ZERO {
+                    if self.shared.barrier.fate() != BarrierFate::Alive {
+                        break;
+                    }
+                    let nap = slice.min(left);
+                    std::thread::sleep(nap);
+                    left -= nap;
+                }
+            }
+            Some(FaultKind::Delay(dur)) => std::thread::sleep(dur),
+        }
     }
 
     /// Core exchange: every member deposits a tensor and receives clones of
@@ -178,19 +286,28 @@ impl CommGroup {
             .collect()
     }
 
+    // Vetted: "peer deposited" is a two-phase-barrier protocol invariant
+    // (every member deposits before any reads); its violation is a bug in
+    // this file, not a runtime fault. Faults surface via barrier_wait.
+    #[allow(clippy::expect_used)]
     fn exchange_payload(&self, p: Payload) -> Vec<Payload> {
         if self.size() == 1 {
             return vec![p];
         }
-        *self.shared.slots[self.rank].lock().expect("slot poisoned") = Some(p);
-        self.shared.barrier.wait();
+        *self.shared.slots[self.rank].lock().unwrap_or_else(PoisonError::into_inner) = Some(p);
+        self.barrier_wait();
         let all: Vec<Payload> = self
             .shared
             .slots
             .iter()
-            .map(|s| s.lock().expect("slot poisoned").clone().expect("peer deposited"))
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone()
+                    .expect("peer deposited")
+            })
             .collect();
-        self.shared.barrier.wait();
+        self.barrier_wait();
         all
     }
 
@@ -205,6 +322,10 @@ impl CommGroup {
     /// Disabled under `--cfg loom` to keep the model-checked state space at
     /// the size of the production protocol.
     #[cfg(all(debug_assertions, not(loom)))]
+    // Vetted: "peer deposited" is a two-phase-barrier protocol invariant
+    // (every member deposits before any reads); its violation is a bug in
+    // this file, not a runtime fault. Faults surface via barrier_wait.
+    #[allow(clippy::expect_used)]
     fn debug_check_agreement(&self, op: CollectiveOp, shape: &[usize], dims: [usize; 3], quant: bool) {
         if self.size() == 1 {
             return;
@@ -212,12 +333,13 @@ impl CommGroup {
         let seq = self.calls.get();
         self.calls.set(seq + 1);
         let mine = CallMeta { seq, op, shape: shape.to_vec(), dims, quant };
-        *self.shared.meta[self.rank].lock().expect("meta poisoned") = Some(mine.clone());
-        self.shared.barrier.wait();
+        *self.shared.meta[self.rank].lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(mine.clone());
+        self.barrier_wait();
         for (peer, slot) in self.shared.meta.iter().enumerate() {
             let theirs = slot
                 .lock()
-                .expect("meta poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .clone()
                 .expect("peer deposited call metadata");
             assert!(
@@ -227,7 +349,7 @@ impl CommGroup {
                 self.rank,
             );
         }
-        self.shared.barrier.wait();
+        self.barrier_wait();
     }
 
     #[cfg(not(all(debug_assertions, not(loom))))]
@@ -302,6 +424,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_gather(&self, shard: &Tensor, dim: usize) -> Tensor {
         let t0 = Instant::now();
+        self.fault_point();
         self.debug_check_agreement(CollectiveOp::AllGather, shard.shape(), [dim, dim, 1], false);
         let parts = self.exchange(shard.clone());
         let refs: Vec<&Tensor> = parts.iter().collect();
@@ -322,6 +445,7 @@ impl CommGroup {
     #[must_use]
     pub fn reduce_scatter(&self, input: &Tensor, dim: usize) -> Tensor {
         let t0 = Instant::now();
+        self.fault_point();
         self.debug_check_agreement(CollectiveOp::ReduceScatter, input.shape(), [dim, dim, 1], false);
         self.record(CollectiveOp::ReduceScatter, input.numel());
         if self.size() == 1 {
@@ -350,6 +474,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_reduce(&self, input: &Tensor) -> Tensor {
         let t0 = Instant::now();
+        self.fault_point();
         self.debug_check_agreement(CollectiveOp::AllReduce, input.shape(), [0, 0, 1], false);
         self.record(CollectiveOp::AllReduce, input.numel() * 2);
         if self.size() == 1 {
@@ -379,6 +504,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_to_all(&self, input: &Tensor, split_dim: usize, concat_dim: usize) -> Tensor {
         let t0 = Instant::now();
+        self.fault_point();
         self.debug_check_agreement(CollectiveOp::AllToAll, input.shape(), [split_dim, concat_dim, 1], false);
         self.record(CollectiveOp::AllToAll, input.numel());
         if self.size() == 1 {
@@ -423,6 +549,7 @@ impl CommGroup {
     #[must_use]
     pub fn all_gather_quant(&self, shard: &QuantizedMatrix, dim: usize) -> Vec<QuantizedMatrix> {
         let t0 = Instant::now();
+        self.fault_point();
         let shape = [shard.rows(), shard.cols()];
         self.debug_check_agreement(CollectiveOp::AllGather, &shape, [dim, dim, 1], true);
         self.record_raw(
@@ -526,6 +653,7 @@ impl CommGroup {
         chunks: usize,
         wire_bytes: usize,
     ) -> ChunkedQuantExchange<'_> {
+        self.fault_point();
         assert!(chunks > 0, "chunked collective requires at least one chunk");
         self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks], true);
         self.record_raw(op, wire_bytes as u64);
@@ -558,6 +686,7 @@ impl CommGroup {
         chunks: usize,
         elems: usize,
     ) -> ChunkedExchange<'_> {
+        self.fault_point();
         assert!(chunks > 0, "chunked collective requires at least one chunk");
         self.debug_check_agreement(op, shape, [dims[0], dims[1], chunks], false);
         self.record(op, elems);
@@ -836,7 +965,9 @@ impl ChunkedExchange<'_> {
         if self.group.size() == 1 {
             self.solo = Some(chunk);
         } else {
-            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") =
+            *self.group.shared.slots[self.group.rank]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) =
                 Some(Payload::Dense(chunk));
         }
         self.posted += 1;
@@ -850,6 +981,10 @@ impl ChunkedExchange<'_> {
     /// # Panics
     ///
     /// Panics if no chunk is in flight.
+    // Vetted: "posted chunk present"/"peer deposited" are slot-discipline
+    // invariants of the post/collect protocol, asserted above; violation is
+    // a caller bug, not a runtime fault. Faults surface via barrier_wait.
+    #[allow(clippy::expect_used)]
     pub fn collect(&mut self) -> Vec<Tensor> {
         assert_eq!(self.posted, self.collected + 1, "no posted chunk to collect");
         self.collected += 1;
@@ -857,7 +992,7 @@ impl ChunkedExchange<'_> {
         let parts = if self.group.size() == 1 {
             vec![self.solo.take().expect("posted chunk present")]
         } else {
-            self.group.shared.barrier.wait();
+            self.group.barrier_wait();
             let all: Vec<Tensor> = self
                 .group
                 .shared
@@ -865,13 +1000,13 @@ impl ChunkedExchange<'_> {
                 .iter()
                 .map(|s| {
                     s.lock()
-                        .expect("slot poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .clone()
                         .expect("peer deposited")
                         .into_dense()
                 })
                 .collect();
-            self.group.shared.barrier.wait();
+            self.group.barrier_wait();
             all
         };
         self.group.note_time(self.op, t0);
@@ -924,7 +1059,9 @@ impl ChunkedQuantExchange<'_> {
         if self.group.size() == 1 {
             self.solo = Some(chunk);
         } else {
-            *self.group.shared.slots[self.group.rank].lock().expect("slot poisoned") =
+            *self.group.shared.slots[self.group.rank]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) =
                 Some(Payload::Quant(chunk));
         }
         self.posted += 1;
@@ -936,6 +1073,10 @@ impl ChunkedQuantExchange<'_> {
     /// # Panics
     ///
     /// Panics if no chunk is in flight.
+    // Vetted: "posted chunk present"/"peer deposited" are slot-discipline
+    // invariants of the post/collect protocol, asserted above; violation is
+    // a caller bug, not a runtime fault. Faults surface via barrier_wait.
+    #[allow(clippy::expect_used)]
     pub fn collect(&mut self) -> Vec<QuantizedMatrix> {
         assert_eq!(self.posted, self.collected + 1, "no posted chunk to collect");
         self.collected += 1;
@@ -943,7 +1084,7 @@ impl ChunkedQuantExchange<'_> {
         let parts = if self.group.size() == 1 {
             vec![self.solo.take().expect("posted chunk present")]
         } else {
-            self.group.shared.barrier.wait();
+            self.group.barrier_wait();
             let all: Vec<QuantizedMatrix> = self
                 .group
                 .shared
@@ -951,13 +1092,13 @@ impl ChunkedQuantExchange<'_> {
                 .iter()
                 .map(|s| {
                     s.lock()
-                        .expect("slot poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .clone()
                         .expect("peer deposited")
                         .into_quant()
                 })
                 .collect();
-            self.group.shared.barrier.wait();
+            self.group.barrier_wait();
             all
         };
         self.group.note_time(self.op, t0);
@@ -1335,6 +1476,112 @@ mod tests {
         let mut ex = g.begin_chunked(CollectiveOp::AllGather, t.shape(), [0, 0], 2, 8);
         ex.post(t.slice(0, 0, 2));
         ex.post(t.slice(0, 2, 2)); // must collect first
+    }
+
+    #[test]
+    fn crash_fault_cancels_group_with_peer_crashed() {
+        use crate::fault::{CollectiveError, FaultPlan, FaultState, InjectedCrash};
+        let members = CommGroup::create(3);
+        let state = Arc::new(FaultState::new(FaultPlan::new().crash(1, 0), 3));
+        for (chip, m) in members.iter().enumerate() {
+            m.arm_faults(Arc::clone(&state), chip);
+        }
+        let results: Vec<std::thread::Result<Tensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .map(|m| s.spawn(move || m.all_reduce(&Tensor::ones(vec![2]))))
+                .collect();
+            handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect()
+        });
+        let crash = results[1].as_ref().expect_err("chip 1 was crashed");
+        assert_eq!(crash.downcast_ref::<InjectedCrash>(), Some(&InjectedCrash { chip: 1 }));
+        for r in [0, 2] {
+            let err = results[r].as_ref().expect_err("peers observe the crash");
+            assert_eq!(
+                err.downcast_ref::<CollectiveError>(),
+                Some(&CollectiveError::PeerCrashed { rank: 1 }),
+                "rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_peer_surfaces_timeout_within_deadline() {
+        use crate::fault::CollectiveError;
+        let members = CommGroup::create(2);
+        for m in &members {
+            m.set_deadline(Some(Duration::from_millis(40)));
+        }
+        let t0 = Instant::now();
+        let results: Vec<std::thread::Result<Tensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .enumerate()
+                .map(|(r, m)| {
+                    s.spawn(move || {
+                        if r == 1 {
+                            // Stalled chip: shows up long after the peer's
+                            // deadline. It must then observe the timeout
+                            // fate instead of waiting its own full deadline.
+                            std::thread::sleep(Duration::from_millis(120));
+                        }
+                        m.all_reduce(&Tensor::ones(vec![2]))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect()
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "structured timeout must not degenerate into a long wait"
+        );
+        for (r, res) in results.iter().enumerate() {
+            let err = res.as_ref().expect_err("both sides surface the timeout");
+            assert!(
+                matches!(err.downcast_ref::<CollectiveError>(), Some(CollectiveError::Timeout { .. })),
+                "rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_fault_is_transparent_to_results() {
+        use crate::fault::{FaultPlan, FaultState};
+        let members = CommGroup::create(2);
+        let plan = FaultPlan::new().delay(0, 0, Duration::from_millis(5));
+        let state = Arc::new(FaultState::new(plan, 2));
+        for (chip, m) in members.iter().enumerate() {
+            m.arm_faults(Arc::clone(&state), chip);
+            m.set_deadline(Some(Duration::from_secs(5)));
+        }
+        let outs: Vec<Tensor> = std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .enumerate()
+                .map(|(r, m)| {
+                    s.spawn(move || m.all_reduce(&Tensor::full(vec![2], r as f32 + 1.0)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("delay is not an error")).collect()
+        });
+        for out in outs {
+            assert_eq!(out.data(), &[3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn deadline_barrier_matches_blocking_barrier_results() {
+        let blocking = run_group(4, |r, g| {
+            g.set_deadline(None);
+            g.all_gather(&Tensor::full(vec![1, 2], r as f32), 0)
+        });
+        let deadlined = run_group(4, |r, g| {
+            g.set_deadline(Some(Duration::from_secs(30)));
+            g.all_gather(&Tensor::full(vec![1, 2], r as f32), 0)
+        });
+        for (a, b) in blocking.iter().zip(&deadlined) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
     }
 
     #[test]

@@ -42,9 +42,18 @@
 //! }
 //! ```
 
+// Fault tolerance discipline: runtime failures (peer death, stalls,
+// poisoned locks) must travel as typed errors, never as `unwrap`/`expect`
+// panics. The vetted remainder — protocol invariants whose violation is a
+// caller bug, not a runtime fault — carries targeted `allow`s in `group`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod fault;
 pub mod group;
 pub mod stats;
 pub mod sync;
 
+pub use fault::{CollectiveError, FaultKind, FaultPlan, FaultState, InjectedCrash, Trigger};
 pub use group::{ChunkedExchange, ChunkedQuantExchange, CommGroup};
 pub use stats::{CollectiveOp, CommTimes, TrafficStats};
+pub use sync::BarrierFate;

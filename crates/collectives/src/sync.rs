@@ -6,13 +6,42 @@
 //! they are the plain `std::sync` types with zero overhead.
 //!
 //! The barrier is our own sense-reversing implementation on top of the
-//! switched mutex/condvar (rather than `std::sync::Barrier`) for exactly
-//! that reason: its blocking must be visible to the model checker.
+//! switched mutex/condvar (rather than `std::sync::Barrier`) for two
+//! reasons: its blocking must be visible to the model checker, and it must
+//! support *cancellation* and *deadlines* — one crashed or stalled chip has
+//! to surface a structured [`CollectiveError`] on every peer instead of
+//! leaving them blocked forever.
+
+use std::time::Duration;
 
 #[cfg(loom)]
-pub use loom::sync::{Condvar, Mutex};
+pub use loom::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 #[cfg(not(loom))]
-pub use std::sync::{Condvar, Mutex};
+pub use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::fault::CollectiveError;
+
+/// Why a barrier stopped admitting waiters.
+///
+/// The first writer wins: a cancellation records its cause once and every
+/// later wait (and every waiter currently blocked) observes that original
+/// cause, so a crash is never re-labelled by the cascade of timeouts it
+/// provokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierFate {
+    /// Normal operation.
+    Alive,
+    /// A participant with this global chip id died.
+    Crashed(usize),
+    /// A participant's deadline expired and it abandoned the group.
+    TimedOut,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    fate: BarrierFate,
+}
 
 /// A reusable barrier for a fixed set of participants.
 ///
@@ -27,11 +56,6 @@ pub struct Barrier {
     n: usize,
 }
 
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-}
-
 impl Barrier {
     /// A barrier releasing once `n` participants have called [`wait`].
     ///
@@ -44,27 +68,145 @@ impl Barrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier requires at least one participant");
         Barrier {
-            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                fate: BarrierFate::Alive,
+            }),
             cv: Condvar::new(),
             n,
         }
     }
 
-    /// Block until all `n` participants have arrived. Returns `true` on
-    /// exactly one participant per generation (the last to arrive).
-    pub fn wait(&self) -> bool {
-        let mut s = self.state.lock().expect("barrier state poisoned");
+    /// Lock the state, recovering from poisoning: a participant that
+    /// panicked while holding the lock does not take the barrier's
+    /// bookkeeping down with it — the dead rank is reported through the
+    /// fate channel ([`Barrier::cancel`]), not through the poison bit.
+    fn lock(&self) -> MutexGuard<'_, BarrierState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mark the barrier dead because chip `rank` (global id) crashed, and
+    /// wake every current waiter. Idempotent; the first recorded cause
+    /// wins.
+    pub fn cancel(&self, rank: usize) {
+        let mut s = self.lock();
+        if s.fate == BarrierFate::Alive {
+            s.fate = BarrierFate::Crashed(rank);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Mark the barrier dead because a participant's deadline expired, and
+    /// wake every current waiter. Idempotent; the first recorded cause
+    /// wins.
+    pub fn cancel_timeout(&self) {
+        let mut s = self.lock();
+        if s.fate == BarrierFate::Alive {
+            s.fate = BarrierFate::TimedOut;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// The barrier's current fate (used by stall injection to abandon a
+    /// sleep early once the group is already dead).
+    pub fn fate(&self) -> BarrierFate {
+        self.lock().fate
+    }
+
+    fn fate_error(fate: BarrierFate, deadline: Option<Duration>) -> Option<CollectiveError> {
+        match fate {
+            BarrierFate::Alive => None,
+            BarrierFate::Crashed(rank) => Some(CollectiveError::PeerCrashed { rank }),
+            BarrierFate::TimedOut => Some(CollectiveError::Timeout {
+                deadline: deadline.unwrap_or(Duration::ZERO),
+            }),
+        }
+    }
+
+    /// Block until all `n` participants have arrived, the optional deadline
+    /// expires, or the barrier is cancelled. `Ok(true)` on exactly one
+    /// participant per generation (the last to arrive).
+    ///
+    /// On its own timeout the caller marks the whole barrier
+    /// [`BarrierFate::TimedOut`] before returning, so peers blocked on the
+    /// same generation wake immediately with the same structured error
+    /// instead of each sitting out its own full deadline.
+    ///
+    /// Under `--cfg loom` there is no clock: a deadline wait "expires" only
+    /// at quiescence (when no other thread can make progress), which is the
+    /// earliest schedule where a real timeout could matter.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::PeerCrashed`] if the barrier was cancelled by a
+    /// crash, [`CollectiveError::Timeout`] if this wait (or a peer's)
+    /// exceeded its deadline.
+    pub fn wait_deadline(&self, deadline: Option<Duration>) -> Result<bool, CollectiveError> {
+        let mut s = self.lock();
+        if let Some(err) = Self::fate_error(s.fate, deadline) {
+            return Err(err);
+        }
         s.arrived += 1;
         if s.arrived == self.n {
             s.arrived = 0;
             s.generation = s.generation.wrapping_add(1);
+            drop(s);
             self.cv.notify_all();
-            return true;
+            return Ok(true);
         }
         let generation = s.generation;
+        #[cfg(not(loom))]
+        let start = std::time::Instant::now();
         while s.generation == generation {
-            s = self.cv.wait(s).expect("barrier state poisoned");
+            if let Some(err) = Self::fate_error(s.fate, deadline) {
+                return Err(err);
+            }
+            match deadline {
+                None => s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner),
+                Some(limit) => {
+                    #[cfg(not(loom))]
+                    let remaining = limit.saturating_sub(start.elapsed());
+                    #[cfg(loom)]
+                    let remaining = limit;
+                    let (guard, res) = self
+                        .cv
+                        .wait_timeout(s, remaining)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    s = guard;
+                    #[cfg(not(loom))]
+                    let expired = res.timed_out() && start.elapsed() >= limit;
+                    #[cfg(loom)]
+                    let expired = res.timed_out();
+                    if expired && s.generation == generation {
+                        if let Some(err) = Self::fate_error(s.fate, deadline) {
+                            return Err(err);
+                        }
+                        s.fate = BarrierFate::TimedOut;
+                        drop(s);
+                        self.cv.notify_all();
+                        return Err(CollectiveError::Timeout { deadline: limit });
+                    }
+                }
+            }
         }
-        false
+        Ok(false)
+    }
+
+    /// Block until all `n` participants have arrived (no deadline), as the
+    /// pre-fault-layer barrier did. Returns `true` on exactly one
+    /// participant per generation (the last to arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`CollectiveError`] payload if the barrier is
+    /// cancelled while waiting — block-forever still observes crashes.
+    pub fn wait(&self) -> bool {
+        match self.wait_deadline(None) {
+            Ok(leader) => leader,
+            Err(err) => std::panic::panic_any(err),
+        }
     }
 }

@@ -14,8 +14,10 @@
 
 #![cfg(loom)]
 
+use std::time::Duration;
+
 use esti_collectives::sync::Barrier;
-use esti_collectives::CommGroup;
+use esti_collectives::{CollectiveError, CommGroup};
 use esti_tensor::Tensor;
 use loom::sync::Arc;
 
@@ -102,5 +104,59 @@ fn missing_member_is_detected_as_deadlock() {
     loom::model(|| {
         let (g0, _g1) = pair();
         let _ = g0.all_reduce(&Tensor::full(vec![1], 1.0));
+    });
+}
+
+#[test]
+fn missing_member_with_deadline_times_out_cleanly() {
+    // Same missing-member scenario, but with a deadline armed: instead of
+    // the deadlock above, the waiter must surface a structured Timeout
+    // under every interleaving. (Under the model checker the deadline
+    // "expires" exactly at quiescence — the schedule where a real timeout
+    // would fire.)
+    loom::model(|| {
+        let b = Barrier::new(2);
+        let res = b.wait_deadline(Some(Duration::from_millis(10)));
+        assert!(
+            matches!(res, Err(CollectiveError::Timeout { .. })),
+            "expected structured timeout, got {res:?}"
+        );
+        // The timed-out waiter marked the whole barrier dead: a late peer
+        // must observe the same structured error, not re-enter the wait.
+        let late = b.wait_deadline(Some(Duration::from_millis(10)));
+        assert!(matches!(late, Err(CollectiveError::Timeout { .. })));
+    });
+}
+
+#[test]
+fn timed_wait_still_completes_when_all_members_arrive() {
+    // A deadline must be invisible on the fault-free path: both members
+    // arrive, the barrier releases with exactly one leader, and no
+    // interleaving manufactures a spurious timeout.
+    loom::model(|| {
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = loom::thread::spawn(move || {
+            b2.wait_deadline(Some(Duration::from_secs(1))).expect("fault-free wait")
+        });
+        let mine = b.wait_deadline(Some(Duration::from_secs(1))).expect("fault-free wait");
+        let theirs = h.join().expect("member thread");
+        assert!(mine != theirs, "exactly one leader per generation");
+    });
+}
+
+#[test]
+fn cancel_wakes_blocked_waiter_with_peer_crashed() {
+    // A peer crash must reach a member already blocked inside the barrier
+    // (and one arriving after the cancellation) as PeerCrashed naming the
+    // dead chip, under every interleaving of cancel vs. wait.
+    loom::model(|| {
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = loom::thread::spawn(move || b2.wait_deadline(None));
+        b.cancel(7);
+        let res = h.join().expect("waiter thread returns, not hangs");
+        assert_eq!(res, Err(CollectiveError::PeerCrashed { rank: 7 }));
+        assert_eq!(b.wait_deadline(None), Err(CollectiveError::PeerCrashed { rank: 7 }));
     });
 }

@@ -65,6 +65,41 @@ impl RequestStats {
     }
 }
 
+/// Fault and recovery accounting for a serving run. All-zero (the
+/// [`Default`]) on a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Engine failures (chip crashes, collective timeouts) survived.
+    pub faults: usize,
+    /// Decode steps whose generated tokens had to be re-derived after a
+    /// failure: the longest already-emitted decode suffix among the
+    /// requests that were in flight when the engine died.
+    pub steps_lost: usize,
+    /// In-flight requests replayed (re-prefilled and re-decoded to their
+    /// pre-fault position).
+    pub requests_replayed: usize,
+    /// Prompt tokens re-prefilled during replay.
+    pub prefill_tokens_replayed: usize,
+    /// Already-emitted decode tokens re-derived during replay.
+    pub decode_tokens_replayed: usize,
+    /// Wall-clock seconds spent in recovery proper (engine rebuild +
+    /// re-prefill); the replayed decode steps overlap new work and are
+    /// accounted by `steps_lost` instead.
+    pub recovery_seconds: f64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another recovery episode's counters into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.faults += other.faults;
+        self.steps_lost += other.steps_lost;
+        self.requests_replayed += other.requests_replayed;
+        self.prefill_tokens_replayed += other.prefill_tokens_replayed;
+        self.decode_tokens_replayed += other.decode_tokens_replayed;
+        self.recovery_seconds += other.recovery_seconds;
+    }
+}
+
 /// Aggregate results of a serving simulation.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
@@ -76,6 +111,8 @@ pub struct ServingReport {
     pub decode_steps: usize,
     /// Mean decode batch occupancy over executed steps.
     pub mean_decode_batch: f64,
+    /// Fault/recovery accounting (all-zero on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl ServingReport {
@@ -92,7 +129,23 @@ impl ServingReport {
         } else {
             occupancy_sum as f64 / decode_steps as f64
         };
-        ServingReport { requests, makespan, decode_steps, mean_decode_batch }
+        ServingReport {
+            requests,
+            makespan,
+            decode_steps,
+            mean_decode_batch,
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    /// Attaches fault/recovery accounting (builder-style; [`new`] reports
+    /// a fault-free run).
+    ///
+    /// [`new`]: ServingReport::new
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Mean end-to-end latency.

@@ -19,6 +19,10 @@ enum TState {
     BlockedMutex(usize),
     /// Waiting on the condvar with this resource id.
     BlockedCv(usize),
+    /// Waiting on the condvar with this resource id, with a timeout: the
+    /// wait expires (the thread becomes runnable with its timed-out flag
+    /// set) if the run otherwise reaches quiescence.
+    BlockedCvTimed(usize),
     /// Waiting for the thread with this id to finish.
     BlockedJoin(usize),
     /// Returned or unwound; never runs again.
@@ -29,7 +33,10 @@ impl TState {
     fn is_blocked(self) -> bool {
         matches!(
             self,
-            TState::BlockedMutex(_) | TState::BlockedCv(_) | TState::BlockedJoin(_)
+            TState::BlockedMutex(_)
+                | TState::BlockedCv(_)
+                | TState::BlockedCvTimed(_)
+                | TState::BlockedJoin(_)
         )
     }
 }
@@ -43,6 +50,9 @@ impl State {
 
 struct State {
     threads: Vec<TState>,
+    /// Per-thread flag: the thread's last timed condvar wait expired
+    /// (rather than being notified). Read and cleared by the waiter.
+    timed_out: Vec<bool>,
     /// The one thread allowed to run user code right now.
     current: usize,
     /// Logical owner of each registered mutex.
@@ -88,6 +98,7 @@ impl Rt {
         Rt {
             state: StdMutex::new(State {
                 threads: vec![TState::Runnable],
+                timed_out: vec![false],
                 current: 0,
                 mutex_held: Vec::new(),
                 n_condvars: 0,
@@ -125,6 +136,7 @@ impl Rt {
     pub(crate) fn register_thread(&self) -> usize {
         let mut s = self.lock();
         s.threads.push(TState::Runnable);
+        s.timed_out.push(false);
         s.threads.len() - 1
     }
 
@@ -136,13 +148,26 @@ impl Rt {
             self.cv.notify_all();
             return;
         }
-        let candidates: Vec<usize> = s
+        let mut candidates: Vec<usize> = s
             .threads
             .iter()
             .enumerate()
             .filter(|(_, t)| **t == TState::Runnable)
             .map(|(i, _)| i)
             .collect();
+        if candidates.is_empty() {
+            // Quiescence: the model has no clock, so timed condvar waits
+            // expire exactly here — the earliest point where a real timeout
+            // could change behavior. Only if none exist is this a deadlock.
+            let State { threads, timed_out, .. } = &mut *s;
+            for (i, t) in threads.iter_mut().enumerate() {
+                if matches!(*t, TState::BlockedCvTimed(_)) {
+                    *t = TState::Runnable;
+                    timed_out[i] = true;
+                    candidates.push(i);
+                }
+            }
+        }
         if candidates.is_empty() {
             if s.threads.iter().any(|t| t.is_blocked()) {
                 let stuck: Vec<String> = s
@@ -273,6 +298,33 @@ impl Rt {
         self.mutex_lock_relocked(me, rid);
     }
 
+    /// Like [`Rt::condvar_wait`], but the wait may expire at quiescence
+    /// (see [`Rt::pick_next`]); returns true iff it did.
+    pub(crate) fn condvar_wait_timed(&self, me: usize, cvid: usize, rid: usize) -> bool {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(Abandoned);
+        }
+        debug_assert_eq!(s.mutex_held[rid], Some(me), "condvar wait without the lock");
+        s.mutex_held[rid] = None;
+        for t in &mut s.threads {
+            if *t == TState::BlockedMutex(rid) {
+                *t = TState::Runnable;
+            }
+        }
+        s.timed_out[me] = false;
+        s.threads[me] = TState::BlockedCvTimed(cvid);
+        self.pick_next(&mut s);
+        self.wait_turn(me, s);
+        let timed_out = {
+            let mut s = self.lock();
+            std::mem::replace(&mut s.timed_out[me], false)
+        };
+        self.mutex_lock_relocked(me, rid);
+        timed_out
+    }
+
     /// Wake one or all waiters of condvar `cvid` (they then contend for the
     /// mutex). Includes a scheduling point before the notify.
     pub(crate) fn condvar_notify(&self, me: usize, cvid: usize, all: bool) {
@@ -282,9 +334,11 @@ impl Rt {
             drop(s);
             std::panic::panic_any(Abandoned);
         }
-        for t in &mut s.threads {
-            if *t == TState::BlockedCv(cvid) {
+        let State { threads, timed_out, .. } = &mut *s;
+        for (i, t) in threads.iter_mut().enumerate() {
+            if *t == TState::BlockedCv(cvid) || *t == TState::BlockedCvTimed(cvid) {
                 *t = TState::Runnable;
+                timed_out[i] = false;
                 if !all {
                     break;
                 }

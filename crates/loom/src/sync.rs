@@ -5,6 +5,7 @@
 use std::sync::{
     Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock,
 };
+use std::time::Duration;
 
 use crate::rt::{ctx, Rt};
 
@@ -12,9 +13,39 @@ pub use std::sync::Arc;
 
 /// Error half of the `lock()`/`wait()` results. The managed primitives do
 /// not actually poison (a panicking iteration aborts wholesale), but the
-/// `Result` return keeps the call sites source-compatible with `std::sync`.
-#[derive(Debug)]
-pub struct PoisonError;
+/// `Result` return — and `into_inner`, mirroring `std::sync::PoisonError` —
+/// keeps the call sites source-compatible with `std::sync`.
+pub struct PoisonError<T> {
+    inner: T,
+}
+
+impl<T> std::fmt::Debug for PoisonError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+impl<T> PoisonError<T> {
+    /// Recover the guard (or guard/timeout pair) carried by the error.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because the wait expired
+/// rather than because it was notified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True iff the wait ended by timing out.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
 
 /// A mutex whose lock acquisition is a model-checking scheduling point.
 pub struct Mutex<T> {
@@ -48,7 +79,7 @@ impl<T> Mutex<T> {
     /// # Errors
     ///
     /// Never actually errors; see [`PoisonError`].
-    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
         match ctx() {
             None => {
                 let inner = self
@@ -137,7 +168,7 @@ impl Condvar {
     pub fn wait<'a, T>(
         &self,
         mut guard: MutexGuard<'a, T>,
-    ) -> Result<MutexGuard<'a, T>, PoisonError> {
+    ) -> Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>> {
         match guard.managed.take() {
             None => {
                 let inner = guard.inner.take().expect("guard holds the lock");
@@ -164,6 +195,57 @@ impl Condvar {
                     inner: Some(inner),
                     managed: Some((rt, me, rid)),
                 })
+            }
+        }
+    }
+
+    /// Release `guard`'s lock and wait to be notified, giving up after
+    /// `dur`. Under the model checker there is no clock: the wait "times
+    /// out" exactly when the run reaches quiescence (no thread can make
+    /// progress otherwise), which is the earliest schedule on which a real
+    /// timeout could matter and the only one that changes behavior.
+    ///
+    /// # Errors
+    ///
+    /// Never actually errors; see [`PoisonError`].
+    #[allow(clippy::type_complexity)]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> Result<
+        (MutexGuard<'a, T>, WaitTimeoutResult),
+        PoisonError<(MutexGuard<'a, T>, WaitTimeoutResult)>,
+    > {
+        match guard.managed.take() {
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let (inner, res) = self
+                    .inner
+                    .wait_timeout(inner, dur)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard.inner = Some(inner);
+                Ok((guard, WaitTimeoutResult { timed_out: res.timed_out() }))
+            }
+            Some((rt, me, rid)) => {
+                let lock = guard.lock;
+                // Defuse the guard: the wait releases the lock itself.
+                guard.inner.take();
+                drop(guard);
+                let cvid = self.cvid(&rt);
+                let timed_out = rt.condvar_wait_timed(me, cvid, rid);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("scheduler invariant: logical lock held but std mutex contended");
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        managed: Some((rt, me, rid)),
+                    },
+                    WaitTimeoutResult { timed_out },
+                ))
             }
         }
     }

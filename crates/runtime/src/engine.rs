@@ -1,8 +1,19 @@
 //! The partitioned execution engine: one thread per simulated chip.
 
-use std::sync::Arc;
+// Vetted against the crate's no-unwrap/no-expect discipline: every
+// `expect`/`unwrap` below asserts a sharding-arithmetic or protocol
+// invariant established at construction (divisibility checked by
+// `preflight`, "one handle per rank", "rank 0 returns logits"), not a
+// runtime fault. Faults travel through `try_forward`'s typed error path.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use esti_collectives::{CommGroup, CommTimes, TrafficStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use esti_collectives::{
+    CollectiveError, CommGroup, CommTimes, FaultPlan, FaultState, InjectedCrash, TrafficStats,
+};
 use esti_core::layout::{AttnSharding, FfnLayout, Layout};
 use esti_core::schedule::effective_chunks;
 use esti_model::reference::{attention_core_ragged, gelu, mm3};
@@ -56,6 +67,59 @@ impl ExecMode {
         }
     }
 }
+
+/// Deadline applied to every collective of a fresh engine: generous enough
+/// that no healthy run ever trips it, but a stalled or dead chip surfaces as
+/// a structured [`EngineError`] instead of hanging the process forever.
+/// Override with [`PartitionedEngine::set_collective_deadline`].
+pub const DEFAULT_COLLECTIVE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A partitioned forward pass failed instead of completing.
+///
+/// The engine runs one thread per chip; when any of them unwinds (an
+/// injected fault, a peer's crash propagated through a cancelled barrier, or
+/// an ordinary panic), every other chip is released from its collectives and
+/// the whole step reports the *root cause*: the chip that died first, not
+/// the cascade of peers that observed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A chip's worker thread panicked; `rank` is the chip that originated
+    /// the failure (for a propagated crash, the dead peer — not the
+    /// observer).
+    ChipCrashed {
+        /// Global chip id of the chip that died.
+        rank: usize,
+        /// Human-readable panic payload or fault description.
+        message: String,
+    },
+    /// A collective exceeded the engine's deadline (a chip is stalled or a
+    /// link is pathologically slow) and no crashed chip explains it.
+    CollectiveTimeout {
+        /// The deadline that expired.
+        deadline: Duration,
+    },
+    /// The engine already failed a step; its distributed state (KV caches,
+    /// in-flight barriers) is unrecoverable and the engine must be rebuilt.
+    Poisoned,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ChipCrashed { rank, message } => {
+                write!(f, "chip {rank} crashed: {message}")
+            }
+            EngineError::CollectiveTimeout { deadline } => {
+                write!(f, "collective exceeded the {deadline:?} deadline")
+            }
+            EngineError::Poisoned => {
+                write!(f, "engine is poisoned by an earlier failure; rebuild it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Which partitioned dataflow a layout lowers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +183,12 @@ pub struct PartitionedEngine {
     /// ([`PartitionedEngine::begin_slots`]): row `r`'s next token occupies
     /// absolute position `row_lens[r]`. `None` in classic (uniform) mode.
     row_lens: Option<Vec<usize>>,
+    /// Deadline applied to every chip group's collectives.
+    deadline: Option<Duration>,
+    /// Set the first time a step fails: the distributed KV state is no
+    /// longer trustworthy and every further `try_*` call reports
+    /// [`EngineError::Poisoned`] until the engine is rebuilt.
+    poisoned: bool,
 }
 
 /// One request's KV cache in canonical (layout-independent) form, as
@@ -270,7 +340,7 @@ impl PartitionedEngine {
                 }
             })
             .collect();
-        PartitionedEngine {
+        let mut engine = PartitionedEngine {
             embed: weights.embed.clone(),
             pos_embed: weights.pos_embed.clone(),
             cfg,
@@ -281,7 +351,67 @@ impl PartitionedEngine {
             stats,
             batch: None,
             row_lens: None,
+            deadline: None,
+            poisoned: false,
+        };
+        engine.set_collective_deadline(Some(DEFAULT_COLLECTIVE_DEADLINE));
+        engine
+    }
+
+    /// Calls `f` on every group handle of every chip.
+    fn for_each_group(&self, f: impl Fn(&CommGroup)) {
+        for c in &self.chips {
+            f(&c.g_all);
+            if let Some(g) = &c.g_x {
+                f(g);
+            }
+            if let Some(g) = &c.g_yz {
+                f(g);
+            }
         }
+    }
+
+    /// Sets the deadline every collective waits under (`None` blocks
+    /// forever, the pre-fault-model behavior). A fresh engine starts at
+    /// [`DEFAULT_COLLECTIVE_DEADLINE`].
+    pub fn set_collective_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+        self.for_each_group(|g| g.set_deadline(deadline));
+    }
+
+    /// The deadline collectives currently wait under.
+    #[must_use]
+    pub fn collective_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Arms `plan` into every chip's group handles: each chip counts its
+    /// collective calls (across all of its groups) against the plan's
+    /// triggers, firing crashes, stalls, and link delays deterministically.
+    /// Replaces any previously armed plan.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        let state = Arc::new(FaultState::new(plan, self.chips.len()));
+        for c in &self.chips {
+            c.g_all.arm_faults(Arc::clone(&state), c.rank);
+            if let Some(g) = &c.g_x {
+                g.arm_faults(Arc::clone(&state), c.rank);
+            }
+            if let Some(g) = &c.g_yz {
+                g.arm_faults(Arc::clone(&state), c.rank);
+            }
+        }
+    }
+
+    /// Disarms any injected fault plan.
+    pub fn clear_faults(&mut self) {
+        self.for_each_group(CommGroup::clear_faults);
+    }
+
+    /// True once a step has failed: the engine's distributed state is
+    /// unrecoverable and it must be rebuilt (see [`EngineError::Poisoned`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The execution mode this engine runs with.
@@ -629,17 +759,45 @@ impl PartitionedEngine {
     /// the batch-sharded paths.
     #[must_use]
     pub fn prefill(&mut self, tokens: &[Vec<usize>]) -> Tensor {
+        self.try_prefill(tokens).unwrap_or_else(|e| panic!("prefill failed: {e}"))
+    }
+
+    /// Fallible [`PartitionedEngine::prefill`]: a chip crash, collective
+    /// timeout, or prior poisoning surfaces as a typed [`EngineError`]
+    /// instead of a panic. Shape/vocabulary misuse still panics — those are
+    /// caller bugs, not faults.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`]. After any error the engine is poisoned.
+    pub fn try_prefill(&mut self, tokens: &[Vec<usize>]) -> Result<Tensor, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::Poisoned);
+        }
         let x = self.embed_host(tokens);
-        self.forward(x)
+        self.try_forward(x)
     }
 
     /// One decode step (one token per sequence), returning logits `[B, V]`.
     #[must_use]
     pub fn decode_step(&mut self, tokens: &[usize]) -> Tensor {
+        self.try_decode_step(tokens).unwrap_or_else(|e| panic!("decode step failed: {e}"))
+    }
+
+    /// Fallible [`PartitionedEngine::decode_step`] — same contract as
+    /// [`PartitionedEngine::try_prefill`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`]. After any error the engine is poisoned.
+    pub fn try_decode_step(&mut self, tokens: &[usize]) -> Result<Tensor, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::Poisoned);
+        }
         let seqs: Vec<Vec<usize>> = tokens.iter().map(|&t| vec![t]).collect();
         let x = self.embed_host(&seqs);
         let (b, v) = (tokens.len(), self.cfg.vocab);
-        self.forward(x).into_reshape(vec![b, v])
+        Ok(self.try_forward(x)?.into_reshape(vec![b, v]))
     }
 
     fn embed_host(&mut self, tokens: &[Vec<usize>]) -> Tensor {
@@ -706,8 +864,21 @@ impl PartitionedEngine {
     }
 
     /// Runs the partitioned forward pass over embedded inputs `[B, L, E]`,
-    /// returning logits `[B, L, V]`.
-    fn forward(&mut self, x: Tensor) -> Tensor {
+    /// returning logits `[B, L, V]` — or, when any chip thread unwinds, the
+    /// classified root-cause [`EngineError`] after releasing every peer.
+    ///
+    /// The unwind protocol: each worker runs its dataflow under
+    /// `catch_unwind`; on unwind it cancels **all** of its own group
+    /// handles, labelled with the originating rank (or as a timeout), so
+    /// peers blocked in *any* of the chip's communicators — including the
+    /// hybrid layouts' sub-groups the dead chip shares with only some peers
+    /// — wake with a structured [`CollectiveError`] and cascade the
+    /// cancellation through their own groups in turn. No deadline is needed
+    /// for a crash to propagate; deadlines cover silent stalls.
+    fn try_forward(&mut self, x: Tensor) -> Result<Tensor, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::Poisoned);
+        }
         let cfg = self.cfg.clone();
         let dataflow = self.dataflow;
         let attn = self.layout.attn;
@@ -719,7 +890,7 @@ impl PartitionedEngine {
         let want = self.exec.want();
         let (b, l) = (x.dim(0), x.dim(1));
         let bases = self.row_bases(b);
-        let outputs: Vec<Option<Tensor>> = std::thread::scope(|s| {
+        let results: Vec<Result<Option<Tensor>, ChipPanic>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .chips
                 .iter_mut()
@@ -727,20 +898,55 @@ impl PartitionedEngine {
                     let x = x.clone();
                     let cfg = &cfg;
                     let bases = &bases;
-                    s.spawn(move || match dataflow {
-                        Dataflow::OneD => forward_1d(cfg, chip, x, bases, attn, n, want),
-                        Dataflow::TwoD => {
-                            forward_2d(cfg, chip, x, bases, attn, x_parts, yz_parts, want)
+                    s.spawn(move || {
+                        let result = {
+                            let chip = &mut *chip;
+                            catch_unwind(AssertUnwindSafe(move || match dataflow {
+                                Dataflow::OneD => forward_1d(cfg, chip, x, bases, attn, n, want),
+                                Dataflow::TwoD => {
+                                    forward_2d(cfg, chip, x, bases, attn, x_parts, yz_parts, want)
+                                }
+                                Dataflow::WeightGathered => forward_wg(cfg, chip, x, bases, n, want),
+                                Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
+                                    forward_wg_hybrid(
+                                        cfg, chip, x, bases, attn, n_gather, n_local, want,
+                                    )
+                                }
+                            }))
+                        };
+                        if let Err(payload) = &result {
+                            cancel_chip_groups(chip, payload);
                         }
-                        Dataflow::WeightGathered => forward_wg(cfg, chip, x, bases, n, want),
-                        Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
-                            forward_wg_hybrid(cfg, chip, x, bases, attn, n_gather, n_local, want)
-                        }
+                        result
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("chip thread panicked")).collect()
+            // The worker closures never unwind (everything runs under
+            // catch_unwind), but fold a hypothetical escape into the same
+            // payload channel rather than trusting that.
+            handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
         });
+
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(results.len());
+        let mut failure: Option<(u8, EngineError)> = None;
+        for (idx, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(out) => outputs.push(out),
+                Err(payload) => {
+                    let c = classify_panic(idx, &payload);
+                    if failure.as_ref().is_none_or(|f| c.0 < f.0) {
+                        failure = Some(c);
+                    }
+                }
+            }
+        }
+        if let Some((_, err)) = failure {
+            // KV caches may hold a partial append for this step on some
+            // chips and not others; nothing downstream can trust them.
+            self.poisoned = true;
+            return Err(err);
+        }
+
         if let Some(lens) = &mut self.row_lens {
             for len in lens.iter_mut() {
                 *len += l;
@@ -751,15 +957,79 @@ impl PartitionedEngine {
             // concatenate along the batch dimension.
             let parts: Vec<Tensor> = outputs.into_iter().flatten().collect();
             let refs: Vec<&Tensor> = parts.iter().collect();
-            Tensor::concat(&refs, 0)
+            Ok(Tensor::concat(&refs, 0))
         } else {
-            outputs
+            Ok(outputs
                 .into_iter()
                 .flatten()
                 .next()
-                .expect("rank 0 returns logits")
+                .expect("rank 0 returns logits"))
         }
     }
+}
+
+/// What a chip thread's unwind carries.
+type ChipPanic = Box<dyn std::any::Any + Send + 'static>;
+
+/// Releases every communicator `chip` participates in after its worker
+/// unwound with `payload`, labelling the cancellation with the *originating*
+/// failure: a propagated [`CollectiveError::PeerCrashed`] keeps naming the
+/// chip that actually died (not this observer), and a timeout stays a
+/// timeout. Cancellation is first-writer-wins at the barrier, so cascades
+/// never relabel the root cause.
+fn cancel_chip_groups(chip: &ChipState, payload: &ChipPanic) {
+    enum Cause {
+        Timeout,
+        Crash(usize),
+    }
+    let cause = if let Some(e) = payload.downcast_ref::<CollectiveError>() {
+        match e {
+            CollectiveError::Timeout { .. } => Cause::Timeout,
+            CollectiveError::PeerCrashed { rank } => Cause::Crash(*rank),
+        }
+    } else if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+        Cause::Crash(c.chip)
+    } else {
+        Cause::Crash(chip.rank)
+    };
+    for g in [Some(&chip.g_all), chip.g_x.as_ref(), chip.g_yz.as_ref()].into_iter().flatten() {
+        match cause {
+            Cause::Timeout => g.cancel_timeout(),
+            Cause::Crash(rank) => g.cancel(rank),
+        }
+    }
+}
+
+/// Maps a harvested panic payload to `(priority, error)`; across the chips'
+/// payloads the lowest priority wins, so the step reports the root cause
+/// (the chip that died) rather than the cascade (peers observing the death,
+/// then stragglers timing out on cancelled groups).
+fn classify_panic(thread_idx: usize, payload: &ChipPanic) -> (u8, EngineError) {
+    if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+        return (0, EngineError::ChipCrashed { rank: c.chip, message: "injected crash".to_string() });
+    }
+    if let Some(e) = payload.downcast_ref::<CollectiveError>() {
+        return match e {
+            CollectiveError::PeerCrashed { rank } => (
+                1,
+                EngineError::ChipCrashed {
+                    rank: *rank,
+                    message: "crashed mid-collective (observed by a peer)".to_string(),
+                },
+            ),
+            CollectiveError::Timeout { deadline } => {
+                (3, EngineError::CollectiveTimeout { deadline: *deadline })
+            }
+        };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "chip thread panicked with a non-string payload".to_string()
+    };
+    (2, EngineError::ChipCrashed { rank: thread_idx, message })
 }
 
 // ---------------------------------------------------------------------------

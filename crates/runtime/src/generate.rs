@@ -51,6 +51,9 @@ impl PartitionedEngine {
     /// Panics on empty or ragged prompts, a chunk size or sample count of
     /// zero, or an expanded batch that violates the layout's divisibility
     /// requirements.
+    // Vetted expect: prompts are asserted non-empty above, so at least
+    // one prefill chunk always runs.
+    #[allow(clippy::expect_used)]
     pub fn generate(&mut self, prompts: &[Vec<usize>], opts: &GenerateOptions) -> Vec<Vec<usize>> {
         assert!(!prompts.is_empty(), "empty prompt batch");
         assert!(opts.n_samples > 0, "n_samples must be positive");

@@ -370,6 +370,8 @@ pub(crate) fn looped_wg_cols(
 ///
 /// Panics if the shard's row count is not divisible by `chunks`, or if the
 /// shard is an [`ShardMat::Int8Cat`].
+// Vetted expect: chunks >= 1, so every accumulator absorbs a slice.
+#[allow(clippy::expect_used)]
 pub(crate) fn looped_wg_rows(
     group: &CommGroup,
     x: &Tensor,

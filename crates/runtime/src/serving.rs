@@ -11,10 +11,28 @@
 //! Correctness rests on two properties proved elsewhere in the workspace:
 //! every op treats batch rows independently (so a request's row in a
 //! padded, mixed-age batch computes bit-identically to running it alone),
-//! and the canonical [`RequestKv`] form is layout-independent (so a
-//! prefill-tier cache moves into any decode-tier slot exactly). The
-//! conformance tests assert the visible consequence: per-request token
-//! streams identical to isolated [`PartitionedEngine::generate`] runs.
+//! and the canonical [`RequestKv`](crate::RequestKv) form is
+//! layout-independent (so a prefill-tier cache moves into any decode-tier
+//! slot exactly). The conformance tests assert the visible consequence:
+//! per-request token streams identical to isolated
+//! [`PartitionedEngine::generate`] runs.
+//!
+//! # Self-healing
+//!
+//! The same two properties make the scheduler recoverable. When a decode
+//! step fails (a chip died or a collective timed out — see
+//! [`EngineError`]), the batcher rebuilds the decode engine and *replays*
+//! every in-flight request from durable state it already holds: the prompt
+//! (re-prefilled with the original chunking), the per-request RNG seed
+//! (re-seeded, so the sampling stream restarts from draw zero), and the
+//! recorded emitted tokens (fed back through real decode steps, each
+//! replayed sample asserted equal to its recording). Because batch rows are
+//! independent and the replayed computation is the original computation,
+//! post-recovery token streams are **bit-identical** to a fault-free run —
+//! the chaos conformance tests in `tests/faults.rs` assert exactly that for
+//! every decode layout. The price paid is accounted in
+//! [`ServingReport::recovery`] and cross-checked against
+//! `esti_netsim::crash_recovery_cost`.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -22,12 +40,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use esti_collectives::FaultPlan;
 use esti_core::layout::Layout;
-use esti_core::serving::{RequestStats, ServingReport};
+use esti_core::serving::{RecoveryStats, RequestStats, ServingReport};
 use esti_model::{PositionKind, ReferenceModel};
 use esti_tensor::sample::{sample_row, Sampling};
 
-use crate::engine::{ExecMode, PartitionedEngine, WeightFormat};
+use crate::engine::{EngineError, ExecMode, PartitionedEngine, WeightFormat};
 
 /// One queued generation request.
 #[derive(Debug, Clone)]
@@ -37,7 +56,8 @@ pub struct ServingRequest {
     /// Tokens to generate for this request.
     pub max_new_tokens: usize,
     /// Per-request RNG seed — sampling draws are independent streams, so a
-    /// request's tokens do not depend on what else shares its batch.
+    /// request's tokens do not depend on what else shares its batch (and a
+    /// replayed request re-derives exactly its own stream).
     pub seed: u64,
     /// Arrival time in seconds relative to the start of serving.
     pub arrival: f64,
@@ -70,6 +90,78 @@ impl Default for ServingOptions {
     }
 }
 
+/// Why a serving run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request list was empty.
+    NoRequests,
+    /// Requests were not sorted by arrival time.
+    UnsortedArrivals,
+    /// A request's prompt had no tokens; rejected at admission (index is
+    /// the request's position in the submitted batch).
+    EmptyPrompt {
+        /// Index of the offending request.
+        index: usize,
+    },
+    /// A learned-position model cannot serve this request: prompt plus
+    /// generation exceeds the position table.
+    PromptTooLong {
+        /// Index of the offending request.
+        index: usize,
+        /// Positions the request needs.
+        needed: usize,
+        /// Positions the model has.
+        max_seq: usize,
+    },
+    /// An engine failure that recovery could not absorb (e.g. the prefill
+    /// tier failed twice in a row for the same prompt).
+    Engine(EngineError),
+    /// More faults occurred than the configured recovery budget
+    /// ([`ContinuousBatcher::set_max_recoveries`]) allows.
+    RecoveryLimit {
+        /// Faults seen, including the one that broke the budget.
+        faults: usize,
+        /// The failure that exhausted the budget.
+        last: EngineError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoRequests => write!(f, "no requests to serve"),
+            ServeError::UnsortedArrivals => {
+                write!(f, "requests must be sorted by arrival time")
+            }
+            ServeError::EmptyPrompt { index } => {
+                write!(f, "request {index} has an empty prompt")
+            }
+            ServeError::PromptTooLong { index, needed, max_seq } => {
+                write!(f, "request {index} needs {needed} positions but max_seq is {max_seq}")
+            }
+            ServeError::Engine(e) => write!(f, "unrecoverable engine failure: {e}"),
+            ServeError::RecoveryLimit { faults, last } => {
+                write!(f, "recovery budget exhausted after {faults} faults (last: {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) | ServeError::RecoveryLimit { last: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
 /// Everything a serving run produces.
 #[derive(Debug, Clone)]
 pub struct ServingOutcome {
@@ -77,7 +169,8 @@ pub struct ServingOutcome {
     pub outputs: Vec<Vec<usize>>,
     /// Measured per-request latency/TTFT stats plus decode-tier occupancy,
     /// in the same shape the analytical simulator reports — so measured
-    /// and modeled runs cross-check directly.
+    /// and modeled runs cross-check directly. Fault and recovery accounting
+    /// lives in [`ServingReport::recovery`].
     pub report: ServingReport,
     /// Per decode step: live (non-idle) slots and measured wall-clock
     /// seconds — the curve to compare against analytical step times.
@@ -99,6 +192,11 @@ struct Active {
     idx: usize,
     rng: StdRng,
     next_tok: usize,
+    /// Position of the next sample in this request's token stream. Behind
+    /// `outputs[idx].len()` only while replaying after a recovery: until
+    /// the cursor catches up, each sample is asserted equal to its
+    /// recording instead of being appended.
+    consumed: usize,
 }
 
 /// The two-tier continuous-batching scheduler.
@@ -128,6 +226,18 @@ pub struct ContinuousBatcher {
     prefill: PartitionedEngine,
     decode: PartitionedEngine,
     opts: ServingOptions,
+    /// Everything needed to rebuild a tier after a fault.
+    model: ReferenceModel,
+    layout: Layout,
+    fmt: WeightFormat,
+    exec: ExecMode,
+    /// Deadline re-applied to rebuilt engines.
+    deadline: Option<Duration>,
+    /// A fault plan armed into the decode tier just before the given
+    /// successful-step count is reached (one-shot).
+    decode_fault: Option<(usize, FaultPlan)>,
+    /// Recovery budget per [`ContinuousBatcher::try_serve`] call.
+    max_recoveries: usize,
 }
 
 impl ContinuousBatcher {
@@ -166,7 +276,19 @@ impl ContinuousBatcher {
         assert!(opts.max_decode_batch > 0, "decode batch cap must be positive");
         let prefill = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
         let decode = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
-        ContinuousBatcher { prefill, decode, opts }
+        let deadline = decode.collective_deadline();
+        ContinuousBatcher {
+            prefill,
+            decode,
+            opts,
+            model: model.clone(),
+            layout,
+            fmt,
+            exec,
+            deadline,
+            decode_fault: None,
+            max_recoveries: 3,
+        }
     }
 
     /// The decode-tier engine (for inspecting traffic or comm times).
@@ -175,8 +297,50 @@ impl ContinuousBatcher {
         &self.decode
     }
 
+    /// Sets the collective deadline both tiers (and any rebuilt engine)
+    /// run under; `None` waits forever.
+    pub fn set_collective_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+        self.prefill.set_collective_deadline(deadline);
+        self.decode.set_collective_deadline(deadline);
+    }
+
+    /// Caps how many faults one [`ContinuousBatcher::try_serve`] call will
+    /// recover from before giving up with [`ServeError::RecoveryLimit`].
+    pub fn set_max_recoveries(&mut self, max: usize) {
+        self.max_recoveries = max;
+    }
+
+    /// Arms `plan` into the decode tier immediately before its
+    /// `at_step`-th successful decode step (chaos testing): the plan's call
+    /// indices then count collectives from the start of that step. One-shot
+    /// — a rebuilt engine comes up fault-free.
+    pub fn schedule_decode_fault(&mut self, at_step: usize, plan: FaultPlan) {
+        self.decode_fault = Some((at_step, plan));
+    }
+
+    /// Arms `plan` into the prefill tier right away (chaos testing). The
+    /// recovery path rebuilds the tier fault-free and retries the prompt.
+    pub fn inject_prefill_fault(&mut self, plan: FaultPlan) {
+        self.prefill.inject_faults(plan);
+    }
+
     /// Serves `requests` (sorted by arrival) to completion and returns
     /// every request's generated tokens plus measured statistics.
+    ///
+    /// See [`ContinuousBatcher::try_serve`] for the admission policy and
+    /// recovery behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`ServeError`] — invalid submissions (empty request
+    /// list, unsorted arrivals, an empty prompt, a learned-position
+    /// overflow) and engine failures past the recovery budget alike.
+    pub fn serve(&mut self, requests: &[ServingRequest]) -> ServingOutcome {
+        self.try_serve(requests).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Serves `requests` (sorted by arrival) to completion.
     ///
     /// Admission policy: FIFO. At every step boundary, each arrived request
     /// at the queue head is prefilled (batch-1, padded to the layout's
@@ -186,26 +350,32 @@ impl ContinuousBatcher {
     /// re-evicted each step so they neither age nor allocate. A request
     /// leaves its slot the moment its last token is sampled.
     ///
-    /// # Panics
+    /// Failed steps trigger recovery (see the module docs): the dead tier
+    /// is rebuilt and in-flight requests are replayed to bit-identical
+    /// streams, up to [`ContinuousBatcher::set_max_recoveries`] faults.
     ///
-    /// Panics if `requests` is empty or not sorted by arrival, a prompt is
-    /// empty, or a learned-position model would exceed `max_seq`.
-    pub fn serve(&mut self, requests: &[ServingRequest]) -> ServingOutcome {
-        assert!(!requests.is_empty(), "no requests to serve");
-        assert!(
-            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-            "requests must be sorted by arrival time"
-        );
+    /// # Errors
+    ///
+    /// [`ServeError::NoRequests`] / [`ServeError::UnsortedArrivals`] /
+    /// [`ServeError::EmptyPrompt`] / [`ServeError::PromptTooLong`] reject
+    /// the submission before any engine work; [`ServeError::Engine`] and
+    /// [`ServeError::RecoveryLimit`] report faults recovery could not
+    /// absorb.
+    pub fn try_serve(&mut self, requests: &[ServingRequest]) -> Result<ServingOutcome, ServeError> {
+        if requests.is_empty() {
+            return Err(ServeError::NoRequests);
+        }
+        if !requests.windows(2).all(|w| w[0].arrival <= w[1].arrival) {
+            return Err(ServeError::UnsortedArrivals);
+        }
         let cfg = self.decode.config().clone();
-        for r in requests {
-            assert!(!r.prompt.is_empty(), "empty prompt");
-            if cfg.position == PositionKind::Learned {
-                assert!(
-                    r.prompt.len() + r.max_new_tokens <= cfg.max_seq,
-                    "request needs {} positions but max_seq is {}",
-                    r.prompt.len() + r.max_new_tokens,
-                    cfg.max_seq
-                );
+        for (index, r) in requests.iter().enumerate() {
+            if r.prompt.is_empty() {
+                return Err(ServeError::EmptyPrompt { index });
+            }
+            let needed = r.prompt.len() + r.max_new_tokens;
+            if cfg.position == PositionKind::Learned && needed > cfg.max_seq {
+                return Err(ServeError::PromptTooLong { index, needed, max_seq: cfg.max_seq });
             }
         }
         let cap = self.opts.max_decode_batch;
@@ -224,6 +394,8 @@ impl ContinuousBatcher {
         let mut active: Vec<Option<Active>> = (0..cap).map(|_| None).collect();
         let mut step_log: Vec<(usize, f64)> = Vec::new();
         let mut occupancy_sum = 0usize;
+        let mut recovery = RecoveryStats::default();
+        let mut steps_done = 0usize;
 
         loop {
             // Admission at the step boundary.
@@ -234,7 +406,7 @@ impl ContinuousBatcher {
                 let Some(slot) = active.iter().position(Option::is_none) else { break };
                 pending.pop_front();
                 let req = &requests[idx];
-                let last_logits = self.prefill_padded(&req.prompt, pad);
+                let last_logits = self.prefill_with_retry(&req.prompt, pad, &mut recovery)?;
                 let mut rng = StdRng::seed_from_u64(req.seed);
                 prefilled_at[idx] = now();
                 if req.max_new_tokens == 0 {
@@ -251,7 +423,7 @@ impl ContinuousBatcher {
                 }
                 let kv = self.prefill.extract_kv(0);
                 self.decode.insert_kv(slot, &kv);
-                active[slot] = Some(Active { idx, rng, next_tok: tok });
+                active[slot] = Some(Active { idx, rng, next_tok: tok, consumed: 1 });
             }
 
             let live = active.iter().flatten().count();
@@ -274,11 +446,34 @@ impl ContinuousBatcher {
                 }
             }
 
+            // Scheduled chaos: arm the one-shot fault plan at its step.
+            if matches!(self.decode_fault, Some((at, _)) if at == steps_done) {
+                if let Some((_, plan)) = self.decode_fault.take() {
+                    self.decode.inject_faults(plan);
+                }
+            }
+
             // One decode step over the full slot batch.
             let tokens: Vec<usize> =
                 active.iter().map(|a| a.as_ref().map_or(0, |a| a.next_tok)).collect();
             let t_step = Instant::now();
-            let logits = self.decode.decode_step(&tokens); // [cap, V]
+            let logits = match self.decode.try_decode_step(&tokens) {
+                Ok(logits) => logits,
+                Err(err) => {
+                    self.recover_decode(
+                        requests,
+                        &outputs,
+                        &mut active,
+                        cap,
+                        reserve,
+                        pad,
+                        &mut recovery,
+                        err,
+                    )?;
+                    continue;
+                }
+            };
+            steps_done += 1;
             step_log.push((live, t_step.elapsed().as_secs_f64()));
             occupancy_sum += live;
 
@@ -287,8 +482,21 @@ impl ContinuousBatcher {
                 let Some(a) = slot else { continue };
                 let row = &logits.data()[s * v..(s + 1) * v];
                 let tok = sample_row(&mut a.rng, row, self.opts.sampling);
-                outputs[a.idx].push(tok);
-                if outputs[a.idx].len() == requests[a.idx].max_new_tokens {
+                if a.consumed < outputs[a.idx].len() {
+                    // Replay after a recovery: the recomputed sample must
+                    // reproduce its recording bit-for-bit.
+                    assert_eq!(
+                        tok,
+                        outputs[a.idx][a.consumed],
+                        "request {} diverged at replayed token {}",
+                        a.idx,
+                        a.consumed
+                    );
+                } else {
+                    outputs[a.idx].push(tok);
+                }
+                a.consumed += 1;
+                if a.consumed == requests[a.idx].max_new_tokens {
                     finished_at[a.idx] = now();
                     *slot = None;
                     self.decode.evict_slot(s);
@@ -308,11 +516,90 @@ impl ContinuousBatcher {
             })
             .collect();
         let total_generated = outputs.iter().map(Vec::len).sum();
-        ServingOutcome {
-            report: ServingReport::new(stats, step_log.len(), occupancy_sum),
+        Ok(ServingOutcome {
+            report: ServingReport::new(stats, step_log.len(), occupancy_sum)
+                .with_recovery(recovery),
             step_log,
             outputs,
             total_generated,
+        })
+    }
+
+    /// Rebuilds the decode tier after a failed step and replays every
+    /// in-flight request up to its recorded stream: prompt re-prefilled
+    /// (original chunking), RNG re-seeded, first token re-derived from the
+    /// prefill logits, KV re-inserted into the same slot. The emitted
+    /// decode suffix is then re-derived by the ordinary step loop, which
+    /// asserts each replayed sample equals its recording — so a successful
+    /// recovery is bit-identical by construction, not by luck.
+    #[allow(clippy::too_many_arguments)] // private: the serve loop's locals.
+    fn recover_decode(
+        &mut self,
+        requests: &[ServingRequest],
+        outputs: &[Vec<usize>],
+        active: &mut [Option<Active>],
+        cap: usize,
+        reserve: usize,
+        pad: usize,
+        recovery: &mut RecoveryStats,
+        err: EngineError,
+    ) -> Result<(), ServeError> {
+        recovery.faults += 1;
+        if recovery.faults > self.max_recoveries {
+            return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
+        }
+        let t = Instant::now();
+        self.decode = PartitionedEngine::new_with_exec(&self.model, self.layout, self.fmt, self.exec);
+        self.decode.set_collective_deadline(self.deadline);
+        self.decode.begin_slots(cap, reserve);
+        let mut steps_lost = 0usize;
+        for (slot, entry) in active.iter_mut().enumerate() {
+            let Some(idx) = entry.as_ref().map(|a| a.idx) else { continue };
+            let req = &requests[idx];
+            let emitted = &outputs[idx];
+            let last_logits = self.prefill_with_retry(&req.prompt, pad, recovery)?;
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let tok0 = sample_row(&mut rng, &last_logits, self.opts.sampling);
+            assert_eq!(tok0, emitted[0], "request {idx} diverged at replayed token 0");
+            let kv = self.prefill.extract_kv(0);
+            self.decode.insert_kv(slot, &kv);
+            *entry = Some(Active { idx, rng, next_tok: tok0, consumed: 1 });
+            recovery.requests_replayed += 1;
+            recovery.prefill_tokens_replayed += req.prompt.len();
+            recovery.decode_tokens_replayed += emitted.len() - 1;
+            steps_lost = steps_lost.max(emitted.len() - 1);
+        }
+        recovery.steps_lost += steps_lost;
+        recovery.recovery_seconds += t.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// [`ContinuousBatcher::try_prefill_padded`] with one recovery: if the
+    /// prefill tier fails (it holds no cross-request state), it is rebuilt
+    /// fault-free and the prompt retried once, charging the retry to the
+    /// recovery ledger. A second failure is unrecoverable.
+    fn prefill_with_retry(
+        &mut self,
+        prompt: &[usize],
+        pad: usize,
+        recovery: &mut RecoveryStats,
+    ) -> Result<Vec<f32>, ServeError> {
+        match self.try_prefill_padded(prompt, pad) {
+            Ok(logits) => Ok(logits),
+            Err(err) => {
+                recovery.faults += 1;
+                if recovery.faults > self.max_recoveries {
+                    return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
+                }
+                let t = Instant::now();
+                self.prefill =
+                    PartitionedEngine::new_with_exec(&self.model, self.layout, self.fmt, self.exec);
+                self.prefill.set_collective_deadline(self.deadline);
+                let logits = self.try_prefill_padded(prompt, pad).map_err(ServeError::Engine)?;
+                recovery.prefill_tokens_replayed += prompt.len();
+                recovery.recovery_seconds += t.elapsed().as_secs_f64();
+                Ok(logits)
+            }
         }
     }
 
@@ -321,22 +608,28 @@ impl ContinuousBatcher {
     /// everywhere), honoring the chunked-prefill option. Returns row 0's
     /// last-position logits; the tier's cache then holds the prompt's KV
     /// for [`PartitionedEngine::extract_kv`].
-    fn prefill_padded(&mut self, prompt: &[usize], pad: usize) -> Vec<f32> {
+    fn try_prefill_padded(
+        &mut self,
+        prompt: &[usize],
+        pad: usize,
+    ) -> Result<Vec<f32>, EngineError> {
         self.prefill.reset();
         let len = prompt.len();
         let chunk = self.opts.prefill_chunk.unwrap_or(len).max(1);
         let v = self.prefill.config().vocab;
-        let mut last: Option<Vec<f32>> = None;
+        // Admission rejects empty prompts, so the loop runs ≥ once and
+        // `last` is always set on the Ok path.
+        let mut last = Vec::new();
         let mut start = 0;
         while start < len {
             let end = (start + chunk).min(len);
             let chunk_tokens: Vec<Vec<usize>> =
                 (0..pad).map(|_| prompt[start..end].to_vec()).collect();
-            let logits = self.prefill.prefill(&chunk_tokens); // [pad, l, V]
+            let logits = self.prefill.try_prefill(&chunk_tokens)?; // [pad, l, V]
             let l = end - start;
-            last = Some(logits.slice(1, l - 1, 1).data()[..v].to_vec());
+            last = logits.slice(1, l - 1, 1).data()[..v].to_vec();
             start = end;
         }
-        last.expect("at least one prefill chunk")
+        Ok(last)
     }
 }

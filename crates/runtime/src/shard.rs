@@ -55,6 +55,8 @@ impl ShardMat {
     ///
     /// Panics on shape mismatch.
     #[must_use]
+    // Vetted expect: Int8Cat is built from >= 1 source shards.
+    #[allow(clippy::expect_used)]
     pub fn mm3(&self, x: &Tensor) -> Tensor {
         match self {
             ShardMat::Dense(w) => mm3(x, w),
@@ -99,6 +101,8 @@ impl ShardMat {
     ///
     /// Panics on shape mismatch or if the column range exceeds the shard.
     #[must_use]
+    // Vetted expect: Int8Cat is built from >= 1 source shards.
+    #[allow(clippy::expect_used)]
     pub fn matmul_cols(&self, flat: &Tensor, c0: usize, cn: usize) -> Tensor {
         match self {
             ShardMat::Dense(w) => ops::matmul_cols(flat, w, c0, cn),
@@ -371,6 +375,8 @@ pub fn shard_wg_hybrid(
 /// Reassembles a full layer from 1D shards — a test helper proving the
 /// shards tile the original weights exactly.
 #[must_use]
+// Vetted expect: all shards of one layer carry the same optional fields.
+#[allow(clippy::expect_used)]
 pub fn unshard_1d(cfg: &ModelConfig, shards: &[LayerShard]) -> LayerWeights {
     let cat = |f: &dyn Fn(&LayerShard) -> &ShardMat, dim: usize| {
         let parts: Vec<Tensor> = shards.iter().map(|s| f(s).dense()).collect();
