@@ -37,17 +37,22 @@ cargo bench --no-run -q
 echo "== clippy (workspace lints, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== esti-lint: static partition-plan & SPMD schedule analysis =="
+echo "== esti-lint: static partition-plan, SPMD, liveness & quant-dataflow analysis =="
 # check_combo runs every schedule twice — monolithic and with the
 # runtime's overlap chunking — and run_scenario upgrades any skip on a
 # planner-chosen layout to a failure, so a planner-chosen chunked
 # schedule that fails to verify (or is skipped) fails this gate.
-lint_out=$(cargo run --release -p esti-verify --bin esti-lint)
+# --strict also fails the run on warnings (weight-gathered working-set
+# margins), and --json writes the full row-by-row report as a CI
+# artifact for dashboards (results/esti_lint.json).
+mkdir -p results
+lint_out=$(cargo run --release -p esti-verify --bin esti-lint -- --strict --json results/esti_lint.json)
 echo "$lint_out"
 if echo "$lint_out" | grep -q "skip planner"; then
   echo "FAIL: esti-lint skipped a planner-chosen schedule" >&2
   exit 1
 fi
+echo "esti-lint JSON report: results/esti_lint.json ($(wc -c < results/esti_lint.json) bytes)"
 
 echo "== model-checked collectives (bounded-DFS interleavings) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p esti-collectives --test loom --release

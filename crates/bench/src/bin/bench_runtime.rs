@@ -311,10 +311,15 @@ fn main() {
         t_int8 * 1e6,
         t_int8 / t_f32
     );
+    // Known step-time regression: int8 halves the wire bytes but the
+    // dequant cost on the scalar kernel eats the win (ROADMAP item 5,
+    // "SIMD + intra-chip parallel kernel core"). Flag it in the artifact
+    // so dashboards track the gap instead of averaging it away.
     json.push_str(&format!(
-        "  \"int8_wire\": {{\"wg_xyz_decode_ag_bytes_f32\": {wg_f32}, \"wg_xyz_decode_ag_bytes_int8\": {wg_int8}, \"ratio\": {gate_wire:.4}, \"wg_xyz_decode_us_f32\": {:.1}, \"wg_xyz_decode_us_int8\": {:.1}}},\n",
+        "  \"int8_wire\": {{\"wg_xyz_decode_ag_bytes_f32\": {wg_f32}, \"wg_xyz_decode_ag_bytes_int8\": {wg_int8}, \"ratio\": {gate_wire:.4}, \"wg_xyz_decode_us_f32\": {:.1}, \"wg_xyz_decode_us_int8\": {:.1}, \"regression\": {}, \"tracking\": \"ROADMAP item 5: SIMD + intra-chip parallel kernel core\"}},\n",
         t_f32 * 1e6,
-        t_int8 * 1e6
+        t_int8 * 1e6,
+        t_int8 > t_f32
     ));
 
     banner("Serving: continuous batching vs serial (tiny8x, 8 chips, ws1d)");

@@ -7,11 +7,8 @@ use std::time::{Duration, Instant};
 use esti_tensor::{QuantizedMatrix, Tensor};
 
 use crate::fault::{FaultKind, FaultState, InjectedCrash};
-use crate::stats::{CollectiveOp, CommTimes, TrafficStats};
+use crate::stats::{CollectiveOp, CommTimes, TrafficStats, ACT_BYTES};
 use crate::sync::{Barrier, BarrierFate, Mutex, PoisonError};
-
-/// Logical activation width used for traffic accounting (bf16, Section 2).
-const ACT_BYTES: u64 = 2;
 
 /// What one mailbox slot carries: a dense activation tensor, or a quantized
 /// weight shard moved in its wire format (int8 values + per-column f32
@@ -554,7 +551,7 @@ impl CommGroup {
         self.debug_check_agreement(CollectiveOp::AllGather, &shape, [dim, dim, 1], true);
         self.record_raw(
             CollectiveOp::AllGather,
-            (self.size() * shard.storage_bytes()) as u64,
+            crate::stats::quant_wire_bytes(self.size(), shard.rows(), shard.cols()) as u64,
         );
         let parts = self.exchange_quant(shard.clone());
         self.note_time(CollectiveOp::AllGather, t0);
@@ -591,7 +588,7 @@ impl CommGroup {
         );
         let step = extent / chunks;
         let shape = [shard.rows(), shard.cols()];
-        let wire = self.size() * shard.storage_bytes();
+        let wire = crate::stats::quant_wire_bytes(self.size(), shard.rows(), shard.cols());
         let mut ex = self.begin_chunked_quant(
             CollectiveOp::AllGather,
             &shape,

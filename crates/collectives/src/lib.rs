@@ -50,10 +50,12 @@
 
 pub mod fault;
 pub mod group;
+pub mod protocol;
 pub mod stats;
 pub mod sync;
 
 pub use fault::{CollectiveError, FaultKind, FaultPlan, FaultState, InjectedCrash, Trigger};
 pub use group::{ChunkedExchange, ChunkedQuantExchange, CommGroup};
-pub use stats::{CollectiveOp, CommTimes, TrafficStats};
+pub use protocol::{ProtocolEdge, ProtocolModel};
+pub use stats::{quant_wire_bytes, CollectiveOp, CommTimes, TrafficStats, ACT_BYTES};
 pub use sync::BarrierFate;

@@ -35,6 +35,33 @@ impl CollectiveOp {
     }
 }
 
+/// Logical activation width used for traffic accounting (bf16, Section 2):
+/// the per-element byte cost the ledger charges dense collectives.
+pub const ACT_BYTES: u64 = 2;
+
+/// Closed-form per-chip wire volume of a quantized all-gather (Section 3.6).
+///
+/// A gathered int8 `rows × cols` shard costs 1 byte per value plus one f32
+/// scale per column, received from each of `group_size` ranks (own shard
+/// included, per the ledger's output-bytes convention):
+/// `group_size × (rows·cols + 4·cols)`.
+///
+/// This is the single source of truth shared by the runtime's quantized
+/// collectives (which charge the ledger) and `esti-verify`'s quant-dataflow
+/// pass (which statically checks schedules against the same accounting).
+///
+/// # Examples
+///
+/// ```
+/// use esti_collectives::quant_wire_bytes;
+///
+/// assert_eq!(quant_wire_bytes(4, 128, 64), 4 * (128 * 64 + 64 * 4));
+/// ```
+#[must_use]
+pub const fn quant_wire_bytes(group_size: usize, rows: usize, cols: usize) -> usize {
+    group_size * (rows * cols + cols * 4)
+}
+
 /// Thread-safe ledger of collective calls and their per-chip byte volumes.
 ///
 /// Byte conventions follow Appendix A.1: an all-gather is charged its

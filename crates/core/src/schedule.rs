@@ -21,6 +21,7 @@
 
 use crate::layout::{AttnSharding, FfnLayout, GatherExtent, Layout};
 use crate::sharding::ShardingSpec;
+use esti_hal::DType;
 use esti_model::{BlockKind, MlpKind, ModelConfig};
 use esti_topology::{Axis, AxisSet, TorusShape};
 
@@ -386,6 +387,23 @@ pub fn expected_einsum(
     Ok(SymTensor { spec, global })
 }
 
+/// Wire format of a collective's payload.
+///
+/// Dense payloads are charged at the runtime's dense activation accounting;
+/// [`WireFormat::Int8`] marks the quantized weight gathers of Section 3.6,
+/// whose wire volume is int8 values plus one f32 scale per column
+/// (`esti-collectives`' `quant_wire_bytes`). Like [`Step::Collective`]'s
+/// `chunks`, this is an execution annotation: sharding semantics are
+/// identical for both formats, but the quant-dataflow pass in `esti-verify`
+/// checks byte accounting and scale provenance against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// Dense activation/weight payload.
+    Dense,
+    /// Quantized payload: int8 values + per-column f32 scales (Section 3.6).
+    Int8,
+}
+
 /// One step of a per-chip schedule.
 #[derive(Debug, Clone)]
 pub enum Step {
@@ -407,6 +425,8 @@ pub enum Step {
         /// while chunk `i` is in flight. Purely a runtime execution hint —
         /// the sharding-algebra semantics are identical for every value.
         chunks: usize,
+        /// Payload wire format (see [`WireFormat`]).
+        wire: WireFormat,
     },
     /// A sharded einsum (matmul): `x · w` contracting `contract`.
     Einsum {
@@ -566,6 +586,27 @@ impl Schedule {
             };
             if let Some(extent) = extent {
                 *chunks = effective_chunks(extent, want);
+            }
+        }
+        self
+    }
+
+    /// Annotate the wire format the runtime uses for this weight storage
+    /// dtype: with [`DType::Int8`], every per-layer weight all-gather moves
+    /// quantized (int8 values + per-column f32 scales, Section 3.6) —
+    /// exactly the steps the engine's weight gathers quantize, in both the
+    /// fully weight-gathered and hybrid dataflows, monolithic or chunked.
+    /// All other dtypes leave the schedule dense.
+    #[must_use]
+    pub fn with_weight_dtype(mut self, dtype: DType) -> Self {
+        if dtype != DType::Int8 {
+            return self;
+        }
+        for step in self.layer.iter_mut().chain(&mut self.final_steps) {
+            if let Step::Collective { label, op: SymOp::AllGather { .. }, wire, .. } = step {
+                if label.ends_with("weight all-gather") {
+                    *wire = WireFormat::Int8;
+                }
             }
         }
         self
@@ -766,6 +807,7 @@ impl Plan {
             input: input.clone(),
             output: output.clone(),
             chunks: 1,
+            wire: WireFormat::Dense,
         });
         Ok(output)
     }
@@ -1712,6 +1754,40 @@ mod tests {
                 "{}: expected at least one pipelined collective",
                 layout.describe()
             );
+        }
+    }
+
+    #[test]
+    fn weight_dtype_marks_exactly_the_weight_gathers() {
+        let cfg = ModelConfig::tiny();
+        for layout in layouts_for(MeshFactors::new(2, 2, 1)) {
+            let s = build_schedule(&cfg, &layout, 16, 4)
+                .unwrap()
+                .with_overlap_chunks(4)
+                .with_weight_dtype(DType::Int8);
+            s.verify()
+                .unwrap_or_else(|e| panic!("{}: verify after wire marking: {e}", layout.describe()));
+            for step in s.layer.iter().chain(&s.final_steps) {
+                let Step::Collective { label, op, wire, .. } = step else { continue };
+                if label.ends_with("weight all-gather") {
+                    assert!(matches!(op, SymOp::AllGather { .. }), "{label}");
+                    assert_eq!(*wire, WireFormat::Int8, "{label}");
+                } else {
+                    assert_eq!(*wire, WireFormat::Dense, "{label}");
+                }
+            }
+        }
+        // Non-int8 dtypes leave every collective dense.
+        let layout = Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        };
+        let s = build_schedule(&cfg, &layout, 16, 4).unwrap().with_weight_dtype(DType::Bf16);
+        for step in s.collectives() {
+            if let Step::Collective { wire, .. } = step {
+                assert_eq!(*wire, WireFormat::Dense);
+            }
         }
     }
 

@@ -218,6 +218,9 @@ impl KvCache {
     /// Panics if `layer` has no contents or `row` is out of range.
     #[must_use]
     pub fn read_slot(&self, layer: usize, row: usize) -> (Tensor, Tensor) {
+        // Vetted: the documented usage-contract panic (read before any
+        // append) — an assert with a message, not a swallowed runtime fault.
+        #[allow(clippy::expect_used)]
         let entry = self.layers[layer].as_ref().expect("layer has no cached contents");
         let (cap, d) = (entry.capacity(), entry.width());
         let len = entry.lens[row];

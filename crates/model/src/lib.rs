@@ -28,6 +28,12 @@
 //! assert!((b - 540e9).abs() / 540e9 < 0.01);
 //! ```
 
+// Panic discipline: library code must not `unwrap`/`expect` its way past
+// conditions a caller could plausibly trigger — those get shape-checked
+// asserts with messages. The vetted remainder (infallible numeric
+// invariants) carries targeted, justified `allow`s at each site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod kvcache;
 pub mod reference;

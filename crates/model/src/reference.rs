@@ -105,6 +105,10 @@ impl ReferenceModel {
     pub fn embed_at(&self, tokens: &[Vec<usize>], base: usize) -> Tensor {
         let mut x = self.embed(tokens);
         if self.cfg.position == PositionKind::Learned {
+            // Vetted: `Weights::random` always materializes the table for
+            // learned-position configs; its absence is a constructor bug,
+            // not a runtime fault.
+            #[allow(clippy::expect_used)]
             let pos = self
                 .weights
                 .pos_embed
@@ -172,6 +176,9 @@ impl ReferenceModel {
                 BlockKind::Serial => {
                     let attn = self.attention(&ln3(&x, &layer.ln1), layer, li, cache);
                     let x1 = &x + &attn;
+                    // Vetted: serial-block weights always carry ln2 (paired
+                    // by `Weights::random`); absence is a constructor bug.
+                    #[allow(clippy::expect_used)]
                     let ln2 = layer.ln2.as_ref().expect("serial block requires ln2");
                     let mlp = self.mlp(&ln3(&x1, ln2), layer);
                     &x1 + &mlp
@@ -194,6 +201,9 @@ impl ReferenceModel {
             k_new = ops::rope(&k_new, dh, base);
         }
         cache.append(li, &k_new, &v_new);
+        // Vetted: the `append` on the previous line populates the layer;
+        // an empty read here is a bug in this function, not a runtime fault.
+        #[allow(clippy::expect_used)]
         let (k_all, v_all) = cache.get(li).expect("cache populated by append");
         let attn = attention_core_ragged(&q, k_all, v_all, dh, cache.row_lens(li));
         mm3(&attn, &layer.wo)
@@ -203,6 +213,9 @@ impl ReferenceModel {
     fn mlp(&self, x: &Tensor, layer: &LayerWeights) -> Tensor {
         let hidden = match self.cfg.mlp {
             MlpKind::SwiGlu => {
+                // Vetted: SwiGLU weights always carry w_gate (paired by
+                // `Weights::random`); absence is a constructor bug.
+                #[allow(clippy::expect_used)]
                 let gate = mm3(x, layer.w_gate.as_ref().expect("SwiGLU requires w_gate"));
                 let up = mm3(x, &layer.w_in);
                 ops::swiglu(&gate, &up)

@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod generate;
 mod overlap;
+pub mod introspect;
 pub mod serving;
 pub mod shard;
 
@@ -63,6 +64,7 @@ pub use engine::{
     DEFAULT_COLLECTIVE_DEADLINE,
 };
 pub use generate::GenerateOptions;
+pub use introspect::{weight_wire_format, wg_stream_plan, ScaleDiscipline, WgStream};
 pub use serving::{
-    ContinuousBatcher, ServeError, ServingOptions, ServingOutcome, ServingRequest,
+    BatcherSpec, ContinuousBatcher, ServeError, ServingOptions, ServingOutcome, ServingRequest,
 };

@@ -337,7 +337,7 @@ pub(crate) fn looped_wg_cols(
                 &[e, w_loc],
                 [1, 1],
                 chunks,
-                k * q.storage_bytes(),
+                esti_collectives::quant_wire_bytes(k, q.rows(), q.cols()),
             );
             ex.post(q.slice_cols(0, step));
             for ci in 1..chunks {
@@ -441,7 +441,7 @@ pub(crate) fn looped_wg_rows(
                 &[w_loc, n_out],
                 [0, 0],
                 chunks,
-                k * q.storage_bytes(),
+                esti_collectives::quant_wire_bytes(k, q.rows(), q.cols()),
             );
             ex.post(q.slice_rows(0, step));
             for ci in 1..chunks {

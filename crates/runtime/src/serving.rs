@@ -199,6 +199,31 @@ struct Active {
     consumed: usize,
 }
 
+/// The slot-machine parameters of a [`ContinuousBatcher`], exported for
+/// `esti-verify`'s slot-lifecycle pass.
+///
+/// The pass models admission → prefill → decode-slot → evict/replay as an
+/// explicit state machine and explores it against abstract request traces;
+/// these fields are the knobs that machine is parameterized over, read from
+/// the live scheduler so the model cannot drift from the configuration
+/// under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatcherSpec {
+    /// Decode-tier slot count ([`ServingOptions::max_decode_batch`]).
+    pub slots: usize,
+    /// Faults one `try_serve` call absorbs before
+    /// [`ServeError::RecoveryLimit`].
+    pub max_recoveries: usize,
+    /// Admission prefill emits the request's first token, so a request with
+    /// `max_new_tokens <= 1` completes at admission without ever occupying
+    /// a decode slot.
+    pub prefill_emits_first_token: bool,
+    /// Replay-cursor position after a recovery rebuild: re-prefill
+    /// re-derives token 0 (asserted against the recording), so replay of
+    /// the remaining recorded tokens restarts at index 1.
+    pub replay_restarts_at: usize,
+}
+
 /// The two-tier continuous-batching scheduler.
 ///
 /// # Examples
@@ -295,6 +320,18 @@ impl ContinuousBatcher {
     #[must_use]
     pub fn decode_engine(&self) -> &PartitionedEngine {
         &self.decode
+    }
+
+    /// The slot-machine parameters the lifecycle analyzer models (see
+    /// [`BatcherSpec`]).
+    #[must_use]
+    pub fn spec(&self) -> BatcherSpec {
+        BatcherSpec {
+            slots: self.opts.max_decode_batch,
+            max_recoveries: self.max_recoveries,
+            prefill_emits_first_token: true,
+            replay_restarts_at: 1,
+        }
     }
 
     /// Sets the collective deadline both tiers (and any rebuilt engine)

@@ -23,6 +23,12 @@
 //! assert_eq!(c, a);
 //! ```
 
+// Panic discipline: library code must not `unwrap`/`expect` its way past
+// conditions a caller could plausibly trigger — those get shape-checked
+// asserts with messages. The vetted remainder (infallible numeric
+// invariants) carries targeted, justified `allow`s at each site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bf16;
 pub mod ops;
 pub mod quant;

@@ -80,6 +80,9 @@ fn mm_tile_full(
         row.copy_from_slice(&out[o0..o0 + NR]);
     }
     for kk in 0..k {
+        // Vetted: `[..NR]` fixes the slice length to NR before the
+        // conversion; the microkernel is only entered on full tiles.
+        #[allow(clippy::expect_used)]
         let brow: &[f32; NR] = bd[kk * b_stride + j..][..NR].try_into().expect("NR slice");
         for (r, row) in acc.iter_mut().enumerate() {
             let av = ad[(i + r) * a_stride + kk];
@@ -360,6 +363,9 @@ pub fn softmax_base2(t: &Tensor) -> Tensor {
 }
 
 fn softmax_impl(t: &Tensor, exp: impl Fn(f32) -> f32) -> Tensor {
+    // Vetted: the documented shape-check panic for rank-0 input — an
+    // assert with a message, not a swallowed runtime fault.
+    #[allow(clippy::expect_used)]
     let last = *t.shape().last().expect("softmax of rank-0 tensor");
     assert!(last > 0, "softmax over empty dimension");
     let rows = t.numel() / last;
@@ -388,6 +394,9 @@ fn softmax_impl(t: &Tensor, exp: impl Fn(f32) -> f32) -> Tensor {
 /// Panics if `gain` is not rank 1 matching the last dimension of `t`.
 #[must_use]
 pub fn layernorm(t: &Tensor, gain: &Tensor, eps: f32) -> Tensor {
+    // Vetted: the documented shape-check panic for rank-0 input — an
+    // assert with a message, not a swallowed runtime fault.
+    #[allow(clippy::expect_used)]
     let last = *t.shape().last().expect("layernorm of rank-0 tensor");
     assert_eq!(gain.shape(), &[last], "layernorm gain shape mismatch");
     let rows = t.numel() / last;

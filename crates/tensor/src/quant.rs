@@ -72,6 +72,9 @@ fn qmm_tile_full(
         row.copy_from_slice(&out[o0..o0 + NR]);
     }
     for kk in 0..k {
+        // Vetted: `[..NR]` fixes the slice length to NR before the
+        // conversion; the dequant panel is packed in NR-wide rows.
+        #[allow(clippy::expect_used)]
         let brow: &[f32; NR] = panel[kk * NR..][..NR].try_into().expect("NR panel row");
         for (r, row) in acc.iter_mut().enumerate() {
             let av = ad[(i + r) * a_stride + kk];

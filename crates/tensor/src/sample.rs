@@ -132,6 +132,10 @@ fn categorical<R: Rng>(rng: &mut R, logits: &[f32], ids: &[usize], temperature: 
         }
         u -= w;
     }
+    // Vetted: callers pass the non-empty survivor set of top-k/top-p
+    // filtering (`truncate(keep.max(1))` keeps at least one id); an empty
+    // support is a bug in this module, not a runtime fault.
+    #[allow(clippy::expect_used)]
     *ids.last().expect("categorical over empty support")
 }
 

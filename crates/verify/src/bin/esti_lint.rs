@@ -1,9 +1,106 @@
 //! `esti-lint` — static checks over every built-in layout × model × slice
-//! combination. Exits 0 iff no combination fails a pass.
+//! combination plus the scenario-independent protocol rows.
+//!
+//! Exit status: 0 iff no combination fails a pass (and, under `--strict`,
+//! no combination warns either).
+//!
+//! Flags:
+//!
+//! * `--strict` — treat warnings (weight-gathered working-set margins) as
+//!   failures: exit nonzero if any row warns;
+//! * `--json <path>` — additionally write the full report as a JSON array
+//!   (one object per row: scenario, layout, status, detail) for CI
+//!   artifact upload; `--json -` writes it to stdout instead.
 
-use esti_verify::{run_all, Outcome};
+use std::fmt::Write as _;
+
+use esti_verify::{run_all, ComboResult, Outcome};
+
+/// Minimal JSON string escaping (the report contains no exotic content,
+/// but labels may carry quotes or backslashes in principle).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One row rendered as a JSON object.
+fn json_row(r: &ComboResult) -> String {
+    let (status, detail) = match &r.outcome {
+        Outcome::Pass { spmd, mem, liveness, quant } => {
+            let mut d = format!(
+                "spmd {} chips/{} firings; liveness {} sites/{} injections; mem {}",
+                spmd.chips,
+                spmd.firings,
+                liveness.call_sites,
+                liveness.injections,
+                mem.summary()
+            );
+            if let Some(q) = quant {
+                let _ = write!(
+                    d,
+                    "; quant {} streams, wire ratio {:.4}",
+                    q.streams_covered,
+                    q.wire_ratio()
+                );
+            }
+            let status = if mem.wg_warning.is_some() { "warn" } else { "pass" };
+            (status, d)
+        }
+        Outcome::Verified(summary) => ("verified", summary.clone()),
+        Outcome::Skipped(e) => ("skip", e.clone()),
+        Outcome::Fail(e) => ("fail", e.clone()),
+    };
+    let warning = match &r.outcome {
+        Outcome::Pass { mem, .. } => mem
+            .wg_warning
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |w| format!("\"{}\"", json_escape(w))),
+        _ => "null".to_string(),
+    };
+    format!(
+        "  {{\"scenario\": \"{}\", \"layout\": \"{}\", \"status\": \"{}\", \
+         \"detail\": \"{}\", \"warning\": {}}}",
+        json_escape(&r.scenario),
+        json_escape(&r.layout),
+        status,
+        json_escape(&detail),
+        warning
+    )
+}
 
 fn main() {
+    let mut strict = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("esti-lint: --json requires a path (or - for stdout)");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("esti-lint: unknown flag {other} (try --strict, --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let results = run_all();
     let mut passes = 0usize;
     let mut skips = 0usize;
@@ -17,7 +114,7 @@ fn main() {
             println!("\n== {scenario} ==");
         }
         match &r.outcome {
-            Outcome::Pass { spmd, mem } => {
+            Outcome::Pass { spmd, mem, liveness, quant } => {
                 passes += 1;
                 let wg = match &mem.wg_warning {
                     Some(w) => {
@@ -26,13 +123,22 @@ fn main() {
                     }
                     None => String::new(),
                 };
+                let q = match quant {
+                    Some(q) => format!(", int8 wire {:.2}x", q.wire_ratio()),
+                    None => String::new(),
+                };
                 println!(
-                    "  PASS {:<55} spmd {} chips/{} firings, mem {}{wg}",
+                    "  PASS {:<55} spmd {} chips/{} firings, live {} inj, mem {}{q}{wg}",
                     r.layout,
                     spmd.chips,
                     spmd.firings,
+                    liveness.injections,
                     mem.summary()
                 );
+            }
+            Outcome::Verified(summary) => {
+                passes += 1;
+                println!("  PASS {:<55} {summary}", r.layout);
             }
             Outcome::Skipped(e) => {
                 skips += 1;
@@ -45,10 +151,21 @@ fn main() {
         }
     }
 
+    if let Some(path) = json_path {
+        let body: Vec<String> = results.iter().map(json_row).collect();
+        let doc = format!("[\n{}\n]\n", body.join(",\n"));
+        if path == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("esti-lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
     println!(
         "\nesti-lint: {passes} passed, {skips} skipped, {warnings} warnings, {fails} failed"
     );
-    if fails > 0 {
+    if fails > 0 || (strict && warnings > 0) {
         std::process::exit(1);
     }
 }

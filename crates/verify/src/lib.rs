@@ -1,6 +1,6 @@
 //! Static partition-plan and SPMD collective-schedule analyzer.
 //!
-//! Three passes over the partitioning layouts of Pope et al. (MLSYS 2023),
+//! Six passes over the partitioning layouts of Pope et al. (MLSYS 2023),
 //! run without executing the runtime:
 //!
 //! * [`algebra`] — chains each layout's sharding specs through its
@@ -9,21 +9,43 @@
 //!   piece-by-piece spec continuity;
 //! * [`spmd`] — extracts the per-chip collective sequence from the
 //!   symbolic schedule ([`esti_core::schedule`]) and proves every
-//!   communication group's members issue identical sequences (no shape or
-//!   op mismatch, no deadlock);
+//!   communication group's members issue identical sequences (no shape,
+//!   op, or wire-format mismatch, no deadlock);
 //! * [`memfit`] — sums weight-shard, KV-cache, and activation bytes per
 //!   chip against the esti-hal HBM capacity, reporting margins and
-//!   weight-gathered working-set warnings.
+//!   weight-gathered working-set warnings;
+//! * [`liveness`] — injects every single crash/stall fault into the
+//!   per-chip programs and explores the barrier/deadline/cancel protocol
+//!   ([`esti_collectives::ProtocolModel`]) to prove every surviving rank
+//!   terminates with a typed error — no hang, no post into a cancelled
+//!   group;
+//! * [`quantflow`] — tracks dtype and per-column scale provenance through
+//!   int8-annotated schedules, rejecting double-applied or dropped scales
+//!   and wire volumes that disagree with the traffic ledger's closed form;
+//! * [`lifecycle`] — explores the continuous-batching slot state machine
+//!   ([`esti_runtime::BatcherSpec`]) over abstract request traces with
+//!   mid-decode faults, checking slot occupancy, eviction, replay-cursor,
+//!   and recovery-budget invariants.
 //!
 //! The `esti-lint` binary sweeps every built-in layout × model × slice
-//! combination ([`scenarios`]) and exits nonzero on any failure.
+//! combination ([`scenarios`]) and exits nonzero on any failure (or, with
+//! `--strict`, on any warning); `--json` emits the machine-readable report.
 
 pub mod algebra;
+pub mod lifecycle;
+pub mod liveness;
 pub mod memfit;
+pub mod quantflow;
 pub mod scenarios;
 pub mod spmd;
 
 pub use algebra::check_layout_algebra;
+pub use lifecycle::{check_lifecycle, Defect, LifecycleError, LifecycleReport};
+pub use liveness::{
+    check_liveness, check_schedule_liveness, AbstractFault, FaultSite, LivenessError,
+    LivenessReport,
+};
 pub use memfit::{check_memory_fit, MemReport};
+pub use quantflow::{check_schedule_quantflow, QuantflowError, QuantflowReport};
 pub use scenarios::{builtin_scenarios, run_all, ComboResult, Outcome, Scenario};
 pub use spmd::{check_schedule_spmd, check_spmd, per_chip_program, SpmdError, SpmdReport};

@@ -1,0 +1,536 @@
+//! Pass 6 — continuous-batching slot lifecycle.
+//!
+//! Models the [`ContinuousBatcher`](esti_runtime::ContinuousBatcher) serve
+//! loop — admission → prefill → decode slot → evict, with fault-triggered
+//! replay — as an explicit state machine parameterized by the scheduler's
+//! own [`BatcherSpec`], and explores it over a bounded family of abstract
+//! request traces (mixed generation lengths, queue depths past the slot
+//! cap, mid-decode faults, budget-exhausting fault bursts). The machine is
+//! abstract over token *values* — it tracks, per request, how many tokens
+//! are recorded and where the replay cursor stands — which is exactly the
+//! state the real scheduler's invariants quantify over:
+//!
+//! * **no double-occupied slot** — admission only ever fills an empty slot;
+//! * **evict only complete** — a slot is released only when its request's
+//!   cursor has consumed `max_new_tokens` tokens;
+//! * **replay cursor exact** — after a recovery the cursor restarts at
+//!   [`BatcherSpec::replay_restarts_at`] (decode replay can never re-derive
+//!   the prefill-produced token 0), advances by one per step, replays
+//!   (asserts) while behind the recording, and appends past it — so a
+//!   request's recording never exceeds `max_new_tokens`;
+//! * **recovery budget respected** — a fault past
+//!   [`BatcherSpec::max_recoveries`] must surface as a
+//!   [`TraceOutcome::RecoveryLimit`], never be absorbed silently.
+//!
+//! [`Defect`] seeds one mutation into the machine (admit into an occupied
+//! slot, evict one token early, rewind the replay cursor to 0, ignore the
+//! budget); the unit tests prove each seeded defect is rejected by the
+//! corresponding invariant, so the pass demonstrably checks what it claims.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use esti_runtime::BatcherSpec;
+
+/// One abstract request: only its generation length matters to the slot
+/// machine (prompts are opaque to slot lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbstractRequest {
+    /// Tokens the request generates (0 and 1 complete at admission).
+    pub max_new_tokens: usize,
+}
+
+/// One abstract serving trace: a FIFO of requests plus the decode steps at
+/// which a fault strikes (indexed by *successful* step count, matching the
+/// scheduler's `schedule_decode_fault`; repeats model back-to-back faults).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Requests in arrival order.
+    pub requests: Vec<AbstractRequest>,
+    /// Successful-step counts at which a decode fault strikes, sorted.
+    pub faults_at: Vec<usize>,
+}
+
+/// A seeded scheduler mutation, for tests that prove the pass rejects
+/// exactly the bug each invariant exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// Admission targets slot 0 unconditionally, clobbering its occupant.
+    DoubleAdmit,
+    /// Completion fires one token early, evicting an unfinished request.
+    EvictIncomplete,
+    /// Recovery rewinds the replay cursor to 0 instead of
+    /// [`BatcherSpec::replay_restarts_at`].
+    ReplayRewind,
+    /// Recovery proceeds past [`BatcherSpec::max_recoveries`].
+    IgnoreBudget,
+}
+
+/// How one trace run ended (both are legitimate terminals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Every request completed with exactly its `max_new_tokens` recorded.
+    Completed {
+        /// Successful decode steps taken.
+        steps: usize,
+        /// Recoveries absorbed.
+        recoveries: usize,
+    },
+    /// A fault broke the recovery budget and was surfaced, mirroring
+    /// `ServeError::RecoveryLimit`.
+    RecoveryLimit {
+        /// Faults seen, including the one over budget.
+        faults: usize,
+    },
+}
+
+/// An invariant violation found while exploring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// Admission placed a request into an occupied slot.
+    DoubleOccupied {
+        /// The slot written twice.
+        slot: usize,
+        /// Request already holding the slot.
+        incumbent: usize,
+        /// Request admitted over it.
+        admitted: usize,
+    },
+    /// A slot was released before its request consumed all its tokens.
+    EvictedIncomplete {
+        /// The evicted request.
+        request: usize,
+        /// Tokens consumed at eviction.
+        consumed: usize,
+        /// Tokens the request was due.
+        want: usize,
+    },
+    /// Recovery rewound a replay cursor below the prefill boundary: decode
+    /// replay cannot re-derive the prefill-produced token 0.
+    ReplayRewound {
+        /// The replayed request.
+        request: usize,
+        /// Where the cursor restarted.
+        cursor: usize,
+        /// Where the spec says it must restart.
+        must_restart_at: usize,
+    },
+    /// A recording grew past the request's `max_new_tokens`.
+    OverGeneration {
+        /// The offending request.
+        request: usize,
+        /// Tokens recorded.
+        recorded: usize,
+        /// The request's cap.
+        want: usize,
+    },
+    /// Recovery was attempted with the fault count already past the budget.
+    BudgetIgnored {
+        /// Faults absorbed so far.
+        faults: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The machine exceeded its step bound — requests are starving.
+    Stuck {
+        /// Steps taken when the bound tripped.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::DoubleOccupied { slot, incumbent, admitted } => write!(
+                f,
+                "lifecycle: request {admitted} admitted into slot {slot} still held by \
+                 request {incumbent}"
+            ),
+            LifecycleError::EvictedIncomplete { request, consumed, want } => write!(
+                f,
+                "lifecycle: request {request} evicted after {consumed}/{want} tokens"
+            ),
+            LifecycleError::ReplayRewound { request, cursor, must_restart_at } => write!(
+                f,
+                "lifecycle: request {request} replay cursor restarted at {cursor}, must be \
+                 {must_restart_at} (token 0 is prefill-produced)"
+            ),
+            LifecycleError::OverGeneration { request, recorded, want } => write!(
+                f,
+                "lifecycle: request {request} recorded {recorded} tokens, cap {want}"
+            ),
+            LifecycleError::BudgetIgnored { faults, budget } => write!(
+                f,
+                "lifecycle: recovery proceeded at fault {faults} past budget {budget}"
+            ),
+            LifecycleError::Stuck { steps } => {
+                write!(f, "lifecycle: no completion after {steps} steps")
+            }
+        }
+    }
+}
+
+/// Successful bounded exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleReport {
+    /// Abstract traces explored.
+    pub traces: usize,
+    /// Total successful decode steps simulated.
+    pub steps: usize,
+    /// Total recoveries absorbed.
+    pub recoveries: usize,
+    /// Traces that (correctly) terminated at the recovery limit.
+    pub recovery_limits: usize,
+}
+
+/// A request's slot, mirroring the scheduler's `Active`.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    idx: usize,
+    /// Position of the next sample (`Active::consumed`).
+    cursor: usize,
+}
+
+/// Run one trace through the slot machine described by `spec`, optionally
+/// seeding one `defect`, checking every invariant along the way.
+///
+/// # Errors
+///
+/// The first [`LifecycleError`] observed.
+#[allow(clippy::too_many_lines)] // one function = one faithful serve loop.
+pub fn run_trace(
+    spec: &BatcherSpec,
+    trace: &Trace,
+    defect: Option<Defect>,
+) -> Result<TraceOutcome, LifecycleError> {
+    assert!(spec.slots > 0, "slot machine needs at least one slot");
+    let n = trace.requests.len();
+    let mut recorded = vec![0usize; n];
+    let mut finished = vec![false; n];
+    let mut pending: VecDeque<usize> = (0..n).collect();
+    let mut active: Vec<Option<Slot>> = vec![None; spec.slots];
+    let mut faults: VecDeque<usize> = trace.faults_at.iter().copied().collect();
+    let mut faults_used = 0usize;
+    let mut steps_done = 0usize;
+    let mut recoveries = 0usize;
+
+    // Liveness bound: every request needs at most max_new_tokens steps,
+    // every recovery can replay them all once more.
+    let work: usize = trace.requests.iter().map(|r| r.max_new_tokens).sum();
+    let bound = (work + 1) * (trace.faults_at.len() + 1) + n + 1;
+    let mut attempts = 0usize;
+
+    loop {
+        // Admission at the step boundary (arrivals are immediate: FIFO).
+        while let Some(&idx) = pending.front() {
+            let slot = if defect == Some(Defect::DoubleAdmit) {
+                Some(0)
+            } else {
+                active.iter().position(Option::is_none)
+            };
+            let Some(slot) = slot else { break };
+            pending.pop_front();
+            let want = trace.requests[idx].max_new_tokens;
+            if spec.prefill_emits_first_token && want > 0 {
+                recorded[idx] += 1;
+            }
+            if want <= usize::from(spec.prefill_emits_first_token) {
+                // Completes at admission; never occupies a decode slot.
+                finished[idx] = true;
+                continue;
+            }
+            if let Some(incumbent) = active[slot] {
+                return Err(LifecycleError::DoubleOccupied {
+                    slot,
+                    incumbent: incumbent.idx,
+                    admitted: idx,
+                });
+            }
+            active[slot] = Some(Slot { idx, cursor: usize::from(spec.prefill_emits_first_token) });
+        }
+
+        if active.iter().all(Option::is_none) {
+            // Arrivals are immediate, so an empty decode tier means an
+            // empty queue (or every queued request completes at admission).
+            debug_assert!(pending.is_empty());
+            break;
+        }
+
+        attempts += 1;
+        if attempts > bound {
+            return Err(LifecycleError::Stuck { steps: steps_done });
+        }
+
+        // Mid-decode fault? Strike before the step completes.
+        if faults.front() == Some(&steps_done) {
+            faults.pop_front();
+            faults_used += 1;
+            if faults_used > spec.max_recoveries {
+                if defect == Some(Defect::IgnoreBudget) {
+                    return Err(LifecycleError::BudgetIgnored {
+                        faults: faults_used,
+                        budget: spec.max_recoveries,
+                    });
+                }
+                return Ok(TraceOutcome::RecoveryLimit { faults: faults_used });
+            }
+            recoveries += 1;
+            // Rebuild + replay: every in-flight request keeps its slot and
+            // recording; its cursor restarts at the replay boundary.
+            for entry in active.iter_mut().flatten() {
+                let restart = if defect == Some(Defect::ReplayRewind) {
+                    0
+                } else {
+                    spec.replay_restarts_at
+                };
+                if spec.prefill_emits_first_token
+                    && recorded[entry.idx] > 0
+                    && restart < spec.replay_restarts_at
+                {
+                    return Err(LifecycleError::ReplayRewound {
+                        request: entry.idx,
+                        cursor: restart,
+                        must_restart_at: spec.replay_restarts_at,
+                    });
+                }
+                entry.cursor = restart;
+            }
+            continue; // retry the step
+        }
+
+        // One decode step over the slot batch.
+        steps_done += 1;
+        for slot in &mut active {
+            let Some(s) = slot else { continue };
+            let idx = s.idx;
+            let want = trace.requests[idx].max_new_tokens;
+            if s.cursor < recorded[idx] {
+                // Replay: the recomputed sample is asserted against its
+                // recording; nothing is appended.
+            } else {
+                recorded[idx] += 1;
+                if recorded[idx] > want {
+                    return Err(LifecycleError::OverGeneration {
+                        request: idx,
+                        recorded: recorded[idx],
+                        want,
+                    });
+                }
+            }
+            s.cursor += 1;
+            let done_at = if defect == Some(Defect::EvictIncomplete) {
+                want.saturating_sub(1)
+            } else {
+                want
+            };
+            if s.cursor >= done_at {
+                // Eviction: the invariant the pass enforces.
+                if s.cursor < want || recorded[idx] < want {
+                    return Err(LifecycleError::EvictedIncomplete {
+                        request: idx,
+                        consumed: s.cursor,
+                        want,
+                    });
+                }
+                finished[idx] = true;
+                *slot = None;
+            }
+        }
+    }
+
+    for idx in 0..n {
+        let want = trace.requests[idx].max_new_tokens;
+        if !finished[idx] || recorded[idx] != want {
+            return Err(LifecycleError::Stuck { steps: steps_done });
+        }
+    }
+    Ok(TraceOutcome::Completed { steps: steps_done, recoveries })
+}
+
+/// The bounded trace family `check_lifecycle` explores: generation-length
+/// mixes around the slot cap (including admission-complete lengths 0 and 1
+/// interleaved with long runs), fault-free runs, single faults at each
+/// early step, fault bursts, and a budget-exhausting burst.
+fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
+    let s = spec.slots;
+    let length_sets: Vec<Vec<usize>> = vec![
+        vec![1],
+        vec![0],
+        vec![3],
+        vec![0, 1, 2, 3],
+        vec![4; s + 2],              // queue deeper than the slot cap
+        (0..=s + 1).collect(),       // staggered completions free slots mid-run
+        vec![2, 5, 1, 4, 0, 3],
+    ];
+    let fault_sets: Vec<Vec<usize>> = vec![
+        vec![],
+        vec![0],
+        vec![1],
+        vec![2],
+        vec![0, 0],                  // back-to-back faults on one step
+        vec![1, 2],
+        vec![0; spec.max_recoveries + 1], // must trip the budget
+    ];
+    let mut traces = Vec::new();
+    for lengths in &length_sets {
+        for faults in &fault_sets {
+            traces.push(Trace {
+                requests: lengths
+                    .iter()
+                    .map(|&max_new_tokens| AbstractRequest { max_new_tokens })
+                    .collect(),
+                faults_at: faults.clone(),
+            });
+        }
+    }
+    traces
+}
+
+/// Explore the slot machine of `spec` over the builtin bounded trace
+/// family with no seeded defect.
+///
+/// # Errors
+///
+/// The first [`LifecycleError`] any trace exposes.
+pub fn check_lifecycle(spec: &BatcherSpec) -> Result<LifecycleReport, LifecycleError> {
+    let mut report =
+        LifecycleReport { traces: 0, steps: 0, recoveries: 0, recovery_limits: 0 };
+    for trace in builtin_traces(spec) {
+        report.traces += 1;
+        match run_trace(spec, &trace, None)? {
+            TraceOutcome::Completed { steps, recoveries } => {
+                report.steps += steps;
+                report.recoveries += recoveries;
+            }
+            TraceOutcome::RecoveryLimit { .. } => report.recovery_limits += 1,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BatcherSpec {
+        BatcherSpec {
+            slots: 4,
+            max_recoveries: 3,
+            prefill_emits_first_token: true,
+            replay_restarts_at: 1,
+        }
+    }
+
+    fn trace(lengths: &[usize], faults: &[usize]) -> Trace {
+        Trace {
+            requests: lengths
+                .iter()
+                .map(|&max_new_tokens| AbstractRequest { max_new_tokens })
+                .collect(),
+            faults_at: faults.to_vec(),
+        }
+    }
+
+    #[test]
+    fn builtin_family_is_clean() {
+        let report = check_lifecycle(&spec()).unwrap();
+        assert!(report.traces >= 40, "bounded family should be substantial");
+        assert!(report.steps > 0);
+        assert!(report.recoveries > 0, "mid-decode faults must be exercised");
+        assert!(report.recovery_limits > 0, "budget-exhausting bursts must be exercised");
+    }
+
+    #[test]
+    fn single_slot_spec_is_clean_too() {
+        let one = BatcherSpec { slots: 1, ..spec() };
+        check_lifecycle(&one).unwrap();
+    }
+
+    #[test]
+    fn budget_burst_surfaces_recovery_limit() {
+        let s = spec();
+        let t = trace(&[5], &[0, 0, 0, 0]); // max_recoveries = 3, 4th fault breaks it
+        match run_trace(&s, &t, None).unwrap() {
+            TraceOutcome::RecoveryLimit { faults } => assert_eq!(faults, 4),
+            other => panic!("expected RecoveryLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_admit_defect_rejected() {
+        // The ISSUE's seeded "double-occupied slot" mutation.
+        let s = spec();
+        let err = run_trace(&s, &trace(&[4, 4], &[]), Some(Defect::DoubleAdmit)).unwrap_err();
+        match err {
+            LifecycleError::DoubleOccupied { slot, incumbent, admitted } => {
+                assert_eq!(slot, 0);
+                assert_eq!(incumbent, 0);
+                assert_eq!(admitted, 1);
+            }
+            other => panic!("expected DoubleOccupied, got {other}"),
+        }
+    }
+
+    #[test]
+    fn evict_incomplete_defect_rejected() {
+        let s = spec();
+        let err =
+            run_trace(&s, &trace(&[3], &[]), Some(Defect::EvictIncomplete)).unwrap_err();
+        match err {
+            LifecycleError::EvictedIncomplete { request, consumed, want } => {
+                assert_eq!(request, 0);
+                assert_eq!(want, 3);
+                assert!(consumed < want, "{consumed} < {want}");
+            }
+            other => panic!("expected EvictedIncomplete, got {other}"),
+        }
+    }
+
+    #[test]
+    fn replay_rewind_defect_rejected() {
+        let s = spec();
+        let err = run_trace(&s, &trace(&[4], &[1]), Some(Defect::ReplayRewind)).unwrap_err();
+        assert!(
+            matches!(err, LifecycleError::ReplayRewound { request: 0, cursor: 0, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn ignore_budget_defect_rejected() {
+        let s = spec();
+        let t = trace(&[5], &[0, 0, 0, 0]);
+        let err = run_trace(&s, &t, Some(Defect::IgnoreBudget)).unwrap_err();
+        assert!(
+            matches!(err, LifecycleError::BudgetIgnored { faults: 4, budget: 3 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn replay_after_fault_reproduces_exactly_the_recording() {
+        // A fault mid-stream: the request replays its recorded prefix and
+        // still ends with exactly max_new_tokens recorded.
+        let s = spec();
+        match run_trace(&s, &trace(&[6, 2, 0], &[2]), None).unwrap() {
+            TraceOutcome::Completed { recoveries, .. } => assert_eq!(recoveries, 1),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_matches_the_live_scheduler() {
+        // Anti-drift: the literal spec the lint sweep uses must be what a
+        // real ContinuousBatcher reports.
+        use esti_core::planner::decode_layout;
+        use esti_core::Machine;
+        use esti_model::{ModelConfig, ReferenceModel};
+        use esti_runtime::{ContinuousBatcher, ServingOptions, WeightFormat};
+        let model = ReferenceModel::init_random(ModelConfig::tiny(), 0);
+        let machine = Machine::tpu_v4_slice(4).unwrap();
+        let layout = decode_layout(model.config(), &machine);
+        let batcher =
+            ContinuousBatcher::new(&model, layout, WeightFormat::Exact, ServingOptions::default());
+        assert_eq!(batcher.spec(), spec());
+    }
+}

@@ -1,14 +1,19 @@
 //! Built-in lint scenarios: every layout family × attention sharding ×
 //! model × slice size the repo ships, plus the planner's own chosen
-//! layouts, each pushed through all three verification passes.
+//! layouts, each pushed through all verification passes — plus the
+//! scenario-independent protocol rows (serving slot lifecycle).
 
 use esti_core::layout::MeshFactors;
 use esti_core::{planner, AttnSharding, FfnLayout, GatherExtent, Layout, Machine};
 use esti_hal::DType;
 use esti_model::ModelConfig;
+use esti_runtime::BatcherSpec;
 
 use crate::algebra::check_layout_algebra;
+use crate::lifecycle::check_lifecycle;
+use crate::liveness::{check_schedule_liveness, LivenessReport};
 use crate::memfit::{check_memory_fit, MemReport};
+use crate::quantflow::{check_schedule_quantflow, QuantflowReport};
 use crate::spmd::{check_schedule_spmd, SpmdReport};
 
 /// One model × slice configuration to sweep layouts over.
@@ -29,13 +34,22 @@ pub struct Scenario {
 
 /// Verdict for one (scenario, layout) combination.
 pub enum Outcome {
-    /// All three passes succeeded.
+    /// All passes succeeded.
     Pass {
         /// SPMD report (chips, ops, firings).
         spmd: SpmdReport,
         /// Memory report (may carry a weight-gathered warning).
         mem: MemReport,
+        /// Fault-path liveness, merged over the monolithic and chunked
+        /// schedules (ranks are shared; sites and injections sum).
+        liveness: LivenessReport,
+        /// Quant-dataflow report for int8-weight scenarios (`None` when
+        /// weights stay dense — nothing to check).
+        quant: Option<QuantflowReport>,
     },
+    /// A scenario-independent protocol row (e.g. the serving slot
+    /// lifecycle) that holds; carries its summary.
+    Verified(String),
     /// The combination is structurally inapplicable (indivisible shard or
     /// a layout precondition like multiquery attention) — not a bug.
     Skipped(String),
@@ -87,8 +101,9 @@ pub fn sweep_layouts(model: &ModelConfig, n_chips: usize) -> Vec<Layout> {
     layouts
 }
 
-/// Run all three passes on one (scenario, layout) combination.
+/// Run every pass on one (scenario, layout) combination.
 #[must_use]
+#[allow(clippy::too_many_lines)] // one function = the whole pass pipeline.
 pub fn check_combo(s: &Scenario, layout: &Layout) -> Outcome {
     // Pass 1: sharding algebra over the analytic comm model.
     if let Err(e) = check_layout_algebra(&s.model, layout, s.batch) {
@@ -110,7 +125,7 @@ pub fn check_combo(s: &Scenario, layout: &Layout) -> Outcome {
     // each marked collective into sub-ops but must not change sharding
     // semantics or deadlock-freedom — so the annotated schedule has to
     // verify too, with at least as many group firings.
-    let chunked = schedule.with_overlap_chunks(4);
+    let chunked = schedule.clone().with_overlap_chunks(4);
     if let Err(e) = chunked.verify() {
         return classify(format!("chunked schedule: {e}"));
     }
@@ -137,7 +152,76 @@ pub fn check_combo(s: &Scenario, layout: &Layout) -> Outcome {
     if !mem.fits {
         return Outcome::Fail(format!("memory: over HBM — {}", mem.summary()));
     }
-    Outcome::Pass { spmd, mem }
+    // Pass 4: fault-path liveness, for both execution modes (monolithic and
+    // chunked overlap): every rank × collective call site × {crash, stall}.
+    let live_mono = match check_schedule_liveness(&schedule) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Fail(format!("liveness: {e}")),
+    };
+    let live_chunked = match check_schedule_liveness(&chunked) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Fail(format!("chunked liveness: {e}")),
+    };
+    let liveness = LivenessReport {
+        ranks: live_mono.ranks,
+        call_sites: live_mono.call_sites + live_chunked.call_sites,
+        injections: live_mono.injections + live_chunked.injections,
+    };
+    // Pass 5: quant dataflow, when this scenario stores int8 weights. The
+    // annotated schedules must stay SPMD-clean (wire agreement) and every
+    // quantized stream must line up with the executor's scale plan.
+    let quant = if s.weight_dtype == DType::Int8 {
+        let q_mono = schedule.clone().with_weight_dtype(DType::Int8);
+        let q_chunked = chunked.clone().with_weight_dtype(DType::Int8);
+        if let Err(e) = check_schedule_spmd(&q_chunked) {
+            return Outcome::Fail(format!("int8 spmd: {e}"));
+        }
+        if let Err(e) = check_schedule_quantflow(&q_mono) {
+            return Outcome::Fail(e);
+        }
+        match check_schedule_quantflow(&q_chunked) {
+            Ok(r) => Some(r),
+            Err(e) => return Outcome::Fail(e),
+        }
+    } else {
+        None
+    };
+    Outcome::Pass { spmd, mem, liveness, quant }
+}
+
+/// The slot-machine parameters the shipped scheduler runs with (the
+/// `spec_matches_the_live_scheduler` test in [`crate::lifecycle`] pins this
+/// literal to what a real `ContinuousBatcher` reports).
+#[must_use]
+pub fn default_batcher_spec() -> BatcherSpec {
+    BatcherSpec {
+        slots: 4,
+        max_recoveries: 3,
+        prefill_emits_first_token: true,
+        replay_restarts_at: 1,
+    }
+}
+
+/// The scenario-independent protocol rows: currently the serving slot
+/// lifecycle over the shipped scheduler parameters.
+#[must_use]
+pub fn protocol_rows() -> Vec<ComboResult> {
+    let spec = default_batcher_spec();
+    let outcome = match check_lifecycle(&spec) {
+        Ok(r) => Outcome::Verified(format!(
+            "{} traces, {} steps, {} recoveries, {} budget stops",
+            r.traces, r.steps, r.recoveries, r.recovery_limits
+        )),
+        Err(e) => Outcome::Fail(e.to_string()),
+    };
+    vec![ComboResult {
+        scenario: "serving protocol".to_string(),
+        layout: format!(
+            "slot lifecycle (slots={}, recovery budget={})",
+            spec.slots, spec.max_recoveries
+        ),
+        outcome,
+    }]
 }
 
 /// The shipped scenario list: every built-in model on a slice it is meant
@@ -196,10 +280,14 @@ pub fn run_scenario(s: &Scenario) -> Vec<ComboResult> {
     results
 }
 
-/// Run every built-in scenario. The lint passes iff no [`Outcome::Fail`].
+/// Run every built-in scenario plus the scenario-independent protocol
+/// rows. The lint passes iff no [`Outcome::Fail`].
 #[must_use]
 pub fn run_all() -> Vec<ComboResult> {
-    builtin_scenarios().iter().flat_map(run_scenario).collect()
+    let mut results: Vec<ComboResult> =
+        builtin_scenarios().iter().flat_map(run_scenario).collect();
+    results.extend(protocol_rows());
+    results
 }
 
 #[cfg(test)]
@@ -211,14 +299,35 @@ mod tests {
         let results = run_all();
         assert!(!results.is_empty());
         let mut passes = 0;
+        let mut verified = 0;
+        let mut quant_rows = 0;
         for r in &results {
             match &r.outcome {
                 Outcome::Fail(e) => panic!("{} | {}: {e}", r.scenario, r.layout),
-                Outcome::Pass { .. } => passes += 1,
+                Outcome::Pass { liveness, quant, .. } => {
+                    passes += 1;
+                    // Every passing combination must have been fault-injected
+                    // exhaustively: crash and stall at every call site.
+                    assert!(liveness.call_sites > 0, "{} | {}", r.scenario, r.layout);
+                    assert_eq!(
+                        liveness.injections,
+                        liveness.call_sites * 2,
+                        "{} | {}",
+                        r.scenario,
+                        r.layout
+                    );
+                    if let Some(q) = quant {
+                        quant_rows += 1;
+                        assert!(q.wire_ratio() <= 1.0);
+                    }
+                }
+                Outcome::Verified(_) => verified += 1,
                 Outcome::Skipped(_) => {}
             }
         }
         assert!(passes > 0, "sweep should verify at least one combination");
+        assert!(verified > 0, "the lifecycle protocol row must be present");
+        assert!(quant_rows > 0, "int8 scenarios must produce quant-dataflow rows");
     }
 
     #[test]
@@ -240,7 +349,9 @@ mod tests {
         };
         match check_combo(&s, &layout) {
             Outcome::Fail(e) => assert!(e.contains("memory"), "got {e}"),
-            Outcome::Pass { .. } => panic!("540B bf16 on 8 chips must not pass"),
+            Outcome::Pass { .. } | Outcome::Verified(_) => {
+                panic!("540B bf16 on 8 chips must not pass")
+            }
             Outcome::Skipped(e) => panic!("should fail, not skip: {e}"),
         }
     }
@@ -263,7 +374,9 @@ mod tests {
         };
         match check_combo(&s, &layout) {
             Outcome::Skipped(e) => assert!(e.contains("multiquery"), "got {e}"),
-            Outcome::Pass { .. } => panic!("multihead batch attention must be skipped"),
+            Outcome::Pass { .. } | Outcome::Verified(_) => {
+                panic!("multihead batch attention must be skipped")
+            }
             Outcome::Fail(e) => panic!("should skip, not fail: {e}"),
         }
     }

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use esti_core::schedule::{Schedule, Step, SymOp};
+use esti_core::schedule::{Schedule, Step, SymOp, WireFormat};
 use esti_topology::{AxisSet, ChipCoord, TorusShape};
 
 /// Identity of a communication group: the axes it spans plus the base
@@ -70,6 +70,11 @@ pub struct ChipOp {
     pub chunk: usize,
     /// Total chunk count of the originating step (1 = monolithic).
     pub chunks: usize,
+    /// Payload wire format. Members must agree: a rank posting a dense
+    /// tensor into a quantized exchange (or vice versa) is exactly the
+    /// disagreement the runtime's `debug_check_agreement` catches
+    /// dynamically via its `quant` flag.
+    pub wire: WireFormat,
 }
 
 /// The outcome of a successful SPMD check.
@@ -118,9 +123,13 @@ impl fmt::Display for SpmdError {
 }
 
 fn describe(op: &ChipOp) -> String {
+    let wire = match op.wire {
+        WireFormat::Dense => "",
+        WireFormat::Int8 => " (int8 wire)",
+    };
     if op.chunks > 1 {
         format!(
-            "{} [chunk {}/{}] {} over {} shape {:?}",
+            "{} [chunk {}/{}] {} over {} shape {:?}{wire}",
             op.label,
             op.chunk + 1,
             op.chunks,
@@ -129,7 +138,7 @@ fn describe(op: &ChipOp) -> String {
             op.shape
         )
     } else {
-        format!("{} {} over {} shape {:?}", op.label, op.op, op.group, op.shape)
+        format!("{} {} over {} shape {:?}{wire}", op.label, op.op, op.group, op.shape)
     }
 }
 
@@ -160,7 +169,7 @@ pub fn per_chip_program(
     // Collect the collective template once; it is identical across layers.
     // A step pipelined in N chunks contributes N template entries, each
     // with the per-chunk slice shape.
-    type Proto = (&'static str, SymOp, AxisSet, Vec<usize>, usize, usize);
+    type Proto = (&'static str, SymOp, AxisSet, Vec<usize>, usize, usize, WireFormat);
     let mut layer_ops: Vec<Proto> = Vec::new();
     let mut final_ops: Vec<Proto> = Vec::new();
     for (steps, out) in [
@@ -168,7 +177,7 @@ pub fn per_chip_program(
         (&schedule.final_steps, &mut final_ops),
     ] {
         for step in steps {
-            if let Step::Collective { label, op, axes, input, chunks, .. } = step {
+            if let Step::Collective { label, op, axes, input, chunks, wire, .. } = step {
                 let mut shape = input
                     .local_shape(torus)
                     .map_err(|e| format!("step \"{label}\": {e}"))?;
@@ -186,7 +195,7 @@ pub fn per_chip_program(
                     shape[dim] /= chunks;
                 }
                 for chunk in 0..*chunks {
-                    out.push((*label, *op, *axes, shape.clone(), chunk, *chunks));
+                    out.push((*label, *op, *axes, shape.clone(), chunk, *chunks, *wire));
                 }
             }
         }
@@ -196,7 +205,7 @@ pub fn per_chip_program(
     for coord in torus.chips() {
         let program = &mut programs[torus.chip_id(coord)];
         for _ in 0..n_layers {
-            for &(label, op, axes, ref shape, chunk, chunks) in &layer_ops {
+            for &(label, op, axes, ref shape, chunk, chunks, wire) in &layer_ops {
                 program.push(ChipOp {
                     label,
                     op,
@@ -204,10 +213,11 @@ pub fn per_chip_program(
                     shape: shape.clone(),
                     chunk,
                     chunks,
+                    wire,
                 });
             }
         }
-        for &(label, op, axes, ref shape, chunk, chunks) in &final_ops {
+        for &(label, op, axes, ref shape, chunk, chunks, wire) in &final_ops {
             program.push(ChipOp {
                 label,
                 op,
@@ -215,6 +225,7 @@ pub fn per_chip_program(
                 shape: shape.clone(),
                 chunk,
                 chunks,
+                wire,
             });
         }
     }
@@ -272,6 +283,7 @@ pub fn check_spmd(torus: TorusShape, programs: &[Vec<ChipOp>]) -> Result<SpmdRep
                             || other.label != op.label
                             || other.chunk != op.chunk
                             || other.chunks != op.chunks
+                            || other.wire != op.wire
                         {
                             return Err(SpmdError::Mismatch {
                                 group: op.group.to_string(),
@@ -352,6 +364,7 @@ mod tests {
             shape: vec![2, 2],
             chunk: 0,
             chunks: 1,
+            wire: WireFormat::Dense,
         }
     }
 
@@ -492,6 +505,24 @@ mod tests {
         match err {
             SpmdError::Mismatch { detail, .. } => {
                 assert!(detail.contains("chunk"), "got {detail}");
+            }
+            other => panic!("expected mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_wire_formats_reported() {
+        let torus = two_chip_torus();
+        let z = AxisSet::single(Axis::Z);
+        let c0 = ChipCoord::new(0, 0, 0);
+        let c1 = ChipCoord::new(0, 0, 1);
+        let a = op("wq weight all-gather", SymOp::AllGather { dim: 'F' }, c0, z);
+        let mut b = op("wq weight all-gather", SymOp::AllGather { dim: 'F' }, c1, z);
+        b.wire = WireFormat::Int8;
+        let err = check_spmd(torus, &[vec![a], vec![b]]).unwrap_err();
+        match err {
+            SpmdError::Mismatch { detail, .. } => {
+                assert!(detail.contains("int8 wire"), "got {detail}");
             }
             other => panic!("expected mismatch, got {other}"),
         }

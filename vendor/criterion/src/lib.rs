@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` benchmark harness (0.5 API subset).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the surface the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with throughput annotations, [`Bencher::iter`], and
+//! [`Bencher::iter_batched`]. It performs a short warm-up plus a fixed
+//! measurement pass and prints mean wall-clock time per iteration — enough
+//! to compare runs by hand, without upstream's statistics machinery.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the stub
+/// always materialises one input per routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Units reported alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a warm-up pass and a fixed measurement pass.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms elapse to size the measurement pass.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Measurement: ~100ms worth of iterations, at least one.
+        let target = (Duration::from_millis(100).as_nanos()
+            / per_iter.as_nanos().max(1)) as u64;
+        let iters = target.clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.iters = iters;
+        self.mean = start.elapsed() / iters as u32;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < Duration::from_millis(100) && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean = total / iters.max(1) as u32;
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let per = b.mean.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / per / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / per / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} {:>12.3} us/iter ({} iters){rate}", per * 1e6, b.iters);
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { iters: 0, mean: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), self.throughput, &b);
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { iters: 0, mean: Duration::ZERO };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &b);
+    }
+
+    /// Finish the group (formatting no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _c: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 0, mean: Duration::ZERO };
+        f(&mut b);
+        report(id, None, &b);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

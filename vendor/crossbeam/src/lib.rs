@@ -1,0 +1,6 @@
+//! Offline placeholder for `crossbeam`.
+//!
+//! The workspace declares a `crossbeam` dependency but every concurrent
+//! structure it actually uses comes from `std` (`Mutex`, `Condvar`,
+//! `thread::scope`). The build environment has no crates.io access, so this
+//! empty vendored crate satisfies the manifest without pulling anything in.
