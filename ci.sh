@@ -13,6 +13,13 @@ cargo test -q --workspace
 echo "== overlap conformance: chunked executor bit-identical to monolithic =="
 cargo test -q --release -p esti-runtime --test overlap
 
+echo "== planner conformance: planned execution bit-identical, ledger well-formed =="
+# The execution planner may pick any candidate mode per (layout, phase,
+# dtype); whatever it picks must be bit-identical to monolithic and every
+# planner-emittable schedule must pass the static analyzer.
+cargo test -q --release -p esti-runtime --test planner
+cargo test -q --release -p esti-verify --test planner_schedules
+
 echo "== serving conformance: scheduler token streams identical to isolated generate =="
 # Covers every built-in decode layout plus the ragged-workload proptest.
 cargo test -q --release -p esti-runtime --test serving
@@ -53,6 +60,19 @@ if echo "$lint_out" | grep -q "skip planner"; then
   exit 1
 fi
 echo "esti-lint JSON report: results/esti_lint.json ($(wc -c < results/esti_lint.json) bytes)"
+
+echo "== bench report: no untracked decode regressions =="
+# Every decode row where the planner's pick ran slower than monolithic
+# ("regression": true) must carry a "tracking" reference (issue link or
+# note); silent regressions fail CI.
+python3 - <<'EOF'
+import json, sys
+rows = json.load(open("BENCH_runtime.json")).get("decode", [])
+bad = [r["layout"] for r in rows if r.get("regression") and not r.get("tracking")]
+if bad:
+    sys.exit(f"FAIL: untracked decode regression(s) in BENCH_runtime.json: {bad}")
+print(f"decode rows: {len(rows)}, untracked regressions: 0")
+EOF
 
 echo "== model-checked collectives (bounded-DFS interleavings) =="
 RUSTFLAGS="--cfg loom" cargo test -q -p esti-collectives --test loom --release

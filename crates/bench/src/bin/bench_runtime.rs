@@ -5,30 +5,37 @@
 //! root for the acceptance gate:
 //!
 //! * blocked matmul >= 1.5x over the naive kernel at 256^3 and up;
-//! * overlapped+blocked decode >= 1.2x over the pre-PR configuration
+//! * planner-chosen decode >= 1.2x over the pre-PR configuration
 //!   (monolithic collectives + naive kernel) on the 8-chip 1D
 //!   weight-stationary layout;
+//! * the planner's chosen mode is never slower than monolithic on any
+//!   decode layout (planned/mono >= 1.0x, chunk sweep k in {1,2,4,8,16});
+//! * the measured hidden-communication fraction realizes >= 0.7x of what
+//!   the probe-calibrated planner model predicts for k = 4 on ws1d;
 //! * blocked int8 GEMM >= 2x over the scalar oracle kernel at 256^3;
 //! * int8 weight-gathered decode moves <= 0.55x the all-gather bytes of
 //!   the f32 path (quantized wire format vs bf16-accounted dense);
 //! * the deadline-based collective wait (PR 5's fault model) costs <= 1.05x
 //!   of the blocking barrier on a fault-free decode step.
 //!
-//! The measured communication-hiding fraction is cross-checked against the
-//! analytic `esti_netsim::overlap` model. On a single-core host the
-//! thread-per-chip simulation cannot actually hide communication under
-//! compute (every barrier is a context switch), so the measured fraction
-//! is reported alongside the analytic prediction rather than gated.
+//! The measured hiding fraction is additionally cross-checked against the
+//! *datasheet-ideal* `esti_netsim::overlap` model, reported but not gated:
+//! on a single-core host the thread-per-chip simulation cannot reach
+//! disjoint-hardware overlap (every barrier is a context switch), which is
+//! exactly why the hard gate compares against the calibrated model instead.
 
 use std::time::Instant;
 
 use esti_bench::{banner, results_dir};
 use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
-use esti_hal::ChipSpec;
+use esti_core::perf::Phase;
+use esti_hal::{ChipSpec, DType};
 use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_netsim::{looped_einsum_time, unfused_einsum_time, EinsumSpec};
+use esti_runtime::planner::CANDIDATE_CHUNKS;
 use esti_runtime::{
-    ContinuousBatcher, ExecMode, PartitionedEngine, ServingOptions, ServingRequest, WeightFormat,
+    ContinuousBatcher, ExecMode, ExecPlanner, PartitionedEngine, ServingOptions, ServingRequest,
+    WeightFormat,
 };
 use esti_tensor::ops::{self, MatmulKernel};
 use esti_tensor::{QuantizedMatrix, Tensor};
@@ -97,18 +104,51 @@ fn decode_seconds(model: &ReferenceModel, layout: Layout, exec: ExecMode, kernel
     best
 }
 
-/// Total nanoseconds chips spent blocked inside collectives over
-/// `DECODE_STEPS` decode steps (untimed run, blocked kernel).
-fn decode_comm_nanos(model: &ReferenceModel, layout: Layout, exec: ExecMode) -> u64 {
-    let toks = prompts(model.config().vocab);
-    let mut engine = PartitionedEngine::new_with_exec(model, layout, WeightFormat::Exact, exec);
-    let _ = engine.prefill(&toks);
+/// Total nanoseconds chips spent blocked inside **all-reduce** collectives
+/// over `DECODE_STEPS` decode steps (untimed run, blocked kernel). The
+/// all-reduces are the chunkable sites of the ws1d schedule — the ops the
+/// planner's hidden-fraction prediction covers — so restricting the ledger
+/// to them compares like for like (the attention all-to-alls are never
+/// chunked; their blocked time is identical noise in both variants).
+fn decode_ar_nanos(engine: &mut PartitionedEngine, vocab: usize) -> u64 {
     engine.reset_comm_times();
-    let next: Vec<usize> = (0..BATCH).map(|b| b % model.config().vocab).collect();
+    let next: Vec<usize> = (0..BATCH).map(|b| b % vocab).collect();
     for _ in 0..DECODE_STEPS {
         let _ = engine.decode_step(&next);
     }
-    engine.comm_times().iter().map(esti_collectives::CommTimes::total_nanos).sum()
+    engine
+        .comm_times()
+        .iter()
+        .map(|t| t.nanos(esti_collectives::CollectiveOp::AllReduce))
+        .sum()
+}
+
+/// Hidden-communication fraction `1 - blocked_overlapped /
+/// blocked_monolithic` from the least-noise (minimum) blocked measurement
+/// of each variant over `reps` interleaved runs, plus those blocked nanos.
+/// The minimum is the stable estimator for a timing whose noise is purely
+/// additive (scheduler preemption only ever *adds* blocked wait);
+/// interleaving keeps slow machine-load drift from biasing one variant.
+fn measured_hidden(model: &ReferenceModel, layout: Layout, chunks: usize, reps: usize) -> (f64, u64, u64) {
+    let vocab = model.config().vocab;
+    let toks = prompts(vocab);
+    let mut eng_mono =
+        PartitionedEngine::new_with_exec(model, layout, WeightFormat::Exact, ExecMode::Monolithic);
+    let _ = eng_mono.prefill(&toks);
+    let mut eng_over = PartitionedEngine::new_with_exec(
+        model,
+        layout,
+        WeightFormat::Exact,
+        ExecMode::Overlapped { chunks },
+    );
+    let _ = eng_over.prefill(&toks);
+    let (mut mono, mut over) = (u64::MAX, u64::MAX);
+    for _ in 0..reps {
+        mono = mono.min(decode_ar_nanos(&mut eng_mono, vocab));
+        over = over.min(decode_ar_nanos(&mut eng_over, vocab));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    (1.0 - over as f64 / mono as f64, mono, over)
 }
 
 #[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
@@ -174,7 +214,7 @@ fn main() {
     }
     json.push_str("  ],\n");
 
-    banner("Decode step: tiny8x, batch 64, 8 chips");
+    banner("Decode step: tiny8x, batch 64, 8 chips — chunk sweep + planner");
     let model = ReferenceModel::init_random(tiny8x(), 11);
     let ws1d = Layout {
         ffn: FfnLayout::WeightStationary1D,
@@ -192,37 +232,70 @@ fn main() {
         mesh: MeshFactors::new(8, 1, 1),
     };
     println!(
-        "{:<28} {:>14} {:>16} {:>14} {:>8}",
-        "layout", "pre-PR us", "mono+blocked us", "overlapped us", "speedup"
+        "{:<16} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "layout", "pre-PR us", "k=1 us", "k=2 us", "k=4 us", "k=8 us", "k=16 us", "planned", "speedup"
     );
     json.push_str("  \"decode\": [\n");
     let mut gate_1d = 0.0f64;
+    // Worst planned-vs-monolithic ratio over the decode layouts: the
+    // planner must never pick a mode that loses to monolithic.
+    let mut gate_planned = f64::INFINITY;
     for (i, (name, layout)) in
         [("ws1d_8chips", ws1d), ("ws2d_2x2x2", ws2d), ("wg_xyz_8chips", wg)].into_iter().enumerate()
     {
-        // Pre-PR configuration: monolithic collectives, naive kernel. The
-        // middle column isolates the kernel win from the chunking effect
-        // (on a single-core host the extra chunk barriers are pure cost;
-        // on a parallel host they are what buys the overlap).
+        // Pre-PR configuration: monolithic collectives, naive kernel.
         let base = decode_seconds(&model, layout, ExecMode::Monolithic, MatmulKernel::Naive);
-        let mono = decode_seconds(&model, layout, ExecMode::Monolithic, MatmulKernel::Blocked);
-        let new =
-            decode_seconds(&model, layout, ExecMode::Overlapped { chunks: 4 }, MatmulKernel::Blocked);
-        let speedup = base / new;
+        // Chunk-size sweep with the blocked kernel: k = 1 is the monolithic
+        // schedule (same looped code path, one chunk), larger k buys
+        // overlap on parallel hosts at k extra barriers per collective.
+        let sweep: Vec<(usize, f64)> = CANDIDATE_CHUNKS
+            .iter()
+            .map(|&k| {
+                let exec = if k == 1 {
+                    ExecMode::Monolithic
+                } else {
+                    ExecMode::Overlapped { chunks: k }
+                };
+                (k, decode_seconds(&model, layout, exec, MatmulKernel::Blocked))
+            })
+            .collect();
+        let mono = sweep[0].1;
+        // The planner's pick for this layout's decode shape, using the same
+        // probe-calibrated cost model the engine applies in
+        // `PartitionedEngine::new`. `planned_us` is the sweep row of the
+        // chosen chunk count — a measurement, not a prediction.
+        let decision =
+            ExecPlanner::new(model.config(), layout, DType::Bf16).decide(Phase::Decode, BATCH, 1);
+        let planned_k = match decision.chosen {
+            ExecMode::Monolithic => 1,
+            ExecMode::Overlapped { chunks } => chunks,
+        };
+        let planned = sweep.iter().find(|&&(k, _)| k == planned_k).map_or(mono, |&(_, t)| t);
+        let speedup = base / planned;
+        let planned_vs_mono = mono / planned;
+        gate_planned = gate_planned.min(planned_vs_mono);
         if i == 0 {
             gate_1d = speedup;
         }
-        println!(
-            "{name:<28} {:>14.0} {:>16.0} {:>14.0} {speedup:>8.2}",
-            base * 1e6,
-            mono * 1e6,
-            new * 1e6
-        );
+        print!("{name:<16} {:>11.0}", base * 1e6);
+        for &(_, t) in &sweep {
+            print!(" {:>9.0}", t * 1e6);
+        }
+        println!(" {:>8}k={planned_k} {speedup:>8.2}", "");
+        let sweep_json = sweep
+            .iter()
+            .map(|&(k, t)| format!("{{\"chunks\": {k}, \"us\": {:.1}}}", t * 1e6))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"layout\": \"{name}\", \"baseline_us\": {:.1}, \"mono_blocked_us\": {:.1}, \"overlapped_us\": {:.1}, \"speedup\": {speedup:.4}}}{}\n",
+            "    {{\"layout\": \"{name}\", \"baseline_us\": {:.1}, \"mono_blocked_us\": {:.1}, \
+             \"sweep\": [{sweep_json}], \"planned_chunks\": {planned_k}, \"planned_us\": {:.1}, \
+             \"planned_vs_mono\": {planned_vs_mono:.4}, \"speedup\": {speedup:.4}, \
+             \"regression\": {}}}{}\n",
             base * 1e6,
             mono * 1e6,
-            new * 1e6,
+            planned * 1e6,
+            planned_vs_mono < 1.0,
             if i == 2 { "" } else { "," }
         ));
     }
@@ -234,12 +307,11 @@ fn main() {
         attn: AttnSharding::Batch,
         mesh: MeshFactors::new(1, 8, 1),
     };
-    let comm_mono = decode_comm_nanos(&model, ws1d, ExecMode::Monolithic);
-    let comm_over = decode_comm_nanos(&model, ws1d, ExecMode::Overlapped { chunks: 4 });
-    let measured_hidden = 1.0 - comm_over as f64 / comm_mono as f64;
-    // Analytic counterpart: the netsim Looped CollectiveEinsum model at the
-    // same shapes — the ws1d block all-reduce (ring 8) overlapped with the
-    // output projections that feed it.
+    let (measured_hidden, comm_mono, comm_over) = measured_hidden(&model, ws1d, 4, 5);
+    // Analytic counterpart #1 (reference only): the netsim Looped
+    // CollectiveEinsum model at TPU v4 datasheet rates — what the overlap
+    // would hide on real accelerator links, where transport and compute
+    // run on disjoint hardware.
     let chip = ChipSpec::tpu_v4();
     let cfg = model.config();
     let rows = BATCH as f64;
@@ -249,21 +321,44 @@ fn main() {
     let spec = EinsumSpec::new(8, bytes_per_shard, flops_per_shard);
     let unfused = unfused_einsum_time(&chip, &spec);
     let fused = looped_einsum_time(&chip, &spec);
-    let analytic_hidden = 1.0 - fused / unfused;
+    let ideal_hidden = 1.0 - fused / unfused;
+    // Analytic counterpart #2 (the gate): the planner's calibrated model —
+    // the same `chunked_blocked_time` closed form, fed the probe's measured
+    // host constants (transport rate, fold overhead, realized hiding
+    // efficiency). This is the prediction the planner stakes its decisions
+    // on, so the measured pipeline must realize at least 70% of it.
+    let analytic_hidden = ExecPlanner::new(model.config(), ws1d, DType::Bf16)
+        .decide(Phase::Decode, BATCH, 1)
+        .candidates
+        .iter()
+        .find(|c| c.chunks == 4)
+        .map_or(0.0, |c| c.hidden_fraction);
+    // The measured fraction must reach the analytic prediction from below,
+    // up to 30% relative model slack (the >= 0.7x-analytic criterion) plus
+    // a five-point absolute jitter allowance: the AR blocked-time ledger
+    // swings a few points run to run even with the min-of-reps estimator,
+    // and around zero (a serialized host hides nothing, and the calibrated
+    // model honestly predicts *negative* hiding there — the chunk barriers
+    // it exists to cost) relative slack alone would gate on pure scheduler
+    // noise. For positive analytic this reads `0.7x analytic − 0.05`.
+    let gate_hidden_floor = analytic_hidden - 0.3 * analytic_hidden.abs() - 0.05;
     println!(
         "measured: blocked {:.0} us monolithic vs {:.0} us overlapped (hidden fraction {measured_hidden:.2})",
         comm_mono as f64 / 1e3,
         comm_over as f64 / 1e3,
     );
     println!(
-        "analytic (netsim, TPU v4 shapes): fused {:.2} us vs unfused {:.2} us (hidden fraction {analytic_hidden:.2})",
+        "analytic (calibrated planner model, k=4): hidden fraction {analytic_hidden:.2} \
+         (gate: measured >= floor {gate_hidden_floor:.3})"
+    );
+    println!(
+        "analytic (netsim, TPU v4 datasheet): fused {:.2} us vs unfused {:.2} us (hidden fraction {ideal_hidden:.2}; reference only —",
         fused * 1e6,
         unfused * 1e6,
     );
-    println!("note: single-core hosts serialize the chip threads, so the measured");
-    println!("fraction under-reports what the analytic model predicts for real links.");
+    println!("single-core hosts serialize the chip threads, so measured cannot reach datasheet overlap)");
     json.push_str(&format!(
-        "  \"overlap_crosscheck\": {{\"comm_blocked_monolithic_us\": {:.1}, \"comm_blocked_overlapped_us\": {:.1}, \"measured_hidden_fraction\": {measured_hidden:.4}, \"analytic_hidden_fraction\": {analytic_hidden:.4}}},\n",
+        "  \"overlap_crosscheck\": {{\"comm_blocked_monolithic_us\": {:.1}, \"comm_blocked_overlapped_us\": {:.1}, \"measured_hidden_fraction\": {measured_hidden:.4}, \"analytic_hidden_fraction\": {analytic_hidden:.4}, \"ideal_hidden_fraction\": {ideal_hidden:.4}}},\n",
         comm_mono as f64 / 1e3,
         comm_over as f64 / 1e3,
     ));
@@ -427,7 +522,7 @@ fn main() {
     print!("{}", engine.comm_time_summary());
 
     json.push_str(&format!(
-        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.5, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.0, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05}}\n}}\n"
+        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.5, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"planned_vs_mono_min\": {gate_planned:.4}, \"planned_vs_mono_required\": 1.0, \"overlap_hidden_measured\": {measured_hidden:.4}, \"overlap_hidden_required\": {gate_hidden_floor:.4}, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.0, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05}}\n}}\n"
     ));
 
     let root = results_dir().parent().map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
@@ -439,13 +534,25 @@ fn main() {
 
     banner("Acceptance gates");
     println!("matmul 256^3 blocked/naive: {gate_256:.2}x (require >= 1.5x)");
-    println!("decode ws1d overlapped+blocked vs pre-PR: {gate_1d:.2}x (require >= 1.2x)");
+    println!("decode ws1d planned vs pre-PR: {gate_1d:.2}x (require >= 1.2x)");
+    println!("planned vs monolithic, worst decode layout: {gate_planned:.2}x (require >= 1.0x)");
+    println!(
+        "measured hidden-comm fraction: {measured_hidden:.3} (require >= calibrated-analytic floor {gate_hidden_floor:.3})"
+    );
     println!("serving continuous batching vs serial: {gate_serving:.2}x (require >= 1.1x)");
     println!("int8 GEMM 256^3 blocked/scalar: {gate_q256:.2}x (require >= 2.0x)");
     println!("int8 WG decode all-gather bytes vs f32: {gate_wire:.3} (require <= 0.55)");
     println!("deadline barrier vs blocking barrier decode step: {gate_deadline:.3} (require <= 1.05)");
     assert!(gate_256 >= 1.5, "matmul gate failed: {gate_256:.2}x < 1.5x");
     assert!(gate_1d >= 1.2, "decode gate failed: {gate_1d:.2}x < 1.2x");
+    assert!(
+        gate_planned >= 1.0,
+        "planner regression gate failed: planned/mono {gate_planned:.3}x < 1.0x"
+    );
+    assert!(
+        measured_hidden >= gate_hidden_floor,
+        "overlap gate failed: measured hidden {measured_hidden:.3} < floor {gate_hidden_floor:.3}"
+    );
     assert!(gate_serving >= 1.1, "serving gate failed: {gate_serving:.2}x < 1.1x");
     assert!(gate_q256 >= 2.0, "int8 GEMM gate failed: {gate_q256:.2}x < 2.0x");
     assert!(gate_wire <= 0.55, "int8 wire gate failed: ratio {gate_wire:.3} > 0.55");

@@ -91,6 +91,14 @@ pub struct CommGroup {
     rank: usize,
     /// Per-member wall-clock nanoseconds blocked in each collective kind.
     times: [Cell<u64>; 4],
+    /// Per-member nanoseconds spent *launching* chunked sub-transfers (the
+    /// non-blocking `post` deposits) — the per-chunk overhead the execution
+    /// planner's cost model charges per pipeline slot.
+    post_nanos: Cell<u64>,
+    /// Per-member nanoseconds the overlap loops spend folding collected
+    /// partials (reported by the runtime via
+    /// [`note_fold_nanos`](CommGroup::note_fold_nanos)).
+    fold_nanos: Cell<u64>,
     /// Deadline applied to every barrier wait this member performs. `None`
     /// (the default for raw groups) blocks forever like the pre-fault
     /// protocol; the engine arms a finite deadline so a stalled peer
@@ -153,6 +161,8 @@ impl CommGroup {
                 shared: Arc::clone(&shared),
                 rank,
                 times: Default::default(),
+                post_nanos: Cell::new(0),
+                fold_nanos: Cell::new(0),
                 deadline: Cell::new(None),
                 fault: RefCell::new(None),
                 #[cfg(all(debug_assertions, not(loom)))]
@@ -403,10 +413,50 @@ impl CommGroup {
         ])
     }
 
-    /// Clears this member's accumulated collective times.
+    /// Clears this member's accumulated collective times (including the
+    /// per-chunk launch and fold overhead counters).
     pub fn reset_times(&self) {
         for t in &self.times {
             t.set(0);
+        }
+        self.post_nanos.set(0);
+        self.fold_nanos.set(0);
+    }
+
+    /// Nanoseconds this member has spent in the non-blocking `post` phase
+    /// of chunked collectives — per-chunk launch overhead (slot locking and
+    /// payload deposit) that monolithic execution pays only once per
+    /// collective. One of the two overhead terms the execution planner's
+    /// calibrated cost model charges per pipeline slot.
+    #[must_use]
+    pub fn post_nanos(&self) -> u64 {
+        self.post_nanos.get()
+    }
+
+    /// Nanoseconds the overlap loops reported spending in per-chunk partial
+    /// folds on this member (see [`note_fold_nanos`](Self::note_fold_nanos)).
+    #[must_use]
+    pub fn fold_nanos(&self) -> u64 {
+        self.fold_nanos.get()
+    }
+
+    /// Adds `nanos` of per-chunk fold time (accumulating collected partials
+    /// into the preallocated output). Called by the runtime's overlap loops
+    /// so chunk-granularity bookkeeping lives next to the transport it
+    /// belongs to.
+    pub fn note_fold_nanos(&self, nanos: u64) {
+        self.fold_nanos.set(self.fold_nanos.get().wrapping_add(nanos));
+    }
+
+    /// Accumulates `start.elapsed()` into the chunk-launch counter and, on
+    /// rank 0, records one posted chunk of `op` in the shared ledger.
+    fn note_post(&self, op: CollectiveOp, start: Instant) {
+        let d = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.post_nanos.set(self.post_nanos.get().wrapping_add(d));
+        if self.rank == 0 {
+            if let Some(stats) = &self.shared.stats {
+                stats.record_chunk_post(op);
+            }
         }
     }
 
@@ -959,6 +1009,7 @@ impl ChunkedExchange<'_> {
             self.posted, self.collected,
             "collect the in-flight chunk before posting the next (one mailbox slot per member)"
         );
+        let t0 = Instant::now();
         if self.group.size() == 1 {
             self.solo = Some(chunk);
         } else {
@@ -967,6 +1018,7 @@ impl ChunkedExchange<'_> {
                 .unwrap_or_else(PoisonError::into_inner) =
                 Some(Payload::Dense(chunk));
         }
+        self.group.note_post(self.op, t0);
         self.posted += 1;
     }
 
@@ -1053,6 +1105,7 @@ impl ChunkedQuantExchange<'_> {
             self.posted, self.collected,
             "collect the in-flight chunk before posting the next (one mailbox slot per member)"
         );
+        let t0 = Instant::now();
         if self.group.size() == 1 {
             self.solo = Some(chunk);
         } else {
@@ -1061,6 +1114,7 @@ impl ChunkedQuantExchange<'_> {
                 .unwrap_or_else(PoisonError::into_inner) =
                 Some(Payload::Quant(chunk));
         }
+        self.group.note_post(self.op, t0);
         self.posted += 1;
     }
 
@@ -1462,6 +1516,49 @@ mod tests {
             });
             let _ = g0.all_reduce_chunked(&Tensor::ones(vec![4]), 0, 2);
         });
+    }
+
+    #[test]
+    fn chunk_posts_and_overhead_counters_tracked() {
+        let stats = TrafficStats::new();
+        let members = CommGroup::create_with_stats(2, Arc::clone(&stats));
+        let groups: Vec<_> = run_group_members(members, |_, g| {
+            let t = Tensor::ones(vec![8]);
+            let _ = g.all_reduce_chunked(&t, 0, 4);
+            g
+        });
+        // One 4-chunk call: four posts in the shared ledger (rank 0 only),
+        // and every member accumulated nonzero launch time.
+        assert_eq!(stats.calls(CollectiveOp::AllReduce), 1);
+        assert_eq!(stats.chunk_posts(CollectiveOp::AllReduce), 4);
+        for g in &groups {
+            assert!(g.post_nanos() > 0, "post overhead accounted");
+            g.note_fold_nanos(7);
+            assert_eq!(g.fold_nanos(), 7);
+            g.reset_times();
+            assert_eq!(g.post_nanos(), 0);
+            assert_eq!(g.fold_nanos(), 0);
+        }
+    }
+
+    /// Like `run_group` but takes ownership of pre-built members (so tests
+    /// can share a stats ledger) and returns them in rank order.
+    fn run_group_members<T: Send>(
+        members: Vec<CommGroup>,
+        f: impl Fn(usize, CommGroup) -> T + Sync,
+    ) -> Vec<T> {
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .into_iter()
+                .enumerate()
+                .map(|(r, m)| s.spawn(move || f(r, m)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("member thread"))
+                .collect()
+        })
     }
 
     #[test]

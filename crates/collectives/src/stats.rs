@@ -87,6 +87,7 @@ pub struct TrafficStats {
     bytes: [AtomicU64; 4],
     calls: [AtomicU64; 4],
     nanos: [AtomicU64; 4],
+    chunk_posts: [AtomicU64; 4],
 }
 
 impl TrafficStats {
@@ -140,12 +141,28 @@ impl TrafficStats {
         CollectiveOp::ALL.iter().map(|&op| self.nanos(op)).sum()
     }
 
+    /// Records one posted chunk of a chunked collective of kind `op`.
+    /// Recorded once per call (on rank 0) like byte volumes, so
+    /// `chunk_posts / calls` is the average pipeline depth actually used —
+    /// the quantity the execution planner's per-chunk overhead term
+    /// multiplies.
+    pub fn record_chunk_post(&self, op: CollectiveOp) {
+        self.chunk_posts[op.slot()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total chunks posted for chunked collectives of `op`.
+    #[must_use]
+    pub fn chunk_posts(&self, op: CollectiveOp) -> u64 {
+        self.chunk_posts[op.slot()].load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         for i in 0..4 {
             self.bytes[i].store(0, Ordering::Relaxed);
             self.calls[i].store(0, Ordering::Relaxed);
             self.nanos[i].store(0, Ordering::Relaxed);
+            self.chunk_posts[i].store(0, Ordering::Relaxed);
         }
     }
 }

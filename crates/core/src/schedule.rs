@@ -611,6 +611,144 @@ impl Schedule {
         }
         self
     }
+
+    /// The collectives the overlapped executor pipelines, quantified for
+    /// the execution planner: per site, the per-chip wire volume, the
+    /// extent chunking divides, and the per-chip FLOPs of the einsums the
+    /// runtime fuses into the loop. The marked set is exactly the one
+    /// [`Schedule::with_overlap_chunks`] annotates, so the planner costs
+    /// the same streams the engine issues and the verifier checks.
+    #[must_use]
+    pub fn overlap_sites(&self) -> Vec<OverlapSite> {
+        let flow = flow_of(&self.layout);
+        let torus = self.torus;
+        let mut sites = Vec::new();
+        for (steps, per_layer) in [(&self.layer, true), (&self.final_steps, false)] {
+            for (i, step) in steps.iter().enumerate() {
+                let Step::Collective { label, op, axes, input, wire, .. } = step else {
+                    continue;
+                };
+                if !overlap_chunkable(flow, label) {
+                    continue;
+                }
+                let Ok(shape) = input.local_shape(torus) else { continue };
+                let extent = match op {
+                    SymOp::AllGather { dim } => input.dim_index(*dim).map(|ix| shape[ix]),
+                    SymOp::ReduceScatter { dim } => {
+                        input.dim_index(*dim).map(|ix| shape[ix] / torus.group_size(*axes))
+                    }
+                    SymOp::AllReduce => shape.last().copied(),
+                    SymOp::AllToAll { .. } => None,
+                };
+                let Some(extent) = extent else { continue };
+                let group = torus.group_size(*axes);
+                let local: usize = shape.iter().product();
+                // Appendix A.1 byte conventions, matching the runtime's
+                // traffic ledger: all-gather charges per-chip output bytes,
+                // reduce-scatter input bytes, all-reduce both phases; dense
+                // payloads cost 2 B/element, quantized weight gathers the
+                // int8 closed form (1 B/value + one f32 scale per column,
+                // from each rank).
+                let bytes = match (*op, *wire) {
+                    (SymOp::AllGather { .. }, WireFormat::Int8) => {
+                        (group * (shape[0] * shape[1] + 4 * shape[1])) as f64
+                    }
+                    (SymOp::AllGather { .. }, WireFormat::Dense) => (local * group * 2) as f64,
+                    (SymOp::AllReduce, _) => (local * 4) as f64,
+                    (SymOp::ReduceScatter { .. } | SymOp::AllToAll { .. }, _) => {
+                        (local * 2) as f64
+                    }
+                };
+                sites.push(OverlapSite {
+                    label,
+                    op: *op,
+                    group,
+                    bytes,
+                    extent,
+                    fused_flops: fused_flops_at(steps, i, torus),
+                    per_layer,
+                });
+            }
+        }
+        sites
+    }
+}
+
+/// One collective the overlapped executor pipelines, quantified for the
+/// execution planner (see [`Schedule::overlap_sites`]). These are the
+/// analytic cost-model inputs `esti-runtime`'s planner feeds the
+/// `esti-netsim` pipeline formulas; deriving them from the symbolic
+/// schedule keeps the planner and the static analyzer reading one shared
+/// description of what the engine does.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapSite {
+    /// Schedule step label.
+    pub label: &'static str,
+    /// The collective's algebra rewrite.
+    pub op: SymOp,
+    /// Size of the mesh-axis group the collective spans.
+    pub group: usize,
+    /// Per-chip wire bytes (Appendix A.1 conventions; 2 B/element dense,
+    /// quantized closed form for int8 weight gathers).
+    pub bytes: f64,
+    /// The extent [`Schedule::with_overlap_chunks`] divides — candidate
+    /// chunk counts are its divisors (see [`effective_chunks`]).
+    pub extent: usize,
+    /// Per-chip FLOPs of the einsums the runtime fuses into this loop
+    /// (producers of a reduction's partial sums; consumers of a gather's
+    /// output).
+    pub fused_flops: f64,
+    /// True for per-layer steps (executed `n_layers` times), false for the
+    /// post-stack final steps.
+    pub per_layer: bool,
+}
+
+/// Per-chip FLOPs of one einsum step: `2 · |local output| · |local
+/// contracted extent|`. Zero for non-einsum steps or indivisible shards.
+fn einsum_flops(step: &Step, torus: TorusShape) -> f64 {
+    let Step::Einsum { x, contract, output, .. } = step else { return 0.0 };
+    let Ok(out) = output.local_elements(torus) else { return 0.0 };
+    let Ok(xs) = x.local_shape(torus) else { return 0.0 };
+    let mut k = 1.0;
+    for c in contract {
+        if let Some(ix) = x.dim_index(*c) {
+            k *= xs[ix] as f64;
+        }
+    }
+    2.0 * out as f64 * k
+}
+
+/// FLOPs of the einsums the runtime fuses into the collective at index
+/// `at` of `steps`: for a reduction (all-reduce / reduce-scatter), the
+/// partial-sum producers since the previous collective — the runtime
+/// computes those products chunk by chunk to feed the pipeline; for an
+/// all-gather, the consumers of the gathered tensor before the next
+/// collective — the runtime contracts each arriving slice on the spot.
+/// Consumers are matched structurally (equal sharding and global shape),
+/// which deliberately sees through shape-preserving local ops like the
+/// layernorm between a gather and its projections.
+fn fused_flops_at(steps: &[Step], at: usize, torus: TorusShape) -> f64 {
+    let Step::Collective { op, output: gathered, .. } = &steps[at] else {
+        return 0.0;
+    };
+    match op {
+        SymOp::AllReduce | SymOp::ReduceScatter { .. } => steps[..at]
+            .iter()
+            .rev()
+            .take_while(|s| !matches!(s, Step::Collective { .. }))
+            .filter(|s| {
+                matches!(s, Step::Einsum { output, .. } if !output.spec.partial_sum().is_empty())
+            })
+            .map(|s| einsum_flops(s, torus))
+            .sum(),
+        SymOp::AllGather { .. } => steps[at + 1..]
+            .iter()
+            .take_while(|s| !matches!(s, Step::Collective { .. }))
+            .filter(|s| matches!(s, Step::Einsum { x, w, .. } if x == gathered || w == gathered))
+            .map(|s| einsum_flops(s, torus))
+            .sum(),
+        SymOp::AllToAll { .. } => 0.0,
+    }
 }
 
 /// Labels of the collectives the overlapped executor pipelines, per

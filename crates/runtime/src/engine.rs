@@ -15,7 +15,9 @@ use esti_collectives::{
     CollectiveError, CommGroup, CommTimes, FaultPlan, FaultState, InjectedCrash, TrafficStats,
 };
 use esti_core::layout::{AttnSharding, FfnLayout, Layout};
+use esti_core::perf::Phase;
 use esti_core::schedule::effective_chunks;
+use esti_hal::DType;
 use esti_model::reference::{attention_core_ragged, gelu, mm3};
 use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_tensor::{ops, Tensor};
@@ -23,7 +25,18 @@ use esti_tensor::{ops, Tensor};
 use crate::overlap::{
     looped_ag_einsums, looped_ar_cols, looped_rs_cols, looped_wg_cols, looped_wg_rows,
 };
+use crate::planner::{ExecPlan, ExecPlanner};
 use crate::shard::{shard_1d, shard_2d, shard_wg, shard_wg_hybrid, LayerShard, ShardMat};
+
+/// The weight dtype the planner's schedule model sees for a storage
+/// format: int8 storage moves weight gathers quantized (Section 3.6); the
+/// float formats all gather dense bf16-width payloads.
+fn planner_dtype(fmt: WeightFormat) -> DType {
+    match fmt {
+        WeightFormat::Int8 => DType::Int8,
+        WeightFormat::Exact | WeightFormat::Bf16 => DType::Bf16,
+    }
+}
 
 pub use crate::shard::WeightFormat;
 
@@ -66,6 +79,17 @@ impl ExecMode {
             ExecMode::Overlapped { chunks } => chunks.max(1),
         }
     }
+}
+
+/// How the engine decides its [`ExecMode`]: pinned at construction, or
+/// chosen per forward shape by the analytic [`ExecPlanner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecPolicy {
+    /// Run every forward with this mode (explicit baselines and tests).
+    Fixed(ExecMode),
+    /// Plan per (phase, batch, tokens) at first use; decisions accumulate
+    /// in the engine's [`ExecPlan`] ledger.
+    Planned,
 }
 
 /// Deadline applied to every collective of a fresh engine: generous enough
@@ -170,7 +194,11 @@ pub struct PartitionedEngine {
     cfg: ModelConfig,
     layout: Layout,
     dataflow: Dataflow,
-    exec: ExecMode,
+    exec: ExecPolicy,
+    /// Weight storage format, kept for the planner's wire-format input.
+    fmt: WeightFormat,
+    /// Accumulated planner decisions (empty under a fixed mode).
+    plan: ExecPlan,
     chips: Vec<ChipState>,
     stats: Arc<TrafficStats>,
     /// Full embedding table, used host-side for the input lookup.
@@ -222,14 +250,23 @@ impl PartitionedEngine {
     /// Panics if the model dimensions do not divide the mesh (each dataflow
     /// documents its divisibility requirements in [`crate::shard`]), or if
     /// batch-sharded attention is requested for a multihead model.
+    ///
+    /// The engine's execution mode is chosen by the analytic
+    /// [`ExecPlanner`] per (phase, batch) shape at first use: the planner
+    /// costs every candidate chunk count with the calibrated cost model
+    /// and keeps monolithic execution wherever pipelining does not
+    /// clearly win. Inspect the decisions via
+    /// [`PartitionedEngine::exec_plan`]; pin a mode explicitly with
+    /// [`PartitionedEngine::new_with_exec`].
     #[must_use]
     pub fn new(model: &ReferenceModel, layout: Layout, fmt: WeightFormat) -> Self {
-        PartitionedEngine::new_with_exec(model, layout, fmt, ExecMode::default())
+        PartitionedEngine::new_impl(model, layout, fmt, ExecPolicy::Planned)
     }
 
     /// Like [`PartitionedEngine::new`], with an explicit execution mode —
     /// [`ExecMode::Monolithic`] for the unpipelined baseline, or
-    /// [`ExecMode::Overlapped`] with a chosen chunk count.
+    /// [`ExecMode::Overlapped`] with a chosen chunk count — bypassing the
+    /// planner entirely.
     ///
     /// # Panics
     ///
@@ -240,6 +277,15 @@ impl PartitionedEngine {
         layout: Layout,
         fmt: WeightFormat,
         exec: ExecMode,
+    ) -> Self {
+        PartitionedEngine::new_impl(model, layout, fmt, ExecPolicy::Fixed(exec))
+    }
+
+    fn new_impl(
+        model: &ReferenceModel,
+        layout: Layout,
+        fmt: WeightFormat,
+        exec: ExecPolicy,
     ) -> Self {
         let cfg = model.config().clone();
         let n = layout.mesh.n_chips();
@@ -347,6 +393,8 @@ impl PartitionedEngine {
             layout,
             dataflow,
             exec,
+            fmt,
+            plan: ExecPlan::default(),
             chips,
             stats,
             batch: None,
@@ -414,10 +462,50 @@ impl PartitionedEngine {
         self.poisoned
     }
 
-    /// The execution mode this engine runs with.
+    /// The execution mode this engine runs decode steps with: the pinned
+    /// mode for [`PartitionedEngine::new_with_exec`] engines, or the
+    /// planner's decode decision once one has been made (before the first
+    /// decode forward, the regression-proof [`ExecMode::Monolithic`]).
     #[must_use]
     pub fn exec_mode(&self) -> ExecMode {
-        self.exec
+        match self.exec {
+            ExecPolicy::Fixed(mode) => mode,
+            ExecPolicy::Planned => self
+                .plan
+                .decisions
+                .iter()
+                .find(|d| d.phase == Phase::Decode)
+                .map_or(ExecMode::Monolithic, |d| d.chosen),
+        }
+    }
+
+    /// The planner's accumulated decision ledger: one entry per forward
+    /// shape planned so far (always empty for engines built with
+    /// [`PartitionedEngine::new_with_exec`]). Render it with
+    /// [`crate::introspect::plan_ledger_json`].
+    #[must_use]
+    pub fn exec_plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// The chunk-count target for a `[b, l, _]` forward, planning it first
+    /// if this engine plans and has not seen the shape yet.
+    fn resolve_want(&mut self, b: usize, l: usize) -> usize {
+        match self.exec {
+            ExecPolicy::Fixed(mode) => mode.want(),
+            ExecPolicy::Planned => {
+                let phase = if l == 1 { Phase::Decode } else { Phase::Prefill };
+                if let Some(d) = self.plan.decision_for(phase, b, l) {
+                    return d.chosen.want();
+                }
+                let planner =
+                    ExecPlanner::new(&self.cfg, self.layout, planner_dtype(self.fmt));
+                let d = planner.decide(phase, b, l);
+                let want = d.chosen.want();
+                self.plan.decisions.push(d);
+                want
+            }
+        }
     }
 
     /// The model configuration.
@@ -887,8 +975,8 @@ impl PartitionedEngine {
             _ => (1, self.chips.len()),
         };
         let n = self.chips.len();
-        let want = self.exec.want();
         let (b, l) = (x.dim(0), x.dim(1));
+        let want = self.resolve_want(b, l);
         let bases = self.row_bases(b);
         let results: Vec<Result<Option<Tensor>, ChipPanic>> = std::thread::scope(|s| {
             let handles: Vec<_> = self

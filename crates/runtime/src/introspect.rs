@@ -11,8 +11,11 @@
 //! stream must be added to this table to be verified, and the quant pass
 //! rejects schedules whose streams it cannot find.
 
+use esti_core::perf::Phase;
 use esti_core::schedule::WireFormat;
 
+use crate::engine::ExecMode;
+use crate::planner::ExecPlan;
 use crate::shard::WeightFormat;
 
 /// Where a quantized stream applies its per-column scales.
@@ -77,6 +80,64 @@ pub fn weight_wire_format(fmt: WeightFormat) -> WireFormat {
     }
 }
 
+/// Renders an engine's planner decision ledger as JSON, one object per
+/// planned forward shape with every candidate's predicted cost — the
+/// auditable record of *why* the engine runs the mode it runs. Stable
+/// machine-readable keys; append-only like the other conventions here.
+///
+/// # Examples
+///
+/// ```
+/// use esti_core::planner::decode_layout;
+/// use esti_core::Machine;
+/// use esti_model::{ModelConfig, ReferenceModel};
+/// use esti_runtime::{plan_ledger_json, PartitionedEngine, WeightFormat};
+///
+/// let model = ReferenceModel::init_random(ModelConfig::tiny(), 0);
+/// let machine = Machine::tpu_v4_slice(4).unwrap();
+/// let layout = decode_layout(model.config(), &machine);
+/// let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+/// let _ = engine.prefill(&[vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]]);
+/// let json = plan_ledger_json(engine.exec_plan());
+/// assert!(json.contains("\"phase\": \"prefill\""));
+/// ```
+#[must_use]
+pub fn plan_ledger_json(plan: &ExecPlan) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in plan.decisions.iter().enumerate() {
+        let phase = match d.phase {
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+        };
+        let (mode, chunks) = match d.chosen {
+            ExecMode::Monolithic => ("monolithic", 1),
+            ExecMode::Overlapped { chunks } => ("overlapped", chunks),
+        };
+        out.push_str(&format!(
+            "  {{\"phase\": \"{phase}\", \"batch\": {}, \"tokens\": {}, \
+             \"chosen\": {{\"mode\": \"{mode}\", \"chunks\": {chunks}}}, \"candidates\": [",
+            d.batch, d.tokens
+        ));
+        for (j, c) in d.candidates.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"chunks\": {}, \"predicted_us\": {:.3}, \"blocked_us\": {:.3}, \
+                 \"hidden_fraction\": {:.4}}}",
+                c.chunks, c.predicted_us, c.blocked_us, c.hidden_fraction
+            ));
+        }
+        out.push_str("]}");
+        if i + 1 < plan.decisions.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +158,39 @@ mod tests {
                 d => panic!("{}: quantized shards are rank-2, got dim {d}", s.label),
             }
         }
+    }
+
+    #[test]
+    fn plan_ledger_renders_every_decision_and_candidate() {
+        use crate::planner::{CandidateCost, PlanDecision};
+        let plan = ExecPlan {
+            decisions: vec![PlanDecision {
+                phase: Phase::Decode,
+                batch: 64,
+                tokens: 1,
+                chosen: ExecMode::Overlapped { chunks: 4 },
+                candidates: vec![
+                    CandidateCost {
+                        chunks: 1,
+                        predicted_us: 100.0,
+                        blocked_us: 80.0,
+                        hidden_fraction: 0.0,
+                    },
+                    CandidateCost {
+                        chunks: 4,
+                        predicted_us: 60.0,
+                        blocked_us: 30.0,
+                        hidden_fraction: 0.625,
+                    },
+                ],
+            }],
+        };
+        let json = plan_ledger_json(&plan);
+        assert!(json.contains("\"phase\": \"decode\""), "{json}");
+        assert!(json.contains("\"mode\": \"overlapped\", \"chunks\": 4"), "{json}");
+        assert!(json.contains("\"hidden_fraction\": 0.6250"), "{json}");
+        // Two candidate rows rendered.
+        assert_eq!(json.matches("\"predicted_us\"").count(), 2, "{json}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod engine;
 pub mod generate;
 mod overlap;
 pub mod introspect;
+pub mod planner;
 pub mod serving;
 pub mod shard;
 
@@ -64,7 +65,10 @@ pub use engine::{
     DEFAULT_COLLECTIVE_DEADLINE,
 };
 pub use generate::GenerateOptions;
-pub use introspect::{weight_wire_format, wg_stream_plan, ScaleDiscipline, WgStream};
+pub use introspect::{
+    plan_ledger_json, weight_wire_format, wg_stream_plan, ScaleDiscipline, WgStream,
+};
+pub use planner::{Calibration, CandidateCost, ExecPlan, ExecPlanner, PlanDecision};
 pub use serving::{
     BatcherSpec, ContinuousBatcher, ServeError, ServingOptions, ServingOutcome, ServingRequest,
 };

@@ -30,6 +30,8 @@
 //! int8 paths satisfy the same two invariants and stay bit-identical
 //! across modes and chunk counts.
 
+use std::time::Instant;
+
 use esti_collectives::{CollectiveOp, CommGroup};
 use esti_tensor::{ops, QuantizedMatrix, Tensor};
 
@@ -41,14 +43,28 @@ fn flat2(x: &Tensor) -> Tensor {
     x.reshape(vec![b * l, d])
 }
 
-/// Rank-ascending elementwise sum — the reduction order every monolithic
-/// collective uses, reproduced here chunk by chunk.
-fn sum_ranks(parts: &[Tensor]) -> Tensor {
-    let mut sum = parts[0].clone();
-    for p in &parts[1..] {
-        sum = &sum + p;
+fn elapsed_nanos(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Folds per-source-rank accumulators in ascending rank order, in place in
+/// rank 0's buffer. Each output element sees the serial add chain
+/// `acc₀ += acc₁; acc₀ += acc₂; …` — the exact reduction order every
+/// monolithic collective uses — with zero allocations. Fold time is
+/// reported to the group's per-chunk overhead ledger so the execution
+/// planner's calibration can see it.
+// Vetted expect: groups have at least one member, so at least one
+// accumulator always exists.
+#[allow(clippy::expect_used)]
+fn fold_ranks(group: &CommGroup, accs: Vec<Tensor>) -> Tensor {
+    let t0 = Instant::now();
+    let mut it = accs.into_iter();
+    let mut out = it.next().expect("at least one rank accumulator");
+    for p in it {
+        ops::add_assign(&mut out, &p);
     }
-    sum
+    group.note_fold_nanos(elapsed_nanos(t0));
+    out
 }
 
 /// Fused partial-matmul + all-reduce, chunked over the output columns: the
@@ -94,17 +110,31 @@ pub(crate) fn looped_ar_cols(
         chunks,
         rows * n_out * 2,
     );
-    let mut out: Vec<Tensor> = Vec::with_capacity(chunks);
+    // One preallocated output; each collected chunk folds in place at its
+    // own column offset (first rank copies, later ranks add — the same
+    // serial per-element chain as the monolithic rank sum), so the loop
+    // allocates nothing per chunk and never pays a final concat.
+    let mut out = Tensor::zeros(vec![rows, n_out]);
+    let fold = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
+        let t0 = Instant::now();
+        for (r, p) in parts.iter().enumerate() {
+            if r == 0 {
+                ops::copy_cols(p, 0, step, out, ci * step);
+            } else {
+                ops::add_cols(p, 0, step, out, ci * step);
+            }
+        }
+        group.note_fold_nanos(elapsed_nanos(t0));
+    };
     ex.post(compute(0));
     for ci in 1..chunks {
         // Compute chunk `ci` while chunk `ci-1` is in flight.
         let next = compute(ci);
-        out.push(sum_ranks(&ex.collect()));
+        fold(&ex.collect(), ci - 1, &mut out);
         ex.post(next);
     }
-    out.push(sum_ranks(&ex.collect()));
-    let refs: Vec<&Tensor> = out.iter().collect();
-    Tensor::concat(&refs, 1).into_reshape(vec![b, l, n_out])
+    fold(&ex.collect(), chunks - 1, &mut out);
+    out.into_reshape(vec![b, l, n_out])
 }
 
 /// Fused partial-matmul + reduce-scatter, chunked within each destination's
@@ -154,13 +184,6 @@ pub(crate) fn looped_rs_cols(
         let refs: Vec<&Tensor> = pieces.iter().collect();
         Tensor::concat(&refs, 1)
     };
-    let mine = |parts: Vec<Tensor>| -> Tensor {
-        let mut sum = parts[0].slice(1, group.rank() * step, step);
-        for p in &parts[1..] {
-            sum = &sum + &p.slice(1, group.rank() * step, step);
-        }
-        sum
-    };
     let mut ex = group.begin_chunked(
         CollectiveOp::ReduceScatter,
         &[rows, n_out],
@@ -168,16 +191,30 @@ pub(crate) fn looped_rs_cols(
         chunks,
         rows * n_out,
     );
-    let mut out: Vec<Tensor> = Vec::with_capacity(chunks);
+    // Reduce this member's window of each collected chunk straight into the
+    // preallocated scatter slice — no per-chunk slice/add allocations, no
+    // final concat. Per-element add order matches the monolithic rank sum.
+    let mut out = Tensor::zeros(vec![rows, part_w]);
+    let fold = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
+        let t0 = Instant::now();
+        let sc0 = group.rank() * step;
+        for (r, p) in parts.iter().enumerate() {
+            if r == 0 {
+                ops::copy_cols(p, sc0, step, out, ci * step);
+            } else {
+                ops::add_cols(p, sc0, step, out, ci * step);
+            }
+        }
+        group.note_fold_nanos(elapsed_nanos(t0));
+    };
     ex.post(compute(0));
     for ci in 1..chunks {
         let next = compute(ci);
-        out.push(mine(ex.collect()));
+        fold(&ex.collect(), ci - 1, &mut out);
         ex.post(next);
     }
-    out.push(mine(ex.collect()));
-    let refs: Vec<&Tensor> = out.iter().collect();
-    Tensor::concat(&refs, 1).into_reshape(vec![b, l, part_w])
+    fold(&ex.collect(), chunks - 1, &mut out);
+    out.into_reshape(vec![b, l, part_w])
 }
 
 /// Streamed activation all-gather feeding a set of contractions: the 2D
@@ -250,7 +287,7 @@ pub(crate) fn looped_ag_einsums(
         .zip(weights)
         .zip(widths)
         .map(|((rank_accs, w), n_w)| {
-            let mut out = sum_ranks(&rank_accs);
+            let mut out = fold_ranks(group, rank_accs);
             if let ShardMat::Int8(q) = w {
                 // One deferred scale application per output column — the
                 // accumulators above carried raw integer partial products.
@@ -413,7 +450,7 @@ pub(crate) fn looped_wg_rows(
             }
             let parts = ex.collect();
             absorb(&parts, chunks - 1, &mut accs);
-            sum_ranks(&accs).into_reshape(vec![b, l, n_out])
+            fold_ranks(group, accs).into_reshape(vec![b, l, n_out])
         }
         ShardMat::Int8(q) => {
             let (w_loc, n_out) = (q.rows(), q.cols());
@@ -454,7 +491,7 @@ pub(crate) fn looped_wg_rows(
             for (acc, holder) in accs.iter_mut().zip(&scales) {
                 holder.as_ref().expect("absorbed at least one slice").apply_scales(acc);
             }
-            sum_ranks(&accs).into_reshape(vec![b, l, n_out])
+            fold_ranks(group, accs).into_reshape(vec![b, l, n_out])
         }
         ShardMat::Int8Cat(_) => {
             unreachable!("stored weight-gathered shards are never gathered concatenations")

@@ -1,0 +1,629 @@
+//! Analytic execution planner: choose [`ExecMode`] and chunk count per
+//! (layout, phase, dtype) instead of hard-wiring a global default.
+//!
+//! The paper's core thesis is that an analytical model should pick the
+//! partitioning strategy (Section 3); this module applies the same thesis
+//! to the runtime's *own* execution choice. For each inference phase the
+//! planner:
+//!
+//! 1. asks `esti-core` for the [`OverlapSite`]s of the symbolic schedule —
+//!    per pipelined collective, the A.1 wire bytes, the chunkable extent,
+//!    and the FLOPs of the einsums the runtime fuses into the loop;
+//! 2. converts bytes and FLOPs to seconds with a [`Calibration`] — either
+//!    the hardware-ideal constants of a [`ChipSpec`], or (the default) a
+//!    cached **one-shot on-line probe** that measures what this host
+//!    actually delivers: transport seconds/byte, matmul seconds/FLOP,
+//!    per-chunk launch+fold overhead, and how much of the analytic overlap
+//!    the real pipeline realizes;
+//! 3. costs every candidate chunk count with `esti-netsim`'s closed-form
+//!    pipeline model ([`chunked_pipeline_time`] / [`chunked_blocked_time`])
+//!    and picks the cheapest, with hysteresis toward
+//!    [`ExecMode::Monolithic`] so marginal predicted wins never risk a
+//!    real-world regression.
+//!
+//! Correctness never depends on the choice: every mode runs the same
+//! looped code path and produces bit-identical results (see
+//! `crate::overlap`), so a mis-calibrated probe can only cost time. The
+//! full decision — every candidate's predicted time, blocked time, and
+//! hidden-comm fraction — is recorded in the [`ExecPlan`] ledger and
+//! rendered by [`crate::introspect::plan_ledger_json`] for audit.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use esti_collectives::{CollectiveOp, CommGroup};
+use esti_core::layout::Layout;
+use esti_core::perf::Phase;
+use esti_core::schedule::{build_schedule, effective_chunks, OverlapSite};
+use esti_hal::{ChipSpec, DType, Seconds};
+use esti_model::ModelConfig;
+use esti_netsim::{chunked_blocked_time, chunked_pipeline_time};
+use esti_tensor::{ops, Tensor};
+
+use crate::engine::ExecMode;
+
+/// Chunk-count targets the planner considers (1 = monolithic). Matches the
+/// published chunk-size sweep in `BENCH_runtime.json`.
+pub const CANDIDATE_CHUNKS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Relative predicted win an overlapped candidate must show over the
+/// monolithic schedule before the planner leaves [`ExecMode::Monolithic`]:
+/// within this band the model's error bars dwarf the benefit, and
+/// monolithic is the regression-proof choice.
+pub const HYSTERESIS: f64 = 0.03;
+
+/// Probe microbenchmark shape: one fused partial-matmul + all-reduce of
+/// `[PROBE_ROWS, PROBE_INNER] × [PROBE_INNER, PROBE_COLS]`, sized like the
+/// benchmark model's decode-step block epilogue.
+const PROBE_ROWS: usize = 64;
+const PROBE_INNER: usize = 64;
+const PROBE_COLS: usize = 256;
+/// Repetitions per probe round (each round's timing is the mean over
+/// these).
+const PROBE_REPS: usize = 8;
+/// Rounds per probed quantity; the reported value is the *minimum* round —
+/// the stable estimator for timings whose noise is purely additive
+/// (scheduler preemption only ever adds wall or blocked time).
+const PROBE_ROUNDS: usize = 5;
+
+/// Host cost constants the planner feeds the `esti-netsim` pipeline
+/// formulas. Obtain via [`Calibration::probed`] (measured once per group
+/// size, cached process-wide) or [`Calibration::ideal`] (a [`ChipSpec`]'s
+/// datasheet numbers, for analytic what-if planning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Transport seconds per Appendix-A.1 wire byte of a collective.
+    pub sec_per_byte: f64,
+    /// Matmul seconds per FLOP on one chip's executor.
+    pub sec_per_flop: f64,
+    /// Per-chunk launch + fold overhead in seconds — the `k · overhead`
+    /// term that makes over-chunking lose.
+    pub chunk_overhead: Seconds,
+    /// Fraction of fused-einsum time the pipeline actually removes from
+    /// the wall clock (1 = the ideal dataflow overlap; 0 = chunks fully
+    /// serialize, as on a one-core host where every "parallel" leg shares
+    /// one executor).
+    pub overlap_efficiency: f64,
+    /// Fraction of fused-einsum time that hides *blocked transport* as
+    /// seen by the collective-time ledger — the constant behind the
+    /// planner's predicted hidden-comm fraction.
+    pub hidden_efficiency: f64,
+}
+
+static PROBES: OnceLock<Mutex<HashMap<usize, Calibration>>> = OnceLock::new();
+
+impl Calibration {
+    /// Datasheet constants of `chip`: ideal bandwidth and peak FLOPs, no
+    /// launch overhead, perfect overlap. What the analytic model predicts
+    /// for real accelerator hardware; useful as a reference point against
+    /// the probed host constants.
+    #[must_use]
+    pub fn ideal(chip: &ChipSpec) -> Calibration {
+        Calibration {
+            sec_per_byte: 1.0 / chip.axis_bandwidth(1),
+            sec_per_flop: 1.0 / chip.peak_flops,
+            chunk_overhead: 0.0,
+            overlap_efficiency: 1.0,
+            hidden_efficiency: 1.0,
+        }
+    }
+
+    /// The conservative fallback when a probe cannot run: transport at
+    /// datasheet rate but zero realized overlap, which steers every
+    /// decision to [`ExecMode::Monolithic`] — the mode that can never
+    /// regress against itself.
+    #[must_use]
+    pub fn serial(chip: &ChipSpec) -> Calibration {
+        Calibration {
+            overlap_efficiency: 0.0,
+            hidden_efficiency: 0.0,
+            ..Calibration::ideal(chip)
+        }
+    }
+
+    /// Measured constants for collectives over `group` simulated chips on
+    /// this host, probed once per process per group size and cached. The
+    /// probe runs a few repetitions of the same fused all-reduce loop the
+    /// engine executes (monolithic, over-chunked, and pipelined) on a
+    /// throwaway [`CommGroup`] and fits the model constants to what it
+    /// observes — a one-shot on-line calibration, not a continuous
+    /// profiler.
+    #[must_use]
+    pub fn probed(group: usize) -> Calibration {
+        let cache = PROBES.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(c) =
+            cache.lock().unwrap_or_else(PoisonError::into_inner).get(&group)
+        {
+            return *c;
+        }
+        let cal = measure(group).unwrap_or_else(|| Calibration::serial(&ChipSpec::tpu_v4()));
+        cache.lock().unwrap_or_else(PoisonError::into_inner).insert(group, cal);
+        cal
+    }
+}
+
+/// The fused partial-matmul + all-reduce loop of `crate::overlap`'s
+/// `looped_ar_cols`, reproduced on a probe group: compute chunk `ci` of
+/// `x × w` while chunk `ci-1` is in flight, folding collected partials in
+/// place. `chunks = 1` is the monolithic schedule — the same single code
+/// path the engine runs.
+fn probe_ar_loop(g: &CommGroup, x: &Tensor, w: &Tensor, chunks: usize) -> Tensor {
+    let rows = x.dim(0);
+    let n_out = w.dim(1);
+    let step = n_out / chunks;
+    let mut ex = g.begin_chunked(
+        CollectiveOp::AllReduce,
+        &[rows, n_out],
+        [1, 1],
+        chunks,
+        rows * n_out * 2,
+    );
+    let mut out = Tensor::zeros(vec![rows, n_out]);
+    let fold = |parts: &[Tensor], ci: usize, out: &mut Tensor| {
+        for (r, p) in parts.iter().enumerate() {
+            if r == 0 {
+                ops::copy_cols(p, 0, step, out, ci * step);
+            } else {
+                ops::add_cols(p, 0, step, out, ci * step);
+            }
+        }
+    };
+    ex.post(ops::matmul_cols(x, w, 0, step));
+    for ci in 1..chunks {
+        let next = ops::matmul_cols(x, w, ci * step, step);
+        fold(&ex.collect(), ci - 1, &mut out);
+        ex.post(next);
+    }
+    fold(&ex.collect(), chunks - 1, &mut out);
+    out
+}
+
+/// Mean seconds per repetition of `f`, minimized over [`PROBE_ROUNDS`].
+fn time_reps(mut f: impl FnMut()) -> Seconds {
+    let mut best = f64::INFINITY;
+    for _ in 0..PROBE_ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..PROBE_REPS {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / PROBE_REPS as f64);
+    }
+    best
+}
+
+/// Blocked all-reduce seconds per repetition accumulated on `g` since the
+/// last reset.
+fn blocked_per_rep(g: &CommGroup) -> Seconds {
+    g.times().nanos(CollectiveOp::AllReduce) as f64 * 1e-9 / PROBE_REPS as f64
+}
+
+/// Wall and blocked seconds per repetition of the fused probe loop at
+/// `chunks`, each minimized independently over [`PROBE_ROUNDS`].
+fn best_loop(g: &CommGroup, x: &Tensor, w: &Tensor, chunks: usize) -> (Seconds, Seconds) {
+    let (mut wall, mut blocked) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PROBE_ROUNDS {
+        g.reset_times();
+        let t0 = Instant::now();
+        for _ in 0..PROBE_REPS {
+            let _ = probe_ar_loop(g, x, w, chunks);
+        }
+        wall = wall.min(t0.elapsed().as_secs_f64() / PROBE_REPS as f64);
+        blocked = blocked.min(blocked_per_rep(g));
+    }
+    (wall, blocked)
+}
+
+/// Runs the probe on every member of a fresh group; rank 0 reports.
+fn measure(group: usize) -> Option<Calibration> {
+    let members = CommGroup::create(group);
+    let results: Vec<Option<Calibration>> = std::thread::scope(|s| {
+        let handles: Vec<_> = members
+            .into_iter()
+            .enumerate()
+            .map(|(rank, g)| s.spawn(move || run_probe(rank, &g)))
+            .collect();
+        handles.into_iter().map(|h| h.join().ok().flatten()).collect()
+    });
+    results.into_iter().flatten().next()
+}
+
+/// One member's probe body. All members run the same collective sequence
+/// (they must, to keep the group in lockstep); rank 0 measures and returns
+/// the fitted constants.
+fn run_probe(rank: usize, g: &CommGroup) -> Option<Calibration> {
+    let x = Tensor::ones(vec![PROBE_ROWS, PROBE_INNER]);
+    let w = Tensor::ones(vec![PROBE_INNER, PROBE_COLS]);
+    let y = ops::matmul(&x, &w);
+    // Warm up allocators, barriers and caches.
+    let _ = probe_ar_loop(g, &x, &w, 1);
+    let _ = g.all_reduce(&y);
+
+    // Pure transport, monolithic: one A.1-convention all-reduce.
+    g.reset_times();
+    let t_comm = time_reps(|| {
+        let _ = g.all_reduce(&y);
+    });
+    // Pure transport, over-chunked: the extra cost over monolithic is
+    // per-chunk launch overhead (7 additional launches at k = 8).
+    let t_comm8 = time_reps(|| {
+        let _ = g.all_reduce_chunked(&y, 1, 8);
+    });
+    // Pure compute: the fused einsum at full size, single-threaded.
+    let t_comp = time_reps(|| {
+        let _ = ops::matmul(&x, &w);
+    });
+
+    // The engine's actual pipelined loop at k = 4, wall clock and blocked
+    // transport (the collective-time ledger's view).
+    let (t_mono_loop, blocked_mono) = best_loop(g, &x, &w, 1);
+    let (t_fused, blocked_fused) = best_loop(g, &x, &w, 4);
+
+    if rank != 0 {
+        return None;
+    }
+    let a1_bytes = (PROBE_ROWS * PROBE_COLS * 4) as f64; // all-reduce: both phases, 2 B/elem
+    let flops = 2.0 * (PROBE_ROWS * PROBE_INNER * PROBE_COLS) as f64;
+    // Per-chunk overhead, preferring the engine-path estimate: the extra
+    // *blocked* transport each added chunk of the fused loop costs (three
+    // added chunks at k = 4), which includes the fold-and-relaunch skew
+    // the engine actually pays at every barrier. The comm-only estimate
+    // (seven added launches at k = 8, wall clock) is the fallback when
+    // loop noise swallows the blocked delta.
+    let chunk_overhead =
+        ((blocked_fused - blocked_mono) / 3.0).max((t_comm8 - t_comm) / 7.0).max(0.0);
+    // Fit the realized-overlap fractions so the closed-form model
+    // reproduces the measured k = 4 loop. Monotone in eta, so bisection.
+    let overlap_efficiency = fit_eta(t_fused.min(t_mono_loop), |eta| {
+        predicted_time(t_comm, t_comp, 4, chunk_overhead, eta)
+    });
+    let hidden_efficiency = fit_eta(blocked_fused.min(blocked_mono), |eta| {
+        chunked_blocked_time(t_comm, eta * t_comp, 4, chunk_overhead)
+    });
+    Some(Calibration {
+        sec_per_byte: (t_comm / a1_bytes).max(0.0),
+        sec_per_flop: (t_comp / flops).max(f64::MIN_POSITIVE),
+        chunk_overhead,
+        overlap_efficiency,
+        hidden_efficiency,
+    })
+}
+
+/// Wall-clock model of one fused loop: the overlappable fraction `eta` of
+/// the compute pipelines with the transport, the rest serializes behind it.
+fn predicted_time(
+    t_comm: Seconds,
+    t_comp: Seconds,
+    chunks: usize,
+    overhead: Seconds,
+    eta: f64,
+) -> Seconds {
+    chunked_pipeline_time(t_comm, eta * t_comp, chunks, overhead) + (1.0 - eta) * t_comp
+}
+
+/// Largest `eta` in `[0, 1]` with `model(eta) >= target` (model monotone
+/// non-increasing in `eta`): the realized fraction of the ideal overlap.
+fn fit_eta(target: Seconds, model: impl Fn(f64) -> Seconds) -> f64 {
+    if target >= model(0.0) {
+        return 0.0;
+    }
+    if target <= model(1.0) {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if model(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Predicted cost of running one phase with one candidate chunk target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateCost {
+    /// The chunk-count target (1 = monolithic). Each site actually uses
+    /// [`effective_chunks`] of its own extent.
+    pub chunks: usize,
+    /// Predicted wall-clock microseconds of the phase's overlappable
+    /// sites (non-overlappable work is identical across candidates and
+    /// excluded).
+    pub predicted_us: f64,
+    /// Predicted microseconds the executor blocks on transport — what the
+    /// collective-time ledger would report.
+    pub blocked_us: f64,
+    /// Predicted hidden-communication fraction relative to the monolithic
+    /// schedule: `1 − blocked(k)/blocked(1)`. Negative when the per-chunk
+    /// overhead is predicted to *add* more blocked time than the pipeline
+    /// hides (the serialized-host regime this planner exists to avoid) —
+    /// kept unclamped so the benchmark's measured fraction has an honest
+    /// analytic counterpart on both sides of zero.
+    pub hidden_fraction: f64,
+}
+
+/// One planning decision: the chosen mode for a (phase, batch, tokens)
+/// forward shape, with every candidate's predicted cost for audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDecision {
+    /// Inference phase the decision covers.
+    pub phase: Phase,
+    /// Global batch size of the planned forward.
+    pub batch: usize,
+    /// Tokens per sequence of the planned forward (1 for decode).
+    pub tokens: usize,
+    /// The mode the engine runs this shape with.
+    pub chosen: ExecMode,
+    /// Predicted cost of every candidate in [`CANDIDATE_CHUNKS`] order.
+    pub candidates: Vec<CandidateCost>,
+}
+
+impl PlanDecision {
+    /// The candidate row the chosen mode corresponds to.
+    #[must_use]
+    pub fn chosen_cost(&self) -> Option<&CandidateCost> {
+        let want = match self.chosen {
+            ExecMode::Monolithic => 1,
+            ExecMode::Overlapped { chunks } => chunks,
+        };
+        self.candidates.iter().find(|c| c.chunks == want)
+    }
+}
+
+/// The planner's accumulated decision ledger for one engine: one
+/// [`PlanDecision`] per distinct forward shape planned so far. Render with
+/// [`crate::introspect::plan_ledger_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecPlan {
+    /// Decisions in planning order.
+    pub decisions: Vec<PlanDecision>,
+}
+
+impl ExecPlan {
+    /// The decision already made for a forward shape, if any.
+    #[must_use]
+    pub fn decision_for(&self, phase: Phase, batch: usize, tokens: usize) -> Option<&PlanDecision> {
+        self.decisions
+            .iter()
+            .find(|d| d.phase == phase && d.batch == batch && d.tokens == tokens)
+    }
+}
+
+/// The analytic execution planner for one (model, layout, weight dtype).
+///
+/// # Examples
+///
+/// ```
+/// use esti_core::layout::{AttnSharding, FfnLayout, Layout, MeshFactors};
+/// use esti_core::perf::Phase;
+/// use esti_hal::DType;
+/// use esti_model::ModelConfig;
+/// use esti_runtime::planner::ExecPlanner;
+///
+/// let cfg = ModelConfig::tiny();
+/// let layout = Layout {
+///     mesh: MeshFactors { x: 4, y: 1, z: 1 },
+///     ffn: FfnLayout::WeightStationary1D,
+///     attn: AttnSharding::Head,
+/// };
+/// let planner = ExecPlanner::new(&cfg, layout, DType::F32);
+/// let decision = planner.decide(Phase::Decode, 8, 1);
+/// assert_eq!(decision.candidates.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecPlanner {
+    cfg: ModelConfig,
+    layout: Layout,
+    dtype: DType,
+    /// Calibration override; `None` probes per site group size.
+    calibration: Option<Calibration>,
+}
+
+impl ExecPlanner {
+    /// A planner that calibrates itself with the one-shot on-line probe
+    /// (per collective-group size, cached process-wide).
+    #[must_use]
+    pub fn new(cfg: &ModelConfig, layout: Layout, dtype: DType) -> ExecPlanner {
+        ExecPlanner { cfg: cfg.clone(), layout, dtype, calibration: None }
+    }
+
+    /// A planner with fixed cost constants — no probe. Pass
+    /// [`Calibration::ideal`] for datasheet what-if planning or a custom
+    /// calibration in tests.
+    #[must_use]
+    pub fn with_calibration(
+        cfg: &ModelConfig,
+        layout: Layout,
+        dtype: DType,
+        calibration: Calibration,
+    ) -> ExecPlanner {
+        ExecPlanner { cfg: cfg.clone(), layout, dtype, calibration: Some(calibration) }
+    }
+
+    fn calibration_for(&self, group: usize) -> Calibration {
+        self.calibration.unwrap_or_else(|| Calibration::probed(group))
+    }
+
+    /// The overlappable collectives of one phase's schedule, with layer
+    /// multiplicity applied by the caller via [`OverlapSite::per_layer`].
+    fn sites(&self, batch: usize, tokens: usize) -> Vec<OverlapSite> {
+        build_schedule(&self.cfg, &self.layout, batch, tokens)
+            .map(|s| s.with_weight_dtype(self.dtype).overlap_sites())
+            .unwrap_or_default()
+    }
+
+    /// Plans one forward shape: costs every candidate chunk target over
+    /// the phase's overlap sites and picks the cheapest, requiring an
+    /// overlapped candidate to beat monolithic by [`HYSTERESIS`] before
+    /// leaving the regression-proof default. A schedule with no
+    /// overlappable sites (or that fails to build) plans monolithic.
+    #[must_use]
+    pub fn decide(&self, phase: Phase, batch: usize, tokens: usize) -> PlanDecision {
+        let sites = self.sites(batch, tokens);
+        let layers = self.cfg.n_layers as f64;
+        let candidates: Vec<CandidateCost> = CANDIDATE_CHUNKS
+            .iter()
+            .map(|&want| {
+                let (mut time, mut blocked, mut blocked_mono) = (0.0, 0.0, 0.0);
+                for site in &sites {
+                    let cal = self.calibration_for(site.group);
+                    let mult = if site.per_layer { layers } else { 1.0 };
+                    let k = effective_chunks(site.extent, want);
+                    let t_comm = site.bytes * cal.sec_per_byte;
+                    let t_comp = site.fused_flops * cal.sec_per_flop;
+                    time += mult
+                        * predicted_time(
+                            t_comm,
+                            t_comp,
+                            k,
+                            cal.chunk_overhead,
+                            cal.overlap_efficiency,
+                        );
+                    blocked += mult
+                        * chunked_blocked_time(
+                            t_comm,
+                            cal.hidden_efficiency * t_comp,
+                            k,
+                            cal.chunk_overhead,
+                        );
+                    blocked_mono += mult
+                        * chunked_blocked_time(
+                            t_comm,
+                            cal.hidden_efficiency * t_comp,
+                            1,
+                            cal.chunk_overhead,
+                        );
+                }
+                let hidden =
+                    if blocked_mono > 0.0 { 1.0 - blocked / blocked_mono } else { 0.0 };
+                CandidateCost {
+                    chunks: want,
+                    predicted_us: time * 1e6,
+                    blocked_us: blocked * 1e6,
+                    hidden_fraction: hidden,
+                }
+            })
+            .collect();
+        let chosen = choose(&candidates);
+        PlanDecision { phase, batch, tokens, chosen, candidates }
+    }
+}
+
+/// Cheapest candidate, with hysteresis toward monolithic: overlapped wins
+/// only on a predicted saving above [`HYSTERESIS`] of the monolithic time.
+fn choose(candidates: &[CandidateCost]) -> ExecMode {
+    let Some(mono) = candidates.iter().find(|c| c.chunks == 1) else {
+        return ExecMode::Monolithic;
+    };
+    let mut best = mono;
+    for c in candidates {
+        if c.predicted_us < best.predicted_us {
+            best = c;
+        }
+    }
+    if best.chunks > 1 && best.predicted_us < (1.0 - HYSTERESIS) * mono.predicted_us {
+        ExecMode::Overlapped { chunks: best.chunks }
+    } else {
+        ExecMode::Monolithic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esti_core::layout::{AttnSharding, FfnLayout, Layout, MeshFactors};
+
+    fn layout_1d(n: usize) -> Layout {
+        Layout {
+            mesh: MeshFactors { x: n, y: 1, z: 1 },
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+        }
+    }
+
+    #[test]
+    fn serial_calibration_plans_monolithic() {
+        let cfg = ModelConfig::tiny();
+        let planner = ExecPlanner::with_calibration(
+            &cfg,
+            layout_1d(4),
+            DType::F32,
+            Calibration::serial(&ChipSpec::tpu_v4()),
+        );
+        let d = planner.decide(Phase::Decode, 8, 1);
+        assert_eq!(d.chosen, ExecMode::Monolithic);
+        // Zero realized overlap: no candidate predicts hidden transport.
+        for c in &d.candidates {
+            assert!(c.hidden_fraction <= f64::EPSILON, "k={}: {}", c.chunks, c.hidden_fraction);
+        }
+    }
+
+    #[test]
+    fn balanced_calibration_overlaps_when_overlap_is_free() {
+        // Comm and compute of the same magnitude, zero per-chunk overhead,
+        // perfect overlap: pipelining hides ~min(c, p) of every site. (The
+        // datasheet-`ideal` calibration on the tiny config is comm-bound by
+        // ~400x, so its best possible win is under the hysteresis band —
+        // the planner correctly stays monolithic there.)
+        let cfg = ModelConfig::tiny();
+        let cal = Calibration {
+            sec_per_flop: 1e-12,
+            ..Calibration::ideal(&ChipSpec::tpu_v4())
+        };
+        let planner = ExecPlanner::with_calibration(&cfg, layout_1d(4), DType::F32, cal);
+        let d = planner.decide(Phase::Decode, 8, 1);
+        // With zero overhead and perfect overlap, pipelining strictly
+        // dominates: the planner must leave monolithic.
+        assert!(matches!(d.chosen, ExecMode::Overlapped { chunks } if chunks > 1), "{d:?}");
+        let chosen = d.chosen_cost().expect("chosen row present");
+        assert!(chosen.hidden_fraction > 0.0);
+        // Candidate list covers the published sweep, monotone in k.
+        assert_eq!(
+            d.candidates.iter().map(|c| c.chunks).collect::<Vec<_>>(),
+            CANDIDATE_CHUNKS.to_vec()
+        );
+    }
+
+    #[test]
+    fn probe_caches_and_is_sane() {
+        let a = Calibration::probed(2);
+        let b = Calibration::probed(2);
+        assert_eq!(a, b, "second call must hit the cache");
+        assert!(a.sec_per_byte >= 0.0);
+        assert!(a.sec_per_flop > 0.0);
+        assert!(a.chunk_overhead >= 0.0);
+        assert!((0.0..=1.0).contains(&a.overlap_efficiency));
+        assert!((0.0..=1.0).contains(&a.hidden_efficiency));
+    }
+
+    #[test]
+    fn fit_eta_is_inverse_of_the_model() {
+        let model = |eta: f64| predicted_time(1e-3, 1e-3, 4, 1e-5, eta);
+        for eta in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let fitted = fit_eta(model(eta), model);
+            assert!(
+                (fitted - eta).abs() < 1e-6 || model(fitted) >= model(eta) - 1e-12,
+                "eta {eta} fitted {fitted}"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_requires_a_real_win() {
+        // A calibration where pipelining wins by a hair (< 3%): overhead
+        // eats almost all of the overlap.
+        let cfg = ModelConfig::tiny();
+        let cal = Calibration {
+            sec_per_byte: 1e-9,
+            sec_per_flop: 1e-12,
+            chunk_overhead: 0.0,
+            overlap_efficiency: 0.02,
+            hidden_efficiency: 0.02,
+        };
+        let planner = ExecPlanner::with_calibration(&cfg, layout_1d(4), DType::F32, cal);
+        let d = planner.decide(Phase::Decode, 8, 1);
+        assert_eq!(d.chosen, ExecMode::Monolithic, "{d:?}");
+    }
+}

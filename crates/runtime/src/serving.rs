@@ -255,7 +255,8 @@ pub struct ContinuousBatcher {
     model: ReferenceModel,
     layout: Layout,
     fmt: WeightFormat,
-    exec: ExecMode,
+    /// Pinned execution mode; `None` lets each engine's planner choose.
+    exec: Option<ExecMode>,
     /// Deadline re-applied to rebuilt engines.
     deadline: Option<Duration>,
     /// A fault plan armed into the decode tier just before the given
@@ -263,6 +264,19 @@ pub struct ContinuousBatcher {
     decode_fault: Option<(usize, FaultPlan)>,
     /// Recovery budget per [`ContinuousBatcher::try_serve`] call.
     max_recoveries: usize,
+}
+
+/// Builds a tier engine: planner-driven when no mode is pinned.
+fn build_engine(
+    model: &ReferenceModel,
+    layout: Layout,
+    fmt: WeightFormat,
+    exec: Option<ExecMode>,
+) -> PartitionedEngine {
+    match exec {
+        Some(mode) => PartitionedEngine::new_with_exec(model, layout, fmt, mode),
+        None => PartitionedEngine::new(model, layout, fmt),
+    }
 }
 
 impl ContinuousBatcher {
@@ -282,10 +296,12 @@ impl ContinuousBatcher {
         fmt: WeightFormat,
         opts: ServingOptions,
     ) -> Self {
-        ContinuousBatcher::new_with_exec(model, layout, fmt, ExecMode::default(), opts)
+        ContinuousBatcher::new_impl(model, layout, fmt, None, opts)
     }
 
-    /// Like [`ContinuousBatcher::new`] with an explicit execution mode.
+    /// Like [`ContinuousBatcher::new`] with an explicit execution mode
+    /// pinned into both tiers (and any engine rebuilt during fault
+    /// recovery), bypassing the per-engine execution planner.
     ///
     /// # Panics
     ///
@@ -298,9 +314,19 @@ impl ContinuousBatcher {
         exec: ExecMode,
         opts: ServingOptions,
     ) -> Self {
+        ContinuousBatcher::new_impl(model, layout, fmt, Some(exec), opts)
+    }
+
+    fn new_impl(
+        model: &ReferenceModel,
+        layout: Layout,
+        fmt: WeightFormat,
+        exec: Option<ExecMode>,
+        opts: ServingOptions,
+    ) -> Self {
         assert!(opts.max_decode_batch > 0, "decode batch cap must be positive");
-        let prefill = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
-        let decode = PartitionedEngine::new_with_exec(model, layout, fmt, exec);
+        let prefill = build_engine(model, layout, fmt, exec);
+        let decode = build_engine(model, layout, fmt, exec);
         let deadline = decode.collective_deadline();
         ContinuousBatcher {
             prefill,
@@ -586,7 +612,7 @@ impl ContinuousBatcher {
             return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
         }
         let t = Instant::now();
-        self.decode = PartitionedEngine::new_with_exec(&self.model, self.layout, self.fmt, self.exec);
+        self.decode = build_engine(&self.model, self.layout, self.fmt, self.exec);
         self.decode.set_collective_deadline(self.deadline);
         self.decode.begin_slots(cap, reserve);
         let mut steps_lost = 0usize;
@@ -629,8 +655,7 @@ impl ContinuousBatcher {
                     return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
                 }
                 let t = Instant::now();
-                self.prefill =
-                    PartitionedEngine::new_with_exec(&self.model, self.layout, self.fmt, self.exec);
+                self.prefill = build_engine(&self.model, self.layout, self.fmt, self.exec);
                 self.prefill.set_collective_deadline(self.deadline);
                 let logits = self.try_prefill_padded(prompt, pad).map_err(ServeError::Engine)?;
                 recovery.prefill_tokens_replayed += prompt.len();

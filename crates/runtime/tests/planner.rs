@@ -1,0 +1,159 @@
+//! Conformance tests for the analytic execution planner: whatever mode the
+//! planner picks for a (layout, phase, dtype), a planner-driven engine
+//! must produce **bit-identical** logits to a pinned-monolithic engine —
+//! the planner optimizes time, never results — and its decision ledger
+//! must stay inside the published candidate set. The probe is
+//! host-dependent, so these tests never assert *which* mode wins, only
+//! that every reachable choice is safe.
+
+use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_core::perf::Phase;
+use esti_model::{ModelConfig, ReferenceModel};
+use esti_runtime::planner::CANDIDATE_CHUNKS;
+use esti_runtime::{ExecMode, ExecPlan, PartitionedEngine, WeightFormat};
+use esti_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Every dataflow on four chips, plus the two-chip 1D case — the same
+/// surface as the overlapped-executor conformance tests.
+fn layouts(attn: AttnSharding) -> Vec<Layout> {
+    vec![
+        Layout { ffn: FfnLayout::WeightStationary1D, attn, mesh: MeshFactors::new(1, 2, 1) },
+        Layout { ffn: FfnLayout::WeightStationary1D, attn, mesh: MeshFactors::new(1, 4, 1) },
+        Layout { ffn: FfnLayout::WeightStationary2D, attn, mesh: MeshFactors::new(2, 2, 1) },
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn,
+            mesh: MeshFactors::new(4, 1, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::X),
+            attn,
+            mesh: MeshFactors::new(2, 2, 1),
+        },
+    ]
+}
+
+/// Prefill + two decode steps, returning all logits and the final plan.
+fn run(
+    model: &ReferenceModel,
+    layout: Layout,
+    fmt: WeightFormat,
+    exec: Option<ExecMode>,
+    tokens: &[Vec<usize>],
+) -> (Vec<Tensor>, ExecPlan) {
+    let mut engine = match exec {
+        Some(exec) => PartitionedEngine::new_with_exec(model, layout, fmt, exec),
+        None => PartitionedEngine::new(model, layout, fmt),
+    };
+    let mut out = vec![engine.prefill(tokens)];
+    let mut next: Vec<usize> = (0..tokens.len()).map(|b| (b + 3) % model.config().vocab).collect();
+    for _ in 0..2 {
+        out.push(engine.decode_step(&next));
+        next = next.iter().map(|&t| (t * 5 + 1) % model.config().vocab).collect();
+    }
+    (out, engine.exec_plan().clone())
+}
+
+fn assert_planned_matches_monolithic(model: &ReferenceModel, layout: Layout, fmt: WeightFormat) {
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 5, b + 9, b + 2]).collect();
+    let (mono, _) = run(model, layout, fmt, Some(ExecMode::Monolithic), &tokens);
+    let (planned, plan) = run(model, layout, fmt, None, &tokens);
+    for (step, (m, p)) in mono.iter().zip(&planned).enumerate() {
+        assert_eq!(
+            p.max_abs_diff(m),
+            0.0,
+            "{} {fmt:?} step {step}: planned != monolithic",
+            layout.describe()
+        );
+    }
+    // The ledger must cover exactly the two shapes this run planned —
+    // prefill at (4, 4) and decode at (4, 1) — each decided once and
+    // reused, every chosen mode drawn from the candidate sweep.
+    assert_eq!(plan.decisions.len(), 2, "{}: one decision per shape", layout.describe());
+    for (phase, tokens) in [(Phase::Prefill, 4), (Phase::Decode, 1)] {
+        let d = plan
+            .decision_for(phase, 4, tokens)
+            .unwrap_or_else(|| panic!("{}: missing {phase:?} decision", layout.describe()));
+        assert_eq!(
+            d.candidates.iter().map(|c| c.chunks).collect::<Vec<_>>(),
+            CANDIDATE_CHUNKS.to_vec(),
+            "{}: candidate sweep",
+            layout.describe()
+        );
+        let want = match d.chosen {
+            ExecMode::Monolithic => 1,
+            ExecMode::Overlapped { chunks } => chunks,
+        };
+        assert!(
+            CANDIDATE_CHUNKS.contains(&want),
+            "{}: chosen chunk count {want} outside the sweep",
+            layout.describe()
+        );
+        assert!(d.chosen_cost().is_some(), "{}: chosen row must be costed", layout.describe());
+    }
+}
+
+proptest! {
+    // Each case spins up two engines (thread-per-chip); keep the sample
+    // count modest — the space is only 5 layouts x 2 shardings x 3
+    // formats, so 24 cases cover most of it every run.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Planner-driven execution is bit-identical to monolithic on every
+    /// layout x attention sharding x weight format, prefill and decode.
+    #[test]
+    fn planned_execution_is_bit_identical_to_monolithic(
+        layout_ix in 0usize..5,
+        batch_attn in prop::sample::select(vec![false, true]),
+        fmt in prop::sample::select(vec![
+            WeightFormat::Exact,
+            WeightFormat::Int8,
+            WeightFormat::Bf16,
+        ]),
+    ) {
+        let attn = if batch_attn { AttnSharding::Batch } else { AttnSharding::Head };
+        let model = ReferenceModel::init_random(ModelConfig::tiny(), 70);
+        let layout = layouts(attn)[layout_ix];
+        assert_planned_matches_monolithic(&model, layout, fmt);
+    }
+}
+
+#[test]
+fn planner_decisions_are_cached_per_shape() {
+    // Re-running the same decode shape must reuse the decision, not grow
+    // the ledger; a new batch size must add exactly one decision.
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 71);
+    let layout = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Head,
+        mesh: MeshFactors::new(1, 4, 1),
+    };
+    let mut engine = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
+    let tokens: Vec<Vec<usize>> = (0..4).map(|b| vec![b + 1, b + 2]).collect();
+    let _ = engine.prefill(&tokens);
+    for _ in 0..3 {
+        let _ = engine.decode_step(&[1, 2, 3, 4]);
+    }
+    assert_eq!(engine.exec_plan().decisions.len(), 2, "prefill + decode, each planned once");
+}
+
+#[test]
+fn pinned_engines_do_not_plan() {
+    let model = ReferenceModel::init_random(ModelConfig::tiny(), 72);
+    let layout = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Head,
+        mesh: MeshFactors::new(1, 2, 1),
+    };
+    let mut engine = PartitionedEngine::new_with_exec(
+        &model,
+        layout,
+        WeightFormat::Exact,
+        ExecMode::Overlapped { chunks: 4 },
+    );
+    let tokens: Vec<Vec<usize>> = (0..2).map(|b| vec![b + 1, b + 2]).collect();
+    let _ = engine.prefill(&tokens);
+    assert_eq!(engine.exec_mode(), ExecMode::Overlapped { chunks: 4 });
+    assert!(engine.exec_plan().decisions.is_empty(), "pinned mode bypasses the planner");
+}

@@ -311,6 +311,70 @@ pub fn matmul_into_cols(a: &Tensor, b: &Tensor, out: &mut Tensor, c0: usize) {
     mm_kernel(a.data(), k, b.data(), cn, &mut out.data_mut()[c0..], n_out, m, k, cn);
 }
 
+/// Copies a `w`-column window of rank-2 `src` starting at column `sc0`
+/// into `out` starting at column `dc0`. Lets chunked collective loops
+/// assemble a gathered matrix in a preallocated output instead of
+/// `concat`-ing per-chunk allocations.
+///
+/// # Panics
+///
+/// Panics on rank mismatch, row-count mismatch, or out-of-range windows.
+pub fn copy_cols(src: &Tensor, sc0: usize, w: usize, out: &mut Tensor, dc0: usize) {
+    let (rows, sn, dn) = col_window_dims(src, sc0, w, out, dc0);
+    let (sd, dd) = (src.data(), out.data_mut());
+    for r in 0..rows {
+        dd[r * dn + dc0..r * dn + dc0 + w].copy_from_slice(&sd[r * sn + sc0..r * sn + sc0 + w]);
+    }
+}
+
+/// Adds a `w`-column window of rank-2 `src` starting at column `sc0` into
+/// `out` starting at column `dc0`, element by element in row-major order.
+/// Used by the overlap loops to fold collected partials in place; the add
+/// order per element is identical to the allocating `&a + &b` path, so
+/// chunk-by-chunk folding stays bit-identical to the monolithic reduction.
+///
+/// # Panics
+///
+/// Panics on rank mismatch, row-count mismatch, or out-of-range windows.
+pub fn add_cols(src: &Tensor, sc0: usize, w: usize, out: &mut Tensor, dc0: usize) {
+    let (rows, sn, dn) = col_window_dims(src, sc0, w, out, dc0);
+    let (sd, dd) = (src.data(), out.data_mut());
+    for r in 0..rows {
+        for c in 0..w {
+            dd[r * dn + dc0 + c] += sd[r * sn + sc0 + c];
+        }
+    }
+}
+
+fn col_window_dims(
+    src: &Tensor,
+    sc0: usize,
+    w: usize,
+    out: &Tensor,
+    dc0: usize,
+) -> (usize, usize, usize) {
+    assert_eq!(src.rank(), 2, "column window src must be rank-2");
+    assert_eq!(out.rank(), 2, "column window out must be rank-2");
+    assert_eq!(src.dim(0), out.dim(0), "column window row count mismatch");
+    let (sn, dn) = (src.dim(1), out.dim(1));
+    assert!(sc0 + w <= sn, "source window {sc0}+{w} exceeds {sn}");
+    assert!(dc0 + w <= dn, "dest window {dc0}+{w} exceeds {dn}");
+    (src.dim(0), sn, dn)
+}
+
+/// In-place elementwise `out += src` in flat index order — the same serial
+/// per-element add as the allocating `&out + &src`, without the allocation.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn add_assign(out: &mut Tensor, src: &Tensor) {
+    assert_eq!(out.shape(), src.shape(), "add_assign shape mismatch");
+    for (o, s) in out.data_mut().iter_mut().zip(src.data()) {
+        *o += s;
+    }
+}
+
 /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
 ///
 /// Writes every batch element directly into one preallocated output buffer
@@ -593,6 +657,31 @@ mod tests {
             let ci = c.slice(0, i, 1).into_reshape(vec![2, 5]);
             assert!(matmul(&ai, &bi).approx_eq(&ci, 1e-6));
         }
+    }
+
+    #[test]
+    fn column_windows_copy_add_and_fold_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&mut rng, vec![3, 4], 1.0);
+        let b = Tensor::randn(&mut rng, vec![3, 4], 1.0);
+        // copy_cols then add_cols into a window equals slice arithmetic.
+        let mut out = Tensor::zeros(vec![3, 6]);
+        copy_cols(&a, 1, 2, &mut out, 3);
+        add_cols(&b, 1, 2, &mut out, 3);
+        let expect = &a.slice(1, 1, 2) + &b.slice(1, 1, 2);
+        assert_eq!(out.slice(1, 3, 2).data(), expect.data());
+        // add_assign is bit-identical to the allocating elementwise add.
+        let mut acc = a.clone();
+        add_assign(&mut acc, &b);
+        assert_eq!(acc.data(), (&a + &b).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "dest window")]
+    fn add_cols_checks_window() {
+        let src = Tensor::zeros(vec![2, 4]);
+        let mut out = Tensor::zeros(vec![2, 3]);
+        add_cols(&src, 0, 3, &mut out, 2);
     }
 
     #[test]

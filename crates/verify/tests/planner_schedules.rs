@@ -1,0 +1,171 @@
+//! The execution planner may pin any candidate chunk count onto any
+//! built-in layout, dense or int8 — and every schedule in that reachable
+//! set must pass the static analyzer (the SPMD and quant-dataflow passes
+//! `esti-lint` runs). A planner choice must never be able to emit a
+//! schedule the verifier rejects.
+//!
+//! Also cross-checks the planner's cost-model inputs: the overlap sites a
+//! schedule reports must carry the Appendix A.1 byte accounting and
+//! chunkable extents the runtime's ledger charges.
+
+use esti_core::layout::MeshFactors;
+use esti_core::schedule::{build_schedule, effective_chunks, Schedule};
+use esti_core::{AttnSharding, FfnLayout, GatherExtent, Layout};
+use esti_hal::DType;
+use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind};
+use esti_runtime::planner::CANDIDATE_CHUNKS;
+use esti_verify::{check_schedule_quantflow, check_schedule_spmd};
+use proptest::prelude::*;
+
+/// The benchmark's scaled-up tiny model. Schedules here are symbolic, so
+/// size is free — and the int8 sweep *needs* real-sized shards: the
+/// quantflow pass (correctly) rejects quantized wire formats on shards so
+/// small that the per-column scales cancel the byte win, which is a fact
+/// about `ModelConfig::tiny()`, not about the planner.
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        name: "tiny8x".to_owned(),
+        n_layers: 2,
+        d_model: 256,
+        d_ff: 1024,
+        n_heads: 8,
+        d_head: 32,
+        vocab: 128,
+        attention: AttentionKind::MultiQuery,
+        block: BlockKind::Parallel,
+        mlp: MlpKind::SwiGlu,
+        position: PositionKind::Rope,
+        max_seq: 64,
+    }
+}
+
+/// The built-in layout points the planner can plan for, on 4 chips.
+fn layout_points() -> Vec<Layout> {
+    vec![
+        Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(4, 1, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightStationary1D,
+            attn: AttnSharding::Batch,
+            mesh: MeshFactors::new(4, 1, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightStationary2D,
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::X),
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xy),
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(2, 2, 1),
+        },
+        Layout {
+            ffn: FfnLayout::WeightGathered(GatherExtent::Xyz),
+            attn: AttnSharding::Head,
+            mesh: MeshFactors::new(4, 1, 1),
+        },
+    ]
+}
+
+/// One planner-emittable schedule: a layout pinned to a candidate chunk
+/// count, with or without the int8 weight wire format.
+fn planned_schedule(layout: &Layout, batch: usize, tokens: usize, chunks: usize, int8: bool) -> Schedule {
+    let s = build_schedule(&cfg(), layout, batch, tokens).expect("built-in layout must build");
+    let s = if chunks > 1 { s.with_overlap_chunks(chunks) } else { s };
+    if int8 {
+        s.with_weight_dtype(DType::Int8)
+    } else {
+        s
+    }
+}
+
+/// Deterministic sweep of the full planner-reachable product at the
+/// benchmark's decode shape: every layout x candidate chunk count x wire
+/// format verifies clean.
+#[test]
+fn every_planner_emittable_schedule_passes_the_analyzer() {
+    for layout in layout_points() {
+        for &chunks in &CANDIDATE_CHUNKS {
+            for int8 in [false, true] {
+                let s = planned_schedule(&layout, 4, 1, chunks, int8);
+                let spmd = check_schedule_spmd(&s);
+                assert!(
+                    spmd.is_ok(),
+                    "{} chunks={chunks} int8={int8}: SPMD pass rejected: {spmd:?}",
+                    layout.describe()
+                );
+                let quant = check_schedule_quantflow(&s);
+                assert!(
+                    quant.is_ok(),
+                    "{} chunks={chunks} int8={int8}: quantflow pass rejected: {quant:?}",
+                    layout.describe()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The acceptance property holds across forward shapes, not just the
+    /// benchmark's: any batch/token shape the planner may be asked to plan
+    /// produces analyzable schedules for every candidate chunk count.
+    #[test]
+    fn planner_reachable_schedules_verify_across_shapes(
+        layout_ix in 0usize..6,
+        // Weight-gathered and batch-sharded layouts shard activations over
+        // the mesh, so only batches divisible by the 4-chip group build on
+        // every layout point; smaller batches are not planner-reachable.
+        batch in prop::sample::select(vec![4usize, 8, 16]),
+        prefill in prop::sample::select(vec![false, true]),
+        chunks in prop::sample::select(CANDIDATE_CHUNKS.to_vec()),
+        int8 in prop::sample::select(vec![false, true]),
+    ) {
+        let layout = layout_points()[layout_ix];
+        let tokens = if prefill { 4 } else { 1 };
+        let s = planned_schedule(&layout, batch, tokens, chunks, int8);
+        prop_assert!(check_schedule_spmd(&s).is_ok());
+        prop_assert!(check_schedule_quantflow(&s).is_ok());
+    }
+}
+
+#[test]
+fn overlap_sites_report_a1_bytes_and_divisible_extents() {
+    // ws1d decode: activations are replicated [batch, 1, d_model], every
+    // chunkable site is an all-reduce over the 4-chip group, charged both
+    // phases at 2 B/element (Appendix A.1) = 4 bytes per local element.
+    let cfg = cfg();
+    let layout = layout_points()[0];
+    let (batch, d_model) = (4, cfg.d_model);
+    let s = build_schedule(&cfg, &layout, batch, 1).expect("ws1d builds");
+    let sites = s.overlap_sites();
+    assert!(!sites.is_empty(), "ws1d decode must expose all-reduce sites");
+    for site in &sites {
+        assert!(site.label.ends_with("all-reduce"), "1D chunkable site: {}", site.label);
+        assert_eq!(site.group, 4, "{}", site.label);
+        assert_eq!(site.extent, d_model, "{}: chunking divides d_model", site.label);
+        let local = (batch * d_model) as f64;
+        assert!((site.bytes - 4.0 * local).abs() < 0.5, "{}: A.1 all-reduce bytes", site.label);
+        // Every candidate chunk count maps to a divisor of the extent, so
+        // the executor can always honor the planner's pick.
+        for &want in &CANDIDATE_CHUNKS {
+            let k = effective_chunks(site.extent, want);
+            assert!(k >= 1 && site.extent % k == 0 && k <= want);
+        }
+    }
+    // Per-layer sites fuse real einsum work; the planner's overlap model
+    // depends on those FLOPs being non-zero.
+    assert!(
+        sites.iter().any(|s| s.per_layer && s.fused_flops > 0.0),
+        "per-layer all-reduces must report fused producer FLOPs"
+    );
+}
