@@ -10,6 +10,17 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== kernel conformance: SIMD and worker-pool paths bit-identical to the scalar oracles =="
+# Runs the GEMM conformance suite twice: once with the AVX2 SIMD tier
+# active (the default) and once with ESTI_DISABLE_SIMD forcing the scalar
+# blocked fallback, so both dispatch tiers are proven against the naive
+# oracle on every CI run.
+cargo test -q --release -p esti-tensor --test kernels
+ESTI_DISABLE_SIMD=1 cargo test -q --release -p esti-tensor --test kernels
+
+echo "== thread conformance: intra-chip worker count invisible in logits and tokens =="
+cargo test -q --release -p esti-runtime --test threads
+
 echo "== overlap conformance: chunked executor bit-identical to monolithic =="
 cargo test -q --release -p esti-runtime --test overlap
 
@@ -61,16 +72,30 @@ if echo "$lint_out" | grep -q "skip planner"; then
 fi
 echo "esti-lint JSON report: results/esti_lint.json ($(wc -c < results/esti_lint.json) bytes)"
 
-echo "== bench report: no untracked decode regressions =="
-# Every decode row where the planner's pick ran slower than monolithic
-# ("regression": true) must carry a "tracking" reference (issue link or
-# note); silent regressions fail CI.
+echo "== bench report: no untracked regressions =="
+# Every flagged row — a decode row whose planner pick lost to monolithic
+# or to the pre-PR baseline ("regression": true, which also covers
+# speedup < 1.0), and the int8 wire row if its step time regressed — must
+# carry a "tracking" reference (issue link or note); silent regressions
+# fail CI. A row that flags regression without computing it from its own
+# ratios would also be caught here: the flag is cross-checked against the
+# published numbers.
 python3 - <<'EOF'
 import json, sys
-rows = json.load(open("BENCH_runtime.json")).get("decode", [])
+report = json.load(open("BENCH_runtime.json"))
+rows = report.get("decode", [])
 bad = [r["layout"] for r in rows if r.get("regression") and not r.get("tracking")]
+for r in rows:
+    slow = r.get("planned_vs_mono", 1.0) < 1.0 or r.get("speedup", 1.0) < 1.0
+    if slow and not r.get("regression"):
+        bad.append(f"{r['layout']} (unflagged slowdown)")
+wire = report.get("int8_wire", {})
+if wire.get("regression") and not wire.get("tracking"):
+    bad.append("int8_wire")
+if wire.get("step_ratio", 0.0) > 1.0 and not wire.get("regression"):
+    bad.append("int8_wire (unflagged step-time slowdown)")
 if bad:
-    sys.exit(f"FAIL: untracked decode regression(s) in BENCH_runtime.json: {bad}")
+    sys.exit(f"FAIL: untracked regression(s) in BENCH_runtime.json: {bad}")
 print(f"decode rows: {len(rows)}, untracked regressions: 0")
 EOF
 

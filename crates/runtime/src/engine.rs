@@ -20,6 +20,7 @@ use esti_core::schedule::effective_chunks;
 use esti_hal::DType;
 use esti_model::reference::{attention_core_ragged, gelu, mm3};
 use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
+use esti_tensor::pool::{with_worker_pool, ChipPool};
 use esti_tensor::{ops, Tensor};
 
 use crate::overlap::{
@@ -28,17 +29,32 @@ use crate::overlap::{
 use crate::planner::{ExecPlan, ExecPlanner};
 use crate::shard::{shard_1d, shard_2d, shard_wg, shard_wg_hybrid, LayerShard, ShardMat};
 
-/// The weight dtype the planner's schedule model sees for a storage
-/// format: int8 storage moves weight gathers quantized (Section 3.6); the
-/// float formats all gather dense bf16-width payloads.
-fn planner_dtype(fmt: WeightFormat) -> DType {
+/// The weight dtype the planner's schedule model prices for a storage
+/// format: int8 storage moves weight gathers quantized (Section 3.6);
+/// `Bf16` emulation gathers bf16-width payloads; `Exact` executes plain
+/// f32. Benchmarks pricing a planner decision against a measured sweep
+/// must pass the dtype of the format they actually execute — the
+/// [`crate::PlanDecision::dtype`] ledger field records what was priced.
+#[must_use]
+pub fn planner_dtype(fmt: WeightFormat) -> DType {
     match fmt {
         WeightFormat::Int8 => DType::Int8,
-        WeightFormat::Exact | WeightFormat::Bf16 => DType::Bf16,
+        WeightFormat::Bf16 => DType::Bf16,
+        WeightFormat::Exact => DType::F32,
     }
 }
 
 pub use crate::shard::WeightFormat;
+
+/// The `ESTI_CHIP_THREADS` environment default for
+/// [`PartitionedEngine::set_intra_chip_threads`] (1 when unset/invalid).
+fn default_chip_workers() -> usize {
+    std::env::var("ESTI_CHIP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
 
 /// How the engine moves each overlappable collective (Section 3.5).
 ///
@@ -213,6 +229,12 @@ pub struct PartitionedEngine {
     row_lens: Option<Vec<usize>>,
     /// Deadline applied to every chip group's collectives.
     deadline: Option<Duration>,
+    /// Worker threads each simulated chip's kernels split output rows
+    /// over (1 = each chip computes serially on its own thread).
+    chip_workers: usize,
+    /// One persistent worker pool per chip when `chip_workers > 1`
+    /// (aligned with `chips`); empty otherwise.
+    pools: Vec<Arc<ChipPool>>,
     /// Set the first time a step fails: the distributed KV state is no
     /// longer trustworthy and every further `try_*` call reports
     /// [`EngineError::Poisoned`] until the engine is rebuilt.
@@ -400,9 +422,12 @@ impl PartitionedEngine {
             batch: None,
             row_lens: None,
             deadline: None,
+            chip_workers: 1,
+            pools: Vec::new(),
             poisoned: false,
         };
         engine.set_collective_deadline(Some(DEFAULT_COLLECTIVE_DEADLINE));
+        engine.set_intra_chip_threads(default_chip_workers());
         engine
     }
 
@@ -431,6 +456,35 @@ impl PartitionedEngine {
     #[must_use]
     pub fn collective_deadline(&self) -> Option<Duration> {
         self.deadline
+    }
+
+    /// Sets the number of worker threads each simulated chip parallelizes
+    /// its GEMM kernels over (ROADMAP item 5). `1` (the default, or the
+    /// `ESTI_CHIP_THREADS` environment override) keeps every chip serial
+    /// on its own executor thread; `w > 1` gives each chip a persistent
+    /// pool of `w` workers that own disjoint output-row bands.
+    ///
+    /// Deterministic by construction: banding only decides which worker
+    /// computes an element, never the arithmetic, so logits are
+    /// bit-identical at any thread count.
+    pub fn set_intra_chip_threads(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers == self.chip_workers && (workers == 1) == self.pools.is_empty() {
+            return;
+        }
+        self.chip_workers = workers;
+        self.pools = if workers > 1 {
+            (0..self.chips.len()).map(|_| Arc::new(ChipPool::new(workers))).collect()
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// The per-chip kernel worker-thread count (see
+    /// [`PartitionedEngine::set_intra_chip_threads`]).
+    #[must_use]
+    pub fn intra_chip_threads(&self) -> usize {
+        self.chip_workers
     }
 
     /// Arms `plan` into every chip's group handles: each chip counts its
@@ -498,8 +552,8 @@ impl PartitionedEngine {
                 if let Some(d) = self.plan.decision_for(phase, b, l) {
                     return d.chosen.want();
                 }
-                let planner =
-                    ExecPlanner::new(&self.cfg, self.layout, planner_dtype(self.fmt));
+                let planner = ExecPlanner::new(&self.cfg, self.layout, planner_dtype(self.fmt))
+                    .with_workers(self.chip_workers);
                 let d = planner.decide(phase, b, l);
                 let want = d.chosen.want();
                 self.plan.decisions.push(d);
@@ -978,34 +1032,45 @@ impl PartitionedEngine {
         let (b, l) = (x.dim(0), x.dim(1));
         let want = self.resolve_want(b, l);
         let bases = self.row_bases(b);
+        let pools: Vec<Option<Arc<ChipPool>>> = if self.pools.is_empty() {
+            (0..n).map(|_| None).collect()
+        } else {
+            self.pools.iter().map(|p| Some(Arc::clone(p))).collect()
+        };
         let results: Vec<Result<Option<Tensor>, ChipPanic>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .chips
                 .iter_mut()
-                .map(|chip| {
+                .zip(pools)
+                .map(|(chip, pool)| {
                     let x = x.clone();
                     let cfg = &cfg;
                     let bases = &bases;
+                    // Each chip's executor thread installs its own worker
+                    // pool; the kernels inside the forward then split
+                    // output rows across it (bit-identically).
                     s.spawn(move || {
-                        let result = {
-                            let chip = &mut *chip;
-                            catch_unwind(AssertUnwindSafe(move || match dataflow {
-                                Dataflow::OneD => forward_1d(cfg, chip, x, bases, attn, n, want),
-                                Dataflow::TwoD => {
-                                    forward_2d(cfg, chip, x, bases, attn, x_parts, yz_parts, want)
-                                }
-                                Dataflow::WeightGathered => forward_wg(cfg, chip, x, bases, n, want),
-                                Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
-                                    forward_wg_hybrid(
-                                        cfg, chip, x, bases, attn, n_gather, n_local, want,
-                                    )
-                                }
-                            }))
-                        };
-                        if let Err(payload) = &result {
-                            cancel_chip_groups(chip, payload);
-                        }
-                        result
+                        with_worker_pool(pool, || {
+                            let result = {
+                                let chip = &mut *chip;
+                                catch_unwind(AssertUnwindSafe(move || match dataflow {
+                                    Dataflow::OneD => forward_1d(cfg, chip, x, bases, attn, n, want),
+                                    Dataflow::TwoD => {
+                                        forward_2d(cfg, chip, x, bases, attn, x_parts, yz_parts, want)
+                                    }
+                                    Dataflow::WeightGathered => forward_wg(cfg, chip, x, bases, n, want),
+                                    Dataflow::WeightGatheredHybrid { n_gather, n_local } => {
+                                        forward_wg_hybrid(
+                                            cfg, chip, x, bases, attn, n_gather, n_local, want,
+                                        )
+                                    }
+                                }))
+                            };
+                            if let Err(payload) = &result {
+                                cancel_chip_groups(chip, payload);
+                            }
+                            result
+                        })
                     })
                 })
                 .collect();

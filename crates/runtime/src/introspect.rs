@@ -13,6 +13,7 @@
 
 use esti_core::perf::Phase;
 use esti_core::schedule::WireFormat;
+use esti_hal::DType;
 
 use crate::engine::ExecMode;
 use crate::planner::ExecPlan;
@@ -113,8 +114,14 @@ pub fn plan_ledger_json(plan: &ExecPlan) -> String {
             ExecMode::Monolithic => ("monolithic", 1),
             ExecMode::Overlapped { chunks } => ("overlapped", chunks),
         };
+        let dtype = match d.dtype {
+            DType::F32 => "f32",
+            DType::Bf16 => "bf16",
+            DType::Int8 => "int8",
+        };
         out.push_str(&format!(
             "  {{\"phase\": \"{phase}\", \"batch\": {}, \"tokens\": {}, \
+             \"dtype\": \"{dtype}\", \
              \"chosen\": {{\"mode\": \"{mode}\", \"chunks\": {chunks}}}, \"candidates\": [",
             d.batch, d.tokens
         ));
@@ -168,6 +175,7 @@ mod tests {
                 phase: Phase::Decode,
                 batch: 64,
                 tokens: 1,
+                dtype: DType::Int8,
                 chosen: ExecMode::Overlapped { chunks: 4 },
                 candidates: vec![
                     CandidateCost {
@@ -187,6 +195,7 @@ mod tests {
         };
         let json = plan_ledger_json(&plan);
         assert!(json.contains("\"phase\": \"decode\""), "{json}");
+        assert!(json.contains("\"dtype\": \"int8\""), "{json}");
         assert!(json.contains("\"mode\": \"overlapped\", \"chunks\": 4"), "{json}");
         assert!(json.contains("\"hidden_fraction\": 0.6250"), "{json}");
         // Two candidate rows rendered.

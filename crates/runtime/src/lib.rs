@@ -61,7 +61,7 @@ pub mod serving;
 pub mod shard;
 
 pub use engine::{
-    EngineError, ExecMode, PartitionedEngine, RequestKv, WeightFormat,
+    planner_dtype, EngineError, ExecMode, PartitionedEngine, RequestKv, WeightFormat,
     DEFAULT_COLLECTIVE_DEADLINE,
 };
 pub use generate::GenerateOptions;

@@ -29,7 +29,7 @@
 //! rendered by [`crate::introspect::plan_ledger_json`] for audit.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use esti_collectives::{CollectiveOp, CommGroup};
@@ -39,6 +39,7 @@ use esti_core::schedule::{build_schedule, effective_chunks, OverlapSite};
 use esti_hal::{ChipSpec, DType, Seconds};
 use esti_model::ModelConfig;
 use esti_netsim::{chunked_blocked_time, chunked_pipeline_time};
+use esti_tensor::pool::{with_worker_pool, ChipPool};
 use esti_tensor::{ops, Tensor};
 
 use crate::engine::ExecMode;
@@ -91,7 +92,10 @@ pub struct Calibration {
     pub hidden_efficiency: f64,
 }
 
-static PROBES: OnceLock<Mutex<HashMap<usize, Calibration>>> = OnceLock::new();
+/// Probe cache keyed by (group size, intra-chip workers): the kernel
+/// throughput a probe observes depends on how many worker threads each
+/// simulated chip drives, so worker counts calibrate independently.
+static PROBES: OnceLock<Mutex<HashMap<(usize, usize), Calibration>>> = OnceLock::new();
 
 impl Calibration {
     /// Datasheet constants of `chip`: ideal bandwidth and peak FLOPs, no
@@ -131,14 +135,30 @@ impl Calibration {
     /// profiler.
     #[must_use]
     pub fn probed(group: usize) -> Calibration {
+        Calibration::probed_with_workers(group, 1)
+    }
+
+    /// [`Calibration::probed`] with each probe member driving `workers`
+    /// intra-chip kernel threads (see
+    /// [`crate::PartitionedEngine::set_intra_chip_threads`]): the probe
+    /// installs the same per-chip worker pool the engine would, so the
+    /// fitted `sec_per_flop` reflects the banded kernel's real throughput.
+    /// Cached per (group, workers) pair.
+    #[must_use]
+    pub fn probed_with_workers(group: usize, workers: usize) -> Calibration {
+        let workers = workers.max(1);
         let cache = PROBES.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(c) =
-            cache.lock().unwrap_or_else(PoisonError::into_inner).get(&group)
+            cache.lock().unwrap_or_else(PoisonError::into_inner).get(&(group, workers))
         {
             return *c;
         }
-        let cal = measure(group).unwrap_or_else(|| Calibration::serial(&ChipSpec::tpu_v4()));
-        cache.lock().unwrap_or_else(PoisonError::into_inner).insert(group, cal);
+        let cal =
+            measure(group, workers).unwrap_or_else(|| Calibration::serial(&ChipSpec::tpu_v4()));
+        cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((group, workers), cal);
         cal
     }
 }
@@ -214,14 +234,18 @@ fn best_loop(g: &CommGroup, x: &Tensor, w: &Tensor, chunks: usize) -> (Seconds, 
     (wall, blocked)
 }
 
-/// Runs the probe on every member of a fresh group; rank 0 reports.
-fn measure(group: usize) -> Option<Calibration> {
+/// Runs the probe on every member of a fresh group, each rank driving
+/// `workers` intra-chip kernel threads; rank 0 reports.
+fn measure(group: usize, workers: usize) -> Option<Calibration> {
     let members = CommGroup::create(group);
     let results: Vec<Option<Calibration>> = std::thread::scope(|s| {
         let handles: Vec<_> = members
             .into_iter()
             .enumerate()
-            .map(|(rank, g)| s.spawn(move || run_probe(rank, &g)))
+            .map(|(rank, g)| {
+                let pool = (workers > 1).then(|| Arc::new(ChipPool::new(workers)));
+                s.spawn(move || with_worker_pool(pool, || run_probe(rank, &g)))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().ok().flatten()).collect()
     });
@@ -354,6 +378,9 @@ pub struct PlanDecision {
     pub batch: usize,
     /// Tokens per sequence of the planned forward (1 for decode).
     pub tokens: usize,
+    /// The weight dtype the candidate costs were priced with — recorded so
+    /// the ledger can prove the planner priced what the engine executed.
+    pub dtype: DType,
     /// The mode the engine runs this shape with.
     pub chosen: ExecMode,
     /// Predicted cost of every candidate in [`CANDIDATE_CHUNKS`] order.
@@ -417,6 +444,9 @@ pub struct ExecPlanner {
     cfg: ModelConfig,
     layout: Layout,
     dtype: DType,
+    /// Intra-chip kernel workers each simulated chip drives; the probe
+    /// calibrates with the same count so predictions match execution.
+    workers: usize,
     /// Calibration override; `None` probes per site group size.
     calibration: Option<Calibration>,
 }
@@ -426,7 +456,17 @@ impl ExecPlanner {
     /// (per collective-group size, cached process-wide).
     #[must_use]
     pub fn new(cfg: &ModelConfig, layout: Layout, dtype: DType) -> ExecPlanner {
-        ExecPlanner { cfg: cfg.clone(), layout, dtype, calibration: None }
+        ExecPlanner { cfg: cfg.clone(), layout, dtype, workers: 1, calibration: None }
+    }
+
+    /// The same planner calibrated for `workers` intra-chip kernel threads
+    /// per chip (clamped to at least 1). The probe then runs with the same
+    /// worker pool installed that the engine's chips would use, so
+    /// `sec_per_flop` prices the banded kernel, not the serial one.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ExecPlanner {
+        self.workers = workers.max(1);
+        self
     }
 
     /// A planner with fixed cost constants — no probe. Pass
@@ -439,11 +479,12 @@ impl ExecPlanner {
         dtype: DType,
         calibration: Calibration,
     ) -> ExecPlanner {
-        ExecPlanner { cfg: cfg.clone(), layout, dtype, calibration: Some(calibration) }
+        ExecPlanner { cfg: cfg.clone(), layout, dtype, workers: 1, calibration: Some(calibration) }
     }
 
     fn calibration_for(&self, group: usize) -> Calibration {
-        self.calibration.unwrap_or_else(|| Calibration::probed(group))
+        self.calibration
+            .unwrap_or_else(|| Calibration::probed_with_workers(group, self.workers))
     }
 
     /// The overlappable collectives of one phase's schedule, with layer
@@ -507,7 +548,7 @@ impl ExecPlanner {
             })
             .collect();
         let chosen = choose(&candidates);
-        PlanDecision { phase, batch, tokens, chosen, candidates }
+        PlanDecision { phase, batch, tokens, dtype: self.dtype, chosen, candidates }
     }
 }
 

@@ -82,11 +82,22 @@ pub struct ServingOptions {
     /// Chunked (incremental) prefill size; `None` prefills each prompt in
     /// one pass.
     pub prefill_chunk: Option<usize>,
+    /// Intra-chip kernel worker threads per simulated chip, applied to both
+    /// tiers and to every engine rebuilt during fault recovery. `0` keeps
+    /// each engine's own default (the `ESTI_CHIP_THREADS` environment
+    /// knob). Thread count never changes results — the banded kernels are
+    /// bit-identical at any worker count.
+    pub intra_chip_threads: usize,
 }
 
 impl Default for ServingOptions {
     fn default() -> Self {
-        ServingOptions { max_decode_batch: 4, sampling: Sampling::Greedy, prefill_chunk: None }
+        ServingOptions {
+            max_decode_batch: 4,
+            sampling: Sampling::Greedy,
+            prefill_chunk: None,
+            intra_chip_threads: 0,
+        }
     }
 }
 
@@ -266,17 +277,23 @@ pub struct ContinuousBatcher {
     max_recoveries: usize,
 }
 
-/// Builds a tier engine: planner-driven when no mode is pinned.
+/// Builds a tier engine: planner-driven when no mode is pinned. `workers`
+/// is [`ServingOptions::intra_chip_threads`]; `0` keeps the engine default.
 fn build_engine(
     model: &ReferenceModel,
     layout: Layout,
     fmt: WeightFormat,
     exec: Option<ExecMode>,
+    workers: usize,
 ) -> PartitionedEngine {
-    match exec {
+    let mut engine = match exec {
         Some(mode) => PartitionedEngine::new_with_exec(model, layout, fmt, mode),
         None => PartitionedEngine::new(model, layout, fmt),
+    };
+    if workers > 0 {
+        engine.set_intra_chip_threads(workers);
     }
+    engine
 }
 
 impl ContinuousBatcher {
@@ -325,8 +342,8 @@ impl ContinuousBatcher {
         opts: ServingOptions,
     ) -> Self {
         assert!(opts.max_decode_batch > 0, "decode batch cap must be positive");
-        let prefill = build_engine(model, layout, fmt, exec);
-        let decode = build_engine(model, layout, fmt, exec);
+        let prefill = build_engine(model, layout, fmt, exec, opts.intra_chip_threads);
+        let decode = build_engine(model, layout, fmt, exec, opts.intra_chip_threads);
         let deadline = decode.collective_deadline();
         ContinuousBatcher {
             prefill,
@@ -612,7 +629,13 @@ impl ContinuousBatcher {
             return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
         }
         let t = Instant::now();
-        self.decode = build_engine(&self.model, self.layout, self.fmt, self.exec);
+        self.decode = build_engine(
+            &self.model,
+            self.layout,
+            self.fmt,
+            self.exec,
+            self.opts.intra_chip_threads,
+        );
         self.decode.set_collective_deadline(self.deadline);
         self.decode.begin_slots(cap, reserve);
         let mut steps_lost = 0usize;
@@ -655,7 +678,13 @@ impl ContinuousBatcher {
                     return Err(ServeError::RecoveryLimit { faults: recovery.faults, last: err });
                 }
                 let t = Instant::now();
-                self.prefill = build_engine(&self.model, self.layout, self.fmt, self.exec);
+                self.prefill = build_engine(
+                    &self.model,
+                    self.layout,
+                    self.fmt,
+                    self.exec,
+                    self.opts.intra_chip_threads,
+                );
                 self.prefill.set_collective_deadline(self.deadline);
                 let logits = self.try_prefill_padded(prompt, pad).map_err(ServeError::Engine)?;
                 recovery.prefill_tokens_replayed += prompt.len();

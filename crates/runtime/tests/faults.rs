@@ -64,7 +64,12 @@ fn workload(n_req: usize, vocab: usize) -> Vec<ServingRequest> {
 
 fn batcher(model: &ReferenceModel, layout: Layout, cap: usize) -> ContinuousBatcher {
     let opts =
-        ServingOptions { max_decode_batch: cap, sampling: Sampling::Greedy, prefill_chunk: None };
+        ServingOptions {
+        max_decode_batch: cap,
+        sampling: Sampling::Greedy,
+        prefill_chunk: None,
+        ..ServingOptions::default()
+    };
     ContinuousBatcher::new(model, layout, WeightFormat::Exact, opts)
 }
 

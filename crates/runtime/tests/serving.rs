@@ -82,7 +82,12 @@ fn check_conformance(model: &ReferenceModel, layout: Layout, prefill_chunk: Opti
     let mut isolated = PartitionedEngine::new(model, layout, WeightFormat::Exact);
     let cap = isolated.min_batch().max(2);
     let requests = workload(cap + 2, model.config().vocab);
-    let opts = ServingOptions { max_decode_batch: cap, sampling: Sampling::Greedy, prefill_chunk };
+    let opts = ServingOptions {
+        max_decode_batch: cap,
+        sampling: Sampling::Greedy,
+        prefill_chunk,
+        ..ServingOptions::default()
+    };
     let mut batcher = ContinuousBatcher::new(model, layout, WeightFormat::Exact, opts);
     let outcome = batcher.serve(&requests);
     assert_eq!(outcome.outputs.len(), requests.len());
@@ -154,7 +159,12 @@ fn stochastic_streams_match_isolated_batch1() {
     };
     let sampling = Sampling::TopK(5);
     let requests = workload(5, model.config().vocab);
-    let opts = ServingOptions { max_decode_batch: 3, sampling, prefill_chunk: None };
+    let opts = ServingOptions {
+        max_decode_batch: 3,
+        sampling,
+        prefill_chunk: None,
+        ..ServingOptions::default()
+    };
     let mut batcher = ContinuousBatcher::new(&model, layout, WeightFormat::Exact, opts);
     let outcome = batcher.serve(&requests);
     let mut isolated = PartitionedEngine::new(&model, layout, WeightFormat::Exact);
@@ -327,6 +337,7 @@ proptest! {
             max_decode_batch: cap,
             sampling: Sampling::Greedy,
             prefill_chunk: None,
+            ..ServingOptions::default()
         };
         let mut batcher = ContinuousBatcher::new(&model, layout, WeightFormat::Exact, opts);
         let outcome = batcher.serve(&requests);

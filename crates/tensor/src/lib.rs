@@ -9,8 +9,11 @@
 //! quantization ([`quant`], Section 3.6), bf16 storage emulation ([`bf16`]),
 //! and the top-k/top-p decode samplers of Section 3.5 ([`sample`]).
 //!
-//! Everything is deliberately simple, portable and dependency-light; speed
-//! matters only enough for tests and Criterion microbenches to be pleasant.
+//! Everything is dependency-light and portable. The GEMM core dispatches
+//! to explicit AVX2 SIMD kernels with runtime feature detection (scalar
+//! tiers remain as bitwise oracles — see [`ops::set_matmul_kernel`]) and
+//! can split output rows across a deterministic per-chip worker pool
+//! ([`pool`]); both paths are bit-identical to the serial scalar kernels.
 //!
 //! # Examples
 //!
@@ -31,8 +34,10 @@
 
 pub mod bf16;
 pub mod ops;
+pub mod pool;
 pub mod quant;
 pub mod sample;
+mod simd;
 pub mod tensor;
 
 pub use quant::QuantizedMatrix;

@@ -11,14 +11,22 @@ use crate::Tensor;
 
 /// Which inner matmul kernel [`matmul`] dispatches to.
 ///
-/// The blocked kernel is the default; the naive kernel is kept as a
-/// correctness oracle and so benchmarks can measure the pre-optimization
-/// baseline in the same binary. Either kernel accumulates every output
-/// element in strictly ascending `k` order, so for inputs without exact
-/// zeros the two produce bit-identical results.
+/// `Simd` is the default and resolves at dispatch time: the AVX2 kernels
+/// run when the host supports them and SIMD has not been disabled
+/// ([`set_simd_enabled`] / `ESTI_DISABLE_SIMD=1`), otherwise execution
+/// falls back to the blocked tier. The blocked and naive kernels are kept
+/// as the bitwise oracles and so benchmarks can measure the older tiers
+/// in the same binary. Every tier accumulates every output element by one
+/// serial chain of mul-then-add steps in strictly ascending `k` order, so
+/// for inputs without exact zeros all three produce bit-identical results
+/// (the naive tier's `av == 0.0` skip is the only divergence, and only on
+/// exact-zero activations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatmulKernel {
-    /// Cache-blocked, 4×-unrolled kernel.
+    /// Explicit AVX2 SIMD kernel with runtime feature detection; falls
+    /// back to `Blocked` on hosts without AVX2.
+    Simd,
+    /// Cache-blocked, 4×-unrolled scalar kernel (the bitwise oracle).
     Blocked,
     /// Scalar i-k-j kernel with the historical `av == 0.0` skip.
     Naive,
@@ -26,17 +34,19 @@ pub enum MatmulKernel {
 
 static MATMUL_KERNEL: AtomicU8 = AtomicU8::new(0);
 
-/// Serializes tests (here and in `quant`) that flip the process-wide kernel
-/// knob, so concurrently running tests never observe a mid-test setting.
+/// Serializes tests (here, in `quant`, and the kernel conformance suite)
+/// that flip the process-wide kernel knob, so concurrently running tests
+/// never observe a mid-test setting.
 #[cfg(test)]
 pub(crate) static KNOB_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Selects the kernel used by [`matmul`] / [`batched_matmul`] process-wide.
-/// Both kernels are correct; this is a benchmarking escape hatch.
+/// All kernels are correct; this is a benchmarking and oracle escape hatch.
 pub fn set_matmul_kernel(kernel: MatmulKernel) {
     let v = match kernel {
-        MatmulKernel::Blocked => 0,
-        MatmulKernel::Naive => 1,
+        MatmulKernel::Simd => 0,
+        MatmulKernel::Blocked => 1,
+        MatmulKernel::Naive => 2,
     };
     MATMUL_KERNEL.store(v, Ordering::Relaxed);
 }
@@ -44,11 +54,43 @@ pub fn set_matmul_kernel(kernel: MatmulKernel) {
 /// The currently selected matmul kernel.
 #[must_use]
 pub fn matmul_kernel() -> MatmulKernel {
-    if MATMUL_KERNEL.load(Ordering::Relaxed) == 0 {
-        MatmulKernel::Blocked
-    } else {
-        MatmulKernel::Naive
+    match MATMUL_KERNEL.load(Ordering::Relaxed) {
+        0 => MatmulKernel::Simd,
+        1 => MatmulKernel::Blocked,
+        _ => MatmulKernel::Naive,
     }
+}
+
+/// SIMD enablement: 0 = undecided (consult `ESTI_DISABLE_SIMD` once),
+/// 1 = enabled, 2 = disabled.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+fn simd_enabled() -> bool {
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let off = std::env::var_os("ESTI_DISABLE_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
+            SIMD_STATE.store(if off { 2 } else { 1 }, Ordering::Relaxed);
+            !off
+        }
+    }
+}
+
+/// Enables or disables the AVX2 SIMD tier process-wide, overriding the
+/// `ESTI_DISABLE_SIMD` environment default. With SIMD disabled the `Simd`
+/// knob setting resolves to the blocked tier — the forced-scalar fallback
+/// non-AVX2 hosts take automatically.
+pub fn set_simd_enabled(on: bool) {
+    SIMD_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// True when the GEMM entry points will actually run the AVX2 kernels:
+/// the `Simd` tier is selected, SIMD is not disabled, and the host
+/// supports AVX2.
+#[must_use]
+pub fn simd_active() -> bool {
+    matmul_kernel() == MatmulKernel::Simd && simd_enabled() && crate::simd::supported()
 }
 
 /// Column width of one register tile: `MR` accumulator rows of `NR` floats
@@ -179,6 +221,37 @@ fn mm_kernel(
     }
 }
 
+/// Strided GEMM core with kernel dispatch and deterministic row-banded
+/// parallelism: resolves the process-wide knob (AVX2 SIMD when active,
+/// blocked scalar otherwise) and, when the calling thread has a chip
+/// worker pool installed ([`crate::pool::with_worker_pool`]), splits the
+/// `m` output rows into disjoint bands — one per worker. Both the kernel
+/// tiers and the banding are bit-identity preserving: every output
+/// element is one ascending-`k` mul+add chain computed by exactly one
+/// worker, so any knob/worker-count combination produces identical bits.
+#[allow(clippy::too_many_arguments)]
+fn mm_dispatch(
+    ad: &[f32],
+    a_stride: usize,
+    bd: &[f32],
+    b_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let simd = simd_active();
+    crate::pool::partition_rows(m, k, n, out, o_stride, |r0, rows, band| {
+        let a = &ad[r0 * a_stride..];
+        if simd {
+            crate::simd::mm_f32(a, a_stride, bd, b_stride, band, o_stride, rows, k, n);
+        } else {
+            mm_kernel(a, a_stride, bd, b_stride, band, o_stride, rows, k, n);
+        }
+    });
+}
+
 /// The historical scalar kernel (i-k-j with a zero-skip), on raw slices.
 fn mm_naive_kernel(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
@@ -198,8 +271,9 @@ fn mm_naive_kernel(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, 
 
 /// Matrix product of rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
-/// Dispatches to a cache-blocked, 4×-unrolled kernel (see
-/// [`set_matmul_kernel`] for the escape hatch back to the scalar oracle).
+/// Dispatches to the AVX2 SIMD kernel when active, falling back to the
+/// cache-blocked scalar kernel (see [`set_matmul_kernel`] and
+/// [`set_simd_enabled`] for the escape hatches back to the oracles).
 /// Every output element is accumulated in strictly ascending `k` order, so
 /// splitting the contraction into chunks and accumulating the chunks in
 /// order reproduces the monolithic result bit-for-bit.
@@ -227,7 +301,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    mm_kernel(a.data(), k, b.data(), n, &mut out, n, m, k, n);
+    mm_dispatch(a.data(), k, b.data(), n, &mut out, n, m, k, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -266,7 +340,7 @@ pub fn matmul_cols(a: &Tensor, b: &Tensor, c0: usize, cn: usize) -> Tensor {
     assert_eq!(k, k2, "matmul_cols inner dimension mismatch: {k} vs {k2}");
     assert!(c0 + cn <= n_full, "column range {c0}+{cn} exceeds {n_full}");
     let mut out = vec![0.0f32; m * cn];
-    mm_kernel(a.data(), k, &b.data()[c0..], n_full, &mut out, cn, m, k, cn);
+    mm_dispatch(a.data(), k, &b.data()[c0..], n_full, &mut out, cn, m, k, cn);
     Tensor::from_vec(vec![m, cn], out)
 }
 
@@ -288,7 +362,7 @@ pub fn matmul_acc_rows(a: &Tensor, b: &Tensor, r0: usize, out: &mut Tensor) {
     assert!(r0 + kc <= b.dim(0), "row range {r0}+{kc} exceeds {}", b.dim(0));
     assert_eq!(out.shape(), &[m, n], "matmul_acc_rows output shape mismatch");
     let bd = &b.data()[r0 * n..];
-    mm_kernel(a.data(), kc, bd, n, out.data_mut(), n, m, kc, n);
+    mm_dispatch(a.data(), kc, bd, n, out.data_mut(), n, m, kc, n);
 }
 
 /// Writes `a × b` into columns `[c0, c0 + b.dim(1))` of `out`
@@ -308,7 +382,7 @@ pub fn matmul_into_cols(a: &Tensor, b: &Tensor, out: &mut Tensor, c0: usize) {
     assert_eq!(out.dim(0), m, "matmul_into_cols row count mismatch");
     let n_out = out.dim(1);
     assert!(c0 + cn <= n_out, "column range {c0}+{cn} exceeds {n_out}");
-    mm_kernel(a.data(), k, b.data(), cn, &mut out.data_mut()[c0..], n_out, m, k, cn);
+    mm_dispatch(a.data(), k, b.data(), cn, &mut out.data_mut()[c0..], n_out, m, k, cn);
 }
 
 /// Copies a `w`-column window of rank-2 `src` starting at column `sc0`
@@ -402,7 +476,7 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         if naive {
             mm_naive_kernel(a_i, b_i, o_i, m, k, n);
         } else {
-            mm_kernel(a_i, k, b_i, n, o_i, n, m, k, n);
+            mm_dispatch(a_i, k, b_i, n, o_i, n, m, k, n);
         }
     }
     Tensor::from_vec(vec![batch, m, n], out)
@@ -948,11 +1022,23 @@ mod tests {
     #[test]
     fn kernel_knob_roundtrips() {
         let _guard = KNOB_TEST_LOCK.lock().unwrap();
-        assert_eq!(matmul_kernel(), MatmulKernel::Blocked);
-        set_matmul_kernel(MatmulKernel::Naive);
-        assert_eq!(matmul_kernel(), MatmulKernel::Naive);
-        set_matmul_kernel(MatmulKernel::Blocked);
-        assert_eq!(matmul_kernel(), MatmulKernel::Blocked);
+        assert_eq!(matmul_kernel(), MatmulKernel::Simd, "Simd is the default tier");
+        for kernel in [MatmulKernel::Blocked, MatmulKernel::Naive, MatmulKernel::Simd] {
+            set_matmul_kernel(kernel);
+            assert_eq!(matmul_kernel(), kernel);
+        }
+    }
+
+    #[test]
+    fn simd_toggle_forces_the_blocked_fallback() {
+        let _guard = KNOB_TEST_LOCK.lock().unwrap();
+        let initial = simd_enabled();
+        set_simd_enabled(false);
+        assert!(!simd_active(), "disabled SIMD must not be active");
+        set_simd_enabled(true);
+        assert_eq!(simd_active(), crate::simd::supported());
+        // Restore the ESTI_DISABLE_SIMD-derived state for later tests.
+        set_simd_enabled(initial);
     }
 
     proptest! {

@@ -6,16 +6,20 @@
 //! while matmul arithmetic stays in floating point, matching "the matmuls
 //! still use bfloat16 arithmetic" (Section 4.4).
 //!
-//! The GEMM family here mirrors the f32 kernels in [`crate::ops`]: a
-//! register-tiled blocked core with f32 accumulators (int8 values widened to
-//! f32 one rhs row at a time), a scalar oracle kernel selectable through the
-//! same [`crate::ops::set_matmul_kernel`] knob, and chunk-safe
+//! The GEMM family here mirrors the f32 kernels in [`crate::ops`]: an
+//! AVX2 SIMD tier that widens int8 panels with vector converts and folds
+//! the per-column scale once at tile store, a register-tiled blocked core
+//! with f32 accumulators (int8 values widened to f32 one rhs panel at a
+//! time), a scalar oracle kernel — all selectable through the same
+//! [`crate::ops::set_matmul_kernel`] knob — and chunk-safe
 //! `matmul_cols` / `matmul_acc_rows` / `matmul_into_cols` variants so
 //! quantized weights compose with the looped-collective overlap paths.
 //! Every kernel accumulates each output element by one serial chain of adds
 //! in strictly ascending `k` order, and the per-column scale is applied
-//! exactly once after the full contraction — so splitting the contraction
-//! (or the column range) into chunks reproduces the monolithic result
+//! exactly once after the full contraction (folding it at tile store over a
+//! zeroed target is the same arithmetic) — so splitting the contraction
+//! (or the column range) into chunks, switching kernel tiers, or splitting
+//! output rows across chip workers reproduces the monolithic result
 //! bit-for-bit.
 
 use crate::ops::{matmul_kernel, MatmulKernel};
@@ -171,20 +175,80 @@ fn qmm_kernel(
     }
 }
 
-/// The scalar oracle kernel: plain i-k-j accumulation, unscaled. Unlike the
-/// f32 oracle this has no `av == 0.0` skip — the branch was near-never taken
-/// on real activations and poisoned the hot loop.
-fn qmm_scalar_kernel(ad: &[f32], vd: &[i8], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// The scalar oracle kernel: plain i-k-j accumulation over strided
+/// sub-blocks, unscaled. Unlike the f32 oracle this has no `av == 0.0`
+/// skip — the branch was near-never taken on real activations and poisoned
+/// the hot loop. For dense blocks (`a_stride == k`, `v_stride == o_stride
+/// == n`) this is the historical oracle's exact loop, bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn qmm_scalar_kernel(
+    ad: &[f32],
+    a_stride: usize,
+    vd: &[i8],
+    v_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+        let arow = &ad[i * a_stride..i * a_stride + k];
+        let orow = &mut out[i * o_stride..i * o_stride + n];
         for (kk, &av) in arow.iter().enumerate() {
-            let vrow = &vd[kk * n..(kk + 1) * n];
+            let vrow = &vd[kk * v_stride..kk * v_stride + n];
             for (o, &wv) in orow.iter_mut().zip(vrow) {
                 *o += av * f32::from(wv);
             }
         }
     }
+}
+
+/// Strided int8 GEMM dispatch: resolves the process-wide kernel knob (AVX2
+/// SIMD when active, blocked or scalar-oracle otherwise), splits output
+/// rows across the calling thread's chip worker pool when one is installed
+/// ([`crate::pool::with_worker_pool`]), and applies the per-column `scales`
+/// exactly once after each element's full contraction — folded at tile
+/// store on the SIMD path, as a post-pass on the scalar paths; both require
+/// and assume a zeroed target, which every scaled entry point guarantees.
+/// `scales: None` leaves the accumulation unscaled (the
+/// [`QuantizedMatrix::matmul_acc_rows`] contraction-chunk protocol, paired
+/// with one deferred [`QuantizedMatrix::apply_scales`]).
+#[allow(clippy::too_many_arguments)]
+fn qmm_dispatch(
+    ad: &[f32],
+    a_stride: usize,
+    vd: &[i8],
+    v_stride: usize,
+    out: &mut [f32],
+    o_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    scales: Option<&[f32]>,
+) {
+    let naive = matmul_kernel() == MatmulKernel::Naive;
+    let simd = crate::ops::simd_active();
+    crate::pool::partition_rows(m, k, n, out, o_stride, |r0, rows, band| {
+        let a = &ad[r0 * a_stride..];
+        if simd {
+            crate::simd::mm_i8(a, a_stride, vd, v_stride, band, o_stride, rows, k, n, scales);
+            return;
+        }
+        if naive {
+            qmm_scalar_kernel(a, a_stride, vd, v_stride, band, o_stride, rows, k, n);
+        } else {
+            qmm_kernel(a, a_stride, vd, v_stride, band, o_stride, rows, k, n);
+        }
+        if let Some(s) = scales {
+            for r in 0..rows {
+                let orow = &mut band[r * o_stride..r * o_stride + n];
+                for (o, &sv) in orow.iter_mut().zip(s) {
+                    *o *= sv;
+                }
+            }
+        }
+    });
 }
 
 impl QuantizedMatrix {
@@ -272,8 +336,9 @@ impl QuantizedMatrix {
     /// Accumulates in f32 over the int8 values, applying the column scale
     /// once per output — the standard inference dataflow for weight-only
     /// quantization. Dispatches through [`crate::ops::matmul_kernel`]: the
-    /// blocked kernel by default, or the scalar oracle. Both accumulate in
-    /// strictly ascending `k` order and are bit-identical.
+    /// AVX2 SIMD kernel when active, the blocked kernel, or the scalar
+    /// oracle. All accumulate in strictly ascending `k` order and are
+    /// bit-identical.
     ///
     /// # Panics
     ///
@@ -284,8 +349,18 @@ impl QuantizedMatrix {
         assert_eq!(x.dim(1), self.rows, "quantized matmul inner dimension mismatch");
         let m = x.dim(0);
         let mut out = Tensor::zeros(vec![m, self.cols]);
-        self.mm_dispatch(x.data(), out.data_mut(), m);
-        self.apply_scales(&mut out);
+        qmm_dispatch(
+            x.data(),
+            self.rows,
+            &self.values,
+            self.cols,
+            out.data_mut(),
+            self.cols,
+            m,
+            self.rows,
+            self.cols,
+            Some(&self.scales),
+        );
         out
     }
 
@@ -304,8 +379,18 @@ impl QuantizedMatrix {
         assert_eq!(out.dim(0), m, "matmul_into output row mismatch");
         assert_eq!(out.dim(1), self.cols, "matmul_into output col mismatch");
         out.data_mut().fill(0.0);
-        self.mm_dispatch(x.data(), out.data_mut(), m);
-        self.apply_scales(out);
+        qmm_dispatch(
+            x.data(),
+            self.rows,
+            &self.values,
+            self.cols,
+            out.data_mut(),
+            self.cols,
+            m,
+            self.rows,
+            self.cols,
+            Some(&self.scales),
+        );
     }
 
     /// Rank-3 batched product: `x [b, l, rows] → [b, l, cols]`, contracting
@@ -322,13 +407,19 @@ impl QuantizedMatrix {
         let (b, l) = (x.dim(0), x.dim(1));
         let m = b * l;
         let mut out = Tensor::zeros(vec![b, l, self.cols]);
-        self.mm_dispatch(x.data(), out.data_mut(), m);
-        // Per-column scaling over the flat [m, cols] view.
-        for row in out.data_mut().chunks_exact_mut(self.cols) {
-            for (o, &s) in row.iter_mut().zip(&self.scales) {
-                *o *= s;
-            }
-        }
+        // Scaled over the flat [m, cols] view.
+        qmm_dispatch(
+            x.data(),
+            self.rows,
+            &self.values,
+            self.cols,
+            out.data_mut(),
+            self.cols,
+            m,
+            self.rows,
+            self.cols,
+            Some(&self.scales),
+        );
         out
     }
 
@@ -346,12 +437,18 @@ impl QuantizedMatrix {
         assert!(c0 + cn <= self.cols, "column range {c0}+{cn} exceeds {}", self.cols);
         let m = x.dim(0);
         let mut out = vec![0.0f32; m * cn];
-        qmm_kernel(x.data(), self.rows, &self.values[c0..], self.cols, &mut out, cn, m, self.rows, cn);
-        for row in out.chunks_exact_mut(cn) {
-            for (o, &s) in row.iter_mut().zip(&self.scales[c0..c0 + cn]) {
-                *o *= s;
-            }
-        }
+        qmm_dispatch(
+            x.data(),
+            self.rows,
+            &self.values[c0..],
+            self.cols,
+            &mut out,
+            cn,
+            m,
+            self.rows,
+            cn,
+            Some(&self.scales[c0..c0 + cn]),
+        );
         Tensor::from_vec(vec![m, cn], out)
     }
 
@@ -372,7 +469,7 @@ impl QuantizedMatrix {
         let n_out = out.dim(1);
         assert!(c0 + self.cols <= n_out, "column range {c0}+{} exceeds {n_out}", self.cols);
         let m = x.dim(0);
-        qmm_kernel(
+        qmm_dispatch(
             x.data(),
             self.rows,
             &self.values,
@@ -382,13 +479,8 @@ impl QuantizedMatrix {
             m,
             self.rows,
             self.cols,
+            Some(&self.scales),
         );
-        for i in 0..m {
-            let orow = &mut out.data_mut()[i * n_out + c0..i * n_out + c0 + self.cols];
-            for (o, &s) in orow.iter_mut().zip(&self.scales) {
-                *o *= s;
-            }
-        }
     }
 
     /// Accumulates the **unscaled** partial product of `x` against the row
@@ -409,7 +501,7 @@ impl QuantizedMatrix {
         assert_eq!(out.dim(0), x.dim(0), "matmul_acc_rows output row mismatch");
         assert_eq!(out.dim(1), self.cols, "matmul_acc_rows output col mismatch");
         let m = x.dim(0);
-        qmm_kernel(
+        qmm_dispatch(
             x.data(),
             kc,
             &self.values[r0 * self.cols..],
@@ -419,6 +511,7 @@ impl QuantizedMatrix {
             m,
             kc,
             self.cols,
+            None,
         );
     }
 
@@ -535,18 +628,6 @@ impl QuantizedMatrix {
     pub fn max_error(&self, col: usize) -> f32 {
         self.scales[col] * 0.5
     }
-
-    /// Unscaled `out += x × values` through the process-wide kernel knob.
-    fn mm_dispatch(&self, ad: &[f32], out: &mut [f32], m: usize) {
-        match matmul_kernel() {
-            MatmulKernel::Blocked => {
-                qmm_kernel(ad, self.rows, &self.values, self.cols, out, self.cols, m, self.rows, self.cols);
-            }
-            MatmulKernel::Naive => {
-                qmm_scalar_kernel(ad, &self.values, out, m, self.rows, self.cols);
-            }
-        }
-    }
 }
 
 /// Quantizes, then immediately multiplies — convenience for tests comparing
@@ -639,6 +720,7 @@ mod tests {
             let blocked = q.matmul(&x);
             assert_eq!(blocked.data(), oracle.data(), "kernel divergence at {m}x{k}x{n}");
         }
+        ops::set_matmul_kernel(ops::MatmulKernel::Simd);
     }
 
     #[test]
@@ -654,6 +736,7 @@ mod tests {
         let oracle = q.matmul(&x);
         ops::set_matmul_kernel(ops::MatmulKernel::Blocked);
         let blocked = q.matmul(&x);
+        ops::set_matmul_kernel(ops::MatmulKernel::Simd);
         assert!(oracle.approx_eq(&full, 1e-6));
         assert_eq!(oracle.data(), blocked.data());
     }
@@ -792,6 +875,7 @@ mod tests {
             let oracle = q.matmul(&x);
             ops::set_matmul_kernel(ops::MatmulKernel::Blocked);
             let blocked = q.matmul(&x);
+            ops::set_matmul_kernel(ops::MatmulKernel::Simd);
             prop_assert_eq!(blocked.data(), oracle.data());
         }
     }
