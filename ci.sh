@@ -42,6 +42,14 @@ echo "== int8 conformance: quantized wire volume and chunk-count bit-identity ==
 cargo test -q --release -p esti-collectives --test chunked
 cargo test -q --release -p esti-runtime --test int8
 
+echo "== paged-KV conformance: paged streams bit-identical to slab, capacity gated =="
+# PR 9's paged KV cache: bit-identical slab-vs-paged token streams on
+# every decode layout (multiquery and multihead), randomized ragged
+# shared-prefix copy-on-write workloads, mid-decode crash + replay with
+# paged state, and the >= 2x shared-prefix capacity claim at an equal
+# KV position budget.
+cargo test -q --release -p esti-runtime --test paged
+
 echo "== fault conformance: crash any rank, recovered streams bit-identical =="
 # PR 5's chaos suite: for every decode layout, crash or stall any rank at
 # any step and require (a) a structured error within the deadline — never
@@ -94,6 +102,11 @@ if wire.get("regression") and not wire.get("tracking"):
     bad.append("int8_wire")
 if wire.get("step_ratio", 0.0) > 1.0 and not wire.get("regression"):
     bad.append("int8_wire (unflagged step-time slowdown)")
+paged = report.get("paged_kv", {})
+if paged.get("regression") and not paged.get("tracking"):
+    bad.append("paged_kv")
+if paged.get("step_ratio", 0.0) > 1.05 and not paged.get("regression"):
+    bad.append("paged_kv (unflagged step-overhead slowdown)")
 if bad:
     sys.exit(f"FAIL: untracked regression(s) in BENCH_runtime.json: {bad}")
 print(f"decode rows: {len(rows)}, untracked regressions: 0")

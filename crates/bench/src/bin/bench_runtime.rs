@@ -18,7 +18,11 @@
 //!   its decode step is no slower than f32 (step ratio <= 1.0 — the
 //!   regression the SIMD dequant path exists to flip);
 //! * the deadline-based collective wait (PR 5's fault model) costs <= 1.05x
-//!   of the blocking barrier on a fault-free decode step.
+//!   of the blocking barrier on a fault-free decode step;
+//! * the paged KV cache fits >= 2.0x the concurrent requests of the slab
+//!   cache at an equal KV position budget on a shared-prefix workload,
+//!   with bit-identical token streams (per-step paged-vs-slab overhead is
+//!   reported and regression-flagged, not gated).
 //!
 //! The measured hiding fraction is additionally cross-checked against the
 //! *datasheet-ideal* `esti_netsim::overlap` model, reported but not gated:
@@ -36,8 +40,8 @@ use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind, R
 use esti_netsim::{looped_einsum_time, unfused_einsum_time, EinsumSpec};
 use esti_runtime::planner::CANDIDATE_CHUNKS;
 use esti_runtime::{
-    planner_dtype, ContinuousBatcher, ExecMode, ExecPlanner, PartitionedEngine, ServingOptions,
-    ServingRequest, WeightFormat,
+    planner_dtype, ContinuousBatcher, ExecMode, ExecPlanner, KvBackend, PartitionedEngine,
+    ServingOptions, ServingRequest, WeightFormat,
 };
 use esti_tensor::ops::{self, MatmulKernel};
 use esti_tensor::{QuantizedMatrix, Tensor};
@@ -511,6 +515,103 @@ fn main() {
          \"serial_tok_per_s\": {serial_tput:.1}, \"batching_speedup\": {gate_serving:.4}}},\n"
     ));
 
+    banner("Paged KV cache: shared-prefix capacity at equal KV budget (ws1d, 8 chips)");
+    // The paged-KV capacity claim measured end to end: 16 requests share a
+    // 48-token system prefix (6 eight-token pages) with 8 unique prompt
+    // tokens and 8 generated, served under a 256-position KV budget. The
+    // slab cache pre-charges a full max_seq (64) reservation per slot — 4
+    // concurrent requests; the paged admission ledger charges the shared
+    // prefix pages once and only unique tails per request, so 13 fit in
+    // the same budget. Token streams must stay bit-identical.
+    let (kv_shared, kv_unique, kv_new, kv_budget, kv_page) =
+        (48usize, 8usize, 8usize, 256usize, 8usize);
+    let kv_requests: Vec<ServingRequest> = (0..16)
+        .map(|i| {
+            let mut prompt: Vec<usize> =
+                (0..kv_shared).map(|t| (11 + 13 * t) % cfg.vocab).collect();
+            prompt.extend((0..kv_unique).map(|t| (3 + 5 * i + 7 * t) % cfg.vocab));
+            ServingRequest { prompt, max_new_tokens: kv_new, seed: 40 + i as u64, arrival: 0.0 }
+        })
+        .collect();
+    let serve_kv = |backend: KvBackend| {
+        let opts = ServingOptions {
+            max_decode_batch: 13,
+            kv_backend: Some(backend),
+            kv_position_budget: Some(kv_budget),
+            ..ServingOptions::default()
+        };
+        let mut batcher = ContinuousBatcher::new(&model, serve_layout, WeightFormat::Exact, opts);
+        batcher.serve(&kv_requests)
+    };
+    let kv_slab = serve_kv(KvBackend::Slab);
+    let kv_paged = serve_kv(KvBackend::Paged { page_size: kv_page });
+    assert_eq!(
+        kv_paged.outputs, kv_slab.outputs,
+        "paged token streams must be bit-identical to slab"
+    );
+    let gate_paged =
+        kv_paged.report.peak_decode_batch as f64 / kv_slab.report.peak_decode_batch as f64;
+    println!(
+        "16 requests x ({kv_shared} shared + {kv_unique} unique prompt, {kv_new} generated), \
+         {kv_budget}-position budget: slab fits {} concurrent vs paged {} \
+         ({gate_paged:.2}x, {} prefix pages shared)",
+        kv_slab.report.peak_decode_batch,
+        kv_paged.report.peak_decode_batch,
+        kv_paged.report.kv_pages_shared,
+    );
+    // Per-step overhead of the page-table indirection, reported and
+    // regression-flagged (not gated): a slab-backed vs paged-backed decode
+    // step on the same layout must stay within noise of each other.
+    let kv_step_time = |backend: KvBackend| {
+        let toks = prompts(cfg.vocab);
+        let mut best = f64::INFINITY;
+        for rep in 0..3 {
+            let mut engine = PartitionedEngine::new_with_exec(
+                &model,
+                ws1d,
+                WeightFormat::Exact,
+                ExecMode::Monolithic,
+            );
+            engine.set_kv_backend(backend);
+            let _ = engine.prefill(&toks);
+            let mut next: Vec<usize> = (0..BATCH).map(|b| (b + rep) % cfg.vocab).collect();
+            let t = Instant::now();
+            for _ in 0..DECODE_STEPS {
+                let logits = engine.decode_step(&next);
+                next = (0..BATCH).map(|b| (b + logits.shape()[0]) % cfg.vocab).collect();
+            }
+            best = best.min(t.elapsed().as_secs_f64() / DECODE_STEPS as f64);
+        }
+        best
+    };
+    let t_kv_slab = kv_step_time(KvBackend::Slab);
+    let t_kv_paged = kv_step_time(KvBackend::Paged { page_size: esti_runtime::DEFAULT_KV_PAGE_SIZE });
+    let kv_step_ratio = t_kv_paged / t_kv_slab;
+    println!(
+        "decode step wall-clock: slab {:.0} us vs paged {:.0} us (ratio {kv_step_ratio:.3})",
+        t_kv_slab * 1e6,
+        t_kv_paged * 1e6,
+    );
+    let kv_regression = kv_step_ratio > 1.05;
+    let kv_tracking = if kv_regression {
+        ", \"tracking\": \"ROADMAP item 1: single-core host serializes the chip \
+         threads; page-table gathers amortize on a multicore runner\""
+    } else {
+        ""
+    };
+    json.push_str(&format!(
+        "  \"paged_kv\": {{\"shared_prompt\": {kv_shared}, \"unique_prompt\": {kv_unique}, \
+         \"gen_len\": {kv_new}, \"page_size\": {kv_page}, \"kv_position_budget\": {kv_budget}, \
+         \"slab_peak_batch\": {}, \"paged_peak_batch\": {}, \"capacity_ratio\": {gate_paged:.4}, \
+         \"paged_pages_shared\": {}, \"decode_us_slab\": {:.1}, \"decode_us_paged\": {:.1}, \
+         \"step_ratio\": {kv_step_ratio:.4}, \"regression\": {kv_regression}{kv_tracking}}},\n",
+        kv_slab.report.peak_decode_batch,
+        kv_paged.report.peak_decode_batch,
+        kv_paged.report.kv_pages_shared,
+        t_kv_slab * 1e6,
+        t_kv_paged * 1e6,
+    ));
+
     banner("Fault-free overhead of the deadline barrier (ws1d, 8 chips)");
     // PR 5 converted every collective wait from block-forever to a
     // deadline-based wait (`Condvar::wait_timeout`) so a dead or stalled
@@ -574,7 +675,7 @@ fn main() {
     print!("{}", engine.comm_time_summary());
 
     json.push_str(&format!(
-        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.8, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"planned_vs_mono_min\": {gate_planned:.4}, \"planned_vs_mono_required\": 1.0, \"overlap_hidden_measured\": {measured_hidden:.4}, \"overlap_hidden_required\": {gate_hidden_floor:.4}, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.1, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"int8_wg_decode_step_ratio\": {gate_step:.4}, \"int8_wg_decode_step_ratio_max\": 1.0, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05}}\n}}\n"
+        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.8, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"planned_vs_mono_min\": {gate_planned:.4}, \"planned_vs_mono_required\": 1.0, \"overlap_hidden_measured\": {measured_hidden:.4}, \"overlap_hidden_required\": {gate_hidden_floor:.4}, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.1, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"int8_wg_decode_step_ratio\": {gate_step:.4}, \"int8_wg_decode_step_ratio_max\": 1.0, \"paged_capacity_ratio\": {gate_paged:.4}, \"paged_capacity_required\": 2.0, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05}}\n}}\n"
     ));
 
     let root = results_dir().parent().map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
@@ -595,6 +696,7 @@ fn main() {
     println!("int8 GEMM 256^3 simd/scalar: {gate_q256:.2}x (require >= 2.1x)");
     println!("int8 WG decode all-gather bytes vs f32: {gate_wire:.3} (require <= 0.55)");
     println!("int8 WG decode step time vs f32: {gate_step:.3} (require <= 1.0)");
+    println!("paged KV shared-prefix capacity vs slab: {gate_paged:.2}x (require >= 2.0x)");
     println!("deadline barrier vs blocking barrier decode step: {gate_deadline:.3} (require <= 1.05)");
     assert!(gate_256 >= 1.8, "matmul gate failed: {gate_256:.2}x < 1.8x");
     assert!(gate_1d >= 1.2, "decode gate failed: {gate_1d:.2}x < 1.2x");
@@ -612,6 +714,10 @@ fn main() {
     assert!(
         gate_step <= 1.0,
         "int8 step-time gate failed: int8/f32 decode step ratio {gate_step:.3} > 1.0"
+    );
+    assert!(
+        gate_paged >= 2.0,
+        "paged KV capacity gate failed: {gate_paged:.2}x < 2.0x concurrent at equal budget"
     );
     assert!(
         gate_deadline <= 1.05,

@@ -111,6 +111,18 @@ pub struct ServingReport {
     pub decode_steps: usize,
     /// Mean decode batch occupancy over executed steps.
     pub mean_decode_batch: f64,
+    /// Peak decode batch occupancy (most slots simultaneously live) — the
+    /// concurrency the KV capacity actually supported. `0` when the run
+    /// does not track it (the analytical simulator).
+    pub peak_decode_batch: usize,
+    /// Minimum free pages the decode tier's KV admission ledger observed
+    /// (headroom at peak occupancy). `0` when no page budget applies
+    /// (slab-backed decode, or a paged tier with no
+    /// `kv_position_budget`).
+    pub kv_pages_free: usize,
+    /// Peak count of KV pages mapped by more than one live request
+    /// (copy-on-write prompt-prefix sharing). `0` on a slab-backed tier.
+    pub kv_pages_shared: usize,
     /// Fault/recovery accounting (all-zero on a fault-free run).
     pub recovery: RecoveryStats,
 }
@@ -134,6 +146,9 @@ impl ServingReport {
             makespan,
             decode_steps,
             mean_decode_batch,
+            peak_decode_batch: 0,
+            kv_pages_free: 0,
+            kv_pages_shared: 0,
             recovery: RecoveryStats::default(),
         }
     }
@@ -145,6 +160,22 @@ impl ServingReport {
     #[must_use]
     pub fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Attaches the peak decode-slot occupancy (builder-style).
+    #[must_use]
+    pub fn with_peak_batch(mut self, peak: usize) -> Self {
+        self.peak_decode_batch = peak;
+        self
+    }
+
+    /// Attaches paged-KV pool accounting (builder-style): minimum free
+    /// pages under the admission budget and the peak shared-page count.
+    #[must_use]
+    pub fn with_kv_pages(mut self, free: usize, shared: usize) -> Self {
+        self.kv_pages_free = free;
+        self.kv_pages_shared = shared;
         self
     }
 

@@ -201,11 +201,7 @@ impl ReferenceModel {
             k_new = ops::rope(&k_new, dh, base);
         }
         cache.append(li, &k_new, &v_new);
-        // Vetted: the `append` on the previous line populates the layer;
-        // an empty read here is a bug in this function, not a runtime fault.
-        #[allow(clippy::expect_used)]
-        let (k_all, v_all) = cache.get(li).expect("cache populated by append");
-        let attn = attention_core_ragged(&q, k_all, v_all, dh, cache.row_lens(li));
+        let attn = attention_over_cache(&q, cache, li, dh);
         mm3(&attn, &layer.wo)
     }
 
@@ -271,24 +267,57 @@ pub fn attention_core_ragged(
     d_head: usize,
     lens: &[usize],
 ) -> Tensor {
-    let (b, l_q) = (q.dim(0), q.dim(1));
+    let b = q.dim(0);
     assert_eq!(k.dim(0), b, "batch mismatch between Q and K");
     assert_eq!(k.shape(), v.shape(), "K and V must have matching shapes");
-    assert_eq!(lens.len(), b, "one valid length per batch row");
     let cap = k.dim(1);
-    assert!(q.dim(2).is_multiple_of(d_head) && k.dim(2).is_multiple_of(d_head), "head width mismatch");
-    let hq = q.dim(2) / d_head;
-    let hkv = k.dim(2) / d_head;
-    let kd = hkv * d_head;
-    let scale = 1.0 / (d_head as f32).sqrt();
-    let mut per_batch = Vec::with_capacity(b);
-    for (bi, &l_k) in lens.iter().enumerate() {
+    assert!(k.dim(2).is_multiple_of(d_head), "head width mismatch");
+    let kd = k.dim(2);
+    attention_rows(q, d_head, lens, |bi, l_k| {
         assert!(l_k <= cap, "row {bi} length {l_k} exceeds slab capacity {cap}");
-        assert!(l_k >= l_q, "row {bi} length {l_k} shorter than query length {l_q}");
-        let q_b = q.slice(0, bi, 1).into_reshape(vec![l_q, hq * d_head]);
         let row = bi * cap * kd;
         let k_b = Tensor::from_vec(vec![l_k, kd], k.data()[row..row + l_k * kd].to_vec());
         let v_b = Tensor::from_vec(vec![l_k, kd], v.data()[row..row + l_k * kd].to_vec());
+        (k_b, v_b)
+    })
+}
+
+/// [`attention_core_ragged`] reading K/V for `layer` directly out of a
+/// [`KvCache`] row by row ([`KvCache::read_slot`]), so the same attention
+/// math runs over either cache backend — the slab's contiguous row copy
+/// and the paged backend's block-table gather materialize byte-identical
+/// `[Lk, Hkv·dh]` buffers, which is what makes paged decode bit-identical
+/// to slab decode by construction.
+///
+/// # Panics
+///
+/// Panics as [`attention_core_ragged`] does, or if `layer` holds nothing.
+#[must_use]
+pub fn attention_over_cache(q: &Tensor, cache: &KvCache, layer: usize, d_head: usize) -> Tensor {
+    attention_rows(q, d_head, cache.row_lens(layer), |bi, _| cache.read_slot(layer, bi))
+}
+
+/// The shared per-row, per-head attention loop: `row_kv(bi, lens[bi])`
+/// materializes row `bi`'s valid `([Lk, Hkv·dh], [Lk, Hkv·dh])` K/V pair.
+fn attention_rows(
+    q: &Tensor,
+    d_head: usize,
+    lens: &[usize],
+    row_kv: impl Fn(usize, usize) -> (Tensor, Tensor),
+) -> Tensor {
+    let (b, l_q) = (q.dim(0), q.dim(1));
+    assert_eq!(lens.len(), b, "one valid length per batch row");
+    assert!(q.dim(2).is_multiple_of(d_head), "head width mismatch");
+    let hq = q.dim(2) / d_head;
+    let scale = 1.0 / (d_head as f32).sqrt();
+    let mut per_batch = Vec::with_capacity(b);
+    for (bi, &l_k) in lens.iter().enumerate() {
+        assert!(l_k >= l_q, "row {bi} length {l_k} shorter than query length {l_q}");
+        let q_b = q.slice(0, bi, 1).into_reshape(vec![l_q, hq * d_head]);
+        let (k_b, v_b) = row_kv(bi, l_k);
+        assert_eq!(k_b.shape(), v_b.shape(), "K and V must have matching shapes");
+        assert!(k_b.dim(1).is_multiple_of(d_head), "head width mismatch");
+        let hkv = k_b.dim(1) / d_head;
         let mut heads = Vec::with_capacity(hq);
         for hi in 0..hq {
             let kv_i = hi % hkv;

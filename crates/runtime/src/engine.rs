@@ -18,8 +18,8 @@ use esti_core::layout::{AttnSharding, FfnLayout, Layout};
 use esti_core::perf::Phase;
 use esti_core::schedule::effective_chunks;
 use esti_hal::DType;
-use esti_model::reference::{attention_core_ragged, gelu, mm3};
-use esti_model::{KvCache, MlpKind, ModelConfig, PositionKind, ReferenceModel};
+use esti_model::reference::{attention_over_cache, gelu, mm3};
+use esti_model::{KvCache, MlpKind, ModelConfig, PageStats, PositionKind, ReferenceModel};
 use esti_tensor::pool::{with_worker_pool, ChipPool};
 use esti_tensor::{ops, Tensor};
 
@@ -54,6 +54,51 @@ fn default_chip_workers() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&w| w >= 1)
         .unwrap_or(1)
+}
+
+/// Which [`KvCache`] backend an engine's chips store their KV shards in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvBackend {
+    /// Per-row preallocated slabs (the PR 3 design; reference baseline).
+    Slab,
+    /// Refcounted fixed-size pages behind a block table, with
+    /// copy-on-write prompt-prefix sharing (ROADMAP item 2).
+    Paged {
+        /// Positions per page.
+        page_size: usize,
+    },
+}
+
+/// Positions per page when nothing chooses otherwise: small enough that a
+/// short shared system prompt still spans whole pages, large enough that
+/// block tables stay short at this workspace's context lengths.
+pub const DEFAULT_KV_PAGE_SIZE: usize = 16;
+
+impl Default for KvBackend {
+    fn default() -> Self {
+        KvBackend::Paged { page_size: DEFAULT_KV_PAGE_SIZE }
+    }
+}
+
+impl KvBackend {
+    fn make_cache(self, n_layers: usize) -> KvCache {
+        match self {
+            KvBackend::Slab => KvCache::new(n_layers),
+            KvBackend::Paged { page_size } => KvCache::paged(n_layers, page_size),
+        }
+    }
+}
+
+/// The `ESTI_KV_PAGE_SIZE` environment default for
+/// [`PartitionedEngine::set_kv_backend`]: unset/invalid picks the paged
+/// backend at [`DEFAULT_KV_PAGE_SIZE`], `0` forces the slab backend, any
+/// positive value picks that page size.
+fn default_kv_backend() -> KvBackend {
+    match std::env::var("ESTI_KV_PAGE_SIZE").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(0) => KvBackend::Slab,
+        Some(s) => KvBackend::Paged { page_size: s },
+        None => KvBackend::default(),
+    }
 }
 
 /// How the engine moves each overlappable collective (Section 3.5).
@@ -239,6 +284,8 @@ pub struct PartitionedEngine {
     /// longer trustworthy and every further `try_*` call reports
     /// [`EngineError::Poisoned`] until the engine is rebuilt.
     poisoned: bool,
+    /// The cache backend every chip's KV shard uses.
+    kv_backend: KvBackend,
 }
 
 /// One request's KV cache in canonical (layout-independent) form, as
@@ -368,6 +415,7 @@ impl PartitionedEngine {
         let e = cfg.d_model;
         let e_n = e / n.max(1);
         let embed_t = weights.embed.transpose();
+        let kv_backend = default_kv_backend();
         let chips = (0..n)
             .map(|rank| {
                 let (i, j) = (rank / yz_parts, rank % yz_parts);
@@ -399,7 +447,7 @@ impl PartitionedEngine {
                     i,
                     j,
                     layers,
-                    cache: KvCache::new(cfg.n_layers),
+                    cache: kv_backend.make_cache(cfg.n_layers),
                     g_all: g_all[rank].take().expect("one handle per rank"),
                     g_x: g_x[rank].take(),
                     g_yz: g_yz[rank].take(),
@@ -425,6 +473,7 @@ impl PartitionedEngine {
             chip_workers: 1,
             pools: Vec::new(),
             poisoned: false,
+            kv_backend,
         };
         engine.set_collective_deadline(Some(DEFAULT_COLLECTIVE_DEADLINE));
         engine.set_intra_chip_threads(default_chip_workers());
@@ -485,6 +534,49 @@ impl PartitionedEngine {
     #[must_use]
     pub fn intra_chip_threads(&self) -> usize {
         self.chip_workers
+    }
+
+    /// Rebuilds every chip's (necessarily empty) KV cache on `backend`.
+    /// Fresh engines start on the `ESTI_KV_PAGE_SIZE` environment default
+    /// — paged at [`DEFAULT_KV_PAGE_SIZE`] when unset, slab for `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine already holds cached tokens (switch backends
+    /// before the first prefill, or after [`PartitionedEngine::reset`] /
+    /// before [`PartitionedEngine::begin_slots`]).
+    pub fn set_kv_backend(&mut self, backend: KvBackend) {
+        assert!(
+            self.batch.is_none(),
+            "set_kv_backend requires an empty engine (reset() first)"
+        );
+        if backend == self.kv_backend {
+            return;
+        }
+        self.kv_backend = backend;
+        for c in &mut self.chips {
+            c.cache = backend.make_cache(self.cfg.n_layers);
+        }
+    }
+
+    /// The cache backend this engine's chips store KV in.
+    #[must_use]
+    pub fn kv_backend(&self) -> KvBackend {
+        self.kv_backend
+    }
+
+    /// Page-pool occupancy of the busiest chip (the chip holding the most
+    /// live pages — the one the per-chip memory bound cares about), or
+    /// `None` on the slab backend. Under head-sharded attention every chip
+    /// holds the same rows and block-table structure, so any chip is
+    /// representative; under batch sharding chips hold disjoint row sets
+    /// and the max is the binding one.
+    #[must_use]
+    pub fn kv_page_stats(&self) -> Option<PageStats> {
+        self.chips
+            .iter()
+            .filter_map(|c| c.cache.page_stats())
+            .max_by_key(|s| (s.pages_live, s.pages_allocated))
     }
 
     /// Arms `plan` into every chip's group handles: each chip counts its
@@ -867,6 +959,43 @@ impl PartitionedEngine {
                 let vs = v.slice(1, h0 * dh, hc * dh);
                 chip.cache.write_slot(li, slot - r0, rc, &ks, &vs);
             }
+        }
+        self.row_lens.as_mut().expect("insert_kv requires slot mode")[slot] = kv.len;
+    }
+
+    /// [`PartitionedEngine::insert_kv`] with prompt-prefix sharing: each
+    /// covering chip inserts its head shard of the request through the
+    /// paged backend's prefix registry ([`KvCache::insert_row_shared`]),
+    /// mapping pages already cached for `tokens`' page-aligned prefixes by
+    /// refcount instead of rewriting them. On the slab backend this is
+    /// exactly `insert_kv`. Slot mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PartitionedEngine::insert_kv`] does, or if `tokens` is
+    /// not exactly `kv.len` tokens (the prompt that produced the KV).
+    pub fn insert_kv_shared(&mut self, slot: usize, kv: &RequestKv, tokens: &[usize]) {
+        let b = self.batch.expect("insert_kv requires slot mode");
+        assert!(slot < b, "slot {slot} out of range for batch {b}");
+        assert_eq!(kv.layers.len(), self.cfg.n_layers, "layer count mismatch");
+        assert_eq!(tokens.len(), kv.len, "one prompt token per cached position");
+        let dh = self.cfg.d_head;
+        let n_kv = self.cfg.n_kv_heads();
+        for ci in 0..self.chips.len() {
+            let (r0, rc) = self.chip_rows(&self.chips[ci], b);
+            if slot < r0 || slot >= r0 + rc {
+                continue;
+            }
+            let (h0, hc) = self.chip_kv_heads(&self.chips[ci]);
+            let shards: Vec<(Tensor, Tensor)> = kv
+                .layers
+                .iter()
+                .map(|(k, v)| {
+                    assert_eq!(k.dim(1), n_kv * dh, "canonical KV width mismatch");
+                    (k.slice(1, h0 * dh, hc * dh), v.slice(1, h0 * dh, hc * dh))
+                })
+                .collect();
+            self.chips[ci].cache.insert_row_shared(slot - r0, rc, &shards, tokens);
         }
         self.row_lens.as_mut().expect("insert_kv requires slot mode")[slot] = kv.len;
     }
@@ -1362,8 +1491,7 @@ fn attn_ctx_1d(
     match attn {
         AttnSharding::Head => {
             cache.append(li, &k, &v);
-            let (kc, vc) = cache.get(li).expect("cache populated by append");
-            attention_core_ragged(&q, kc, vc, dh, cache.row_lens(li))
+            attention_over_cache(&q, cache, li, dh)
         }
         AttnSharding::Batch => {
             // Reshard Q from head-sharded to batch-sharded (Figure 5b);
@@ -1375,8 +1503,7 @@ fn attn_ctx_1d(
             let k_b = k.slice(0, rank * b_loc, b_loc);
             let v_b = v.slice(0, rank * b_loc, b_loc);
             cache.append(li, &k_b, &v_b);
-            let (kc, vc) = cache.get(li).expect("cache populated by append");
-            let attn_b = attention_core_ragged(&q_b, kc, vc, dh, cache.row_lens(li)); // [B/n, l, H*dh]
+            let attn_b = attention_over_cache(&q_b, cache, li, dh); // [B/n, l, H*dh]
             g_all.all_to_all(&attn_b, 2, 0) // [B, l, h_loc*dh]
         }
     }
@@ -1536,8 +1663,7 @@ fn attn_2d_ctx(
             // MQ: k_j is the full single head, cached replicated (the
             // "baseline multiquery" layout). MHA: own heads only.
             cache.append(li, &k_j, &v_j);
-            let (kc, vc) = cache.get(li).expect("cache populated by append");
-            attention_core_ragged(&q_j, kc, vc, dh, cache.row_lens(li))
+            attention_over_cache(&q_j, cache, li, dh)
         }
         AttnSharding::Batch => {
             let b = q_j.dim(0);
@@ -1552,8 +1678,7 @@ fn attn_2d_ctx(
             let k_bi = k_j.slice(0, kv_off, b_n);
             let v_bi = v_j.slice(0, kv_off, b_n);
             cache.append(li, &k_bi, &v_bi);
-            let (kc, vc) = cache.get(li).expect("cache populated by append");
-            let attn_bi = attention_core_ragged(&q_bi, kc, vc, dh, cache.row_lens(li)); // [B/n, l, H*dh]
+            let attn_bi = attention_over_cache(&q_bi, cache, li, dh); // [B/n, l, H*dh]
             // Gather the batch back over x, then all-to-all back to
             // head sharding over yz.
             let attn_b = g_x.all_gather(&attn_bi, 0); // [B/YZ, l, H*dh]
@@ -1681,8 +1806,7 @@ fn attn_wg(
         k = ops::rope_rows(&k, cfg.d_head, bases);
     }
     cache.append(li, &k, &v);
-    let (kc, vc) = cache.get(li).expect("cache populated by append");
-    let attn = attention_core_ragged(&q, kc, vc, cfg.d_head, cache.row_lens(li));
+    let attn = attention_over_cache(&q, cache, li, cfg.d_head);
     looped_wg_rows(g, &attn, &shard.wo, chunks)
 }
 

@@ -61,12 +61,13 @@ pub mod serving;
 pub mod shard;
 
 pub use engine::{
-    planner_dtype, EngineError, ExecMode, PartitionedEngine, RequestKv, WeightFormat,
-    DEFAULT_COLLECTIVE_DEADLINE,
+    planner_dtype, EngineError, ExecMode, KvBackend, PartitionedEngine, RequestKv, WeightFormat,
+    DEFAULT_COLLECTIVE_DEADLINE, DEFAULT_KV_PAGE_SIZE,
 };
 pub use generate::GenerateOptions;
 pub use introspect::{
-    plan_ledger_json, weight_wire_format, wg_stream_plan, ScaleDiscipline, WgStream,
+    kv_cache_json, plan_ledger_json, weight_wire_format, wg_stream_plan, ScaleDiscipline,
+    WgStream,
 };
 pub use planner::{Calibration, CandidateCost, ExecPlan, ExecPlanner, PlanDecision};
 pub use serving::{

@@ -34,7 +34,7 @@
 //! [`ServingReport::recovery`] and cross-checked against
 //! `esti_netsim::crash_recovery_cost`.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -46,7 +46,7 @@ use esti_core::serving::{RecoveryStats, RequestStats, ServingReport};
 use esti_model::{PositionKind, ReferenceModel};
 use esti_tensor::sample::{sample_row, Sampling};
 
-use crate::engine::{EngineError, ExecMode, PartitionedEngine, WeightFormat};
+use crate::engine::{EngineError, ExecMode, KvBackend, PartitionedEngine, WeightFormat};
 
 /// One queued generation request.
 #[derive(Debug, Clone)]
@@ -88,6 +88,21 @@ pub struct ServingOptions {
     /// knob). Thread count never changes results — the banded kernels are
     /// bit-identical at any worker count.
     pub intra_chip_threads: usize,
+    /// KV-cache backend applied to both tiers (and every engine rebuilt
+    /// during fault recovery). `None` keeps each engine's own default (the
+    /// `ESTI_KV_PAGE_SIZE` environment knob, defaulting to paged). Backend
+    /// choice never changes results — token streams are bit-identical
+    /// between slab and paged caches.
+    pub kv_backend: Option<KvBackend>,
+    /// Decode-tier KV memory budget in canonical cache positions (one
+    /// position = one token's K and V across all layers and heads).
+    /// `None` is unlimited. With a paged backend, admission charges the
+    /// page ledger (shared prompt-prefix pages charged once) and defers
+    /// requests that would overflow; with a slab backend the budget caps
+    /// the slot count at `budget / reserve`, every slot pre-charged its
+    /// worst-case length — the paper-baseline policy paged serving is
+    /// benchmarked against at equal memory.
+    pub kv_position_budget: Option<usize>,
 }
 
 impl Default for ServingOptions {
@@ -97,6 +112,8 @@ impl Default for ServingOptions {
             sampling: Sampling::Greedy,
             prefill_chunk: None,
             intra_chip_threads: 0,
+            kv_backend: None,
+            kv_position_budget: None,
         }
     }
 }
@@ -124,6 +141,17 @@ pub enum ServeError {
         /// Positions the model has.
         max_seq: usize,
     },
+    /// A request can never fit the configured
+    /// [`ServingOptions::kv_position_budget`], even with the decode tier
+    /// otherwise empty.
+    KvBudgetExceeded {
+        /// Index of the offending request.
+        index: usize,
+        /// Canonical KV positions the request needs at worst case.
+        needed: usize,
+        /// The configured budget in canonical KV positions.
+        budget: usize,
+    },
     /// An engine failure that recovery could not absorb (e.g. the prefill
     /// tier failed twice in a row for the same prompt).
     Engine(EngineError),
@@ -149,6 +177,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::PromptTooLong { index, needed, max_seq } => {
                 write!(f, "request {index} needs {needed} positions but max_seq is {max_seq}")
+            }
+            ServeError::KvBudgetExceeded { index, needed, budget } => {
+                write!(
+                    f,
+                    "request {index} needs {needed} KV positions but the budget is {budget}"
+                )
             }
             ServeError::Engine(e) => write!(f, "unrecoverable engine failure: {e}"),
             ServeError::RecoveryLimit { faults, last } => {
@@ -233,6 +267,17 @@ pub struct BatcherSpec {
     /// re-derives token 0 (asserted against the recording), so replay of
     /// the remaining recorded tokens restarts at index 1.
     pub replay_restarts_at: usize,
+    /// KV page size of the decode tier's cache; `None` on a slab backend
+    /// (the pool model below does not apply).
+    pub page_size: Option<usize>,
+    /// Page-pool admission budget
+    /// ([`ServingOptions::kv_position_budget`] `/ page_size`); `None` when
+    /// unbudgeted or slab-backed. When set, admission charges new pages
+    /// (shared prefix pages charged once), growth reservations, and one
+    /// idle-slot dummy page per empty slot, and defers requests that would
+    /// overflow; eviction refunds a page exactly when its last reference
+    /// drops.
+    pub pool_pages: Option<usize>,
 }
 
 /// The two-tier continuous-batching scheduler.
@@ -279,12 +324,14 @@ pub struct ContinuousBatcher {
 
 /// Builds a tier engine: planner-driven when no mode is pinned. `workers`
 /// is [`ServingOptions::intra_chip_threads`]; `0` keeps the engine default.
+/// `kv` is [`ServingOptions::kv_backend`]; `None` keeps the engine default.
 fn build_engine(
     model: &ReferenceModel,
     layout: Layout,
     fmt: WeightFormat,
     exec: Option<ExecMode>,
     workers: usize,
+    kv: Option<KvBackend>,
 ) -> PartitionedEngine {
     let mut engine = match exec {
         Some(mode) => PartitionedEngine::new_with_exec(model, layout, fmt, mode),
@@ -293,7 +340,197 @@ fn build_engine(
     if workers > 0 {
         engine.set_intra_chip_threads(workers);
     }
+    if let Some(backend) = kv {
+        engine.set_kv_backend(backend);
+    }
     engine
+}
+
+/// Virtual page-pool ledger the admission policy charges (paged decode
+/// tier only). It mirrors the physical [`esti_model::KvCache`] paged
+/// backend in *canonical* units — whole heads, undivided by the layout —
+/// so one ledger governs admission identically across shardings.
+///
+/// Accounting invariants (each mirrors a physical transition):
+///
+/// * **admit** charges one page per prompt prefix *not* already registered
+///   by a live request (registry hits map shared pages: charged once),
+///   plus a reservation for every page decode growth can touch — pages the
+///   generation frontier will cross into, and one copy-out page when the
+///   prompt's last page is partial (a write to it may trigger
+///   copy-on-write if shared, or converts it private if not; either way
+///   the reservation bounds the worst case).
+/// * **advance** (one appended token) converts reservations to private
+///   pages at page boundaries and resolves the partial-page frontier on
+///   its first write — exactly the cache's copy-on-write / deregistration
+///   transitions — without changing the slot's total claim.
+/// * **release** refunds private and reserved pages plus every prefix page
+///   whose registry refcount drops to zero — the cache frees a physical
+///   page at precisely that moment.
+struct PageLedger {
+    page_size: usize,
+    /// Admission budget in pages; `None` tracks usage without gating.
+    budget: Option<usize>,
+    /// Live page-aligned prompt prefixes → number of slots mapping them.
+    registry: HashMap<Vec<usize>, usize>,
+    used: usize,
+    peak_used: usize,
+    peak_shared: usize,
+    slots: HashMap<usize, LedgerSlot>,
+}
+
+/// One admitted slot's claim on the ledger.
+struct LedgerSlot {
+    /// Registered prefix keys this slot maps, in page order.
+    keys: Vec<Vec<usize>>,
+    /// Pages owned by this slot alone (decode growth, copy-outs).
+    private: usize,
+    /// Pages charged at admission but not yet materialized.
+    reserved: usize,
+    /// Cached positions (prompt + appended decode tokens).
+    len: usize,
+    /// The last prompt page is partial *and* still registry-mapped; the
+    /// first decode write resolves it (copy-on-write or deregistration).
+    frontier_keyed: bool,
+}
+
+impl PageLedger {
+    fn new(page_size: usize, budget: Option<usize>) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PageLedger {
+            page_size,
+            budget,
+            registry: HashMap::new(),
+            used: 0,
+            peak_used: 0,
+            peak_shared: 0,
+            slots: HashMap::new(),
+        }
+    }
+
+    /// `(unshared prompt pages, growth pages, copy-out reservation)` for
+    /// admitting `prompt` with `max_new` generated tokens, against the
+    /// current registry.
+    fn charge_parts(&self, prompt: &[usize], max_new: usize) -> (usize, usize, usize) {
+        let s = self.page_size;
+        let l = prompt.len();
+        let n_pages = l.div_ceil(s);
+        let new_keys = (0..n_pages)
+            .filter(|pi| {
+                let end = ((pi + 1) * s).min(l);
+                !self.registry.contains_key(&prompt[..end])
+            })
+            .count();
+        let grow = (l + max_new).div_ceil(s) - n_pages;
+        let cow = usize::from(max_new > 1 && !l.is_multiple_of(s));
+        (new_keys, grow, cow)
+    }
+
+    /// Pages admitting this request would charge right now.
+    fn plan(&self, prompt: &[usize], max_new: usize) -> usize {
+        let (new_keys, grow, cow) = self.charge_parts(prompt, max_new);
+        new_keys + grow + cow
+    }
+
+    /// Whether `extra` more pages fit the budget (always true unbudgeted).
+    fn fits(&self, extra: usize) -> bool {
+        self.budget.is_none_or(|b| self.used + extra <= b)
+    }
+
+    /// Records an admission: registers/references prompt prefixes and
+    /// charges the pool.
+    fn commit(&mut self, slot: usize, prompt: &[usize], max_new: usize) {
+        let (new_keys, grow, cow) = self.charge_parts(prompt, max_new);
+        let s = self.page_size;
+        let l = prompt.len();
+        let n_pages = l.div_ceil(s);
+        let mut keys = Vec::with_capacity(n_pages);
+        for pi in 0..n_pages {
+            let end = ((pi + 1) * s).min(l);
+            let key = prompt[..end].to_vec();
+            *self.registry.entry(key.clone()).or_insert(0) += 1;
+            keys.push(key);
+        }
+        self.used += new_keys + grow + cow;
+        self.peak_used = self.peak_used.max(self.used);
+        let shared = self.registry.values().filter(|&&r| r >= 2).count();
+        self.peak_shared = self.peak_shared.max(shared);
+        let prior = self.slots.insert(
+            slot,
+            LedgerSlot {
+                keys,
+                private: 0,
+                reserved: grow + cow,
+                len: l,
+                frontier_keyed: !l.is_multiple_of(s),
+            },
+        );
+        assert!(prior.is_none(), "slot {slot} admitted while still charged");
+    }
+
+    /// Records one decode token appended to `slot`'s cache row.
+    fn advance(&mut self, slot: usize) {
+        let s = self.page_size;
+        let Some(rec) = self.slots.get_mut(&slot) else {
+            return; // Slot not ledger-tracked (slab tier never calls this).
+        };
+        let pos = rec.len;
+        rec.len += 1;
+        if pos % s == 0 {
+            // Crossing into a fresh page: a growth reservation materializes.
+            assert!(rec.reserved > 0, "slot {slot} grew past its reservation");
+            rec.reserved -= 1;
+            rec.private += 1;
+        } else if rec.frontier_keyed {
+            // First write into the partial last prompt page.
+            rec.frontier_keyed = false;
+            let Some(key) = rec.keys.pop() else {
+                unreachable!("frontier_keyed implies a registered frontier page");
+            };
+            let Some(refs) = self.registry.get_mut(&key) else {
+                unreachable!("slot keys are always registered");
+            };
+            if *refs > 1 {
+                // Copy-on-write: the copy-out consumes the reservation; the
+                // original page stays with its other references.
+                *refs -= 1;
+                assert!(rec.reserved > 0, "copy-on-write without a reservation");
+                rec.reserved -= 1;
+                rec.private += 1;
+            } else {
+                // Sole reference: the cache deregisters and writes in
+                // place — the page converts from keyed to private, no new
+                // allocation.
+                self.registry.remove(&key);
+                rec.private += 1;
+            }
+        }
+    }
+
+    /// Records an eviction, refunding every page whose last reference this
+    /// slot held.
+    fn release(&mut self, slot: usize) {
+        let Some(rec) = self.slots.remove(&slot) else {
+            return; // Never admitted (idle-slot re-eviction).
+        };
+        let mut refund = rec.private + rec.reserved;
+        for key in rec.keys {
+            if let Some(refs) = self.registry.get_mut(&key) {
+                *refs -= 1;
+                if *refs == 0 {
+                    self.registry.remove(&key);
+                    refund += 1;
+                }
+            }
+        }
+        assert!(self.used >= refund, "page ledger refund exceeds usage");
+        self.used -= refund;
+    }
+
+    /// Minimum free pages observed under the budget (`0` unbudgeted).
+    fn min_free(&self) -> usize {
+        self.budget.map_or(0, |b| b.saturating_sub(self.peak_used))
+    }
 }
 
 impl ContinuousBatcher {
@@ -342,8 +579,10 @@ impl ContinuousBatcher {
         opts: ServingOptions,
     ) -> Self {
         assert!(opts.max_decode_batch > 0, "decode batch cap must be positive");
-        let prefill = build_engine(model, layout, fmt, exec, opts.intra_chip_threads);
-        let decode = build_engine(model, layout, fmt, exec, opts.intra_chip_threads);
+        let prefill =
+            build_engine(model, layout, fmt, exec, opts.intra_chip_threads, opts.kv_backend);
+        let decode =
+            build_engine(model, layout, fmt, exec, opts.intra_chip_threads, opts.kv_backend);
         let deadline = decode.collective_deadline();
         ContinuousBatcher {
             prefill,
@@ -369,11 +608,20 @@ impl ContinuousBatcher {
     /// [`BatcherSpec`]).
     #[must_use]
     pub fn spec(&self) -> BatcherSpec {
+        let (page_size, pool_pages) = match self.decode.kv_backend() {
+            KvBackend::Slab => (None, None),
+            KvBackend::Paged { page_size } => (
+                Some(page_size),
+                self.opts.kv_position_budget.map(|b| b / page_size),
+            ),
+        };
         BatcherSpec {
             slots: self.opts.max_decode_batch,
             max_recoveries: self.max_recoveries,
             prefill_emits_first_token: true,
             replay_restarts_at: 1,
+            page_size,
+            pool_pages,
         }
     }
 
@@ -458,9 +706,36 @@ impl ContinuousBatcher {
                 return Err(ServeError::PromptTooLong { index, needed, max_seq: cfg.max_seq });
             }
         }
-        let cap = self.opts.max_decode_batch;
+        let mut cap = self.opts.max_decode_batch;
         let reserve =
             requests.iter().map(|r| r.prompt.len() + r.max_new_tokens).max().unwrap_or(0);
+        let mut ledger = match self.decode.kv_backend() {
+            KvBackend::Paged { page_size } => Some(PageLedger::new(
+                page_size,
+                self.opts.kv_position_budget.map(|b| b / page_size),
+            )),
+            KvBackend::Slab => {
+                // Slab budgeting: every slot pre-charges the worst-case
+                // request length, so the budget simply caps the slot count.
+                if let Some(budget) = self.opts.kv_position_budget {
+                    let fit = budget / reserve.max(1);
+                    if fit == 0 {
+                        let index = requests
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, r)| r.prompt.len() + r.max_new_tokens)
+                            .map_or(0, |(i, _)| i);
+                        return Err(ServeError::KvBudgetExceeded {
+                            index,
+                            needed: reserve,
+                            budget,
+                        });
+                    }
+                    cap = cap.min(fit);
+                }
+                None
+            }
+        };
         self.decode.begin_slots(cap, reserve);
         let pad = self.prefill.min_batch();
 
@@ -476,6 +751,7 @@ impl ContinuousBatcher {
         let mut occupancy_sum = 0usize;
         let mut recovery = RecoveryStats::default();
         let mut steps_done = 0usize;
+        let mut peak_live = 0usize;
 
         loop {
             // Admission at the step boundary.
@@ -484,6 +760,33 @@ impl ContinuousBatcher {
                     break;
                 }
                 let Some(slot) = active.iter().position(Option::is_none) else { break };
+                // Page-pool admission gate (paged decode tier). The charge
+                // covers this request's unshared prompt pages plus growth
+                // reservations; the idle allowance covers the one dummy
+                // page each still-empty slot transiently holds per step, so
+                // the physical pool never outgrows the budget.
+                if requests[idx].max_new_tokens > 1 {
+                    if let Some(led) = &ledger {
+                        let req = &requests[idx];
+                        let charge = led.plan(&req.prompt, req.max_new_tokens);
+                        let live_now = active.iter().flatten().count();
+                        let idle_after = cap - (live_now + 1);
+                        if !led.fits(charge + idle_after) {
+                            if live_now == 0 {
+                                // Nothing to evict will ever free enough:
+                                // the request cannot fit even alone.
+                                let budget =
+                                    self.opts.kv_position_budget.unwrap_or(usize::MAX);
+                                return Err(ServeError::KvBudgetExceeded {
+                                    index: idx,
+                                    needed: (led.used + charge + idle_after) * led.page_size,
+                                    budget,
+                                });
+                            }
+                            break; // Defer until eviction frees pages.
+                        }
+                    }
+                }
                 pending.pop_front();
                 let req = &requests[idx];
                 let last_logits = self.prefill_with_retry(&req.prompt, pad, &mut recovery)?;
@@ -502,11 +805,15 @@ impl ContinuousBatcher {
                     continue;
                 }
                 let kv = self.prefill.extract_kv(0);
-                self.decode.insert_kv(slot, &kv);
+                self.decode.insert_kv_shared(slot, &kv, &req.prompt);
+                if let Some(led) = &mut ledger {
+                    led.commit(slot, &req.prompt, req.max_new_tokens);
+                }
                 active[slot] = Some(Active { idx, rng, next_tok: tok, consumed: 1 });
             }
 
             let live = active.iter().flatten().count();
+            peak_live = peak_live.max(live);
             if live == 0 {
                 let Some(&idx) = pending.front() else { break };
                 // Nothing in flight and the next request has not arrived:
@@ -548,6 +855,7 @@ impl ContinuousBatcher {
                         reserve,
                         pad,
                         &mut recovery,
+                        &mut ledger,
                         err,
                     )?;
                     continue;
@@ -560,6 +868,10 @@ impl ContinuousBatcher {
             let v = cfg.vocab;
             for (s, slot) in active.iter_mut().enumerate() {
                 let Some(a) = slot else { continue };
+                // The step appended this row's input token to its cache.
+                if let Some(led) = &mut ledger {
+                    led.advance(s);
+                }
                 let row = &logits.data()[s * v..(s + 1) * v];
                 let tok = sample_row(&mut a.rng, row, self.opts.sampling);
                 if a.consumed < outputs[a.idx].len() {
@@ -580,6 +892,9 @@ impl ContinuousBatcher {
                     finished_at[a.idx] = now();
                     *slot = None;
                     self.decode.evict_slot(s);
+                    if let Some(led) = &mut ledger {
+                        led.release(s);
+                    }
                 } else {
                     a.next_tok = tok;
                 }
@@ -596,13 +911,13 @@ impl ContinuousBatcher {
             })
             .collect();
         let total_generated = outputs.iter().map(Vec::len).sum();
-        Ok(ServingOutcome {
-            report: ServingReport::new(stats, step_log.len(), occupancy_sum)
-                .with_recovery(recovery),
-            step_log,
-            outputs,
-            total_generated,
-        })
+        let mut report = ServingReport::new(stats, step_log.len(), occupancy_sum)
+            .with_recovery(recovery)
+            .with_peak_batch(peak_live);
+        if let Some(led) = &ledger {
+            report = report.with_kv_pages(led.min_free(), led.peak_shared);
+        }
+        Ok(ServingOutcome { report, step_log, outputs, total_generated })
     }
 
     /// Rebuilds the decode tier after a failed step and replays every
@@ -622,6 +937,7 @@ impl ContinuousBatcher {
         reserve: usize,
         pad: usize,
         recovery: &mut RecoveryStats,
+        ledger: &mut Option<PageLedger>,
         err: EngineError,
     ) -> Result<(), ServeError> {
         recovery.faults += 1;
@@ -635,9 +951,21 @@ impl ContinuousBatcher {
             self.fmt,
             self.exec,
             self.opts.intra_chip_threads,
+            self.opts.kv_backend,
         );
         self.decode.set_collective_deadline(self.deadline);
         self.decode.begin_slots(cap, reserve);
+        // The rebuilt cache starts empty, so the ledger restarts too: each
+        // replayed request re-admits (re-sharing prompt prefixes exactly as
+        // the fresh block tables do) and the replay steps re-advance it.
+        // Peaks carry over — they describe the whole serve call.
+        if let Some(led) = ledger {
+            *led = PageLedger {
+                peak_used: led.peak_used,
+                peak_shared: led.peak_shared,
+                ..PageLedger::new(led.page_size, led.budget)
+            };
+        }
         let mut steps_lost = 0usize;
         for (slot, entry) in active.iter_mut().enumerate() {
             let Some(idx) = entry.as_ref().map(|a| a.idx) else { continue };
@@ -648,7 +976,10 @@ impl ContinuousBatcher {
             let tok0 = sample_row(&mut rng, &last_logits, self.opts.sampling);
             assert_eq!(tok0, emitted[0], "request {idx} diverged at replayed token 0");
             let kv = self.prefill.extract_kv(0);
-            self.decode.insert_kv(slot, &kv);
+            self.decode.insert_kv_shared(slot, &kv, &req.prompt);
+            if let Some(led) = ledger {
+                led.commit(slot, &req.prompt, req.max_new_tokens);
+            }
             *entry = Some(Active { idx, rng, next_tok: tok0, consumed: 1 });
             recovery.requests_replayed += 1;
             recovery.prefill_tokens_replayed += req.prompt.len();
@@ -684,6 +1015,7 @@ impl ContinuousBatcher {
                     self.fmt,
                     self.exec,
                     self.opts.intra_chip_threads,
+                    self.opts.kv_backend,
                 );
                 self.prefill.set_collective_deadline(self.deadline);
                 let logits = self.try_prefill_padded(prompt, pad).map_err(ServeError::Engine)?;

@@ -45,7 +45,7 @@ pub use liveness::{
     check_liveness, check_schedule_liveness, AbstractFault, FaultSite, LivenessError,
     LivenessReport,
 };
-pub use memfit::{check_memory_fit, MemReport};
+pub use memfit::{check_memory_fit, check_memory_fit_paged, paged_pool_pages, MemReport, PagedRequest};
 pub use quantflow::{check_schedule_quantflow, QuantflowError, QuantflowReport};
 pub use scenarios::{builtin_scenarios, run_all, ComboResult, Outcome, Scenario};
 pub use spmd::{check_schedule_spmd, check_spmd, per_chip_program, SpmdError, SpmdReport};

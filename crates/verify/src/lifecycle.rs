@@ -32,12 +32,35 @@ use std::fmt;
 
 use esti_runtime::BatcherSpec;
 
-/// One abstract request: only its generation length matters to the slot
-/// machine (prompts are opaque to slot lifecycle).
+/// One abstract request: its generation length drives the slot machine,
+/// and its prompt shape drives the page-pool model (token *values* stay
+/// opaque — sharing is abstracted as "the first `shared_prefix` tokens are
+/// common to every request in the trace").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbstractRequest {
     /// Tokens the request generates (0 and 1 complete at admission).
     pub max_new_tokens: usize,
+    /// Prompt length in tokens (pool model only).
+    pub prompt_len: usize,
+    /// Leading prompt tokens shared with every other request in the trace;
+    /// full pages inside this prefix are refcounted, not copied.
+    pub shared_prefix: usize,
+}
+
+impl AbstractRequest {
+    /// A request with a default-shaped private prompt (the slot-machine
+    /// invariants don't depend on prompt shape).
+    #[must_use]
+    pub fn new(max_new_tokens: usize) -> Self {
+        AbstractRequest { max_new_tokens, prompt_len: 8, shared_prefix: 0 }
+    }
+
+    /// A request with an explicit prompt shape (pool-model traces).
+    #[must_use]
+    pub fn with_prompt(max_new_tokens: usize, prompt_len: usize, shared_prefix: usize) -> Self {
+        assert!(shared_prefix <= prompt_len, "shared prefix cannot exceed the prompt");
+        AbstractRequest { max_new_tokens, prompt_len, shared_prefix }
+    }
 }
 
 /// One abstract serving trace: a FIFO of requests plus the decode steps at
@@ -64,6 +87,10 @@ pub enum Defect {
     ReplayRewind,
     /// Recovery proceeds past [`BatcherSpec::max_recoveries`].
     IgnoreBudget,
+    /// Eviction frees a slot's shared prefix pages unconditionally instead
+    /// of only at the last reference — the classic refcounting bug a paged
+    /// KV pool must not have.
+    DoubleFreeSharedPage,
 }
 
 /// How one trace run ended (both are legitimate terminals).
@@ -131,6 +158,21 @@ pub enum LifecycleError {
         /// The configured budget.
         budget: usize,
     },
+    /// Eviction freed a shared page other requests still reference.
+    SharedPageDoubleFreed {
+        /// Index of the page inside the shared prefix region.
+        page: usize,
+        /// References still outstanding when the free happened.
+        refs: usize,
+    },
+    /// Admission charged the page pool past its budget instead of
+    /// deferring the request.
+    PoolOverflow {
+        /// Pages charged.
+        used: usize,
+        /// The configured pool budget.
+        budget: usize,
+    },
     /// The machine exceeded its step bound — requests are starving.
     Stuck {
         /// Steps taken when the bound tripped.
@@ -163,6 +205,14 @@ impl fmt::Display for LifecycleError {
                 f,
                 "lifecycle: recovery proceeded at fault {faults} past budget {budget}"
             ),
+            LifecycleError::SharedPageDoubleFreed { page, refs } => write!(
+                f,
+                "lifecycle: shared page {page} freed with {refs} references outstanding"
+            ),
+            LifecycleError::PoolOverflow { used, budget } => write!(
+                f,
+                "lifecycle: page pool charged to {used} past its budget of {budget}"
+            ),
             LifecycleError::Stuck { steps } => {
                 write!(f, "lifecycle: no completion after {steps} steps")
             }
@@ -183,12 +233,75 @@ pub struct LifecycleReport {
     pub recovery_limits: usize,
 }
 
-/// A request's slot, mirroring the scheduler's `Active`.
+/// A request's slot, mirroring the scheduler's `Active` plus its page
+/// claim (zeroes when the spec is slab-backed).
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     idx: usize,
     /// Position of the next sample (`Active::consumed`).
     cursor: usize,
+    /// Full shared-prefix pages this slot references.
+    shared_pages: usize,
+    /// Pages owned by this slot alone (private prompt tail + worst-case
+    /// decode growth, charged at admission like the scheduler's ledger).
+    private_pages: usize,
+}
+
+/// The refcounted page pool the machine models when
+/// [`BatcherSpec::page_size`] is set: per-shared-page reference counts
+/// (page `i` covers shared tokens `[i*S, (i+1)*S)`) plus a total-usage
+/// counter gated by [`BatcherSpec::pool_pages`].
+#[derive(Debug, Default)]
+struct Pool {
+    shared_refs: Vec<usize>,
+    used: usize,
+}
+
+impl Pool {
+    /// `(shared pages, private pages, admission charge)` for one request —
+    /// already-referenced shared pages charge nothing.
+    fn plan(&self, r: &AbstractRequest, page_size: usize) -> (usize, usize, usize) {
+        let total = (r.prompt_len + r.max_new_tokens).div_ceil(page_size);
+        let shared = (r.shared_prefix / page_size).min(total);
+        let private = total - shared;
+        let new_shared =
+            (0..shared).filter(|&p| self.shared_refs.get(p).is_none_or(|&c| c == 0)).count();
+        (shared, private, new_shared + private)
+    }
+
+    fn admit(&mut self, shared: usize, private: usize) {
+        if self.shared_refs.len() < shared {
+            self.shared_refs.resize(shared, 0);
+        }
+        for p in 0..shared {
+            if self.shared_refs[p] == 0 {
+                self.used += 1;
+            }
+            self.shared_refs[p] += 1;
+        }
+        self.used += private;
+    }
+
+    /// Releases a slot's claim; `defect` frees shared pages eagerly, which
+    /// the refcount check turns into the invariant violation.
+    fn release(
+        &mut self,
+        slot: &Slot,
+        double_free: bool,
+    ) -> Result<(), LifecycleError> {
+        for p in 0..slot.shared_pages {
+            let refs = self.shared_refs[p];
+            if double_free && refs > 1 {
+                return Err(LifecycleError::SharedPageDoubleFreed { page: p, refs });
+            }
+            self.shared_refs[p] -= 1;
+            if self.shared_refs[p] == 0 {
+                self.used -= 1;
+            }
+        }
+        self.used -= slot.private_pages;
+        Ok(())
+    }
 }
 
 /// Run one trace through the slot machine described by `spec`, optionally
@@ -213,6 +326,7 @@ pub fn run_trace(
     let mut faults_used = 0usize;
     let mut steps_done = 0usize;
     let mut recoveries = 0usize;
+    let mut pool = Pool::default();
 
     // Liveness bound: every request needs at most max_new_tokens steps,
     // every recovery can replay them all once more.
@@ -229,12 +343,31 @@ pub fn run_trace(
                 active.iter().position(Option::is_none)
             };
             let Some(slot) = slot else { break };
-            pending.pop_front();
             let want = trace.requests[idx].max_new_tokens;
+            let occupies = want > usize::from(spec.prefill_emits_first_token);
+            // Page-pool admission gate, mirroring the scheduler's ledger:
+            // requests that will occupy a slot charge their unshared pages
+            // (worst case, prompt plus full generation) and defer when the
+            // budget cannot cover them.
+            let mut claim = (0usize, 0usize);
+            if let (Some(page_size), true) = (spec.page_size, occupies) {
+                let (shared, private, charge) = pool.plan(&trace.requests[idx], page_size);
+                if let Some(budget) = spec.pool_pages {
+                    if pool.used + charge > budget {
+                        if active.iter().all(Option::is_none) {
+                            // Alone and still over budget: starvation.
+                            return Err(LifecycleError::Stuck { steps: steps_done });
+                        }
+                        break; // Defer until eviction frees pages.
+                    }
+                }
+                claim = (shared, private);
+            }
+            pending.pop_front();
             if spec.prefill_emits_first_token && want > 0 {
                 recorded[idx] += 1;
             }
-            if want <= usize::from(spec.prefill_emits_first_token) {
+            if !occupies {
                 // Completes at admission; never occupies a decode slot.
                 finished[idx] = true;
                 continue;
@@ -246,7 +379,20 @@ pub fn run_trace(
                     admitted: idx,
                 });
             }
-            active[slot] = Some(Slot { idx, cursor: usize::from(spec.prefill_emits_first_token) });
+            if spec.page_size.is_some() {
+                pool.admit(claim.0, claim.1);
+                if let Some(budget) = spec.pool_pages {
+                    if pool.used > budget {
+                        return Err(LifecycleError::PoolOverflow { used: pool.used, budget });
+                    }
+                }
+            }
+            active[slot] = Some(Slot {
+                idx,
+                cursor: usize::from(spec.prefill_emits_first_token),
+                shared_pages: claim.0,
+                private_pages: claim.1,
+            });
         }
 
         if active.iter().all(Option::is_none) {
@@ -333,7 +479,9 @@ pub fn run_trace(
                     });
                 }
                 finished[idx] = true;
-                *slot = None;
+                if let Some(s) = slot.take() {
+                    pool.release(&s, defect == Some(Defect::DoubleFreeSharedPage))?;
+                }
             }
         }
     }
@@ -375,13 +523,26 @@ fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
     for lengths in &length_sets {
         for faults in &fault_sets {
             traces.push(Trace {
-                requests: lengths
-                    .iter()
-                    .map(|&max_new_tokens| AbstractRequest { max_new_tokens })
-                    .collect(),
+                requests: lengths.iter().map(|&l| AbstractRequest::new(l)).collect(),
                 faults_at: faults.clone(),
             });
         }
+    }
+    // Pooled traces: a shared-prefix fleet deeper than the slot cap, with
+    // staggered completions (so shared pages drop references one by one)
+    // and with a mid-run fault (so replay re-admits against the pool).
+    if let Some(page_size) = spec.page_size {
+        let shared = 2 * page_size;
+        let fleet = |lens: &[usize]| -> Vec<AbstractRequest> {
+            lens.iter()
+                .map(|&l| AbstractRequest::with_prompt(l, shared + page_size / 2 + 1, shared))
+                .collect()
+        };
+        let staggered: Vec<usize> = (2..2 + s + 2).collect();
+        let uniform = vec![3; s + 2];
+        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![] });
+        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![1] });
+        traces.push(Trace { requests: fleet(&uniform), faults_at: vec![] });
     }
     traces
 }
@@ -418,15 +579,14 @@ mod tests {
             max_recoveries: 3,
             prefill_emits_first_token: true,
             replay_restarts_at: 1,
+            page_size: Some(esti_runtime::DEFAULT_KV_PAGE_SIZE),
+            pool_pages: None,
         }
     }
 
     fn trace(lengths: &[usize], faults: &[usize]) -> Trace {
         Trace {
-            requests: lengths
-                .iter()
-                .map(|&max_new_tokens| AbstractRequest { max_new_tokens })
-                .collect(),
+            requests: lengths.iter().map(|&l| AbstractRequest::new(l)).collect(),
             faults_at: faults.to_vec(),
         }
     }
@@ -516,6 +676,72 @@ mod tests {
             TraceOutcome::Completed { recoveries, .. } => assert_eq!(recoveries, 1),
             other => panic!("expected completion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pool_budget_defers_admission_until_pages_free() {
+        // page_size 4, shared prefix 8 (= 2 shared pages). Each request:
+        // prompt 8 + max_new 3 → 3 pages total, 1 private. First admission
+        // charges 3, later ones 1. Budget 4 fits two concurrent requests;
+        // the third must wait for both to finish (its charge re-counts the
+        // then-freed shared pages). Deferral serializes: ≥ 4 steps instead
+        // of the 2 a parallel run would take.
+        let s = BatcherSpec { page_size: Some(4), pool_pages: Some(4), ..spec() };
+        let reqs = vec![AbstractRequest::with_prompt(3, 8, 8); 3];
+        let t = Trace { requests: reqs, faults_at: vec![] };
+        match run_trace(&s, &t, None).unwrap() {
+            TraceOutcome::Completed { steps, .. } => {
+                assert!(steps >= 4, "deferred admission must serialize: {steps} steps");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_request_starves_instead_of_overflowing() {
+        let s = BatcherSpec { page_size: Some(4), pool_pages: Some(2), ..spec() };
+        let t = Trace {
+            requests: vec![AbstractRequest::with_prompt(4, 12, 0)],
+            faults_at: vec![],
+        };
+        assert!(matches!(run_trace(&s, &t, None), Err(LifecycleError::Stuck { .. })));
+    }
+
+    #[test]
+    fn double_free_shared_page_defect_rejected() {
+        // The ISSUE's seeded refcounting mutation: two requests share two
+        // full prefix pages; the short one completes first, and the
+        // defective machine frees the shared pages outright while the long
+        // one still references them.
+        let s = BatcherSpec { page_size: Some(4), ..spec() };
+        let t = Trace {
+            requests: vec![
+                AbstractRequest::with_prompt(2, 8, 8),
+                AbstractRequest::with_prompt(6, 8, 8),
+            ],
+            faults_at: vec![],
+        };
+        let err = run_trace(&s, &t, Some(Defect::DoubleFreeSharedPage)).unwrap_err();
+        match err {
+            LifecycleError::SharedPageDoubleFreed { page, refs } => {
+                assert_eq!(page, 0);
+                assert_eq!(refs, 2);
+            }
+            other => panic!("expected SharedPageDoubleFreed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn correct_refcounting_passes_where_the_defect_fails() {
+        let s = BatcherSpec { page_size: Some(4), ..spec() };
+        let t = Trace {
+            requests: vec![
+                AbstractRequest::with_prompt(2, 8, 8),
+                AbstractRequest::with_prompt(6, 8, 8),
+            ],
+            faults_at: vec![],
+        };
+        run_trace(&s, &t, None).unwrap();
     }
 
     #[test]
