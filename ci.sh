@@ -50,6 +50,19 @@ echo "== paged-KV conformance: paged streams bit-identical to slab, capacity gat
 # KV position budget.
 cargo test -q --release -p esti-runtime --test paged
 
+echo "== overload conformance: preemption stream-transparent, shedding typed =="
+# PR 10's SLO scheduler: any forced preemption schedule must leave token
+# streams bit-identical to isolated generate, priority classes must admit
+# highest-first, and queue/deadline shedding must surface as typed
+# per-request ServeError::Overloaded — never a run failure.
+cargo test -q --release -p esti-runtime --test overload
+
+echo "== router conformance: replica crash loses nothing, streams identical =="
+# An injected chip crash with an exhausted recovery budget drains the
+# replica; its whole share must re-route and replay to bit-identical
+# streams with the failover accounted in RecoveryStats.
+cargo test -q --release -p esti-runtime --test router
+
 echo "== fault conformance: crash any rank, recovered streams bit-identical =="
 # PR 5's chaos suite: for every decode layout, crash or stall any rank at
 # any step and require (a) a structured error within the deadline — never
@@ -107,6 +120,18 @@ if paged.get("regression") and not paged.get("tracking"):
     bad.append("paged_kv")
 if paged.get("step_ratio", 0.0) > 1.05 and not paged.get("regression"):
     bad.append("paged_kv (unflagged step-overhead slowdown)")
+over = report.get("overload", {})
+if over.get("goodput_ratio", 1.0) < 0.7:
+    bad.append("overload (goodput below 0.7x capacity ceiling)")
+if over.get("high_p99_ttft_s", 0.0) > 1.0:
+    bad.append("overload (high-class p99 TTFT above SLO)")
+if over.get("shed", 1) == 0:
+    bad.append("overload (bursty 2x trace shed nothing)")
+router = report.get("router_failover", {})
+if router.get("lost", 0) != 0:
+    bad.append("router_failover (lost requests)")
+if not router.get("streams_identical", True):
+    bad.append("router_failover (streams diverged)")
 if bad:
     sys.exit(f"FAIL: untracked regression(s) in BENCH_runtime.json: {bad}")
 print(f"decode rows: {len(rows)}, untracked regressions: 0")

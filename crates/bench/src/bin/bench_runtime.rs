@@ -35,13 +35,18 @@ use std::time::Instant;
 use esti_bench::{banner, results_dir};
 use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
 use esti_core::perf::Phase;
-use esti_hal::ChipSpec;
+use esti_core::serving::{
+    simulate_trace, ArrivalProcess, ArrivalTrace, LengthDist, OverloadPolicy, Priority,
+    ServingConfig, TraceSpec,
+};
+use esti_core::Machine;
+use esti_hal::{ChipSpec, DType};
 use esti_model::{AttentionKind, BlockKind, MlpKind, ModelConfig, PositionKind, ReferenceModel};
 use esti_netsim::{looped_einsum_time, unfused_einsum_time, EinsumSpec};
 use esti_runtime::planner::CANDIDATE_CHUNKS;
 use esti_runtime::{
     planner_dtype, ContinuousBatcher, ExecMode, ExecPlanner, KvBackend, PartitionedEngine,
-    ServingOptions, ServingRequest, WeightFormat,
+    ReplicaRouter, ServingOptions, ServingRequest, WeightFormat,
 };
 use esti_tensor::ops::{self, MatmulKernel};
 use esti_tensor::{QuantizedMatrix, Tensor};
@@ -490,6 +495,7 @@ fn main() {
             max_new_tokens: serve_gen,
             seed: i as u64,
             arrival: 0.0,
+            priority: Priority::Normal,
         })
         .collect();
     let serve_tput = |cap: usize| {
@@ -515,6 +521,133 @@ fn main() {
          \"serial_tok_per_s\": {serial_tput:.1}, \"batching_speedup\": {gate_serving:.4}}},\n"
     ));
 
+    banner("Overload: 1e5-request bursty trace, SLO scheduler (PaLM 540B, 64 chips, simulated)");
+    // The ISSUE's acceptance trace: a seeded Markov-modulated arrival
+    // process whose bursts offer ~2x the analytic decode ceiling, ragged
+    // prompt/output lengths, three priority classes. The SLO scheduler
+    // (priority admission + preemption + typed shedding) must keep goodput
+    // at >= 0.7x of the capacity ceiling while holding the high class's
+    // p99 TTFT — overload degrades the low class, never the whole system.
+    let palm = ModelConfig::palm_540b_padded();
+    let serve_cfg = ServingConfig {
+        prefill_machine: Machine::tpu_v4_slice(64).expect("64-chip slice"),
+        decode_machine: Machine::tpu_v4_slice(64).expect("64-chip slice"),
+        max_decode_batch: 64,
+        input_len: 64,
+        gen_len: 64,
+        weight_dtype: DType::Int8,
+    };
+    let trace_spec = TraceSpec {
+        process: ArrivalProcess::Bursty { calm_rate: 5.0, burst_rate: 50.0, mean_dwell: 5.0 },
+        prompt: LengthDist::Uniform { lo: 32, hi: 96 },
+        output: LengthDist::Uniform { lo: 128, hi: 256 },
+        high_fraction: 0.1,
+        low_fraction: 0.3,
+    };
+    let trace_n = 100_000usize;
+    let trace = ArrivalTrace::generate(&trace_spec, trace_n, 11);
+    let policy = OverloadPolicy {
+        queue_limit: Some(256),
+        ttft_deadline: [Some(20.0), Some(30.0), Some(60.0)],
+        preemption: true,
+    };
+    let t = Instant::now();
+    let over = simulate_trace(&palm, &serve_cfg, &trace, &policy);
+    let sim_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        over.completed.len() + over.shed.len(),
+        trace_n,
+        "request conservation: every request completes or sheds"
+    );
+    let gate_goodput = over.goodput_ratio();
+    let gate_high_p99 = over.class_ttft_percentile(Priority::High, 99.0);
+    println!(
+        "{trace_n} requests over {:.0}s simulated (offered {:.0} tok/s) walked in {sim_secs:.1}s wall",
+        trace.duration(),
+        trace.offered_token_rate(),
+    );
+    println!(
+        "goodput {:.0} tok/s = {gate_goodput:.2}x of the {:.0} tok/s capacity ceiling; \
+         {} completed, {} shed, {} preemptions",
+        over.goodput_tokens_per_sec(),
+        over.capacity_tokens_per_sec,
+        over.completed.len(),
+        over.shed.len(),
+        over.preemptions,
+    );
+    println!(
+        "high class: {} completed / {} shed, p99 ttft {gate_high_p99:.2}s (low class sheds {})",
+        over.class_completed(Priority::High),
+        over.class_shed(Priority::High),
+        over.class_shed(Priority::Low),
+    );
+    json.push_str(&format!(
+        "  \"overload\": {{\"requests\": {trace_n}, \"trace_seconds\": {:.1}, \
+         \"offered_tok_per_s\": {:.1}, \"capacity_tok_per_s\": {:.1}, \
+         \"goodput_tok_per_s\": {:.1}, \"goodput_ratio\": {gate_goodput:.4}, \
+         \"completed\": {}, \"shed\": {}, \"preemptions\": {}, \"replayed_tokens\": {}, \
+         \"high_p99_ttft_s\": {gate_high_p99:.4}, \"low_shed\": {}, \"sim_wall_s\": {sim_secs:.2}}},\n",
+        trace.duration(),
+        trace.offered_token_rate(),
+        over.capacity_tokens_per_sec,
+        over.goodput_tokens_per_sec(),
+        over.completed.len(),
+        over.shed.len(),
+        over.preemptions,
+        over.replayed_tokens,
+        over.class_shed(Priority::Low),
+    ));
+
+    banner("Router failover: injected replica crash (tiny8x, 2x2 chips, live engine)");
+    // Two live replicas; a chip crash with zero recovery budget kills
+    // replica 0 on its first decode step. The router must drain it and
+    // re-route its whole share with zero lost requests and streams
+    // bit-identical to a fault-free single-batcher run.
+    let rt_layout = Layout {
+        ffn: FfnLayout::WeightStationary1D,
+        attn: AttnSharding::Head,
+        mesh: MeshFactors::new(1, 2, 1),
+    };
+    let rt_opts = ServingOptions { max_decode_batch: 2, ..ServingOptions::default() };
+    let rt_model = ReferenceModel::init_random(ModelConfig::tiny(), 9);
+    let rt_vocab = rt_model.config().vocab;
+    let rt_requests: Vec<ServingRequest> = (0..6)
+        .map(|i| ServingRequest {
+            prompt: (0..3).map(|t| (3 + 5 * i + 7 * t) % rt_vocab).collect(),
+            max_new_tokens: 4,
+            seed: i as u64,
+            arrival: 0.0,
+            priority: Priority::Normal,
+        })
+        .collect();
+    let baseline = {
+        let mut b = ContinuousBatcher::new(&rt_model, rt_layout, WeightFormat::Exact, rt_opts);
+        b.serve(&rt_requests).outputs
+    };
+    let mut rt = ReplicaRouter::new(&rt_model, rt_layout, WeightFormat::Exact, rt_opts, 2);
+    rt.batcher_mut(0).set_max_recoveries(0);
+    rt.batcher_mut(0)
+        .schedule_decode_fault(0, esti_collectives::FaultPlan::new().crash(1, 0));
+    let rt_outcome = rt.try_serve(&rt_requests).expect("survivor absorbs the share");
+    let gate_lost = rt_outcome.outputs.iter().filter(|o| o.is_empty()).count();
+    let rt_identical = rt_outcome.outputs == baseline;
+    println!(
+        "replica 0 crashed: {} failover re-routed {} requests; {gate_lost} of {} lost; \
+         streams identical to fault-free baseline: {rt_identical}",
+        rt_outcome.report.recovery.failovers,
+        rt_outcome.report.recovery.requests_rerouted,
+        rt_requests.len(),
+    );
+    json.push_str(&format!(
+        "  \"router_failover\": {{\"replicas\": 2, \"requests\": {}, \"failovers\": {}, \
+         \"requests_rerouted\": {}, \"lost\": {gate_lost}, \"streams_identical\": {rt_identical}, \
+         \"served_per_replica\": {:?}}},\n",
+        rt_requests.len(),
+        rt_outcome.report.recovery.failovers,
+        rt_outcome.report.recovery.requests_rerouted,
+        rt_outcome.served_per_replica,
+    ));
+
     banner("Paged KV cache: shared-prefix capacity at equal KV budget (ws1d, 8 chips)");
     // The paged-KV capacity claim measured end to end: 16 requests share a
     // 48-token system prefix (6 eight-token pages) with 8 unique prompt
@@ -530,7 +663,7 @@ fn main() {
             let mut prompt: Vec<usize> =
                 (0..kv_shared).map(|t| (11 + 13 * t) % cfg.vocab).collect();
             prompt.extend((0..kv_unique).map(|t| (3 + 5 * i + 7 * t) % cfg.vocab));
-            ServingRequest { prompt, max_new_tokens: kv_new, seed: 40 + i as u64, arrival: 0.0 }
+            ServingRequest { prompt, max_new_tokens: kv_new, seed: 40 + i as u64, arrival: 0.0, priority: Priority::Normal }
         })
         .collect();
     let serve_kv = |backend: KvBackend| {
@@ -675,7 +808,7 @@ fn main() {
     print!("{}", engine.comm_time_summary());
 
     json.push_str(&format!(
-        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.8, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"planned_vs_mono_min\": {gate_planned:.4}, \"planned_vs_mono_required\": 1.0, \"overlap_hidden_measured\": {measured_hidden:.4}, \"overlap_hidden_required\": {gate_hidden_floor:.4}, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.1, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"int8_wg_decode_step_ratio\": {gate_step:.4}, \"int8_wg_decode_step_ratio_max\": 1.0, \"paged_capacity_ratio\": {gate_paged:.4}, \"paged_capacity_required\": 2.0, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05}}\n}}\n"
+        "  \"gates\": {{\"matmul_256_speedup\": {gate_256:.4}, \"matmul_256_required\": 1.8, \"decode_ws1d_speedup\": {gate_1d:.4}, \"decode_ws1d_required\": 1.2, \"planned_vs_mono_min\": {gate_planned:.4}, \"planned_vs_mono_required\": 1.0, \"overlap_hidden_measured\": {measured_hidden:.4}, \"overlap_hidden_required\": {gate_hidden_floor:.4}, \"serving_batching_speedup\": {gate_serving:.4}, \"serving_batching_required\": 1.1, \"int8_matmul_256_speedup\": {gate_q256:.4}, \"int8_matmul_256_required\": 2.1, \"int8_wg_decode_byte_ratio\": {gate_wire:.4}, \"int8_wg_decode_byte_ratio_max\": 0.55, \"int8_wg_decode_step_ratio\": {gate_step:.4}, \"int8_wg_decode_step_ratio_max\": 1.0, \"paged_capacity_ratio\": {gate_paged:.4}, \"paged_capacity_required\": 2.0, \"deadline_overhead_ratio\": {gate_deadline:.4}, \"deadline_overhead_max\": 1.05, \"overload_goodput_ratio\": {gate_goodput:.4}, \"overload_goodput_required\": 0.7, \"overload_high_p99_ttft_s\": {gate_high_p99:.4}, \"overload_high_p99_ttft_max_s\": 1.0, \"router_failover_lost\": {gate_lost}, \"router_failover_lost_max\": 0, \"router_failover_streams_identical\": {rt_identical}}}\n}}\n"
     ));
 
     let root = results_dir().parent().map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
@@ -698,6 +831,11 @@ fn main() {
     println!("int8 WG decode step time vs f32: {gate_step:.3} (require <= 1.0)");
     println!("paged KV shared-prefix capacity vs slab: {gate_paged:.2}x (require >= 2.0x)");
     println!("deadline barrier vs blocking barrier decode step: {gate_deadline:.3} (require <= 1.05)");
+    println!("overload goodput vs capacity ceiling: {gate_goodput:.2}x (require >= 0.7x)");
+    println!("overload high-class p99 TTFT: {gate_high_p99:.2}s (require <= 1.0s)");
+    println!(
+        "router failover lost requests: {gate_lost} (require 0, streams identical: {rt_identical})"
+    );
     assert!(gate_256 >= 1.8, "matmul gate failed: {gate_256:.2}x < 1.8x");
     assert!(gate_1d >= 1.2, "decode gate failed: {gate_1d:.2}x < 1.2x");
     assert!(
@@ -722,5 +860,20 @@ fn main() {
     assert!(
         gate_deadline <= 1.05,
         "deadline overhead gate failed: ratio {gate_deadline:.3} > 1.05"
+    );
+    assert!(
+        gate_goodput >= 0.7,
+        "overload goodput gate failed: {gate_goodput:.2}x < 0.7x of capacity"
+    );
+    assert!(
+        gate_high_p99 <= 1.0,
+        "overload SLO gate failed: high-class p99 TTFT {gate_high_p99:.2}s > 1.0s"
+    );
+    assert!(!over.shed.is_empty(), "a 2x overload trace must shed via typed errors");
+    assert_eq!(gate_lost, 0, "router failover gate failed: {gate_lost} requests lost");
+    assert!(rt_identical, "router failover gate failed: streams diverged from baseline");
+    assert_eq!(
+        rt_outcome.report.recovery.failovers, 1,
+        "router failover gate failed: exactly one failover expected"
     );
 }

@@ -57,6 +57,7 @@ pub mod generate;
 mod overlap;
 pub mod introspect;
 pub mod planner;
+pub mod router;
 pub mod serving;
 pub mod shard;
 
@@ -70,6 +71,8 @@ pub use introspect::{
     WgStream,
 };
 pub use planner::{Calibration, CandidateCost, ExecPlan, ExecPlanner, PlanDecision};
+pub use router::{ReplicaRouter, RouterError, RouterOutcome};
 pub use serving::{
-    BatcherSpec, ContinuousBatcher, ServeError, ServingOptions, ServingOutcome, ServingRequest,
+    BatcherSpec, ContinuousBatcher, OverloadShed, ServeError, ServingOptions, ServingOutcome,
+    ServingRequest,
 };

@@ -42,7 +42,7 @@ use rand::SeedableRng;
 
 use esti_collectives::FaultPlan;
 use esti_core::layout::Layout;
-use esti_core::serving::{RecoveryStats, RequestStats, ServingReport};
+use esti_core::serving::{Priority, RecoveryStats, RequestStats, ServingReport};
 use esti_model::{PositionKind, ReferenceModel};
 use esti_tensor::sample::{sample_row, Sampling};
 
@@ -61,13 +61,31 @@ pub struct ServingRequest {
     pub seed: u64,
     /// Arrival time in seconds relative to the start of serving.
     pub arrival: f64,
+    /// Scheduling class. Higher classes are admitted (and prefilled)
+    /// first; under pressure, with [`ServingOptions::preemption`], they
+    /// preempt strictly lower classes out of their decode slots.
+    pub priority: Priority,
 }
 
 impl ServingRequest {
-    /// A request arriving at `t = 0` with default generation length.
+    /// A request arriving at `t = 0` in the default ([`Priority::Normal`])
+    /// class.
     #[must_use]
     pub fn immediate(prompt: Vec<usize>, max_new_tokens: usize) -> Self {
-        ServingRequest { prompt, max_new_tokens, seed: 0, arrival: 0.0 }
+        ServingRequest {
+            prompt,
+            max_new_tokens,
+            seed: 0,
+            arrival: 0.0,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// The same request in the given scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -103,6 +121,26 @@ pub struct ServingOptions {
     /// worst-case length — the paper-baseline policy paged serving is
     /// benchmarked against at equal memory.
     pub kv_position_budget: Option<usize>,
+    /// Arrived-but-unadmitted requests the scheduler tolerates before
+    /// shedding; `None` queues without bound. Shedding removes the
+    /// *newest* waiting request of the *lowest* waiting class — the one
+    /// whose loss costs the least — recording a typed
+    /// [`ServeError::Overloaded`] in [`ServingOutcome::shed`] instead of
+    /// letting the backlog grow without bound.
+    pub queue_limit: Option<usize>,
+    /// Per-class TTFT deadline in seconds, indexed by
+    /// [`Priority::index`]: a waiting request that has already waited past
+    /// its class deadline is shed (typed [`ServeError::Overloaded`])
+    /// rather than served uselessly late. `None` disables the deadline
+    /// for that class.
+    pub ttft_deadline: [Option<f64>; 3],
+    /// Preempt a strictly-lower-priority slot when a higher class is
+    /// waiting and no slot is free. The victim re-enters its class queue
+    /// (at the front — it keeps its FIFO standing) and, on re-admission,
+    /// *replays* through the recovery machinery to a bit-identical
+    /// stream. On by default: with every request in one class (the
+    /// pre-priority behavior) preemption never fires.
+    pub preemption: bool,
 }
 
 impl Default for ServingOptions {
@@ -114,6 +152,9 @@ impl Default for ServingOptions {
             intra_chip_threads: 0,
             kv_backend: None,
             kv_position_budget: None,
+            queue_limit: None,
+            ttft_deadline: [None; 3],
+            preemption: true,
         }
     }
 }
@@ -152,6 +193,17 @@ pub enum ServeError {
         /// The configured budget in canonical KV positions.
         budget: usize,
     },
+    /// A request was shed by admission control under overload. Never
+    /// returned as a run-level error from
+    /// [`ContinuousBatcher::try_serve`] — shed requests are reported
+    /// per-request in [`ServingOutcome::shed`] while the rest of the
+    /// batch completes; this is the typed record of why each was refused.
+    Overloaded {
+        /// Index of the shed request.
+        index: usize,
+        /// Which overload policy triggered the shed.
+        reason: OverloadShed,
+    },
     /// An engine failure that recovery could not absorb (e.g. the prefill
     /// tier failed twice in a row for the same prompt).
     Engine(EngineError),
@@ -184,12 +236,44 @@ impl std::fmt::Display for ServeError {
                     "request {index} needs {needed} KV positions but the budget is {budget}"
                 )
             }
+            ServeError::Overloaded { index, reason } => match reason {
+                OverloadShed::QueueFull { waiting, limit } => write!(
+                    f,
+                    "request {index} shed under overload: {waiting} waiting, limit {limit}"
+                ),
+                OverloadShed::TtftDeadline { waited, deadline } => write!(
+                    f,
+                    "request {index} shed under overload: waited {waited:.3}s past its \
+                     {deadline:.3}s TTFT deadline"
+                ),
+            },
             ServeError::Engine(e) => write!(f, "unrecoverable engine failure: {e}"),
             ServeError::RecoveryLimit { faults, last } => {
                 write!(f, "recovery budget exhausted after {faults} faults (last: {last})")
             }
         }
     }
+}
+
+/// Which admission-control policy shed a request (the payload of
+/// [`ServeError::Overloaded`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverloadShed {
+    /// The waiting queue was over [`ServingOptions::queue_limit`].
+    QueueFull {
+        /// Requests waiting when the shed happened.
+        waiting: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request out-waited its class's
+    /// [`ServingOptions::ttft_deadline`].
+    TtftDeadline {
+        /// Seconds the request had waited unadmitted.
+        waited: f64,
+        /// The class deadline it missed.
+        deadline: f64,
+    },
 }
 
 impl std::error::Error for ServeError {
@@ -222,6 +306,17 @@ pub struct ServingOutcome {
     pub step_log: Vec<(usize, f64)>,
     /// Total tokens generated across all requests.
     pub total_generated: usize,
+    /// Requests refused by admission control, each a typed
+    /// [`ServeError::Overloaded`] carrying the request index and shed
+    /// reason. Shed requests keep an empty `outputs` row and contribute
+    /// no latency stats to `report`.
+    pub shed: Vec<ServeError>,
+    /// Priority preemptions performed (each victim re-queued, then
+    /// replayed to a bit-identical stream on re-admission).
+    pub preemptions: usize,
+    /// Recorded tokens re-derived during preemption replays — pure
+    /// overhead the preemption policy paid for priority inversion relief.
+    pub preempted_tokens_replayed: usize,
 }
 
 impl ServingOutcome {
@@ -278,6 +373,13 @@ pub struct BatcherSpec {
     /// overflow; eviction refunds a page exactly when its last reference
     /// drops.
     pub pool_pages: Option<usize>,
+    /// Whether a waiting higher class preempts a strictly lower one out of
+    /// its slot ([`ServingOptions::preemption`]). A preempted request is
+    /// never dropped: it re-enters its class queue with its recording
+    /// intact and must eventually re-admit and replay
+    /// (`replay_restarts_at`) — the lifecycle pass rejects machines that
+    /// preempt without a replay cursor or starve victims forever.
+    pub preemption: bool,
 }
 
 /// The two-tier continuous-batching scheduler.
@@ -318,6 +420,9 @@ pub struct ContinuousBatcher {
     /// A fault plan armed into the decode tier just before the given
     /// successful-step count is reached (one-shot).
     decode_fault: Option<(usize, FaultPlan)>,
+    /// Forced preemptions `(after_step, slot)` applied at step boundaries
+    /// (one-shot, for conformance testing).
+    preempt_plan: Vec<(usize, usize)>,
     /// Recovery budget per [`ContinuousBatcher::try_serve`] call.
     max_recoveries: usize,
 }
@@ -594,6 +699,7 @@ impl ContinuousBatcher {
             exec,
             deadline,
             decode_fault: None,
+            preempt_plan: Vec::new(),
             max_recoveries: 3,
         }
     }
@@ -622,6 +728,7 @@ impl ContinuousBatcher {
             replay_restarts_at: 1,
             page_size,
             pool_pages,
+            preemption: self.opts.preemption,
         }
     }
 
@@ -653,6 +760,18 @@ impl ContinuousBatcher {
         self.prefill.inject_faults(plan);
     }
 
+    /// Forces preemptions for the next serve call (conformance testing):
+    /// each `(after_step, slot)` entry evicts whatever request occupies
+    /// `slot` at the step boundary right after the `after_step`-th
+    /// successful decode step, re-queuing it exactly as a policy
+    /// preemption would. One-shot; entries naming an empty slot are
+    /// no-ops. The conformance suite drives arbitrary schedules through
+    /// this hook and asserts streams stay bit-identical to un-preempted
+    /// runs.
+    pub fn schedule_preemptions(&mut self, plan: &[(usize, usize)]) {
+        self.preempt_plan = plan.to_vec();
+    }
+
     /// Serves `requests` (sorted by arrival) to completion and returns
     /// every request's generated tokens plus measured statistics.
     ///
@@ -670,13 +789,27 @@ impl ContinuousBatcher {
 
     /// Serves `requests` (sorted by arrival) to completion.
     ///
-    /// Admission policy: FIFO. At every step boundary, each arrived request
-    /// at the queue head is prefilled (batch-1, padded to the layout's
-    /// minimum batch by prompt replication) and takes the lowest free slot,
-    /// until slots or arrived requests run out. The decode tier then steps
-    /// the full slot batch — idle slots carry a dummy token and are
-    /// re-evicted each step so they neither age nor allocate. A request
-    /// leaves its slot the moment its last token is sampled.
+    /// Admission policy: priority-first, FIFO within a class. At every
+    /// step boundary, arrived requests join their class queue; the
+    /// highest waiting class is prefilled first (batch-1, padded to the
+    /// layout's minimum batch by prompt replication) and takes the lowest
+    /// free slot, until slots or arrived requests run out. With
+    /// [`ServingOptions::preemption`], a waiting request whose class
+    /// strictly exceeds the lowest in-flight class evicts that slot's
+    /// request (least progress first, so the least replay is wasted); the
+    /// victim re-enters its class queue and later replays to a
+    /// bit-identical stream through the same machinery fault recovery
+    /// uses. The decode tier then steps the full slot batch — idle slots
+    /// carry a dummy token and are re-evicted each step so they neither
+    /// age nor allocate. A request leaves its slot the moment its last
+    /// token is sampled.
+    ///
+    /// Admission control ([`ServingOptions::queue_limit`],
+    /// [`ServingOptions::ttft_deadline`]) sheds waiting requests under
+    /// overload instead of queueing without bound; each shed is a typed
+    /// [`ServeError::Overloaded`] in [`ServingOutcome::shed`], the run
+    /// itself still completes. Preempted requests are never shed — they
+    /// hold emitted tokens and always complete.
     ///
     /// Failed steps trigger recovery (see the module docs): the dead tier
     /// is rebuilt and in-flight requests are replayed to bit-identical
@@ -745,7 +878,15 @@ impl ContinuousBatcher {
         let mut outputs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut prefilled_at = vec![0.0f64; n];
         let mut finished_at = vec![0.0f64; n];
-        let mut pending: VecDeque<usize> = (0..n).collect();
+        // Requests arrive (in sorted order) past `cursor` into their class
+        // queue; admission drains the highest class first, FIFO within.
+        let mut waiting: [VecDeque<usize>; 3] = Default::default();
+        let mut cursor = 0usize;
+        let mut shed: Vec<ServeError> = Vec::new();
+        let mut is_shed = vec![false; n];
+        let mut preemptions = 0usize;
+        let mut preempted_replayed = 0usize;
+        let mut forced = std::mem::take(&mut self.preempt_plan);
         let mut active: Vec<Option<Active>> = (0..cap).map(|_| None).collect();
         let mut step_log: Vec<(usize, f64)> = Vec::new();
         let mut occupancy_sum = 0usize;
@@ -754,12 +895,108 @@ impl ContinuousBatcher {
         let mut peak_live = 0usize;
 
         loop {
-            // Admission at the step boundary.
-            while let Some(&idx) = pending.front() {
-                if requests[idx].arrival > now() {
-                    break;
+            // Arrived requests join their class queue.
+            while cursor < n && requests[cursor].arrival <= now() {
+                waiting[requests[cursor].priority.index()].push_back(cursor);
+                cursor += 1;
+            }
+
+            // Forced preemptions scheduled for this step boundary (one
+            // shot each; empty slots are no-ops).
+            for i in (0..forced.len()).rev() {
+                let (after_step, slot) = forced[i];
+                if after_step != steps_done {
+                    continue;
                 }
-                let Some(slot) = active.iter().position(Option::is_none) else { break };
+                forced.swap_remove(i);
+                if let Some(a) = active[slot].take() {
+                    waiting[requests[a.idx].priority.index()].push_front(a.idx);
+                    self.decode.evict_slot(slot);
+                    if let Some(led) = &mut ledger {
+                        led.release(slot);
+                    }
+                    preemptions += 1;
+                }
+            }
+
+            // TTFT-deadline shedding. Preempted victims (non-empty
+            // recording) are exempt: they were admitted once and must
+            // complete.
+            for class in Priority::ALL {
+                if let Some(deadline) = self.opts.ttft_deadline[class.index()] {
+                    waiting[class.index()].retain(|&idx| {
+                        let waited = now() - requests[idx].arrival;
+                        if outputs[idx].is_empty() && waited > deadline {
+                            is_shed[idx] = true;
+                            shed.push(ServeError::Overloaded {
+                                index: idx,
+                                reason: OverloadShed::TtftDeadline { waited, deadline },
+                            });
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+
+            // Queue-depth shedding: the newest waiting request of the
+            // lowest class goes first; preempted victims are exempt.
+            if let Some(limit) = self.opts.queue_limit {
+                let mut total: usize = waiting.iter().map(VecDeque::len).sum();
+                'shed: while total > limit {
+                    for class in Priority::ALL {
+                        let q = &mut waiting[class.index()];
+                        let Some(pos) = q.iter().rposition(|&idx| outputs[idx].is_empty())
+                        else {
+                            continue;
+                        };
+                        let Some(idx) = q.remove(pos) else { unreachable!("pos in bounds") };
+                        is_shed[idx] = true;
+                        shed.push(ServeError::Overloaded {
+                            index: idx,
+                            reason: OverloadShed::QueueFull { waiting: total, limit },
+                        });
+                        total -= 1;
+                        continue 'shed;
+                    }
+                    break; // only un-sheddable victims remain waiting
+                }
+            }
+
+            // Admission at the step boundary, highest class first.
+            'admit: while let Some(class) = Priority::ALL
+                .into_iter()
+                .rev()
+                .find(|c| !waiting[c.index()].is_empty())
+            {
+                let slot = match active.iter().position(Option::is_none) {
+                    Some(s) => s,
+                    None if self.opts.preemption => {
+                        // Policy preemption: evict the lowest class below
+                        // the admitted one; among equals the least
+                        // progress, so the least replay is wasted.
+                        let victim = active
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(s, o)| o.as_ref().map(|a| (s, a.idx)))
+                            .filter(|&(_, v)| requests[v].priority < class)
+                            .min_by_key(|&(s, v)| {
+                                (requests[v].priority, outputs[v].len(), s)
+                            });
+                        let Some((s, v)) = victim else { break };
+                        waiting[requests[v].priority.index()].push_front(v);
+                        active[s] = None;
+                        self.decode.evict_slot(s);
+                        if let Some(led) = &mut ledger {
+                            led.release(s);
+                        }
+                        preemptions += 1;
+                        s
+                    }
+                    None => break,
+                };
+                let Some(&idx) = waiting[class.index()].front() else { break };
                 // Page-pool admission gate (paged decode tier). The charge
                 // covers this request's unshared prompt pages plus growth
                 // reservations; the idle allowance covers the one dummy
@@ -783,26 +1020,37 @@ impl ContinuousBatcher {
                                     budget,
                                 });
                             }
-                            break; // Defer until eviction frees pages.
+                            break 'admit; // Defer until eviction frees pages.
                         }
                     }
                 }
-                pending.pop_front();
+                waiting[class.index()].pop_front();
                 let req = &requests[idx];
+                let replaying = !outputs[idx].is_empty();
                 let last_logits = self.prefill_with_retry(&req.prompt, pad, &mut recovery)?;
                 let mut rng = StdRng::seed_from_u64(req.seed);
-                prefilled_at[idx] = now();
-                if req.max_new_tokens == 0 {
-                    finished_at[idx] = prefilled_at[idx];
-                    continue;
+                if !replaying {
+                    prefilled_at[idx] = now();
+                    if req.max_new_tokens == 0 {
+                        finished_at[idx] = prefilled_at[idx];
+                        continue;
+                    }
                 }
                 // The first generated token comes from the prefill logits —
-                // its sampling time is the TTFT recorded above.
+                // its sampling time is the TTFT recorded above. On a
+                // post-preemption re-admission the re-derived token is
+                // asserted against the recording instead (the replay
+                // cursor then walks the emitted decode suffix).
                 let tok = sample_row(&mut rng, &last_logits, self.opts.sampling);
-                outputs[idx].push(tok);
-                if req.max_new_tokens == 1 {
-                    finished_at[idx] = now();
-                    continue;
+                if replaying {
+                    assert_eq!(tok, outputs[idx][0], "request {idx} diverged at replayed token 0");
+                    preempted_replayed += outputs[idx].len() - 1;
+                } else {
+                    outputs[idx].push(tok);
+                    if req.max_new_tokens == 1 {
+                        finished_at[idx] = now();
+                        continue;
+                    }
                 }
                 let kv = self.prefill.extract_kv(0);
                 self.decode.insert_kv_shared(slot, &kv, &req.prompt);
@@ -815,12 +1063,16 @@ impl ContinuousBatcher {
             let live = active.iter().flatten().count();
             peak_live = peak_live.max(live);
             if live == 0 {
-                let Some(&idx) = pending.front() else { break };
+                if cursor >= n && waiting.iter().all(VecDeque::is_empty) {
+                    break;
+                }
                 // Nothing in flight and the next request has not arrived:
                 // nap (bounded, so a mis-scheduled wakeup self-corrects).
-                let wait = requests[idx].arrival - now();
-                if wait > 0.0 {
-                    std::thread::sleep(Duration::from_secs_f64(wait.min(0.02)));
+                if cursor < n {
+                    let wait = requests[cursor].arrival - now();
+                    if wait > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(wait.min(0.02)));
+                    }
                 }
                 continue;
             }
@@ -901,13 +1153,16 @@ impl ContinuousBatcher {
             }
         }
 
+        // Shed requests have no latency to report; everything else does.
         let stats: Vec<RequestStats> = requests
             .iter()
-            .zip(prefilled_at.iter().zip(&finished_at))
-            .map(|(r, (&prefilled, &finished))| RequestStats {
+            .enumerate()
+            .filter(|&(idx, _)| !is_shed[idx])
+            .map(|(idx, r)| RequestStats {
                 arrival: r.arrival,
-                prefilled,
-                finished,
+                prefilled: prefilled_at[idx],
+                finished: finished_at[idx],
+                generated: outputs[idx].len(),
             })
             .collect();
         let total_generated = outputs.iter().map(Vec::len).sum();
@@ -917,7 +1172,15 @@ impl ContinuousBatcher {
         if let Some(led) = &ledger {
             report = report.with_kv_pages(led.min_free(), led.peak_shared);
         }
-        Ok(ServingOutcome { report, step_log, outputs, total_generated })
+        Ok(ServingOutcome {
+            report,
+            step_log,
+            outputs,
+            total_generated,
+            shed,
+            preemptions,
+            preempted_tokens_replayed: preempted_replayed,
+        })
     }
 
     /// Rebuilds the decode tier after a failed step and replays every

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use esti_collectives::FaultPlan;
 use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_core::serving::Priority;
 use esti_model::{ModelConfig, ReferenceModel};
 use esti_netsim::{crash_recovery_cost, LiveRequest, RecoveryModel};
 use esti_runtime::{
@@ -58,6 +59,7 @@ fn workload(n_req: usize, vocab: usize) -> Vec<ServingRequest> {
             max_new_tokens: 2 + (i * 2) % 5,
             seed: 1000 + i as u64,
             arrival: 0.0,
+            priority: Priority::Normal,
         })
         .collect()
 }
@@ -255,8 +257,8 @@ fn empty_prompt_is_rejected_with_typed_error() {
 
     assert!(matches!(b.try_serve(&[]), Err(ServeError::NoRequests)));
     let unsorted = vec![
-        ServingRequest { prompt: vec![1], max_new_tokens: 1, seed: 0, arrival: 1.0 },
-        ServingRequest { prompt: vec![1], max_new_tokens: 1, seed: 0, arrival: 0.0 },
+        ServingRequest { prompt: vec![1], max_new_tokens: 1, seed: 0, arrival: 1.0, priority: Priority::Normal },
+        ServingRequest { prompt: vec![1], max_new_tokens: 1, seed: 0, arrival: 0.0, priority: Priority::Normal },
     ];
     assert!(matches!(b.try_serve(&unsorted), Err(ServeError::UnsortedArrivals)));
 }
@@ -312,8 +314,8 @@ fn recovery_accounting_matches_the_netsim_model_exactly() {
         mesh: MeshFactors::new(1, 2, 1),
     };
     let requests = vec![
-        ServingRequest { prompt: vec![1, 2, 3], max_new_tokens: 6, seed: 11, arrival: 0.0 },
-        ServingRequest { prompt: vec![4, 5, 6], max_new_tokens: 6, seed: 12, arrival: 0.0 },
+        ServingRequest { prompt: vec![1, 2, 3], max_new_tokens: 6, seed: 11, arrival: 0.0, priority: Priority::Normal },
+        ServingRequest { prompt: vec![4, 5, 6], max_new_tokens: 6, seed: 12, arrival: 0.0, priority: Priority::Normal },
     ];
     let mut b = batcher(&model, layout, 2);
     b.schedule_decode_fault(2, FaultPlan::new().crash(1, 0));

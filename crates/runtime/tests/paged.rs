@@ -6,6 +6,7 @@
 //! position budget on shared-prefix fleets.
 
 use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
+use esti_core::serving::Priority;
 use esti_model::{ModelConfig, ReferenceModel};
 use esti_runtime::{
     ContinuousBatcher, KvBackend, ServeError, ServingOptions, ServingOutcome, ServingRequest,
@@ -51,7 +52,7 @@ fn shared_prefix_workload(
         .map(|i| {
             let mut prompt = prefix.clone();
             prompt.extend((0..unique).map(|t| (3 + 5 * i + 7 * t) % vocab));
-            ServingRequest { prompt, max_new_tokens: max_new, seed: 900 + i as u64, arrival: 0.0 }
+            ServingRequest { prompt, max_new_tokens: max_new, seed: 900 + i as u64, arrival: 0.0, priority: Priority::Normal }
         })
         .collect()
 }
@@ -273,6 +274,7 @@ proptest! {
                     max_new_tokens: max_new,
                     seed: seed + i as u64,
                     arrival: 0.0,
+                    priority: Priority::Normal,
                 }
             })
             .collect();

@@ -8,7 +8,7 @@
 //! never *which* tokens appear.
 
 use esti_core::layout::{AttnSharding, FfnLayout, GatherExtent, Layout, MeshFactors};
-use esti_core::serving::{simulate, ServingConfig};
+use esti_core::serving::{simulate, Priority, ServingConfig};
 use esti_core::Machine;
 use esti_hal::DType;
 use esti_model::{ModelConfig, ReferenceModel};
@@ -52,6 +52,7 @@ fn workload(n_req: usize, vocab: usize) -> Vec<ServingRequest> {
             max_new_tokens: 2 + (i * 2) % 5,
             seed: 1000 + i as u64,
             arrival: 0.0,
+            priority: Priority::Normal,
         })
         .collect()
 }
@@ -186,9 +187,9 @@ fn zero_and_one_token_requests_are_served() {
         mesh: MeshFactors::new(1, 4, 1),
     };
     let requests = vec![
-        ServingRequest { prompt: vec![1, 2, 3], max_new_tokens: 0, seed: 1, arrival: 0.0 },
-        ServingRequest { prompt: vec![4, 5], max_new_tokens: 1, seed: 2, arrival: 0.0 },
-        ServingRequest { prompt: vec![6, 7, 8, 9], max_new_tokens: 3, seed: 3, arrival: 0.0 },
+        ServingRequest { prompt: vec![1, 2, 3], max_new_tokens: 0, seed: 1, arrival: 0.0, priority: Priority::Normal },
+        ServingRequest { prompt: vec![4, 5], max_new_tokens: 1, seed: 2, arrival: 0.0, priority: Priority::Normal },
+        ServingRequest { prompt: vec![6, 7, 8, 9], max_new_tokens: 3, seed: 3, arrival: 0.0, priority: Priority::Normal },
     ];
     let opts = ServingOptions { max_decode_batch: 2, ..ServingOptions::default() };
     let mut batcher = ContinuousBatcher::new(&model, layout, WeightFormat::Exact, opts);
@@ -214,8 +215,8 @@ fn arrivals_gate_admission() {
         mesh: MeshFactors::new(1, 2, 1),
     };
     let requests = vec![
-        ServingRequest { prompt: vec![1, 2], max_new_tokens: 2, seed: 1, arrival: 0.0 },
-        ServingRequest { prompt: vec![3, 4], max_new_tokens: 2, seed: 2, arrival: 0.05 },
+        ServingRequest { prompt: vec![1, 2], max_new_tokens: 2, seed: 1, arrival: 0.0, priority: Priority::Normal },
+        ServingRequest { prompt: vec![3, 4], max_new_tokens: 2, seed: 2, arrival: 0.05, priority: Priority::Normal },
     ];
     let opts = ServingOptions { max_decode_batch: 2, ..ServingOptions::default() };
     let mut batcher = ContinuousBatcher::new(&model, layout, WeightFormat::Exact, opts);
@@ -254,6 +255,7 @@ fn measured_stats_cross_check_analytical_simulator() {
             max_new_tokens: gen,
             seed: i as u64,
             arrival: 0.0,
+            priority: Priority::Normal,
         })
         .collect();
     let opts = ServingOptions { max_decode_batch: cap, ..ServingOptions::default() };
@@ -331,6 +333,7 @@ proptest! {
                 max_new_tokens: gen,
                 seed: seed + i as u64,
                 arrival: 0.0,
+                priority: Priority::Normal,
             })
             .collect();
         let opts = ServingOptions {

@@ -2,12 +2,14 @@
 //!
 //! Models the [`ContinuousBatcher`](esti_runtime::ContinuousBatcher) serve
 //! loop — admission → prefill → decode slot → evict, with fault-triggered
-//! replay — as an explicit state machine parameterized by the scheduler's
-//! own [`BatcherSpec`], and explores it over a bounded family of abstract
+//! replay, priority-first admission, preemption, and replica drains — as an
+//! explicit state machine parameterized by the scheduler's own
+//! [`BatcherSpec`], and explores it over a bounded family of abstract
 //! request traces (mixed generation lengths, queue depths past the slot
-//! cap, mid-decode faults, budget-exhausting fault bursts). The machine is
-//! abstract over token *values* — it tracks, per request, how many tokens
-//! are recorded and where the replay cursor stands — which is exactly the
+//! cap, mid-decode faults, budget-exhausting fault bursts, late-arriving
+//! high-priority work, mid-run replica drains). The machine is abstract
+//! over token *values* — it tracks, per request, how many tokens are
+//! recorded and where the replay cursor stands — which is exactly the
 //! state the real scheduler's invariants quantify over:
 //!
 //! * **no double-occupied slot** — admission only ever fills an empty slot;
@@ -20,22 +22,37 @@
 //!   request's recording never exceeds `max_new_tokens`;
 //! * **recovery budget respected** — a fault past
 //!   [`BatcherSpec::max_recoveries`] must surface as a
-//!   [`TraceOutcome::RecoveryLimit`], never be absorbed silently.
+//!   [`TraceOutcome::RecoveryLimit`], never be absorbed silently;
+//! * **preemption replays** — when [`BatcherSpec::preemption`] is set, a
+//!   strictly higher class may evict a strictly lower victim; the victim
+//!   keeps its recording and must resume with its cursor back at the
+//!   replay boundary (resuming at the recording head would leave the
+//!   re-prefilled KV cache without the recorded suffix);
+//! * **no starvation** — every queued request is eventually admitted; a
+//!   scheduler that never serves the low class trips the liveness check;
+//! * **drain conservation** — a replica drain evicts every in-flight
+//!   request back to the queue with its recording intact (the router
+//!   re-dispatches and replays); losing one is caught by request
+//!   accounting.
 //!
 //! [`Defect`] seeds one mutation into the machine (admit into an occupied
 //! slot, evict one token early, rewind the replay cursor to 0, ignore the
-//! budget); the unit tests prove each seeded defect is rejected by the
-//! corresponding invariant, so the pass demonstrably checks what it claims.
+//! budget, skip the replay after preemption, starve the low class, drop
+//! requests at a drain); the unit tests prove each seeded defect is
+//! rejected by the corresponding invariant, so the pass demonstrably
+//! checks what it claims.
 
 use std::collections::VecDeque;
 use std::fmt;
 
+use esti_core::serving::Priority;
 use esti_runtime::BatcherSpec;
 
 /// One abstract request: its generation length drives the slot machine,
-/// and its prompt shape drives the page-pool model (token *values* stay
-/// opaque — sharing is abstracted as "the first `shared_prefix` tokens are
-/// common to every request in the trace").
+/// its prompt shape drives the page-pool model, and its class/arrival
+/// drive the priority scheduler (token *values* stay opaque — sharing is
+/// abstracted as "the first `shared_prefix` tokens are common to every
+/// request in the trace").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbstractRequest {
     /// Tokens the request generates (0 and 1 complete at admission).
@@ -45,6 +62,10 @@ pub struct AbstractRequest {
     /// Leading prompt tokens shared with every other request in the trace;
     /// full pages inside this prefix are refcounted, not copied.
     pub shared_prefix: usize,
+    /// Scheduling class: admission is priority-first, FIFO within a class.
+    pub priority: Priority,
+    /// Successful-step count at which the request arrives (0 = at start).
+    pub arrive_at: usize,
 }
 
 impl AbstractRequest {
@@ -52,26 +73,51 @@ impl AbstractRequest {
     /// invariants don't depend on prompt shape).
     #[must_use]
     pub fn new(max_new_tokens: usize) -> Self {
-        AbstractRequest { max_new_tokens, prompt_len: 8, shared_prefix: 0 }
+        AbstractRequest {
+            max_new_tokens,
+            prompt_len: 8,
+            shared_prefix: 0,
+            priority: Priority::Normal,
+            arrive_at: 0,
+        }
     }
 
     /// A request with an explicit prompt shape (pool-model traces).
     #[must_use]
     pub fn with_prompt(max_new_tokens: usize, prompt_len: usize, shared_prefix: usize) -> Self {
         assert!(shared_prefix <= prompt_len, "shared prefix cannot exceed the prompt");
-        AbstractRequest { max_new_tokens, prompt_len, shared_prefix }
+        AbstractRequest { prompt_len, shared_prefix, ..AbstractRequest::new(max_new_tokens) }
+    }
+
+    /// The same request at an explicit priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The same request arriving at successful-step count `step`.
+    #[must_use]
+    pub fn arriving_at(mut self, step: usize) -> Self {
+        self.arrive_at = step;
+        self
     }
 }
 
-/// One abstract serving trace: a FIFO of requests plus the decode steps at
-/// which a fault strikes (indexed by *successful* step count, matching the
-/// scheduler's `schedule_decode_fault`; repeats model back-to-back faults).
+/// One abstract serving trace: requests (with arrival steps) plus the
+/// decode steps at which a fault or a replica drain strikes (indexed by
+/// *successful* step count, matching the scheduler's
+/// `schedule_decode_fault`; repeats model back-to-back events).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Requests in arrival order.
     pub requests: Vec<AbstractRequest>,
     /// Successful-step counts at which a decode fault strikes, sorted.
     pub faults_at: Vec<usize>,
+    /// Successful-step counts at which the serving replica drains: every
+    /// in-flight request is re-queued (recording intact) for re-dispatch,
+    /// modeling the router's fault-aware failover.
+    pub drains_at: Vec<usize>,
 }
 
 /// A seeded scheduler mutation, for tests that prove the pass rejects
@@ -91,6 +137,16 @@ pub enum Defect {
     /// of only at the last reference — the classic refcounting bug a paged
     /// KV pool must not have.
     DoubleFreeSharedPage,
+    /// Preemption discards the victim's replay obligation: re-admission
+    /// resumes at the recording head instead of replaying from
+    /// [`BatcherSpec::replay_restarts_at`], so the re-prefilled KV cache
+    /// never contains the recorded suffix.
+    PreemptWithoutReplayCursor,
+    /// Admission never serves the low-priority class, even with free slots.
+    StarveLowPriorityForever,
+    /// A replica drain drops its in-flight requests instead of re-queueing
+    /// them for re-dispatch.
+    LoseRequestOnReplicaDrain,
 }
 
 /// How one trace run ended (both are legitimate terminals).
@@ -102,6 +158,8 @@ pub enum TraceOutcome {
         steps: usize,
         /// Recoveries absorbed.
         recoveries: usize,
+        /// Preemptions performed (victims evicted and later replayed).
+        preemptions: usize,
     },
     /// A fault broke the recovery budget and was surfaced, mirroring
     /// `ServeError::RecoveryLimit`.
@@ -142,6 +200,17 @@ pub enum LifecycleError {
         /// Where the spec says it must restart.
         must_restart_at: usize,
     },
+    /// A preempted or drained request resumed with its cursor past the
+    /// replay boundary: its recorded suffix would never be re-derived into
+    /// the rebuilt KV cache.
+    ReplaySkipped {
+        /// The resumed request.
+        request: usize,
+        /// Where the cursor resumed.
+        cursor: usize,
+        /// Where the spec says it must restart.
+        must_restart_at: usize,
+    },
     /// A recording grew past the request's `max_new_tokens`.
     OverGeneration {
         /// The offending request.
@@ -158,6 +227,12 @@ pub enum LifecycleError {
         /// The configured budget.
         budget: usize,
     },
+    /// A replica drain dropped an in-flight request: it is neither
+    /// finished nor queued anywhere for re-dispatch.
+    RequestLost {
+        /// The dropped request.
+        request: usize,
+    },
     /// Eviction freed a shared page other requests still reference.
     SharedPageDoubleFreed {
         /// Index of the page inside the shared prefix region.
@@ -173,7 +248,8 @@ pub enum LifecycleError {
         /// The configured pool budget.
         budget: usize,
     },
-    /// The machine exceeded its step bound — requests are starving.
+    /// The machine exceeded its step bound or idled with work queued —
+    /// requests are starving.
     Stuck {
         /// Steps taken when the bound tripped.
         steps: usize,
@@ -197,6 +273,11 @@ impl fmt::Display for LifecycleError {
                 "lifecycle: request {request} replay cursor restarted at {cursor}, must be \
                  {must_restart_at} (token 0 is prefill-produced)"
             ),
+            LifecycleError::ReplaySkipped { request, cursor, must_restart_at } => write!(
+                f,
+                "lifecycle: request {request} resumed at cursor {cursor}, skipping the replay \
+                 from {must_restart_at} that rebuilds its KV cache"
+            ),
             LifecycleError::OverGeneration { request, recorded, want } => write!(
                 f,
                 "lifecycle: request {request} recorded {recorded} tokens, cap {want}"
@@ -204,6 +285,11 @@ impl fmt::Display for LifecycleError {
             LifecycleError::BudgetIgnored { faults, budget } => write!(
                 f,
                 "lifecycle: recovery proceeded at fault {faults} past budget {budget}"
+            ),
+            LifecycleError::RequestLost { request } => write!(
+                f,
+                "lifecycle: request {request} lost at replica drain — neither finished nor \
+                 queued for re-dispatch"
             ),
             LifecycleError::SharedPageDoubleFreed { page, refs } => write!(
                 f,
@@ -229,6 +315,8 @@ pub struct LifecycleReport {
     pub steps: usize,
     /// Total recoveries absorbed.
     pub recoveries: usize,
+    /// Total preemptions performed (and replayed to completion).
+    pub preemptions: usize,
     /// Traces that (correctly) terminated at the recovery limit.
     pub recovery_limits: usize,
 }
@@ -320,29 +408,108 @@ pub fn run_trace(
     let n = trace.requests.len();
     let mut recorded = vec![0usize; n];
     let mut finished = vec![false; n];
-    let mut pending: VecDeque<usize> = (0..n).collect();
+    let mut future: VecDeque<usize> = {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| trace.requests[i].arrive_at);
+        order.into()
+    };
+    let mut pending: VecDeque<usize> = VecDeque::new();
     let mut active: Vec<Option<Slot>> = vec![None; spec.slots];
     let mut faults: VecDeque<usize> = trace.faults_at.iter().copied().collect();
+    let mut drains: VecDeque<usize> = trace.drains_at.iter().copied().collect();
     let mut faults_used = 0usize;
     let mut steps_done = 0usize;
     let mut recoveries = 0usize;
+    let mut preemptions = 0usize;
     let mut pool = Pool::default();
 
-    // Liveness bound: every request needs at most max_new_tokens steps,
-    // every recovery can replay them all once more.
+    // Liveness bound: every request needs at most max_new_tokens steps;
+    // every recovery, drain, and preemption can replay them all once more.
     let work: usize = trace.requests.iter().map(|r| r.max_new_tokens).sum();
-    let bound = (work + 1) * (trace.faults_at.len() + 1) + n + 1;
+    let disruptions = trace.faults_at.len() + trace.drains_at.len() + n;
+    let bound = (work + 1) * (disruptions + 1) + n + 1;
     let mut attempts = 0usize;
 
     loop {
-        // Admission at the step boundary (arrivals are immediate: FIFO).
-        while let Some(&idx) = pending.front() {
+        // Arrivals whose step has come join the queue (FIFO within class).
+        while let Some(&idx) = future.front() {
+            if trace.requests[idx].arrive_at > steps_done {
+                break;
+            }
+            future.pop_front();
+            pending.push_back(idx);
+        }
+
+        // Replica drain? Every in-flight request is evicted back to the
+        // *front* of the queue with its recording intact — the router
+        // re-dispatches it to a healthy replica, which replays. The
+        // defective machine drops them; request conservation catches it.
+        if drains.front() == Some(&steps_done) {
+            drains.pop_front();
+            let mut evicted: Vec<usize> = Vec::new();
+            for slot in &mut active {
+                if let Some(s) = slot.take() {
+                    pool.release(&s, false)?;
+                    evicted.push(s.idx);
+                }
+            }
+            if defect != Some(Defect::LoseRequestOnReplicaDrain) {
+                for &idx in evicted.iter().rev() {
+                    pending.push_front(idx);
+                }
+            }
+            for (idx, done) in finished.iter().enumerate() {
+                if !done && !pending.contains(&idx) && !future.contains(&idx) {
+                    return Err(LifecycleError::RequestLost { request: idx });
+                }
+            }
+        }
+
+        // Admission at the step boundary: highest waiting class first,
+        // FIFO within a class; when no slot is free a strictly higher
+        // class may preempt a strictly lower victim.
+        loop {
+            let mut picked: Option<usize> = None; // position in `pending`
+            for &class in Priority::ALL.iter().rev() {
+                if class == Priority::Low && defect == Some(Defect::StarveLowPriorityForever) {
+                    continue;
+                }
+                picked = pending.iter().position(|&i| trace.requests[i].priority == class);
+                if picked.is_some() {
+                    break;
+                }
+            }
+            let Some(mut pos) = picked else { break };
+            let idx = pending[pos];
+            let class = trace.requests[idx].priority;
             let slot = if defect == Some(Defect::DoubleAdmit) {
                 Some(0)
             } else {
                 active.iter().position(Option::is_none)
             };
-            let Some(slot) = slot else { break };
+            let slot = match slot {
+                Some(s) => s,
+                None if spec.preemption => {
+                    // Victim: the strictly lower-priority occupant with the
+                    // least recorded progress (cheapest replay), evicted
+                    // back to the queue front with its recording intact.
+                    let victim = active
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(s, e)| e.as_ref().map(|e| (s, e.idx)))
+                        .filter(|&(_, v)| trace.requests[v].priority < class)
+                        .min_by_key(|&(s, v)| (trace.requests[v].priority, recorded[v], s));
+                    let Some((s, _)) = victim else { break };
+                    if let Some(e) = active[s].take() {
+                        pool.release(&e, false)?;
+                        pending.push_front(e.idx);
+                        pos += 1; // the pick shifted right by the push_front
+                        preemptions += 1;
+                    }
+                    s
+                }
+                None => break,
+            };
             let want = trace.requests[idx].max_new_tokens;
             let occupies = want > usize::from(spec.prefill_emits_first_token);
             // Page-pool admission gate, mirroring the scheduler's ledger:
@@ -355,7 +522,8 @@ pub fn run_trace(
                 if let Some(budget) = spec.pool_pages {
                     if pool.used + charge > budget {
                         if active.iter().all(Option::is_none) {
-                            // Alone and still over budget: starvation.
+                            // Alone and still over budget: starvation
+                            // (arrivals only add load, never free pages).
                             return Err(LifecycleError::Stuck { steps: steps_done });
                         }
                         break; // Defer until eviction frees pages.
@@ -363,8 +531,11 @@ pub fn run_trace(
                 }
                 claim = (shared, private);
             }
-            pending.pop_front();
-            if spec.prefill_emits_first_token && want > 0 {
+            pending.remove(pos);
+            // A resumed request (preempted or drained victim) keeps its
+            // recording; only a first admission's prefill emits token 0.
+            let resumed = recorded[idx] > 0;
+            if !resumed && spec.prefill_emits_first_token && want > 0 {
                 recorded[idx] += 1;
             }
             if !occupies {
@@ -387,19 +558,50 @@ pub fn run_trace(
                     }
                 }
             }
-            active[slot] = Some(Slot {
-                idx,
-                cursor: usize::from(spec.prefill_emits_first_token),
-                shared_pages: claim.0,
-                private_pages: claim.1,
-            });
+            let cursor = if resumed {
+                if defect == Some(Defect::PreemptWithoutReplayCursor) {
+                    recorded[idx] // skip the replay entirely
+                } else {
+                    spec.replay_restarts_at
+                }
+            } else {
+                usize::from(spec.prefill_emits_first_token)
+            };
+            // Replay-boundary invariant: a resumed request with recorded
+            // decode tokens must restart at the spec boundary and replay
+            // its suffix into the rebuilt KV cache.
+            if resumed
+                && recorded[idx] > spec.replay_restarts_at
+                && cursor != spec.replay_restarts_at
+            {
+                return Err(LifecycleError::ReplaySkipped {
+                    request: idx,
+                    cursor,
+                    must_restart_at: spec.replay_restarts_at,
+                });
+            }
+            active[slot] =
+                Some(Slot { idx, cursor, shared_pages: claim.0, private_pages: claim.1 });
         }
 
         if active.iter().all(Option::is_none) {
-            // Arrivals are immediate, so an empty decode tier means an
-            // empty queue (or every queued request completes at admission).
-            debug_assert!(pending.is_empty());
-            break;
+            if pending.is_empty() && future.is_empty() {
+                break;
+            }
+            if pending.is_empty() {
+                // Idle gap before the next arrival: jump the step clock.
+                if let Some(next) = future.iter().map(|&i| trace.requests[i].arrive_at).min() {
+                    steps_done = steps_done.max(next);
+                }
+                attempts += 1;
+                if attempts > bound {
+                    return Err(LifecycleError::Stuck { steps: steps_done });
+                }
+                continue;
+            }
+            // Work is queued, slots are free, yet nothing was admitted:
+            // the scheduler is starving its queue.
+            return Err(LifecycleError::Stuck { steps: steps_done });
         }
 
         attempts += 1;
@@ -492,13 +694,15 @@ pub fn run_trace(
             return Err(LifecycleError::Stuck { steps: steps_done });
         }
     }
-    Ok(TraceOutcome::Completed { steps: steps_done, recoveries })
+    Ok(TraceOutcome::Completed { steps: steps_done, recoveries, preemptions })
 }
 
 /// The bounded trace family `check_lifecycle` explores: generation-length
 /// mixes around the slot cap (including admission-complete lengths 0 and 1
 /// interleaved with long runs), fault-free runs, single faults at each
-/// early step, fault bursts, and a budget-exhausting burst.
+/// early step, fault bursts, a budget-exhausting burst, late-arriving
+/// high-priority work that preempts a low fleet, three-class mixes, and
+/// mid-run replica drains (alone and stacked with faults or preemption).
 fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
     let s = spec.slots;
     let length_sets: Vec<Vec<usize>> = vec![
@@ -525,12 +729,51 @@ fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
             traces.push(Trace {
                 requests: lengths.iter().map(|&l| AbstractRequest::new(l)).collect(),
                 faults_at: faults.clone(),
+                drains_at: vec![],
             });
         }
     }
+    // Priority + preemption: a low fleet fills every slot, then a
+    // high-priority request arrives mid-run and (with spec.preemption)
+    // evicts the least-progressed victim, which later replays. Stacked
+    // with faults so replay-after-preemption and replay-after-recovery
+    // interleave.
+    let low_fleet = |len: usize| -> Vec<AbstractRequest> {
+        (0..s).map(|_| AbstractRequest::new(len).with_priority(Priority::Low)).collect()
+    };
+    for faults in [vec![], vec![2], vec![2, 2]] {
+        let mut reqs = low_fleet(6);
+        reqs.push(AbstractRequest::new(3).with_priority(Priority::High).arriving_at(1));
+        traces.push(Trace { requests: reqs, faults_at: faults, drains_at: vec![] });
+    }
+    // Three classes with staggered arrivals: the late high jumps the late
+    // low in the queue.
+    let mut mixed = vec![AbstractRequest::new(4); s];
+    mixed.push(AbstractRequest::new(2).with_priority(Priority::High).arriving_at(1));
+    mixed.push(AbstractRequest::new(2).with_priority(Priority::Low).arriving_at(1));
+    traces.push(Trace { requests: mixed, faults_at: vec![], drains_at: vec![] });
+    // Replica drains: a full fleet re-queued mid-run, a drain stacked with
+    // a later fault, and a drain landing on a preempted fleet.
+    traces.push(Trace {
+        requests: vec![AbstractRequest::new(4); s + 2],
+        faults_at: vec![],
+        drains_at: vec![2],
+    });
+    traces.push(Trace {
+        requests: vec![AbstractRequest::new(5); s],
+        faults_at: vec![3],
+        drains_at: vec![2],
+    });
+    {
+        let mut reqs = low_fleet(6);
+        reqs.push(AbstractRequest::new(4).with_priority(Priority::High).arriving_at(1));
+        traces.push(Trace { requests: reqs, faults_at: vec![], drains_at: vec![3] });
+    }
     // Pooled traces: a shared-prefix fleet deeper than the slot cap, with
-    // staggered completions (so shared pages drop references one by one)
-    // and with a mid-run fault (so replay re-admits against the pool).
+    // staggered completions (so shared pages drop references one by one),
+    // with a mid-run fault (so replay re-admits against the pool), with a
+    // drain (so the whole fleet releases and re-charges), and with a
+    // high-priority preemptor (victim pages release and re-charge).
     if let Some(page_size) = spec.page_size {
         let shared = 2 * page_size;
         let fleet = |lens: &[usize]| -> Vec<AbstractRequest> {
@@ -540,9 +783,20 @@ fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
         };
         let staggered: Vec<usize> = (2..2 + s + 2).collect();
         let uniform = vec![3; s + 2];
-        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![] });
-        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![1] });
-        traces.push(Trace { requests: fleet(&uniform), faults_at: vec![] });
+        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![], drains_at: vec![] });
+        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![1], drains_at: vec![] });
+        traces.push(Trace { requests: fleet(&uniform), faults_at: vec![], drains_at: vec![] });
+        traces.push(Trace { requests: fleet(&staggered), faults_at: vec![], drains_at: vec![2] });
+        let mut pooled_preempt: Vec<AbstractRequest> = fleet(&vec![5; s])
+            .into_iter()
+            .map(|r| r.with_priority(Priority::Low))
+            .collect();
+        pooled_preempt.push(
+            AbstractRequest::with_prompt(3, shared + page_size / 2 + 1, shared)
+                .with_priority(Priority::High)
+                .arriving_at(1),
+        );
+        traces.push(Trace { requests: pooled_preempt, faults_at: vec![], drains_at: vec![] });
     }
     traces
 }
@@ -554,14 +808,20 @@ fn builtin_traces(spec: &BatcherSpec) -> Vec<Trace> {
 ///
 /// The first [`LifecycleError`] any trace exposes.
 pub fn check_lifecycle(spec: &BatcherSpec) -> Result<LifecycleReport, LifecycleError> {
-    let mut report =
-        LifecycleReport { traces: 0, steps: 0, recoveries: 0, recovery_limits: 0 };
+    let mut report = LifecycleReport {
+        traces: 0,
+        steps: 0,
+        recoveries: 0,
+        preemptions: 0,
+        recovery_limits: 0,
+    };
     for trace in builtin_traces(spec) {
         report.traces += 1;
         match run_trace(spec, &trace, None)? {
-            TraceOutcome::Completed { steps, recoveries } => {
+            TraceOutcome::Completed { steps, recoveries, preemptions } => {
                 report.steps += steps;
                 report.recoveries += recoveries;
+                report.preemptions += preemptions;
             }
             TraceOutcome::RecoveryLimit { .. } => report.recovery_limits += 1,
         }
@@ -581,6 +841,7 @@ mod tests {
             replay_restarts_at: 1,
             page_size: Some(esti_runtime::DEFAULT_KV_PAGE_SIZE),
             pool_pages: None,
+            preemption: true,
         }
     }
 
@@ -588,7 +849,18 @@ mod tests {
         Trace {
             requests: lengths.iter().map(|&l| AbstractRequest::new(l)).collect(),
             faults_at: faults.to_vec(),
+            drains_at: vec![],
         }
+    }
+
+    /// A low fleet filling every slot plus a high-priority request
+    /// arriving after two decode steps — the canonical preemption setup.
+    fn preemption_trace(s: &BatcherSpec) -> Trace {
+        let mut reqs: Vec<AbstractRequest> = (0..s.slots)
+            .map(|_| AbstractRequest::new(6).with_priority(Priority::Low))
+            .collect();
+        reqs.push(AbstractRequest::new(3).with_priority(Priority::High).arriving_at(2));
+        Trace { requests: reqs, faults_at: vec![], drains_at: vec![] }
     }
 
     #[test]
@@ -597,6 +869,7 @@ mod tests {
         assert!(report.traces >= 40, "bounded family should be substantial");
         assert!(report.steps > 0);
         assert!(report.recoveries > 0, "mid-decode faults must be exercised");
+        assert!(report.preemptions > 0, "priority preemption must be exercised");
         assert!(report.recovery_limits > 0, "budget-exhausting bursts must be exercised");
     }
 
@@ -679,6 +952,91 @@ mod tests {
     }
 
     #[test]
+    fn preemption_evicts_one_victim_and_replays_it_to_completion() {
+        // The high arrival finds every slot held by a lower class: exactly
+        // one victim is evicted, later re-admitted, and its replayed
+        // recording still ends exact (recorded == max_new_tokens is
+        // checked for every request at termination).
+        let s = spec();
+        match run_trace(&s, &preemption_trace(&s), None).unwrap() {
+            TraceOutcome::Completed { preemptions, .. } => assert_eq!(preemptions, 1),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_disabled_spec_waits_instead() {
+        let s = BatcherSpec { preemption: false, ..spec() };
+        match run_trace(&s, &preemption_trace(&s), None).unwrap() {
+            TraceOutcome::Completed { preemptions, .. } => assert_eq!(preemptions, 0),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempt_without_replay_cursor_defect_rejected() {
+        // The ISSUE's seeded preemption mutation: the victim (3 tokens
+        // recorded when evicted) resumes at its recording head instead of
+        // replaying from the boundary.
+        let s = spec();
+        let err =
+            run_trace(&s, &preemption_trace(&s), Some(Defect::PreemptWithoutReplayCursor))
+                .unwrap_err();
+        match err {
+            LifecycleError::ReplaySkipped { cursor, must_restart_at, .. } => {
+                assert_eq!(must_restart_at, 1);
+                assert!(cursor > must_restart_at, "skipped to {cursor}");
+            }
+            other => panic!("expected ReplaySkipped, got {other}"),
+        }
+    }
+
+    #[test]
+    fn starve_low_priority_forever_defect_rejected() {
+        // Two highs complete, slots sit free, and the defective scheduler
+        // still never admits the low request: the liveness check trips.
+        let s = spec();
+        let t = Trace {
+            requests: vec![
+                AbstractRequest::new(2).with_priority(Priority::High),
+                AbstractRequest::new(2).with_priority(Priority::High),
+                AbstractRequest::new(3).with_priority(Priority::Low),
+            ],
+            faults_at: vec![],
+            drains_at: vec![],
+        };
+        let err = run_trace(&s, &t, Some(Defect::StarveLowPriorityForever)).unwrap_err();
+        assert!(matches!(err, LifecycleError::Stuck { .. }), "got {err}");
+    }
+
+    #[test]
+    fn lose_request_on_replica_drain_defect_rejected() {
+        // The ISSUE's seeded drain mutation: the drain drops its in-flight
+        // requests; conservation catches the first one missing.
+        let s = spec();
+        let t = Trace {
+            requests: vec![AbstractRequest::new(5), AbstractRequest::new(5)],
+            faults_at: vec![],
+            drains_at: vec![1],
+        };
+        let err = run_trace(&s, &t, Some(Defect::LoseRequestOnReplicaDrain)).unwrap_err();
+        assert!(matches!(err, LifecycleError::RequestLost { request: 0 }), "got {err}");
+    }
+
+    #[test]
+    fn drain_requeues_every_in_flight_request() {
+        // A correct drain loses nothing: the whole fleet is re-queued,
+        // replayed, and completes with exact recordings.
+        let s = spec();
+        let t = Trace {
+            requests: vec![AbstractRequest::new(5); 6],
+            faults_at: vec![],
+            drains_at: vec![2],
+        };
+        run_trace(&s, &t, None).unwrap();
+    }
+
+    #[test]
     fn pool_budget_defers_admission_until_pages_free() {
         // page_size 4, shared prefix 8 (= 2 shared pages). Each request:
         // prompt 8 + max_new 3 → 3 pages total, 1 private. First admission
@@ -688,7 +1046,7 @@ mod tests {
         // of the 2 a parallel run would take.
         let s = BatcherSpec { page_size: Some(4), pool_pages: Some(4), ..spec() };
         let reqs = vec![AbstractRequest::with_prompt(3, 8, 8); 3];
-        let t = Trace { requests: reqs, faults_at: vec![] };
+        let t = Trace { requests: reqs, faults_at: vec![], drains_at: vec![] };
         match run_trace(&s, &t, None).unwrap() {
             TraceOutcome::Completed { steps, .. } => {
                 assert!(steps >= 4, "deferred admission must serialize: {steps} steps");
@@ -703,6 +1061,7 @@ mod tests {
         let t = Trace {
             requests: vec![AbstractRequest::with_prompt(4, 12, 0)],
             faults_at: vec![],
+            drains_at: vec![],
         };
         assert!(matches!(run_trace(&s, &t, None), Err(LifecycleError::Stuck { .. })));
     }
@@ -720,6 +1079,7 @@ mod tests {
                 AbstractRequest::with_prompt(6, 8, 8),
             ],
             faults_at: vec![],
+            drains_at: vec![],
         };
         let err = run_trace(&s, &t, Some(Defect::DoubleFreeSharedPage)).unwrap_err();
         match err {
@@ -740,6 +1100,7 @@ mod tests {
                 AbstractRequest::with_prompt(6, 8, 8),
             ],
             faults_at: vec![],
+            drains_at: vec![],
         };
         run_trace(&s, &t, None).unwrap();
     }

@@ -201,6 +201,7 @@ pub fn default_batcher_spec() -> BatcherSpec {
         replay_restarts_at: 1,
         page_size: Some(esti_runtime::DEFAULT_KV_PAGE_SIZE),
         pool_pages: None,
+        preemption: true,
     }
 }
 
@@ -211,8 +212,8 @@ pub fn protocol_rows() -> Vec<ComboResult> {
     let spec = default_batcher_spec();
     let outcome = match check_lifecycle(&spec) {
         Ok(r) => Outcome::Verified(format!(
-            "{} traces, {} steps, {} recoveries, {} budget stops",
-            r.traces, r.steps, r.recoveries, r.recovery_limits
+            "{} traces, {} steps, {} recoveries, {} preemptions, {} budget stops",
+            r.traces, r.steps, r.recoveries, r.preemptions, r.recovery_limits
         )),
         Err(e) => Outcome::Fail(e.to_string()),
     };

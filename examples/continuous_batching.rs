@@ -6,6 +6,7 @@
 //! Run with: `cargo run --example continuous_batching`
 
 use esti::core::layout::{AttnSharding, FfnLayout, Layout, MeshFactors};
+use esti::core::serving::Priority;
 use esti::model::{ModelConfig, ReferenceModel};
 use esti::runtime::{
     ContinuousBatcher, GenerateOptions, PartitionedEngine, ServingOptions, ServingRequest,
@@ -29,6 +30,7 @@ fn main() {
             max_new_tokens: 3 + (i * 2) % 5,
             seed: i as u64,
             arrival: i as f64 * 0.002,
+            priority: Priority::Normal,
         })
         .collect();
 
